@@ -1,0 +1,48 @@
+"""Ablation - bead-merge tolerance.
+
+The bead-merge tolerance is the knob that separates Coarse from
+Fine/Custom in x-y printing: coarse tessellation gaps (~0.2-0.3 mm)
+fuse or stay open depending on how much the beads squish.  Sweeping it
+moves the defect boundary across resolutions, exactly as DESIGN.md
+predicts.
+"""
+
+from repro.cad import COARSE, FINE, custom_resolution
+from repro.slicer import SlicerSettings, analyze_split_seam
+
+
+def sweep(split_bar):
+    rows = []
+    for merge_gap in (0.02, 0.10, 0.40):
+        settings = SlicerSettings(merge_gap_mm=merge_gap, raster_cell_mm=0.01)
+        row = {"merge_gap_mm": merge_gap}
+        for resolution in (COARSE, FINE, custom_resolution()):
+            export = split_bar.export_stl(resolution)
+            a, b = list(export.body_meshes.values())
+            seam = analyze_split_seam(a, b, settings)
+            row[resolution.name] = seam.prints_discontinuity
+        rows.append(row)
+    return rows
+
+
+def test_ablation_merge_tolerance(benchmark, report, split_bar):
+    rows = benchmark.pedantic(sweep, args=(split_bar,), rounds=1, iterations=1)
+
+    lines = [
+        f"{'merge gap (mm)':>15s} {'Coarse defect':>14s} {'Fine defect':>12s} "
+        f"{'Custom defect':>14s}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['merge_gap_mm']:>15.2f} {str(r['Coarse']):>14s} "
+            f"{str(r['Fine']):>12s} {str(r['Custom']):>14s}"
+        )
+    report("Ablation merge tolerance", lines)
+
+    tight, paper, loose = rows
+    # Tight tolerance: even Fine's ~0.04 mm gaps fail to fuse.
+    assert tight["Coarse"] and tight["Fine"]
+    # The paper's operating point: only Coarse is defective.
+    assert paper["Coarse"] and not paper["Fine"] and not paper["Custom"]
+    # Very forgiving beads fuse even the Coarse gaps: protection lost.
+    assert not loose["Coarse"]

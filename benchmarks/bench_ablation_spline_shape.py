@@ -1,0 +1,119 @@
+"""Ablation - split-spline geometry vs protection strength.
+
+The paper's closing note says "variations of such features based on the
+same principle can be developed".  This ablation shows the variation
+space is NOT free: the spline's span and waviness decide whether the
+protection works at all.
+
+* A *steep, straight* crossing tessellates almost exactly (no Fig. 4
+  gaps) and stays near-vertical in the x-z build - it prints clean
+  under every condition: no protection.
+* The *paper's 3.5x-gauge-width S-curve* is the sweet spot: unfused at
+  Coarse, interlayer-weak in x-z, clean only under the key.
+* An *extremely shallow* curve protects too, but its wall tilts so far
+  that even the key orientation picks up interlayer character - the
+  designer must re-audit the key conditions.
+"""
+
+import numpy as np
+
+from repro.cad import (
+    COARSE,
+    FINE,
+    BaseExtrudeFeature,
+    CadModel,
+    SplineSplitFeature,
+    TensileBarSpec,
+    default_split_spline,
+    tensile_bar_profile,
+)
+from repro.geometry.spline import CubicSpline2
+from repro.printer import PrintOrientation
+from repro.slicer import SlicerSettings, analyze_split_seam
+
+SPEC = TensileBarSpec()
+YG = SPEC.gauge_width / 2.0
+
+
+def steep_spline() -> CubicSpline2:
+    return CubicSpline2(
+        np.array([[-2.0, -YG], [-0.7, -1.0], [0.7, 1.0], [2.0, YG]])
+    )
+
+
+def shallow_spline() -> CubicSpline2:
+    half = 0.95 * SPEC.gauge_length / 2.0
+    return CubicSpline2(
+        np.array(
+            [
+                [-half, -YG],
+                [-half / 2, -1.2],
+                [0.0, 1.2],
+                [half / 2, -1.2],
+                [half, YG],
+            ]
+        )
+    )
+
+
+def defect_matrix(spline: CubicSpline2):
+    model = CadModel(
+        "abl",
+        [
+            BaseExtrudeFeature(tensile_bar_profile(SPEC), SPEC.thickness),
+            SplineSplitFeature(spline),
+        ],
+    )
+    matrix = {}
+    for resolution in (COARSE, FINE):
+        export = model.export_stl(resolution)
+        a, b = list(export.body_meshes.values())
+        for orientation in (PrintOrientation.XY, PrintOrientation.XZ):
+            seam = analyze_split_seam(
+                a, b, SlicerSettings(), orientation=orientation.transform
+            )
+            matrix[(resolution.name, orientation.value)] = seam.prints_discontinuity
+    return matrix
+
+
+def run():
+    shapes = {
+        "steep/straight": steep_spline(),
+        "paper S-curve": default_split_spline(SPEC),
+        "extreme shallow": shallow_spline(),
+    }
+    return {
+        name: (spline.arc_length(), defect_matrix(spline))
+        for name, spline in shapes.items()
+    }
+
+
+def test_ablation_spline_shape(benchmark, report):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"{'shape':16s} {'arc (mm)':>9s} {'Coarse/x-y':>11s} {'Coarse/x-z':>11s} "
+        f"{'Fine/x-y':>9s} {'Fine/x-z':>9s} {'protects?':>10s}"
+    ]
+    summary = {}
+    for name, (arc, matrix) in results.items():
+        protects = (
+            matrix[("Coarse", "x-y")]
+            and matrix[("Coarse", "x-z")]
+            and matrix[("Fine", "x-z")]
+            and not matrix[("Fine", "x-y")]
+        )
+        summary[name] = protects
+        lines.append(
+            f"{name:16s} {arc:>9.1f} {str(matrix[('Coarse', 'x-y')]):>11s} "
+            f"{str(matrix[('Coarse', 'x-z')]):>11s} {str(matrix[('Fine', 'x-y')]):>9s} "
+            f"{str(matrix[('Fine', 'x-z')]):>9s} {str(protects):>10s}"
+        )
+    report("Ablation spline shape", lines)
+
+    # The steep crossing gives up the protection entirely.
+    assert not summary["steep/straight"]
+    # The paper's proportions (arc ~ 3.5x gauge width) protect.
+    assert summary["paper S-curve"]
+    steep_matrix = results["steep/straight"][1]
+    assert not any(steep_matrix.values())  # clean everywhere = no lock

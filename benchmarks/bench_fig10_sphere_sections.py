@@ -1,0 +1,75 @@
+"""EXP-F10 - Fig. 10: sliced tool path and cut sections of the
+embedded-sphere prisms.
+
+(b) the sliced file shows the sphere in the tool path for the no-removal
+models; (c)/(d) cutting the printed prism in half shows support material
+in the sphere (no removal / surface) vs a fully solid prism (removal +
+solid sphere).
+"""
+
+import numpy as np
+
+from repro.cad import FINE, SphereStyle
+from repro.printer.artifact import VoxelMaterial
+
+from conftest import SPHERE_CENTER_BUILD, SPHERE_RADIUS, sphere_model
+
+
+def measure(print_job):
+    results = {}
+    for removal, style in (
+        (False, SphereStyle.SOLID),
+        (True, SphereStyle.SOLID),
+        (True, SphereStyle.SURFACE),
+    ):
+        out = print_job.print_model(sphere_model(style, removal), FINE)
+        artifact = out.artifact
+        # Fig. 10b: does the sliced mid-layer show the sphere contour?
+        mid_layer = out.slices.layers[len(out.slices.layers) // 2]
+        sphere_in_slice = len(mid_layer.contours) > 1
+        # Fig. 10c/d: cut the printed prism in half.
+        section = artifact.cross_section("y")
+        support_cells = int(np.count_nonzero(section == int(VoxelMaterial.SUPPORT)))
+        mask = artifact.sphere_mask(np.array(SPHERE_CENTER_BUILD), SPHERE_RADIUS)
+        fractions = artifact.region_fractions(mask)
+        results[(removal, style.value)] = {
+            "sphere_in_slice": sphere_in_slice,
+            "support_cells_in_section": support_cells,
+            "sphere_support_fraction": fractions[VoxelMaterial.SUPPORT],
+            "sphere_model_fraction": fractions[VoxelMaterial.MODEL],
+            "section_ascii": artifact.section_ascii("y", max_width=72),
+        }
+    return results
+
+
+def test_fig10_sphere_sections(benchmark, report, print_job):
+    results = benchmark.pedantic(measure, args=(print_job,), rounds=1, iterations=1)
+
+    lines = []
+    for (removal, style), r in results.items():
+        tag = f"{'removal' if removal else 'no removal'} + {style} sphere"
+        lines.append(
+            f"[{tag}] sphere in sliced tool path: {r['sphere_in_slice']}; "
+            f"sphere region: {r['sphere_model_fraction']:.0%} model / "
+            f"{r['sphere_support_fraction']:.0%} support"
+        )
+    lines.append("")
+    lines.append("cut section, no removal + solid sphere (Fig. 10c):")
+    lines.extend(results[(False, "solid")]["section_ascii"].splitlines())
+    lines.append("")
+    lines.append("cut section, removal + solid sphere (Fig. 10d):")
+    lines.extend(results[(True, "solid")]["section_ascii"].splitlines())
+    report("Fig 10 sphere sections", lines)
+
+    no_removal = results[(False, "solid")]
+    removal_solid = results[(True, "solid")]
+    removal_surface = results[(True, "surface")]
+    # Fig. 10b: the sphere appears in the sliced tool path without removal.
+    assert no_removal["sphere_in_slice"]
+    # Fig. 10c: support material printed in the sphere.
+    assert no_removal["sphere_support_fraction"] > 0.8
+    # Fig. 10d: completely solid prism (no support inside).
+    assert removal_solid["sphere_model_fraction"] > 0.95
+    assert not removal_solid["sphere_in_slice"]
+    # Removal + surface sphere keeps the support-filled void.
+    assert removal_surface["sphere_support_fraction"] > 0.8

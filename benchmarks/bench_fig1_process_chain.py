@@ -1,0 +1,31 @@
+"""EXP-F1 - Fig. 1: the cloud-aware AM process chain, end to end.
+
+Runs a model through CAD/FEA -> STL -> slicing/G-code -> printing ->
+testing and prints the per-stage ledger (the boxes of Fig. 1).
+"""
+
+from repro.cad import FINE
+from repro.supplychain.chain import ProcessChain
+from repro.supplychain.risks import AmStage
+
+
+def run_chain(model):
+    chain = ProcessChain()
+    return chain.run(model, FINE)
+
+
+def test_fig1_process_chain(benchmark, report, intact_bar):
+    ledger = benchmark.pedantic(run_chain, args=(intact_bar,), rounds=1, iterations=1)
+
+    report("Fig 1 process chain", ledger.render().splitlines())
+
+    assert ledger.completed
+    assert not ledger.compromised
+    stages = [r.stage for r in ledger.records]
+    assert stages == [
+        AmStage.CAD_FEA,
+        AmStage.STL,
+        AmStage.SLICING,
+        AmStage.PRINTER,
+        AmStage.TESTING,
+    ]

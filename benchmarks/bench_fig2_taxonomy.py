@@ -1,0 +1,38 @@
+"""EXP-F2 - Fig. 2: the attack taxonomy tree.
+
+Renders the taxonomy grouped by abstraction level and attack class and
+checks its consistency with the Table 1 risk register.
+"""
+
+from repro.supplychain.risks import AmStage
+from repro.supplychain.taxonomy import (
+    ATTACK_TAXONOMY,
+    AbstractionLevel,
+    AttackClass,
+    attacks_for_stage,
+    render_tree,
+    taxonomy_tree,
+)
+
+
+def build_taxonomy():
+    return taxonomy_tree(), render_tree()
+
+
+def test_fig2_attack_taxonomy(benchmark, report):
+    tree, rendering = benchmark(build_taxonomy)
+
+    lines = rendering.splitlines()
+    lines.append("")
+    lines.append(f"total attack vectors: {len(ATTACK_TAXONOMY)}")
+    for level in AbstractionLevel:
+        n = sum(len(v) for v in tree.get(level, {}).values())
+        lines.append(f"  {level.value}: {n}")
+    report("Fig 2 attack taxonomy", lines)
+
+    assert set(tree) == set(AbstractionLevel)
+    covered_classes = {c for by_class in tree.values() for c in by_class}
+    assert covered_classes == set(AttackClass)
+    # Every supply-chain stage is an entry point for some attack.
+    for stage in AmStage:
+        assert attacks_for_stage(stage.value)

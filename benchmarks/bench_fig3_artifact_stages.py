@@ -1,0 +1,61 @@
+"""EXP-F3 - Fig. 3: one model across its artifact stages.
+
+The figure shows the same design as CAD model, FEA-optimized model,
+sliced G-code tool path, and STL conversion.  This bench produces the
+per-stage statistics of one tensile bar walking through those forms.
+"""
+
+import numpy as np
+
+from repro.cad import FINE
+from repro.printer import PrintJob, PrintOrientation
+from repro.slicer.gcode import parse_gcode, toolpath_statistics
+from repro.supplychain.chain import _min_section_area
+
+
+def build_stages(intact_bar, print_job):
+    out = print_job.print_model(intact_bar, FINE, PrintOrientation.XY)
+    moves = parse_gcode(out.gcode)
+    stats = toolpath_statistics(moves)
+    return {
+        "cad": {
+            "features": len(intact_bar.features),
+            "cad_file_bytes": intact_bar.cad_file_size(),
+            "bodies": len(intact_bar.bodies()),
+        },
+        "fea": {
+            "min_section_mm2": _min_section_area(out.export.mesh),
+            "volume_mm3": out.export.mesh.volume,
+        },
+        "stl": {
+            "triangles": out.export.n_triangles,
+            "stl_file_bytes": out.export.file_size_bytes,
+        },
+        "gcode": {
+            "layers": stats["n_layers"],
+            "moves": stats["n_moves"],
+            "extrude_mm": stats["extrude_mm"],
+            "gcode_bytes": out.gcode.size_bytes,
+        },
+    }
+
+
+def test_fig3_artifact_stages(benchmark, report, intact_bar, print_job):
+    stages = benchmark.pedantic(
+        build_stages, args=(intact_bar, print_job), rounds=1, iterations=1
+    )
+
+    lines = []
+    for stage, values in stages.items():
+        entries = ", ".join(
+            f"{k}={v:.1f}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in values.items()
+        )
+        lines.append(f"{stage:6s}: {entries}")
+    report("Fig 3 artifact stages", lines)
+
+    assert stages["cad"]["bodies"] == 1
+    assert stages["stl"]["triangles"] > 50
+    assert stages["gcode"]["layers"] == int(np.ceil(3.2 / 0.1778))
+    # The gauge section is the minimum FEA cross-section: 6 x 3.2 mm.
+    assert np.isclose(stages["fea"]["min_section_mm2"], 19.2, rtol=0.05)

@@ -1,0 +1,69 @@
+"""EXP-F5 - Fig. 5: the meaning of the STL resolution parameters.
+
+Sweeps the angle and deviation tolerances across (and beyond) the
+Coarse/Fine/Custom presets on the spline-split bar and reports how the
+triangle count, file size and realized chordal error respond to each
+knob - the quantitative version of the paper's Fig. 5 diagram.
+"""
+
+import numpy as np
+
+from repro.cad import COARSE, FINE, StlResolution, custom_resolution
+from repro.mesh.validate import find_tessellation_gaps, max_gap
+
+
+def sweep(split_bar):
+    presets = [COARSE, FINE, custom_resolution()]
+    extras = [
+        StlResolution(name="angle-only", angle_deg=5.0, deviation_fraction=0.0020),
+        StlResolution(name="dev-only", angle_deg=30.0, deviation_fraction=0.0002),
+    ]
+    rows = []
+    for resolution in presets + extras:
+        export = split_bar.export_stl(resolution)
+        a, b = list(export.body_meshes.values())
+        realized = max_gap(find_tessellation_gaps(a, b, interface_band=0.4))
+        rows.append(
+            {
+                "name": resolution.name,
+                "angle_deg": resolution.angle_deg,
+                "deviation_mm": export.tolerance.deviation,
+                "triangles": export.n_triangles,
+                "stl_bytes": export.file_size_bytes,
+                "realized_gap_mm": realized,
+            }
+        )
+    return rows
+
+
+def test_fig5_resolution_sweep(benchmark, report, split_bar):
+    rows = benchmark.pedantic(sweep, args=(split_bar,), rounds=1, iterations=1)
+
+    lines = [
+        f"{'setting':12s} {'angle(deg)':>10s} {'deviation(mm)':>14s} "
+        f"{'triangles':>10s} {'bytes':>9s} {'realized gap':>13s}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['name']:12s} {r['angle_deg']:>10.1f} {r['deviation_mm']:>14.4f} "
+            f"{r['triangles']:>10d} {r['stl_bytes']:>9d} {r['realized_gap_mm']:>13.4f}"
+        )
+    report("Fig 5 resolution sweep", lines)
+
+    by_name = {r["name"]: r for r in rows}
+    # Finer presets: more triangles, bigger files.
+    assert (
+        by_name["Coarse"]["triangles"]
+        < by_name["Fine"]["triangles"]
+        < by_name["Custom"]["triangles"]
+    )
+    # Tightening either knob alone adds triangles over Coarse.
+    assert by_name["angle-only"]["triangles"] > by_name["Coarse"]["triangles"]
+    assert by_name["dev-only"]["triangles"] > by_name["Coarse"]["triangles"]
+    # Deviation tolerance is what drives the realized gap.
+    assert by_name["dev-only"]["realized_gap_mm"] < by_name["Coarse"]["realized_gap_mm"]
+    # The deviation is expressed as a fraction of the model diagonal.
+    diag = split_bar.bounds().diagonal
+    assert np.isclose(
+        by_name["Coarse"]["deviation_mm"], COARSE.deviation_fraction * diag
+    )

@@ -1,0 +1,52 @@
+"""EXP-F6 - Fig. 6: the x-y and x-z printing orientations.
+
+Reports the oriented bounding box, layer counts and build-time estimate
+of the tensile bar in both orientations on both of the paper's machines.
+"""
+
+import numpy as np
+
+from repro.cad import FINE
+from repro.printer import DIMENSION_ELITE, OBJET30_PRO
+from repro.printer.orientation import PrintOrientation, oriented_size
+
+
+def measure(intact_bar):
+    mesh = intact_bar.export_stl(FINE).mesh
+    rows = []
+    for machine in (DIMENSION_ELITE, OBJET30_PRO):
+        for orientation in (PrintOrientation.XY, PrintOrientation.XZ):
+            size = oriented_size(mesh, orientation)
+            layers = int(np.ceil(size[2] / machine.layer_height_mm))
+            rows.append(
+                {
+                    "machine": machine.name,
+                    "orientation": orientation.value,
+                    "size_mm": size,
+                    "layers": layers,
+                }
+            )
+    return rows
+
+
+def test_fig6_orientations(benchmark, report, intact_bar):
+    rows = benchmark.pedantic(measure, args=(intact_bar,), rounds=1, iterations=1)
+
+    lines = [f"{'machine':30s} {'orient':7s} {'x * y * z (mm)':24s} {'layers':>7s}"]
+    for r in rows:
+        sx, sy, sz = r["size_mm"]
+        lines.append(
+            f"{r['machine']:30s} {r['orientation']:7s} "
+            f"{sx:6.1f} x {sy:5.1f} x {sz:5.1f}    {r['layers']:>7d}"
+        )
+    report("Fig 6 print orientations", lines)
+
+    by_key = {(r["machine"], r["orientation"]): r for r in rows}
+    fdm_xy = by_key[(DIMENSION_ELITE.name, "x-y")]
+    fdm_xz = by_key[(DIMENSION_ELITE.name, "x-z")]
+    # x-y builds the 3.2 mm thickness; x-z builds the 19 mm width.
+    assert fdm_xy["layers"] == int(np.ceil(3.2 / 0.1778))
+    assert fdm_xz["layers"] == int(np.ceil(19.0 / 0.1778))
+    # The PolyJet machine needs ~11x the layers at 16 um.
+    polyjet_xy = by_key[(OBJET30_PRO.name, "x-y")]
+    assert polyjet_xy["layers"] > 10 * fdm_xy["layers"]

@@ -1,0 +1,43 @@
+"""EXP-T1 - Table 1: cybersecurity risks per AM supply-chain stage.
+
+Regenerates the risk/mitigation matrix from the risk register and
+cross-checks it for coverage against the attack taxonomy.
+"""
+
+from repro.supplychain.risks import RISK_REGISTER, AmStage
+from repro.supplychain.taxonomy import attacks_for_stage
+
+
+def build_table():
+    rows = RISK_REGISTER.as_table()
+    coverage = RISK_REGISTER.coverage()
+    taxonomy_counts = {
+        stage: len(attacks_for_stage(stage.value)) for stage in AmStage
+    }
+    return rows, coverage, taxonomy_counts
+
+
+def test_table1_risk_matrix(benchmark, report):
+    rows, coverage, taxonomy_counts = benchmark(build_table)
+
+    lines = []
+    for row in rows:
+        lines.append(f"[{row['AM stage']}]")
+        lines.append(
+            "  risks: " + row["Description of applicable cybersecurity risks"]
+        )
+        lines.append(
+            "  mitigations: " + row["Potential risk-mitigation strategies"]
+        )
+    lines.append(f"mitigation coverage complete: {all(coverage.values())}")
+    lines.append(
+        "taxonomy attacks per stage: "
+        + ", ".join(f"{s.display_name}={n}" for s, n in taxonomy_counts.items())
+    )
+    report("Table 1 risk matrix", lines)
+
+    assert len(rows) == 5
+    assert all(coverage.values())
+    assert all(n > 0 for n in taxonomy_counts.values())
+    this_work = RISK_REGISTER.this_work()
+    assert this_work is not None and this_work.stage is AmStage.CAD_FEA

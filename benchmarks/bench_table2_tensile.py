@@ -1,0 +1,64 @@
+"""EXP-T2 - Table 2: tensile properties of spline-split vs intact bars.
+
+Prints n=5 specimens per group on the virtual Dimension Elite (Coarse
+STL, as the degraded spline x-y values in the paper imply), pulls them
+on the virtual rig and prints the four-column table next to the paper's
+numbers.
+"""
+
+import pytest
+
+from repro.cad import COARSE
+from repro.mechanics import TensileTestRig, specimen_from_print
+from repro.printer import PrintOrientation
+
+PAPER = {
+    "Spline x-y": (1.89, 24.0, 0.015, 295.4),
+    "Spline x-z": (2.10, 31.5, 0.021, 453.6),
+    "Intact x-y": (1.98, 30.0, 0.029, 632.1),
+    "Intact x-z": (2.05, 32.5, 0.077, 3367.4),
+}
+
+
+@pytest.fixture(scope="module")
+def specimens(print_job, split_bar, intact_bar):
+    out = {}
+    for model, tag in ((split_bar, "Spline"), (intact_bar, "Intact")):
+        for orientation in (PrintOrientation.XY, PrintOrientation.XZ):
+            outcome = print_job.print_model(model, COARSE, orientation)
+            out[f"{tag} {orientation.value}"] = specimen_from_print(outcome)
+    return out
+
+
+def run_table(specimens):
+    rig = TensileTestRig(seed=2017)
+    return {
+        label: rig.test_group([sp], n_repeats=5)
+        for label, sp in specimens.items()
+    }
+
+
+def test_table2_tensile_properties(benchmark, report, specimens):
+    groups = benchmark(run_table, specimens)
+
+    lines = [
+        f"{'group':12s} {'E (GPa)':>16s} {'UTS (MPa)':>16s} "
+        f"{'eps_f (mm/mm)':>18s} {'toughness (kJ/m^3)':>22s}"
+    ]
+    for label, g in groups.items():
+        p = PAPER[label]
+        lines.append(
+            f"{label:12s} {g.young_modulus_gpa:6.2f} (paper {p[0]:5.2f})"
+            f" {g.uts_mpa:6.1f} (paper {p[1]:5.1f})"
+            f" {g.failure_strain:7.3f} (paper {p[2]:6.3f})"
+            f" {g.toughness_kj_m3:8.1f} (paper {p[3]:7.1f})"
+        )
+    report("Table 2 tensile properties", lines)
+
+    # Shape assertions (who wins, by roughly what factor).
+    for orientation in ("x-y", "x-z"):
+        spline = groups[f"Spline {orientation}"]
+        intact = groups[f"Intact {orientation}"]
+        assert spline.failure_strain <= 0.62 * intact.failure_strain
+        assert intact.toughness_kj_m3 >= 2.0 * spline.toughness_kj_m3
+        assert 0.9 < spline.young_modulus_gpa / intact.young_modulus_gpa < 1.1

@@ -1,0 +1,67 @@
+"""EXP-T3 - Table 3: printing results of the four embedded-sphere models.
+
+For {no removal, removal} x {solid, surface}, prints the prism on the
+virtual FDM machine (Fine STL, as in the paper) and reports which
+material fills the sphere region - matching Table 3 cell for cell.
+"""
+
+from repro.cad import FINE, SphereStyle
+from repro.printer.artifact import VoxelMaterial
+
+from conftest import SPHERE_CENTER_BUILD, SPHERE_RADIUS, sphere_model
+
+EXPECTED = {
+    ("Without material removal", "Solid"): "Support material",
+    ("Without material removal", "Surface"): "Support material",
+    ("With material removal", "Solid"): "Model material",
+    ("With material removal", "Surface"): "Support material",
+}
+
+_MATERIAL_NAMES = {
+    VoxelMaterial.MODEL: "Model material",
+    VoxelMaterial.SUPPORT: "Support material",
+    VoxelMaterial.EMPTY: "Empty",
+}
+
+
+def run_matrix(print_job):
+    results = {}
+    for removal in (False, True):
+        for style in (SphereStyle.SOLID, SphereStyle.SURFACE):
+            out = print_job.print_model(sphere_model(style, removal), FINE)
+            material = out.artifact.sphere_region_material(
+                SPHERE_CENTER_BUILD, SPHERE_RADIUS
+            )
+            op = "With material removal" if removal else "Without material removal"
+            results[(op, style.value.capitalize())] = (
+                _MATERIAL_NAMES[material],
+                out.export.file_size_bytes,
+            )
+    return results
+
+
+def test_table3_sphere_matrix(benchmark, report, print_job):
+    results = benchmark.pedantic(
+        run_matrix, args=(print_job,), rounds=1, iterations=1
+    )
+
+    lines = [
+        f"{'CAD Operation':26s} {'CAD sphere feature':20s} "
+        f"{'Material printed for sphere':28s} {'STL bytes':>10s}"
+    ]
+    for (op, style), (material, stl_bytes) in results.items():
+        match = "OK" if EXPECTED[(op, style)] == material else "MISMATCH"
+        lines.append(f"{op:26s} {style:20s} {material:28s} {stl_bytes:>10d}  [{match}]")
+    report("Table 3 embedded sphere matrix", lines)
+
+    for key, expected in EXPECTED.items():
+        assert results[key][0] == expected, key
+    # STL file sizes equal between solid and surface (paper observation).
+    assert (
+        results[("Without material removal", "Solid")][1]
+        == results[("Without material removal", "Surface")][1]
+    )
+    assert (
+        results[("With material removal", "Solid")][1]
+        == results[("With material removal", "Surface")][1]
+    )

@@ -1,0 +1,62 @@
+"""EXP-X1 - Sec. 3.1 replication on the material-jetting printer.
+
+"The results obtained on the FDM printer are then replicated on a
+material jetting printer (Stratasys Objet30 Pro) ... Similar results
+are obtained in terms of presence or absence of the spline feature with
+respect to the STL resolution and print orientation."
+
+Runs the same resolution x orientation seam matrix at the Objet's
+16 um layers and checks it matches the FDM matrix.
+"""
+
+from repro.cad import COARSE, FINE, custom_resolution
+from repro.printer import DIMENSION_ELITE, OBJET30_PRO, PrintOrientation
+from repro.slicer import SlicerSettings, analyze_split_seam
+
+
+def matrix(split_bar, layer_height_mm, bead_width_mm):
+    settings = SlicerSettings(
+        layer_height_mm=layer_height_mm, bead_width_mm=bead_width_mm
+    )
+    out = {}
+    for resolution in (COARSE, FINE, custom_resolution()):
+        export = split_bar.export_stl(resolution)
+        a, b = list(export.body_meshes.values())
+        for orientation in (PrintOrientation.XY, PrintOrientation.XZ):
+            seam = analyze_split_seam(
+                a, b, settings, orientation=orientation.transform
+            )
+            out[(resolution.name, orientation.value)] = seam.prints_discontinuity
+    return out
+
+
+def run_both(split_bar):
+    fdm = matrix(
+        split_bar, DIMENSION_ELITE.layer_height_mm, DIMENSION_ELITE.bead_width_mm
+    )
+    polyjet = matrix(
+        split_bar, OBJET30_PRO.layer_height_mm, OBJET30_PRO.bead_width_mm
+    )
+    return fdm, polyjet
+
+
+def test_x1_polyjet_replication(benchmark, report, split_bar):
+    fdm, polyjet = benchmark.pedantic(
+        run_both, args=(split_bar,), rounds=1, iterations=1
+    )
+
+    lines = [f"{'setting':22s} {'FDM (ABS)':>12s} {'PolyJet (VeroClear)':>21s}"]
+    for key in fdm:
+        lines.append(
+            f"{key[0] + ' ' + key[1]:22s} {str(fdm[key]):>12s} {str(polyjet[key]):>21s}"
+        )
+    report("X1 PolyJet replication", lines)
+
+    # "Similar results are obtained": the feature matrix is identical.
+    assert fdm == polyjet
+    # And the matrix itself is the paper's: x-z always defective.
+    for resolution in ("Coarse", "Fine", "Custom"):
+        assert polyjet[(resolution, "x-z")]
+    assert polyjet[("Coarse", "x-y")]
+    assert not polyjet[("Fine", "x-y")]
+    assert not polyjet[("Custom", "x-y")]

@@ -1,0 +1,70 @@
+"""EXP-X4 - tool-path reverse engineering (paper ref [20]).
+
+Both directions of the cited work: the IP-theft attack (reconstruct the
+part geometry from stolen G-code) and the mitigation (validate G-code
+against the signed reference STL, catching a scaling tamper).
+"""
+
+import numpy as np
+
+from repro.cad import FINE
+from repro.printer import PrintOrientation
+from repro.slicer.gcode import GCodeMove, parse_gcode
+from repro.slicer.reverse import GcodeValidator, reconstruction_fidelity
+
+
+def run(print_job, intact_bar):
+    out = print_job.print_model(intact_bar, FINE, PrintOrientation.XY)
+    moves = parse_gcode(out.gcode)
+    reference = out.export.mesh
+    reference_build = reference.translated(
+        -reference.bounds.lo + np.array([10.0, 10.0, 0.0])
+    )
+
+    fidelity = reconstruction_fidelity(moves, reference_build)
+
+    validator = GcodeValidator()
+    clean = validator.validate(moves, reference_build)
+
+    tampered = [
+        GCodeMove(
+            command=m.command,
+            x=m.x * 1.05 if m.x is not None else None,
+            y=m.y,
+            z=m.z,
+            e=m.e,
+            feedrate=m.feedrate,
+            tool=m.tool,
+        )
+        for m in moves
+    ]
+    attacked = validator.validate(tampered, reference_build)
+    return fidelity, clean, attacked, reference_build.volume
+
+
+def test_x4_toolpath_reverse(benchmark, report, print_job, intact_bar):
+    fidelity, clean, attacked, true_volume = benchmark.pedantic(
+        run, args=(print_job, intact_bar), rounds=1, iterations=1
+    )
+
+    lines = [
+        "[attack: geometry from stolen G-code]",
+        f"  layers reconstructed : {fidelity['n_layers']:.0f}",
+        f"  area recovery        : mean {fidelity['mean_area_recovery']:.3f}, "
+        f"min {fidelity['min_area_recovery']:.3f}",
+        f"  volume estimate      : {fidelity['volume_estimate_mm3']:.0f} mm^3 "
+        f"(true {true_volume:.0f})",
+        "",
+        "[mitigation: validate G-code vs signed STL]",
+        f"  clean program        : valid={clean.valid}, "
+        f"mean area error {clean.mean_area_error_pct:.2f}%",
+        f"  5% scaled program    : valid={attacked.valid}, "
+        f"max area error {attacked.max_area_error_pct:.1f}%, "
+        f"{len(attacked.mismatched_layers)} mismatched layers",
+    ]
+    report("X4 toolpath reverse engineering", lines)
+
+    assert fidelity["mean_area_recovery"] > 0.95
+    assert np.isclose(fidelity["volume_estimate_mm3"], true_volume, rtol=0.08)
+    assert clean.valid
+    assert not attacked.valid

@@ -1,0 +1,94 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and prints the
+rows/series (forced past pytest's capture so they appear alongside the
+pytest-benchmark summary).  Results are also appended to
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cad import (
+    BaseExtrudeFeature,
+    BasePrismFeature,
+    CadModel,
+    EmbeddedSphereFeature,
+    SphereStyle,
+    SplineSplitFeature,
+    TensileBarSpec,
+    default_split_spline,
+    tensile_bar_profile,
+)
+from repro.printer import PrintJob
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(capsys, results_dir):
+    """A printer that bypasses capture and logs to the results dir."""
+
+    class Reporter:
+        def __call__(self, title: str, lines):
+            text = "\n".join([f"== {title} =="] + [str(l) for l in lines])
+            with capsys.disabled():
+                print("\n" + text)
+            safe = title.lower().replace(" ", "_").replace("/", "-")
+            (results_dir / f"{safe}.txt").write_text(text + "\n")
+
+    return Reporter()
+
+
+@pytest.fixture(scope="session")
+def bar_spec() -> TensileBarSpec:
+    return TensileBarSpec()
+
+
+@pytest.fixture(scope="session")
+def split_bar(bar_spec) -> CadModel:
+    return CadModel(
+        "split-bar",
+        [
+            BaseExtrudeFeature(tensile_bar_profile(bar_spec), bar_spec.thickness),
+            SplineSplitFeature(default_split_spline(bar_spec)),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def intact_bar(bar_spec) -> CadModel:
+    return CadModel(
+        "intact-bar",
+        [BaseExtrudeFeature(tensile_bar_profile(bar_spec), bar_spec.thickness)],
+    )
+
+
+def sphere_model(style: SphereStyle, removal: bool) -> CadModel:
+    tag = "removal" if removal else "noremoval"
+    return CadModel(
+        f"prism-{style.value}-{tag}",
+        [
+            BasePrismFeature((25.4, 12.7, 12.7)),
+            EmbeddedSphereFeature((0.0, 0.0, 0.0), 3.175, style, removal),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def print_job() -> PrintJob:
+    return PrintJob()
+
+
+#: Build-space centre of the embedded sphere in the session prints.
+SPHERE_CENTER_BUILD = (22.7, 16.35, 6.35)
+SPHERE_RADIUS = 3.175

@@ -1,0 +1,73 @@
+"""The embedded-sphere feature (paper Sec. 3.2), as a CAD-recipe lock.
+
+Builds the paper's four prism models - {no removal, removal} x
+{solid, surface sphere} - prints them on the virtual FDM machine, and
+saws every printed prism in half (Fig. 10c/d) to show which material
+filled the sphere.  Only the secret CAD recipe ("remove material, then
+embed a *solid* sphere") yields a fully dense part.
+
+Run:  python examples/embedded_sphere_watermark.py
+"""
+
+import numpy as np
+
+from repro import FINE, PrintJob
+from repro.cad import SphereStyle
+from repro.obfuscade import Obfuscator
+from repro.printer.artifact import VoxelMaterial
+
+SPHERE_CENTER_BUILD = np.array([22.7, 16.35, 6.35])
+SPHERE_RADIUS = 3.175
+
+
+def main() -> None:
+    job = PrintJob()
+
+    print("the four CAD recipes of the paper's Table 3:")
+    print()
+    for removal in (False, True):
+        for style in (SphereStyle.SOLID, SphereStyle.SURFACE):
+            model = Obfuscator.sphere_variant(style, removal)
+            outcome = job.print_model(model, FINE)
+            material = outcome.artifact.sphere_region_material(
+                SPHERE_CENTER_BUILD, SPHERE_RADIUS
+            )
+            recipe = (
+                "remove material, embed "
+                if removal
+                else "embed directly a "
+            ) + f"{style.value} sphere"
+            print(
+                f"  {recipe:45s} -> sphere prints as "
+                f"{'MODEL material (solid part)' if material is VoxelMaterial.MODEL else 'SUPPORT material (washable void)'}"
+            )
+            print(
+                f"      CAD file {model.cad_file_size():>7d} B, "
+                f"STL file {outcome.export.file_size_bytes:>7d} B "
+                f"({outcome.export.n_triangles} triangles)"
+            )
+    print()
+
+    # Cut the genuine (keyed recipe) and a counterfeit print in half.
+    genuine = job.print_model(
+        Obfuscator().protect_prism().model, FINE
+    )
+    fake = job.print_model(
+        Obfuscator.sphere_variant(SphereStyle.SOLID, material_removal=False), FINE
+    )
+
+    print("cut section of the genuine part (solid throughout):")
+    print(genuine.artifact.section_ascii("y", max_width=64))
+    print()
+    print("cut section of the counterfeit ('s' = support-filled void):")
+    print(fake.artifact.section_ascii("y", max_width=64))
+    print()
+    print(
+        "after support washing, the counterfeit carries an internal void\n"
+        "at the sphere - reduced life and performance, and a detectable\n"
+        "mark distinguishing it from genuine units."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""FEA view of the spline split (paper Figs. 3 and 9).
+
+Pulls virtual dogbones in plane stress and shows why the paper's split
+bars break early: the seam concentrates stress at its tip, and every
+unfused stretch of seam makes it worse.  The stress field around the
+seam is rendered as ASCII art.
+
+Run:  python examples/fea_stress_analysis.py
+"""
+
+import numpy as np
+
+from repro.fea import analyze_intact_bar, analyze_split_bar
+
+
+def ascii_stress_field(result, mesh, width=76, height=18, x_range=(-18, 18), y_range=(-4, 4)):
+    """Render the gauge-region von Mises field ('.' cool ... '9' hot)."""
+    centroids = mesh.nodes[mesh.elements].mean(axis=1)
+    vm = result.von_mises
+    grid = np.full((height, width), np.nan)
+    for (x, y), s in zip(centroids, vm):
+        if not (x_range[0] <= x <= x_range[1] and y_range[0] <= y <= y_range[1]):
+            continue
+        ix = int((x - x_range[0]) / (x_range[1] - x_range[0]) * (width - 1))
+        iy = int((y - y_range[0]) / (y_range[1] - y_range[0]) * (height - 1))
+        if np.isnan(grid[iy, ix]) or s > grid[iy, ix]:
+            grid[iy, ix] = s
+    vmax = np.nanmax(vm)
+    rows = []
+    for row in grid[::-1]:
+        chars = []
+        for v in row:
+            if np.isnan(v):
+                chars.append(" ")
+            else:
+                chars.append(str(min(int(v / vmax * 10), 9)))
+        rows.append("".join(chars))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    print("intact dogbone, pulled to 1 % overall strain:")
+    intact = analyze_intact_bar(mesh_h=1.0)
+    print(
+        f"  nodes={intact.n_nodes}  E_eff={intact.effective_modulus_gpa:.2f} GPa  "
+        f"gauge stress={intact.nominal_stress_mpa:.1f} MPa  Kt={intact.concentration_factor:.2f}"
+    )
+    print()
+
+    print("spline-split dogbone, seam states from genuine to badly printed:")
+    print(f"  {'bonded':>7s} {'Kt':>6s} {'E_eff (GPa)':>12s} {'hot spot (MPa)':>15s}")
+    results = {}
+    for bonded in (1.0, 0.78, 0.5):
+        r = analyze_split_bar(bonded_fraction=bonded, mesh_h=1.0)
+        results[bonded] = r
+        print(
+            f"  {bonded:>7.2f} {r.concentration_factor:>6.2f} "
+            f"{r.effective_modulus_gpa:>12.2f} {r.max_tip_stress_mpa:>15.1f}"
+        )
+    print()
+
+    worst = results[0.5]
+    print("von Mises field around the seam (bonded=0.50), '9' = hottest:")
+    print(ascii_stress_field(worst.result, None or _mesh_of(worst)))
+    print()
+    print(
+        "The hot spots sit at the ends of the unfused seam stretch - the\n"
+        "paper's Fig. 9: 'tensile failure originated at the tip of the\n"
+        "spline due to the stress concentration'."
+    )
+
+
+def _mesh_of(seam_result):
+    # The analysis result does not carry the mesh; recompute cheaply.
+    from repro.fea.analysis import _SAMPLE_TOL  # noqa: F401 (documented reuse)
+    from repro.fea import analyze_split_bar  # local import to avoid cycles
+
+    # Rebuild with the same parameters to obtain the mesh for rendering.
+    # (The solver is deterministic, so fields match.)
+    import repro.fea.analysis as analysis
+    from repro.cad.split import split_profile
+    from repro.cad.tensile_bar import TensileBarSpec, default_split_spline, tensile_bar_profile
+    from repro.fea.mesh2d import FeaMesh, mesh_polygon
+    import numpy as np
+
+    spec = TensileBarSpec()
+    spline = default_split_spline(spec)
+    side_a, side_b = split_profile(tensile_bar_profile(spec), spline)
+    seam_points = analysis._densify(
+        spline.sample_adaptive(
+            analysis.SamplingTolerance(angle=np.deg2rad(8), deviation=1.0 / 8.0)
+        ),
+        max_step=1.0,
+    )
+    poly_a = side_a.sample(analysis._SAMPLE_TOL)
+    poly_b = side_b.sample(analysis._SAMPLE_TOL)
+    poly_a = poly_a if poly_a.is_ccw else poly_a.reversed()
+    poly_b = poly_b if poly_b.is_ccw else poly_b.reversed()
+    mesh_a = mesh_polygon(poly_a, 1.0, extra_points=seam_points)
+    mesh_b = mesh_polygon(poly_b, 1.0, extra_points=seam_points)
+    return FeaMesh(
+        nodes=np.vstack([mesh_a.nodes, mesh_b.nodes]),
+        elements=np.vstack([mesh_a.elements, mesh_b.elements + mesh_a.n_nodes]),
+    )
+
+
+if __name__ == "__main__":
+    main()

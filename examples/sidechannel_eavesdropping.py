@@ -1,0 +1,72 @@
+"""Acoustic side-channel IP theft (paper Sec. 2, refs [4] and [16]).
+
+An attacker places a smartphone-class sensor next to the (virtual) FDM
+printer, records the stepper-motor emissions of a victim's print job,
+and reconstructs the tool path without ever touching a file.  The demo
+sweeps sensor quality and shows the reconstructed first-layer outline.
+
+Run:  python examples/sidechannel_eavesdropping.py
+"""
+
+import numpy as np
+
+from repro import FINE, PrintJob
+from repro.cad import BasePrismFeature, CadModel
+from repro.slicer.gcode import parse_gcode
+from repro.supplychain.sidechannel import AcousticEmissionModel, SideChannelAttack
+
+
+def ascii_path(points: np.ndarray, width: int = 60, height: int = 18) -> str:
+    """Render a 2D polyline as ASCII art."""
+    pts = points - points.min(axis=0)
+    span = pts.max(axis=0)
+    span[span == 0] = 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for p in pts:
+        x = int(p[0] / span[0] * (width - 1))
+        y = int(p[1] / span[1] * (height - 1))
+        grid[height - 1 - y][x] = "#"
+    return "\n".join("".join(row) for row in grid)
+
+
+def main() -> None:
+    # The victim prints a confidential part.
+    victim_model = CadModel("secret-widget", [BasePrismFeature((30, 18, 4))])
+    outcome = PrintJob().print_model(victim_model, FINE)
+    moves = parse_gcode(outcome.gcode)
+    print(f"victim job: {len(moves)} G-code moves, {outcome.slices.n_layers} layers")
+    print()
+
+    print(f"{'sensor noise':>12s} {'per-move error':>15s} {'length error':>13s} {'IP leaked?':>11s}")
+    for noise in (0.01, 0.05, 0.15):
+        attack = SideChannelAttack(
+            emission_model=AcousticEmissionModel(noise=noise, seed=5)
+        )
+        report = attack.reconstruct(attack.eavesdrop(moves), moves)
+        print(
+            f"{noise:>12.2f} {report.mean_move_error_mm:>12.3f} mm "
+            f"{report.path_length_error_pct:>11.2f} % {str(report.leak_successful):>11s}"
+        )
+    print()
+
+    # Show what the attacker actually recovers (quiet sensor).
+    attack = SideChannelAttack(
+        emission_model=AcousticEmissionModel(noise=0.02, seed=5)
+    )
+    report = attack.reconstruct(attack.eavesdrop(moves), moves)
+    n = min(400, len(report.actual))  # the first layer's moves
+
+    print("victim tool path (first layer):")
+    print(ascii_path(report.actual[:n]))
+    print()
+    print("reconstructed from sound alone:")
+    print(ascii_path(report.reconstructed[:n]))
+    print()
+    print(
+        "Countermeasures (Table 1, printer stage): side-channel shielding,\n"
+        "masking noise emission, and physical access controls."
+    )
+
+
+if __name__ == "__main__":
+    main()

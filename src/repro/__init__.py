@@ -1,0 +1,80 @@
+"""repro: a full reproduction of ObfusCADe (DAC 2017).
+
+ObfusCADe obfuscates additive-manufacturing CAD models against
+counterfeiting by embedding design features that print as defects
+unless a secret set of process conditions (the *manufacturing key*) is
+used.  This library rebuilds the paper's entire stack in Python:
+
+* :mod:`repro.geometry` / :mod:`repro.mesh` - geometry and STL kernels;
+* :mod:`repro.cad` - a parametric feature-tree CAD kernel with the
+  paper's spline-split and embedded-sphere features;
+* :mod:`repro.slicer` - slicing, tool paths, G-code and seam analysis;
+* :mod:`repro.printer` - virtual FDM / PolyJet printers (firmware +
+  voxel deposition);
+* :mod:`repro.mechanics` - a virtual tensile lab (Table 2);
+* :mod:`repro.obfuscade` - the core contribution: obfuscation, keys,
+  quality grading, part authentication, counterfeiter simulation;
+* :mod:`repro.supplychain` - the Section 2 substrate: process chain,
+  attack taxonomy, risk register, tampering attacks, side channels.
+
+Quickstart::
+
+    from repro import Obfuscator, CounterfeiterSimulator
+
+    protected = Obfuscator(seed=7).protect_tensile_bar()
+    print(protected.describe())
+    result = CounterfeiterSimulator().attack(protected)
+    assert result.key_only_success   # genuine quality only under the key
+"""
+
+from repro.cad import (
+    COARSE,
+    FINE,
+    CadModel,
+    StlResolution,
+    TensileBarSpec,
+    custom_resolution,
+)
+from repro.mechanics import TensileTestRig, specimen_from_print
+from repro.obfuscade import (
+    CounterfeiterSimulator,
+    ManufacturingKey,
+    Obfuscator,
+    PartAuthenticator,
+    ProtectedModel,
+    assess_print,
+)
+from repro.printer import (
+    DIMENSION_ELITE,
+    OBJET30_PRO,
+    PrintJob,
+    PrintOrientation,
+)
+from repro.slicer import SlicerSettings
+from repro.supplychain import ProcessChain
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COARSE",
+    "CadModel",
+    "CounterfeiterSimulator",
+    "DIMENSION_ELITE",
+    "FINE",
+    "ManufacturingKey",
+    "OBJET30_PRO",
+    "Obfuscator",
+    "PartAuthenticator",
+    "PrintJob",
+    "PrintOrientation",
+    "ProcessChain",
+    "ProtectedModel",
+    "SlicerSettings",
+    "StlResolution",
+    "TensileBarSpec",
+    "TensileTestRig",
+    "assess_print",
+    "custom_resolution",
+    "specimen_from_print",
+    "__version__",
+]

@@ -1,0 +1,72 @@
+"""Parametric CAD kernel: feature trees, bodies, and STL export.
+
+Models are built as a list of features applied in order (like a
+SolidWorks feature tree).  Evaluating the tree produces *bodies*; bodies
+are tessellated only at STL-export time, under a chosen
+:class:`~repro.cad.resolution.StlResolution` - which is exactly the
+degree of freedom ObfusCADe exploits.
+"""
+
+from repro.cad.resolution import StlResolution, COARSE, FINE, custom_resolution
+from repro.cad.profile import (
+    ArcSegment,
+    LineSegment,
+    Profile,
+    SplineSegment,
+)
+from repro.cad.body import (
+    Body,
+    BodyKind,
+    ExtrudedBody,
+    SphereBody,
+    TessellationStrategy,
+)
+from repro.cad.primitives import (
+    make_cylinder,
+    make_rect_prism,
+    make_sphere,
+)
+from repro.cad.tensile_bar import (
+    TensileBarSpec,
+    default_split_spline,
+    tensile_bar_profile,
+)
+from repro.cad.features import (
+    BaseExtrudeFeature,
+    BasePrismFeature,
+    EmbeddedSphereFeature,
+    Feature,
+    SphereStyle,
+    SplineSplitFeature,
+)
+from repro.cad.model import CadModel, StlExport
+
+__all__ = [
+    "ArcSegment",
+    "BaseExtrudeFeature",
+    "BasePrismFeature",
+    "Body",
+    "BodyKind",
+    "CadModel",
+    "COARSE",
+    "EmbeddedSphereFeature",
+    "ExtrudedBody",
+    "Feature",
+    "FINE",
+    "LineSegment",
+    "Profile",
+    "SphereBody",
+    "SphereStyle",
+    "SplineSegment",
+    "SplineSplitFeature",
+    "StlExport",
+    "StlResolution",
+    "TensileBarSpec",
+    "TessellationStrategy",
+    "custom_resolution",
+    "default_split_spline",
+    "make_cylinder",
+    "make_rect_prism",
+    "make_sphere",
+    "tensile_bar_profile",
+]

@@ -1,0 +1,237 @@
+"""CAD bodies: parametric solids/surfaces tessellated at export time.
+
+A :class:`Body` stays analytic until STL export; the export resolution
+decides the triangles.  Bodies also know whether they are *solid* or
+*surface* geometry (``BodyKind``) and which way their exported normals
+point - the two properties whose interaction produces the paper's
+Table 3 (model vs support material in the embedded-sphere region).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.cad.triangulate import triangulate_polygon
+from repro.geometry.bbox import Aabb
+from repro.geometry.spline import SamplingTolerance
+from repro.mesh.trimesh import TriangleMesh
+
+
+class BodyKind(enum.Enum):
+    """Whether a body encloses material (solid) or is a bare surface."""
+
+    SOLID = "solid"
+    SURFACE = "surface"
+
+
+class TessellationStrategy(enum.Enum):
+    """Vertex-placement rule for curved boundaries at tessellation time.
+
+    Two bodies that share a curve but are meshed with different
+    strategies produce mismatched (T-junction) vertices along it, which
+    is how independent face meshing manifests in exported STL (Fig. 4).
+    """
+
+    ADAPTIVE = "adaptive"
+    UNIFORM = "uniform"
+
+
+class Body(abc.ABC):
+    """A parametric body in a CAD part."""
+
+    def __init__(self, name: str, kind: BodyKind = BodyKind.SOLID, inward: bool = False):
+        self.name = name
+        self.kind = kind
+        #: When True, exported triangles are wound so normals point into
+        #: the enclosed region (a cavity wall); solids default to outward.
+        self.inward = bool(inward)
+
+    @abc.abstractmethod
+    def tessellate(self, tol: SamplingTolerance) -> TriangleMesh:
+        """Discretise the body's boundary into triangles under ``tol``."""
+
+    @abc.abstractmethod
+    def bounds_estimate(self) -> Aabb:
+        """Cheap analytic bounding box (no tessellation needed)."""
+
+    @property
+    def is_solid(self) -> bool:
+        return self.kind is BodyKind.SOLID
+
+    def _apply_orientation(self, mesh: TriangleMesh) -> TriangleMesh:
+        return mesh.flipped() if self.inward else mesh
+
+
+class ExtrudedBody(Body):
+    """A profile extruded along +z from ``z0`` to ``z1``.
+
+    The profile is sampled at export time; caps are ear-clipped and the
+    side wall is a triangle strip around the ring.
+    """
+
+    def __init__(
+        self,
+        profile,
+        z0: float,
+        z1: float,
+        name: str = "extrude",
+        kind: BodyKind = BodyKind.SOLID,
+        strategy: TessellationStrategy = TessellationStrategy.ADAPTIVE,
+        inward: bool = False,
+    ):
+        super().__init__(name, kind, inward)
+        if z1 <= z0:
+            raise ValueError("extrusion needs z1 > z0")
+        self.profile = profile
+        self.z0 = float(z0)
+        self.z1 = float(z1)
+        self.strategy = strategy
+
+    def sampled_polygon(self, tol: SamplingTolerance):
+        """The profile polygon this body would use at tolerance ``tol``."""
+        prof = self.profile.with_spline_strategy(self.strategy.value)
+        poly = prof.sample(tol)
+        return poly if poly.is_ccw else poly.reversed()
+
+    def tessellate(self, tol: SamplingTolerance) -> TriangleMesh:
+        poly = self.sampled_polygon(tol)
+        ring = poly.points
+        n = len(ring)
+        bottom = np.column_stack([ring, np.full(n, self.z0)])
+        top = np.column_stack([ring, np.full(n, self.z1)])
+        vertices = np.vstack([bottom, top])
+        faces = []
+        # Side wall: for a CCW ring seen from +z, outward winding below.
+        for i in range(n):
+            j = (i + 1) % n
+            faces.append([i, j, n + j])
+            faces.append([i, n + j, n + i])
+        # Caps.
+        tri = triangulate_polygon(poly)
+        for a, b, c in tri:
+            faces.append([a, c, b])              # bottom cap (normal -z)
+            faces.append([n + a, n + b, n + c])  # top cap (normal +z)
+        mesh = TriangleMesh(vertices, np.array(faces, dtype=np.int64))
+        return self._apply_orientation(mesh)
+
+    def bounds_estimate(self) -> Aabb:
+        poly = self.sampled_polygon(SamplingTolerance(angle=np.deg2rad(15), deviation=0.1))
+        b2 = poly.bounds
+        lo = np.array([b2.lo[0], b2.lo[1], self.z0])
+        hi = np.array([b2.hi[0], b2.hi[1], self.z1])
+        return Aabb(lo, hi)
+
+
+class SphereBody(Body):
+    """A sphere, as a solid body or a bare surface body.
+
+    Tessellated as a UV sphere whose segment counts derive from the
+    angle and deviation tolerances, so Coarse/Fine/Custom exports carry
+    different triangle counts - and hence different STL file sizes, as
+    the paper observes.
+    """
+
+    def __init__(
+        self,
+        center,
+        radius: float,
+        name: str = "sphere",
+        kind: BodyKind = BodyKind.SOLID,
+        inward: bool = False,
+    ):
+        super().__init__(name, kind, inward)
+        if radius <= 0:
+            raise ValueError("sphere radius must be positive")
+        self.center = np.asarray(center, dtype=float).reshape(3)
+        self.radius = float(radius)
+
+    def segment_counts(self, tol: SamplingTolerance) -> tuple:
+        """(meridian, parallel) segment counts honouring ``tol``."""
+        # Angle criterion.
+        step_angle = tol.angle
+        # Sagitta criterion: r (1 - cos(step/2)) <= deviation.
+        cos_arg = 1.0 - tol.deviation / self.radius
+        if cos_arg >= 1.0:
+            step_dev = np.pi
+        elif cos_arg <= -1.0:
+            step_dev = 2 * np.pi
+        else:
+            step_dev = 2.0 * np.arccos(cos_arg)
+        step = min(step_angle, step_dev)
+        n_around = max(int(np.ceil(2 * np.pi / step)), 6)
+        n_vertical = max(int(np.ceil(np.pi / step)), 3)
+        return n_around, n_vertical
+
+    def tessellate(self, tol: SamplingTolerance) -> TriangleMesh:
+        n_around, n_vertical = self.segment_counts(tol)
+        cx, cy, cz = self.center
+        r = self.radius
+        vertices = [np.array([cx, cy, cz + r])]  # north pole
+        for iv in range(1, n_vertical):
+            phi = np.pi * iv / n_vertical
+            for ia in range(n_around):
+                theta = 2 * np.pi * ia / n_around
+                vertices.append(
+                    np.array(
+                        [
+                            cx + r * np.sin(phi) * np.cos(theta),
+                            cy + r * np.sin(phi) * np.sin(theta),
+                            cz + r * np.cos(phi),
+                        ]
+                    )
+                )
+        vertices.append(np.array([cx, cy, cz - r]))  # south pole
+        south = len(vertices) - 1
+
+        def ring_index(iv: int, ia: int) -> int:
+            return 1 + (iv - 1) * n_around + (ia % n_around)
+
+        faces = []
+        # Top cap.
+        for ia in range(n_around):
+            faces.append([0, ring_index(1, ia), ring_index(1, ia + 1)])
+        # Middle bands.
+        for iv in range(1, n_vertical - 1):
+            for ia in range(n_around):
+                a = ring_index(iv, ia)
+                b = ring_index(iv, ia + 1)
+                c = ring_index(iv + 1, ia + 1)
+                d = ring_index(iv + 1, ia)
+                faces.append([a, d, c])
+                faces.append([a, c, b])
+        # Bottom cap.
+        for ia in range(n_around):
+            faces.append([south, ring_index(n_vertical - 1, ia + 1), ring_index(n_vertical - 1, ia)])
+        mesh = TriangleMesh(np.array(vertices), np.array(faces, dtype=np.int64))
+        return self._apply_orientation(mesh)
+
+    def bounds_estimate(self) -> Aabb:
+        return Aabb(self.center - self.radius, self.center + self.radius)
+
+
+class CompoundBody(Body):
+    """Several sub-bodies exported together as one body's boundary.
+
+    Used for solids with internal cavities: the outer shell plus
+    inward-oriented cavity walls.
+    """
+
+    def __init__(self, parts, name: str = "compound", kind: BodyKind = BodyKind.SOLID):
+        super().__init__(name, kind, inward=False)
+        if not parts:
+            raise ValueError("compound body needs at least one part")
+        self.parts = list(parts)
+
+    def tessellate(self, tol: SamplingTolerance) -> TriangleMesh:
+        return TriangleMesh.merged([p.tessellate(tol) for p in self.parts])
+
+    def bounds_estimate(self) -> Aabb:
+        box: Optional[Aabb] = None
+        for p in self.parts:
+            b = p.bounds_estimate()
+            box = b if box is None else box.union(b)
+        return box

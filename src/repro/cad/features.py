@@ -1,0 +1,230 @@
+"""Feature tree: the CAD operations of the paper, in application order.
+
+A :class:`~repro.cad.model.CadModel` is a list of features; evaluating
+them in order transforms a body list.  The two ObfusCADe features are
+
+* :class:`SplineSplitFeature` (paper Sec. 3.1) - splits an extruded
+  body into two bodies sharing a zero-width spline boundary, each
+  tessellated independently at export; and
+* :class:`EmbeddedSphereFeature` (paper Sec. 3.2) - embeds a solid or
+  surface sphere, with or without prior material removal.  The CAD
+  operation order decides the orientation and multiplicity of the
+  sphere triangles in the exported STL, which in turn decides whether
+  the printer fills the sphere with model or support material
+  (Table 3).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cad.body import (
+    Body,
+    BodyKind,
+    CompoundBody,
+    ExtrudedBody,
+    SphereBody,
+    TessellationStrategy,
+)
+from repro.cad.primitives import make_rect_prism
+from repro.cad.split import split_profile
+from repro.geometry.spline import CubicSpline2
+
+
+class Feature(abc.ABC):
+    """One node of the feature tree."""
+
+    #: Synthetic size contribution to the native CAD file, in bytes.
+    #: The paper compares CAD file sizes across operation variants; the
+    #: per-feature costs below make those comparisons reproducible
+    #: (solid and surface variants genuinely store different B-rep data).
+    cad_bytes: int = 0
+
+    @abc.abstractmethod
+    def apply(self, bodies: List[Body]) -> List[Body]:
+        """Transform the body list, returning the new list."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class BaseExtrudeFeature(Feature):
+    """Create the initial body by extruding a profile."""
+
+    cad_bytes = 45_000
+
+    def __init__(self, profile, thickness: float, z0: float = 0.0, name: str = "base"):
+        if thickness <= 0:
+            raise ValueError("extrusion thickness must be positive")
+        self.profile = profile
+        self.z0 = float(z0)
+        self.z1 = float(z0 + thickness)
+        self.body_name = name
+
+    def apply(self, bodies: List[Body]) -> List[Body]:
+        return bodies + [
+            ExtrudedBody(self.profile, self.z0, self.z1, name=self.body_name)
+        ]
+
+
+class BasePrismFeature(Feature):
+    """Create a rectangular prism body (the embedded-sphere host)."""
+
+    cad_bytes = 30_000
+
+    def __init__(self, size: Sequence[float], center: Sequence[float] = (0, 0, 0), name: str = "prism"):
+        self.size = tuple(float(s) for s in size)
+        self.center = tuple(float(c) for c in center)
+        self.body_name = name
+
+    def apply(self, bodies: List[Body]) -> List[Body]:
+        return bodies + [make_rect_prism(self.size, self.center, name=self.body_name)]
+
+
+class SplineSplitFeature(Feature):
+    """Split the (single) extruded body in two along a spline.
+
+    The two resulting bodies share the spline as a zero-width boundary
+    but are tessellated with *different vertex-placement strategies*,
+    emulating the independent per-face meshing of a real STL exporter.
+    Pass ``shared_tessellation=True`` (the ablation) to give both bodies
+    the same strategy, which eliminates the Fig. 4 gaps.
+    """
+
+    cad_bytes = 22_000
+
+    def __init__(self, spline: CubicSpline2, shared_tessellation: bool = False):
+        self.spline = spline
+        self.shared_tessellation = bool(shared_tessellation)
+
+    def apply(self, bodies: List[Body]) -> List[Body]:
+        targets = [b for b in bodies if isinstance(b, ExtrudedBody)]
+        if len(targets) != 1:
+            raise ValueError(
+                "SplineSplitFeature needs exactly one extruded body to split"
+            )
+        target = targets[0]
+        side_a, side_b = split_profile(target.profile, self.spline)
+        strategy_b = (
+            TessellationStrategy.ADAPTIVE
+            if self.shared_tessellation
+            else TessellationStrategy.UNIFORM
+        )
+        body_a = ExtrudedBody(
+            side_a,
+            target.z0,
+            target.z1,
+            name=f"{target.name}-A",
+            strategy=TessellationStrategy.ADAPTIVE,
+        )
+        body_b = ExtrudedBody(
+            side_b,
+            target.z0,
+            target.z1,
+            name=f"{target.name}-B",
+            strategy=strategy_b,
+        )
+        others = [b for b in bodies if b is not target]
+        return others + [body_a, body_b]
+
+
+class SphereStyle(enum.Enum):
+    """How the embedded sphere is created in CAD (paper Sec. 3.2)."""
+
+    SOLID = "solid"
+    SURFACE = "surface"
+
+
+class EmbeddedSphereFeature(Feature):
+    """Embed a sphere at ``center`` inside the (single) host body.
+
+    Semantics, following the paper's four test cases:
+
+    * ``material_removal=False`` - the sphere is created directly inside
+      the solid host.  The exported STL gains one outward-oriented
+      sphere surface (identical for SOLID and SURFACE styles, hence the
+      identical STL file sizes the paper reports), and even-odd
+      classification makes the sphere interior *outside* the part: it
+      prints as support material.
+    * ``material_removal=True`` - a spherical cavity is cut first (its
+      wall is inward-oriented), then the sphere is embedded into it.
+      A SOLID sphere exports outward-oriented coincident with the
+      inward cavity wall; the pair cancels and the region prints as
+      model material.  A SURFACE sphere is created *from the cavity
+      wall* and inherits its inward orientation; the two coincident
+      same-orientation surfaces deduplicate to a single boundary and
+      the region prints as support material.
+
+    The CAD file grows by different amounts for SOLID and SURFACE
+    styles (different B-rep payload), while the STL triangle count is
+    style-independent - both observations from the paper.
+    """
+
+    def __init__(
+        self,
+        center: Sequence[float],
+        radius: float,
+        style: SphereStyle,
+        material_removal: bool,
+    ):
+        if radius <= 0:
+            raise ValueError("sphere radius must be positive")
+        self.center = np.asarray(center, dtype=float).reshape(3)
+        self.radius = float(radius)
+        self.style = style
+        self.material_removal = bool(material_removal)
+
+    @property
+    def cad_bytes(self) -> int:  # type: ignore[override]
+        base = 24_000 if self.style is SphereStyle.SOLID else 31_000
+        removal = 18_000 if self.material_removal else 0
+        return base + removal
+
+    def apply(self, bodies: List[Body]) -> List[Body]:
+        if len(bodies) != 1:
+            raise ValueError("EmbeddedSphereFeature expects exactly one host body")
+        host = bodies[0]
+        if not host.is_solid:
+            raise ValueError("embedded-sphere host must be a solid body")
+        self._check_containment(host)
+
+        if not self.material_removal:
+            sphere = SphereBody(
+                self.center,
+                self.radius,
+                name=f"sphere-{self.style.value}",
+                kind=BodyKind.SOLID if self.style is SphereStyle.SOLID else BodyKind.SURFACE,
+                inward=False,
+            )
+            return [host, sphere]
+
+        cavity_wall = SphereBody(
+            self.center,
+            self.radius,
+            name="cavity-wall",
+            kind=BodyKind.SOLID,
+            inward=True,
+        )
+        hollowed = CompoundBody([host, cavity_wall], name=f"{host.name}-hollow")
+        sphere = SphereBody(
+            self.center,
+            self.radius,
+            name=f"sphere-{self.style.value}",
+            kind=BodyKind.SOLID if self.style is SphereStyle.SOLID else BodyKind.SURFACE,
+            # A surface created from the cavity wall keeps its (inward)
+            # orientation; a solid body is always exported outward.
+            inward=(self.style is SphereStyle.SURFACE),
+        )
+        return [hollowed, sphere]
+
+    def _check_containment(self, host: Body) -> None:
+        box = host.bounds_estimate()
+        lo = self.center - self.radius
+        hi = self.center + self.radius
+        if not (np.all(lo >= box.lo - 1e-9) and np.all(hi <= box.hi + 1e-9)):
+            raise ValueError("embedded sphere must lie entirely inside the host body")

@@ -1,0 +1,117 @@
+"""CAD models: a named feature tree evaluated to bodies, exported to STL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cad.body import Body
+from repro.cad.features import Feature
+from repro.geometry.bbox import Aabb
+from repro.geometry.spline import SamplingTolerance
+from repro.cad.resolution import StlResolution
+from repro.mesh.stl_io import predicted_file_size, stl_binary_bytes
+from repro.mesh.trimesh import TriangleMesh
+
+#: Fixed overhead of an (empty) native CAD file, bytes.  Synthetic but
+#: deterministic; see ``Feature.cad_bytes``.
+_CAD_FILE_BASE_BYTES = 60_000
+
+
+@dataclass
+class StlExport:
+    """Result of exporting a model to STL at one resolution.
+
+    Attributes
+    ----------
+    mesh:
+        The merged export mesh (all bodies).
+    body_meshes:
+        Per-body tessellations, keyed by body name, in body order.
+        Kept separate so analyses (tessellation gaps, per-body slicing)
+        can see body boundaries that the STL format itself erases.
+    tolerance:
+        The concrete sampling tolerance the resolution mapped to.
+    file_size_bytes:
+        Exact binary STL size for this export.
+    """
+
+    model_name: str
+    resolution: StlResolution
+    tolerance: SamplingTolerance
+    mesh: TriangleMesh
+    body_meshes: Dict[str, TriangleMesh]
+    file_size_bytes: int
+
+    @property
+    def n_triangles(self) -> int:
+        return self.mesh.n_faces
+
+    def to_bytes(self) -> bytes:
+        """The actual binary STL payload."""
+        return stl_binary_bytes(self.mesh, header=f"{self.model_name}:{self.resolution.name}")
+
+
+class CadModel:
+    """A part: an ordered feature tree plus export operations."""
+
+    def __init__(self, name: str, features: Optional[List[Feature]] = None):
+        self.name = name
+        self.features: List[Feature] = list(features or [])
+
+    def add_feature(self, feature: Feature) -> "CadModel":
+        """Append a feature; returns self for chaining."""
+        self.features.append(feature)
+        return self
+
+    def bodies(self) -> List[Body]:
+        """Evaluate the feature tree."""
+        bodies: List[Body] = []
+        for feature in self.features:
+            bodies = feature.apply(bodies)
+        if not bodies:
+            raise ValueError(f"model {self.name!r} evaluates to no bodies")
+        return bodies
+
+    def bounds(self) -> Aabb:
+        box: Optional[Aabb] = None
+        for body in self.bodies():
+            b = body.bounds_estimate()
+            box = b if box is None else box.union(b)
+        assert box is not None
+        return box
+
+    def cad_file_size(self) -> int:
+        """Synthetic native CAD file size (bytes); see Feature.cad_bytes."""
+        return _CAD_FILE_BASE_BYTES + sum(f.cad_bytes for f in self.features)
+
+    def export_stl(self, resolution: StlResolution) -> StlExport:
+        """Tessellate every body at ``resolution`` and merge into one STL.
+
+        The tolerance is derived from the whole model's bounding box,
+        the way an STL export dialog scales deviation to the part size.
+        """
+        bodies = self.bodies()
+        tolerance = resolution.tolerance_for(self.bounds())
+        body_meshes: Dict[str, TriangleMesh] = {}
+        for body in bodies:
+            key = body.name
+            # Guarantee unique keys even if two bodies share a name.
+            suffix = 2
+            while key in body_meshes:
+                key = f"{body.name}#{suffix}"
+                suffix += 1
+            body_meshes[key] = body.tessellate(tolerance)
+        merged = TriangleMesh.merged(body_meshes.values())
+        return StlExport(
+            model_name=self.name,
+            resolution=resolution,
+            tolerance=tolerance,
+            mesh=merged,
+            body_meshes=body_meshes,
+            file_size_bytes=predicted_file_size(merged.n_faces, binary=True),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        names = ", ".join(f.name for f in self.features)
+        return f"CadModel({self.name!r}, features=[{names}])"

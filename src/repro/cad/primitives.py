@@ -1,0 +1,65 @@
+"""Convenience constructors for common solid bodies."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cad.body import Body, BodyKind, ExtrudedBody, SphereBody
+from repro.cad.profile import ArcSegment, Profile, polygon_profile
+
+
+def make_rect_prism(
+    size: Sequence[float],
+    center: Sequence[float] = (0.0, 0.0, 0.0),
+    name: str = "prism",
+) -> ExtrudedBody:
+    """A rectangular prism of ``size = (sx, sy, sz)`` centred at ``center``.
+
+    The paper's embedded-sphere host is a 25.4 x 12.7 x 12.7 mm prism
+    (1 x 0.5 x 0.5 in).
+    """
+    sx, sy, sz = (float(s) for s in size)
+    if min(sx, sy, sz) <= 0:
+        raise ValueError("prism dimensions must be positive")
+    cx, cy, cz = (float(c) for c in center)
+    ring = np.array(
+        [
+            [cx - sx / 2, cy - sy / 2],
+            [cx + sx / 2, cy - sy / 2],
+            [cx + sx / 2, cy + sy / 2],
+            [cx - sx / 2, cy + sy / 2],
+        ]
+    )
+    profile = polygon_profile(ring, name=f"{name}-profile")
+    return ExtrudedBody(profile, cz - sz / 2, cz + sz / 2, name=name)
+
+
+def make_sphere(
+    center: Sequence[float],
+    radius: float,
+    name: str = "sphere",
+    kind: BodyKind = BodyKind.SOLID,
+    inward: bool = False,
+) -> SphereBody:
+    """A sphere body (solid by default; pass ``kind=BodyKind.SURFACE``
+    for a bare surface body)."""
+    return SphereBody(center, radius, name=name, kind=kind, inward=inward)
+
+
+def make_cylinder(
+    center_xy: Sequence[float],
+    radius: float,
+    z0: float,
+    z1: float,
+    name: str = "cylinder",
+) -> ExtrudedBody:
+    """A circular cylinder along +z (full circle as two half arcs)."""
+    if radius <= 0:
+        raise ValueError("cylinder radius must be positive")
+    cx, cy = float(center_xy[0]), float(center_xy[1])
+    half1 = ArcSegment((cx, cy), radius, 0.0, np.pi)
+    half2 = ArcSegment((cx, cy), radius, np.pi, 2.0 * np.pi)
+    profile = Profile([half1, half2], name=f"{name}-profile")
+    return ExtrudedBody(profile, z0, z1, name=name)

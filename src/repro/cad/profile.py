@@ -1,0 +1,242 @@
+"""2D sketch profiles: closed loops of lines, arcs and splines.
+
+A :class:`Profile` is the cross-section a body is extruded from.  It is
+*parametric*: curve segments are sampled only when the profile is asked
+for a polygon, under an explicit :class:`SamplingTolerance`.  This keeps
+the resolution dependence of every downstream artifact (STL triangles,
+slices, prints) honest - nothing is pre-discretised.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.polygon import Polygon2
+from repro.geometry.spline import CubicSpline2, SamplingTolerance
+from repro.geometry.vec import EPS
+
+
+class ProfileSegment(abc.ABC):
+    """A directed curve piece of a profile boundary."""
+
+    @property
+    @abc.abstractmethod
+    def start(self) -> np.ndarray:
+        """First point of the segment."""
+
+    @property
+    @abc.abstractmethod
+    def end(self) -> np.ndarray:
+        """Last point of the segment."""
+
+    @abc.abstractmethod
+    def sample(self, tol: SamplingTolerance) -> np.ndarray:
+        """Ordered (n, 2) samples from ``start`` to ``end`` inclusive."""
+
+    @abc.abstractmethod
+    def reversed(self) -> "ProfileSegment":
+        """The same curve traversed in the opposite direction."""
+
+
+class LineSegment(ProfileSegment):
+    """Straight segment; sampling is exact with just the two endpoints."""
+
+    def __init__(self, a: Sequence[float], b: Sequence[float]):
+        self._a = np.asarray(a, dtype=float).reshape(2)
+        self._b = np.asarray(b, dtype=float).reshape(2)
+        if np.linalg.norm(self._b - self._a) < EPS:
+            raise ValueError("zero-length line segment")
+
+    @property
+    def start(self) -> np.ndarray:
+        return self._a.copy()
+
+    @property
+    def end(self) -> np.ndarray:
+        return self._b.copy()
+
+    def sample(self, tol: SamplingTolerance) -> np.ndarray:
+        return np.stack([self._a, self._b])
+
+    def reversed(self) -> "LineSegment":
+        return LineSegment(self._b, self._a)
+
+
+class ArcSegment(ProfileSegment):
+    """Circular arc given by centre, radius and start/end angles.
+
+    Traversal goes from ``angle_start`` to ``angle_end`` in the direction
+    of increasing angle when ``angle_end > angle_start`` and decreasing
+    otherwise; the sweep never exceeds a full turn.
+    """
+
+    def __init__(self, center: Sequence[float], radius: float, angle_start: float, angle_end: float):
+        if radius <= 0:
+            raise ValueError("arc radius must be positive")
+        if abs(angle_end - angle_start) < EPS:
+            raise ValueError("zero-sweep arc")
+        if abs(angle_end - angle_start) > 2 * np.pi + EPS:
+            raise ValueError("arc sweep exceeds a full turn")
+        self._center = np.asarray(center, dtype=float).reshape(2)
+        self._radius = float(radius)
+        self._a0 = float(angle_start)
+        self._a1 = float(angle_end)
+
+    def _point(self, angle: float) -> np.ndarray:
+        return self._center + self._radius * np.array([np.cos(angle), np.sin(angle)])
+
+    @property
+    def start(self) -> np.ndarray:
+        return self._point(self._a0)
+
+    @property
+    def end(self) -> np.ndarray:
+        return self._point(self._a1)
+
+    @property
+    def sweep(self) -> float:
+        return abs(self._a1 - self._a0)
+
+    def sample(self, tol: SamplingTolerance) -> np.ndarray:
+        # Angle criterion: chord turn equals the angular step.
+        n_angle = int(np.ceil(self.sweep / tol.angle))
+        # Deviation criterion: sagitta r*(1 - cos(step/2)) <= deviation.
+        cos_arg = 1.0 - tol.deviation / self._radius
+        if cos_arg <= -1.0:
+            n_dev = 1
+        else:
+            max_step = 2.0 * np.arccos(max(cos_arg, 0.0)) if cos_arg < 1.0 else self.sweep
+            n_dev = int(np.ceil(self.sweep / max(max_step, 1e-9)))
+        n = max(n_angle, n_dev, 1)
+        angles = np.linspace(self._a0, self._a1, n + 1)
+        return np.stack([self._point(a) for a in angles])
+
+    def reversed(self) -> "ArcSegment":
+        return ArcSegment(self._center, self._radius, self._a1, self._a0)
+
+
+class SplineSegment(ProfileSegment):
+    """A cubic-spline piece of a profile boundary.
+
+    ``strategy`` selects the vertex-placement rule used when the spline
+    is discretised:
+
+    * ``"adaptive"`` - recursive bisection against the tolerance (the
+      default; what a face mesher does when the spline bounds a face it
+      is meshing on its own terms);
+    * ``"uniform"`` - equal-arc-length chords whose count is chosen from
+      the same tolerance.
+
+    Both strategies respect the tolerance, but they place *different*
+    vertices.  Two bodies that share this curve and discretise it with
+    different strategies reproduce the independent face-meshing mismatch
+    behind the paper's Fig. 4 tessellation gaps.
+    """
+
+    def __init__(self, spline: CubicSpline2, strategy: str = "adaptive", reverse: bool = False):
+        if strategy not in ("adaptive", "uniform"):
+            raise ValueError(f"unknown sampling strategy {strategy!r}")
+        self._spline = spline
+        self._strategy = strategy
+        self._reverse = bool(reverse)
+
+    @property
+    def spline(self) -> CubicSpline2:
+        return self._spline
+
+    @property
+    def strategy(self) -> str:
+        return self._strategy
+
+    @property
+    def start(self) -> np.ndarray:
+        t = 1.0 if self._reverse else 0.0
+        return self._spline.evaluate(t)
+
+    @property
+    def end(self) -> np.ndarray:
+        t = 0.0 if self._reverse else 1.0
+        return self._spline.evaluate(t)
+
+    def with_strategy(self, strategy: str) -> "SplineSegment":
+        return SplineSegment(self._spline, strategy, self._reverse)
+
+    def sample(self, tol: SamplingTolerance) -> np.ndarray:
+        if self._strategy == "adaptive":
+            pts = self._spline.sample_adaptive(tol)
+        else:
+            pts = self._sample_uniform(tol)
+        return pts[::-1].copy() if self._reverse else pts
+
+    def _sample_uniform(self, tol: SamplingTolerance) -> np.ndarray:
+        # Pick the chord count so both criteria hold for the densest
+        # adaptive requirement, then distribute chords by parameter.
+        adaptive = self._spline.sample_adaptive(tol)
+        n_chords = max(len(adaptive) - 1, 1)
+        return self._spline.sample_uniform(n_chords + 1)
+
+    def reversed(self) -> "SplineSegment":
+        return SplineSegment(self._spline, self._strategy, not self._reverse)
+
+
+class Profile:
+    """A closed loop of profile segments.
+
+    Segment ends must chain (end of segment *i* coincides with start of
+    segment *i+1*, cyclically) within a small tolerance.
+    """
+
+    def __init__(self, segments: List[ProfileSegment], name: str = "profile"):
+        if len(segments) < 1:
+            raise ValueError("profile needs at least one segment")
+        for i, seg in enumerate(segments):
+            nxt = segments[(i + 1) % len(segments)]
+            if np.linalg.norm(seg.end - nxt.start) > 1e-6:
+                raise ValueError(
+                    f"profile is not closed: segment {i} ends at {seg.end} "
+                    f"but segment {(i + 1) % len(segments)} starts at {nxt.start}"
+                )
+        self.segments = list(segments)
+        self.name = name
+
+    def sample(self, tol: SamplingTolerance) -> Polygon2:
+        """Discretise the loop into a polygon under ``tol``."""
+        points: List[np.ndarray] = []
+        for seg in self.segments:
+            pts = seg.sample(tol)
+            points.extend(pts[:-1])  # drop each segment's end: next one starts there
+        ring = np.array(points)
+        return Polygon2(_dedupe_ring(ring))
+
+    def with_spline_strategy(self, strategy: str) -> "Profile":
+        """A copy whose spline segments all use ``strategy`` sampling."""
+        new_segments: List[ProfileSegment] = []
+        for seg in self.segments:
+            if isinstance(seg, SplineSegment):
+                new_segments.append(seg.with_strategy(strategy))
+            else:
+                new_segments.append(seg)
+        return Profile(new_segments, self.name)
+
+
+def _dedupe_ring(ring: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+    """Remove consecutive duplicate points from a closed ring."""
+    keep = [0]
+    for i in range(1, len(ring)):
+        if np.linalg.norm(ring[i] - ring[keep[-1]]) > tol:
+            keep.append(i)
+    if len(keep) > 1 and np.linalg.norm(ring[keep[-1]] - ring[keep[0]]) <= tol:
+        keep.pop()
+    return ring[keep]
+
+
+def polygon_profile(points: np.ndarray, name: str = "polygon") -> Profile:
+    """A profile made purely of line segments through ``points``."""
+    pts = np.asarray(points, dtype=float)
+    segments: List[ProfileSegment] = []
+    for i in range(len(pts)):
+        segments.append(LineSegment(pts[i], pts[(i + 1) % len(pts)]))
+    return Profile(segments, name)

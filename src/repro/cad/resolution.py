@@ -1,0 +1,90 @@
+"""STL export resolution settings (paper Fig. 5).
+
+SolidWorks' STL export dialog offers two preset resolutions, *Coarse*
+and *Fine*, plus a *Custom* mode where the user drags two sliders:
+
+* **Angle tolerance** - the maximum angular turn between neighbouring
+  facets along a curved region;
+* **Deviation tolerance** - the maximum chordal distance between the
+  facetted surface and the true geometry.
+
+The presets express deviation as a fraction of the model's bounding-box
+diagonal (larger parts get proportionally looser absolute tolerances),
+which is why the same preset produces different absolute gaps on
+different parts.  The numbers below follow the values the SolidWorks
+dialog displays for a part of this size class; the exact presets are
+proprietary, and DESIGN.md records this mapping as a known divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.bbox import Aabb
+from repro.geometry.spline import SamplingTolerance
+
+
+@dataclass(frozen=True)
+class StlResolution:
+    """A named STL export setting.
+
+    Attributes
+    ----------
+    name:
+        Display name ("Coarse", "Fine", or "Custom").
+    angle_deg:
+        Angle tolerance in degrees.
+    deviation_fraction:
+        Deviation tolerance as a fraction of the bounding-box diagonal.
+    min_deviation_mm:
+        Absolute floor for the deviation tolerance; prevents the
+        fraction from collapsing to zero on tiny test parts.
+    """
+
+    name: str
+    angle_deg: float
+    deviation_fraction: float
+    min_deviation_mm: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.angle_deg <= 0 or self.angle_deg > 90:
+            raise ValueError("angle tolerance must be in (0, 90] degrees")
+        if self.deviation_fraction <= 0:
+            raise ValueError("deviation fraction must be positive")
+
+    def tolerance_for(self, bounds: Aabb) -> SamplingTolerance:
+        """Concrete sampling tolerance for a model with given bounds."""
+        deviation = max(self.deviation_fraction * bounds.diagonal, self.min_deviation_mm)
+        return SamplingTolerance(angle=float(np.deg2rad(self.angle_deg)), deviation=deviation)
+
+    def tolerance_for_diagonal(self, diagonal: float) -> SamplingTolerance:
+        """Concrete tolerance when only the diagonal length is known."""
+        deviation = max(self.deviation_fraction * diagonal, self.min_deviation_mm)
+        return SamplingTolerance(angle=float(np.deg2rad(self.angle_deg)), deviation=deviation)
+
+
+#: SolidWorks-style "Coarse" preset: 30 degree angle, 0.20 % of diagonal.
+COARSE = StlResolution(name="Coarse", angle_deg=30.0, deviation_fraction=0.0020)
+
+#: SolidWorks-style "Fine" preset: 10 degree angle, 0.02 % of diagonal.
+FINE = StlResolution(name="Fine", angle_deg=10.0, deviation_fraction=0.0002)
+
+
+def custom_resolution(
+    angle_deg: float = 2.0, deviation_fraction: float = 0.00002
+) -> StlResolution:
+    """A "Custom" resolution with the sliders at (or near) their minimum.
+
+    The paper's Custom setting "can provide the highest resolution by
+    manually adjusting the Angle and Deviation permitted for a curve to
+    the smallest possible values"; the defaults here are that extreme.
+    """
+    return StlResolution(
+        name="Custom", angle_deg=angle_deg, deviation_fraction=deviation_fraction
+    )
+
+
+#: The three export settings exercised throughout the paper.
+PAPER_RESOLUTIONS = (COARSE, FINE, custom_resolution())

@@ -1,0 +1,209 @@
+"""JSON serialization of CAD models and manufacturing keys.
+
+A protected design has to travel: the designer ships the feature tree
+to the licensed manufacturer (NOT just an STL - the embedded-sphere
+protection keys on the CAD operation order, which only the native
+model carries).  This module round-trips every feature this library
+defines, plus the manufacturing key, through plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.cad.features import (
+    BaseExtrudeFeature,
+    BasePrismFeature,
+    EmbeddedSphereFeature,
+    Feature,
+    SphereStyle,
+    SplineSplitFeature,
+)
+from repro.cad.model import CadModel
+from repro.cad.profile import ArcSegment, LineSegment, Profile, SplineSegment
+from repro.geometry.spline import CubicSpline2
+from repro.obfuscade.key import ManufacturingKey
+from repro.printer.orientation import PrintOrientation
+
+
+# -- segments ---------------------------------------------------------------
+
+
+def _segment_to_dict(segment) -> Dict[str, Any]:
+    if isinstance(segment, LineSegment):
+        return {
+            "type": "line",
+            "a": segment.start.tolist(),
+            "b": segment.end.tolist(),
+        }
+    if isinstance(segment, ArcSegment):
+        return {
+            "type": "arc",
+            "center": segment._center.tolist(),
+            "radius": segment._radius,
+            "angle_start": segment._a0,
+            "angle_end": segment._a1,
+        }
+    if isinstance(segment, SplineSegment):
+        return {
+            "type": "spline",
+            "control_points": segment.spline.control_points.tolist(),
+            "strategy": segment.strategy,
+            "reverse": segment._reverse,
+        }
+    raise TypeError(f"cannot serialize segment type {type(segment).__name__}")
+
+
+def _segment_from_dict(data: Dict[str, Any]):
+    kind = data["type"]
+    if kind == "line":
+        return LineSegment(data["a"], data["b"])
+    if kind == "arc":
+        return ArcSegment(
+            data["center"], data["radius"], data["angle_start"], data["angle_end"]
+        )
+    if kind == "spline":
+        return SplineSegment(
+            CubicSpline2(np.array(data["control_points"])),
+            strategy=data.get("strategy", "adaptive"),
+            reverse=data.get("reverse", False),
+        )
+    raise ValueError(f"unknown segment type {kind!r}")
+
+
+def _profile_to_dict(profile: Profile) -> Dict[str, Any]:
+    return {
+        "name": profile.name,
+        "segments": [_segment_to_dict(s) for s in profile.segments],
+    }
+
+
+def _profile_from_dict(data: Dict[str, Any]) -> Profile:
+    return Profile(
+        [_segment_from_dict(s) for s in data["segments"]],
+        name=data.get("name", "profile"),
+    )
+
+
+# -- features ------------------------------------------------------------------
+
+
+def _feature_to_dict(feature: Feature) -> Dict[str, Any]:
+    if isinstance(feature, BaseExtrudeFeature):
+        return {
+            "type": "base_extrude",
+            "profile": _profile_to_dict(feature.profile),
+            "z0": feature.z0,
+            "thickness": feature.z1 - feature.z0,
+            "name": feature.body_name,
+        }
+    if isinstance(feature, BasePrismFeature):
+        return {
+            "type": "base_prism",
+            "size": list(feature.size),
+            "center": list(feature.center),
+            "name": feature.body_name,
+        }
+    if isinstance(feature, SplineSplitFeature):
+        return {
+            "type": "spline_split",
+            "control_points": feature.spline.control_points.tolist(),
+            "shared_tessellation": feature.shared_tessellation,
+        }
+    if isinstance(feature, EmbeddedSphereFeature):
+        return {
+            "type": "embedded_sphere",
+            "center": feature.center.tolist(),
+            "radius": feature.radius,
+            "style": feature.style.value,
+            "material_removal": feature.material_removal,
+        }
+    raise TypeError(f"cannot serialize feature type {type(feature).__name__}")
+
+
+def _feature_from_dict(data: Dict[str, Any]) -> Feature:
+    kind = data["type"]
+    if kind == "base_extrude":
+        return BaseExtrudeFeature(
+            _profile_from_dict(data["profile"]),
+            thickness=data["thickness"],
+            z0=data.get("z0", 0.0),
+            name=data.get("name", "base"),
+        )
+    if kind == "base_prism":
+        return BasePrismFeature(
+            data["size"], data.get("center", (0, 0, 0)), name=data.get("name", "prism")
+        )
+    if kind == "spline_split":
+        return SplineSplitFeature(
+            CubicSpline2(np.array(data["control_points"])),
+            shared_tessellation=data.get("shared_tessellation", False),
+        )
+    if kind == "embedded_sphere":
+        return EmbeddedSphereFeature(
+            data["center"],
+            data["radius"],
+            SphereStyle(data["style"]),
+            data["material_removal"],
+        )
+    raise ValueError(f"unknown feature type {kind!r}")
+
+
+# -- models and keys -------------------------------------------------------------
+
+
+def model_to_dict(model: CadModel) -> Dict[str, Any]:
+    """Serialize a model's feature tree."""
+    return {
+        "format": "repro-cad/1",
+        "name": model.name,
+        "features": [_feature_to_dict(f) for f in model.features],
+    }
+
+
+def model_from_dict(data: Dict[str, Any]) -> CadModel:
+    """Rebuild a model from :func:`model_to_dict` output."""
+    if data.get("format") != "repro-cad/1":
+        raise ValueError(f"unsupported model format {data.get('format')!r}")
+    return CadModel(
+        data["name"], [_feature_from_dict(f) for f in data["features"]]
+    )
+
+
+def key_to_dict(key: ManufacturingKey) -> Dict[str, Any]:
+    return {
+        "format": "repro-key/1",
+        "resolutions": sorted(key.resolutions),
+        "orientation": key.orientation.value,
+        "cad_recipe": list(key.cad_recipe),
+    }
+
+
+def key_from_dict(data: Dict[str, Any]) -> ManufacturingKey:
+    if data.get("format") != "repro-key/1":
+        raise ValueError(f"unsupported key format {data.get('format')!r}")
+    orientation = {o.value: o for o in PrintOrientation}[data["orientation"]]
+    return ManufacturingKey.of(
+        data["resolutions"], orientation, cad_recipe=tuple(data.get("cad_recipe", ()))
+    )
+
+
+def dumps_model(model: CadModel, indent: int = 2) -> str:
+    return json.dumps(model_to_dict(model), indent=indent)
+
+
+def loads_model(text: str) -> CadModel:
+    return model_from_dict(json.loads(text))
+
+
+def save_model(model: CadModel, path) -> None:
+    with open(path, "w") as fh:
+        fh.write(dumps_model(model))
+
+
+def load_model(path) -> CadModel:
+    with open(path) as fh:
+        return loads_model(fh.read())

@@ -1,0 +1,113 @@
+"""Splitting a profile in two along a spline (the split *operation*).
+
+This implements what SolidWorks' "Split" feature does to the paper's
+tensile bar: a spline whose endpoints lie on the profile boundary cuts
+the profile into two closed profiles that share the spline as a common
+(massless, zero-width) boundary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.cad.profile import LineSegment, Profile, ProfileSegment, SplineSegment
+from repro.geometry.segment import Segment2
+from repro.geometry.spline import CubicSpline2
+
+_SPLIT_TOL = 1e-6
+
+
+def split_profile(
+    profile: Profile, spline: CubicSpline2
+) -> Tuple[Profile, Profile]:
+    """Split ``profile`` into two profiles along ``spline``.
+
+    The spline's endpoints must lie on straight (line) segments of the
+    profile boundary.  Returns ``(side_a, side_b)``:
+
+    * ``side_a`` walks the boundary CCW from the spline's start point to
+      its end point and closes with the spline traversed backwards;
+    * ``side_b`` is the complementary region, closing with the spline
+      traversed forwards.
+
+    Both profiles contain the *same* :class:`CubicSpline2` object; the
+    mismatch between their tessellations is introduced later by giving
+    the two extruded bodies different tessellation strategies.
+    """
+    p_start = spline.evaluate(0.0)
+    p_end = spline.evaluate(1.0)
+
+    ring = _split_ring_at_points(list(profile.segments), [p_start, p_end])
+
+    start_idx = _index_of_segment_starting_at(ring, p_start)
+    end_idx = _index_of_segment_starting_at(ring, p_end)
+
+    chain_a = _collect_chain(ring, start_idx, end_idx)
+    chain_b = _collect_chain(ring, end_idx, start_idx)
+
+    side_a = Profile(
+        chain_a + [SplineSegment(spline, reverse=True)], name=f"{profile.name}-A"
+    )
+    side_b = Profile(
+        chain_b + [SplineSegment(spline, reverse=False)], name=f"{profile.name}-B"
+    )
+    return side_a, side_b
+
+
+def _split_ring_at_points(
+    segments: List[ProfileSegment], points: List[np.ndarray]
+) -> List[ProfileSegment]:
+    """Insert boundary vertices at each point (splitting line segments)."""
+    for point in points:
+        segments = _split_ring_at_point(segments, point)
+    return segments
+
+
+def _split_ring_at_point(
+    segments: List[ProfileSegment], point: np.ndarray
+) -> List[ProfileSegment]:
+    # Already a segment boundary?
+    for seg in segments:
+        if np.linalg.norm(seg.start - point) <= _SPLIT_TOL:
+            return segments
+    for i, seg in enumerate(segments):
+        if not isinstance(seg, LineSegment):
+            continue
+        s2 = Segment2(seg.start, seg.end)
+        if s2.distance_to_point(point) <= _SPLIT_TOL:
+            if np.linalg.norm(seg.end - point) <= _SPLIT_TOL:
+                return segments  # boundary of the next segment
+            first = LineSegment(seg.start, point)
+            second = LineSegment(point, seg.end)
+            return segments[:i] + [first, second] + segments[i + 1:]
+    raise ValueError(
+        f"split point {point} does not lie on any straight boundary segment"
+    )
+
+
+def _index_of_segment_starting_at(
+    segments: List[ProfileSegment], point: np.ndarray
+) -> int:
+    for i, seg in enumerate(segments):
+        if np.linalg.norm(seg.start - point) <= _SPLIT_TOL:
+            return i
+    raise ValueError(f"no segment starts at split point {point}")
+
+
+def _collect_chain(
+    segments: List[ProfileSegment], start_idx: int, end_idx: int
+) -> List[ProfileSegment]:
+    """Segments from start_idx up to (not including) end_idx, cyclically."""
+    n = len(segments)
+    chain: List[ProfileSegment] = []
+    i = start_idx
+    while i != end_idx:
+        chain.append(segments[i])
+        i = (i + 1) % n
+        if len(chain) > n:
+            raise RuntimeError("chain walk failed to terminate")
+    if not chain:
+        raise ValueError("split produced an empty boundary chain")
+    return chain

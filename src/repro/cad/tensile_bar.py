@@ -1,0 +1,136 @@
+"""Parametric tensile test specimen (dogbone) and the paper's split spline.
+
+The paper embeds its spline split in "a standard tensile test bar"
+whose gauge section is 6 mm wide, with a 21 mm spline (3.5x the gauge
+width).  Those proportions match an ASTM D638 Type IV specimen, which
+is what :class:`TensileBarSpec` defaults to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cad.profile import ArcSegment, LineSegment, Profile
+from repro.geometry.spline import CubicSpline2
+
+
+@dataclass(frozen=True)
+class TensileBarSpec:
+    """Dimensions of a dogbone tensile specimen, in millimetres.
+
+    Defaults follow ASTM D638 Type IV: 115 mm overall, 19 mm grip width,
+    6 mm gauge width (as in the paper), 33 mm narrow section, 14 mm
+    fillet radius, 3.2 mm thick.
+    """
+
+    overall_length: float = 115.0
+    overall_width: float = 19.0
+    gauge_width: float = 6.0
+    gauge_length: float = 33.0
+    fillet_radius: float = 14.0
+    thickness: float = 3.2
+
+    def __post_init__(self) -> None:
+        if min(
+            self.overall_length,
+            self.overall_width,
+            self.gauge_width,
+            self.gauge_length,
+            self.fillet_radius,
+            self.thickness,
+        ) <= 0:
+            raise ValueError("all specimen dimensions must be positive")
+        if self.gauge_width >= self.overall_width:
+            raise ValueError("gauge must be narrower than the grips")
+        if self.fillet_radius < (self.overall_width - self.gauge_width) / 2:
+            raise ValueError("fillet radius too small to span the width change")
+        if self.shoulder_extent * 2 + self.gauge_length >= self.overall_length:
+            raise ValueError("specimen too short for gauge plus fillets")
+
+    @property
+    def fillet_sweep(self) -> float:
+        """Angular sweep of each transition fillet, radians."""
+        drop = (self.overall_width - self.gauge_width) / 2.0
+        return float(np.arccos(1.0 - drop / self.fillet_radius))
+
+    @property
+    def shoulder_extent(self) -> float:
+        """x-extent of one fillet transition."""
+        return float(self.fillet_radius * np.sin(self.fillet_sweep))
+
+    @property
+    def gauge_cross_section_mm2(self) -> float:
+        return self.gauge_width * self.thickness
+
+
+def tensile_bar_profile(spec: TensileBarSpec = TensileBarSpec()) -> Profile:
+    """The closed CCW dogbone outline, centred at the origin.
+
+    x runs along the loading axis, y across the width.  The gauge
+    section occupies ``|x| <= gauge_length / 2``, ``|y| <= gauge_width/2``.
+    """
+    xl = spec.overall_length / 2.0
+    yw = spec.overall_width / 2.0
+    xg = spec.gauge_length / 2.0
+    yg = spec.gauge_width / 2.0
+    r = spec.fillet_radius
+    sweep = spec.fillet_sweep
+    xs = xg + spec.shoulder_extent  # shoulder start (outer end of fillet)
+    half_pi = np.pi / 2.0
+
+    segments = [
+        # Bottom edge, left grip to right grip (CCW starts at lower left).
+        LineSegment((-xl, -yw), (-xs, -yw)),
+        ArcSegment((-xg, -yg - r), r, half_pi + sweep, half_pi),
+        LineSegment((-xg, -yg), (xg, -yg)),
+        ArcSegment((xg, -yg - r), r, half_pi, half_pi - sweep),
+        LineSegment((xs, -yw), (xl, -yw)),
+        # Right end.
+        LineSegment((xl, -yw), (xl, yw)),
+        # Top edge, right to left.
+        LineSegment((xl, yw), (xs, yw)),
+        ArcSegment((xg, yg + r), r, sweep - half_pi, -half_pi),
+        LineSegment((xg, yg), (-xg, yg)),
+        ArcSegment((-xg, yg + r), r, -half_pi, -half_pi - sweep),
+        LineSegment((-xs, yw), (-xl, yw)),
+        # Left end.
+        LineSegment((-xl, yw), (-xl, -yw)),
+    ]
+    return Profile(segments, name="tensile-bar")
+
+
+def default_split_spline(
+    spec: TensileBarSpec = TensileBarSpec(),
+    span_fraction: float = 0.56,
+    wave_amplitude_fraction: float = 0.12,
+) -> CubicSpline2:
+    """The paper's spline split curve for a given specimen.
+
+    A gently S-shaped cubic spline crossing the gauge section from the
+    bottom edge to the top edge.  With the default Type IV specimen the
+    curve's arc length is ~21 mm, i.e. 3.5x the 6 mm gauge width,
+    matching the dimensions reported in Sec. 3.1.
+
+    The curve starts exactly on ``y = -gauge_width/2`` and ends exactly
+    on ``y = +gauge_width/2`` so the split fully separates the bar.
+    """
+    yg = spec.gauge_width / 2.0
+    half_span = span_fraction * spec.gauge_length / 2.0
+    amp = wave_amplitude_fraction * spec.gauge_width
+    control = np.array(
+        [
+            [-half_span, -yg],
+            [-0.5 * half_span, -amp],
+            [0.0, amp],
+            [0.5 * half_span, -amp],
+            [half_span, yg],
+        ]
+    )
+    return CubicSpline2(control)
+
+
+def spline_tip_points(spline: CubicSpline2) -> np.ndarray:
+    """The two tips of the split (where fracture initiates, Fig. 9)."""
+    return np.stack([spline.evaluate(0.0), spline.evaluate(1.0)])

@@ -1,0 +1,114 @@
+"""Polygon triangulation by ear clipping.
+
+Used to cap extruded bodies.  Handles arbitrary simple polygons
+(convex or not); complexity is O(n^2), fine for the profile sizes the
+tessellator produces (hundreds of vertices).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.geometry.polygon import Polygon2
+from repro.geometry.vec import EPS
+
+
+def triangulate_polygon(polygon: Polygon2) -> List[Tuple[int, int, int]]:
+    """Triangulate a simple polygon; returns CCW index triples.
+
+    Indices refer to ``polygon.points``.  Input orientation does not
+    matter: the triangulation is computed on the CCW version and the
+    returned triangles are CCW in the polygon's plane.
+    """
+    pts = polygon.points
+    n = len(pts)
+    order = list(range(n))
+    if not polygon.is_ccw:
+        order = order[::-1]
+
+    triangles: List[Tuple[int, int, int]] = []
+    remaining = order[:]
+    guard = 0
+    max_iter = 2 * n * n + 10
+    while len(remaining) > 3:
+        guard += 1
+        if guard > max_iter:
+            # Numerically stubborn polygon: fall back to fan triangulation
+            # from the point with the largest interior angle margin.
+            break
+        ear_found = False
+        m = len(remaining)
+        for i in range(m):
+            prev_i = remaining[(i - 1) % m]
+            curr_i = remaining[i]
+            next_i = remaining[(i + 1) % m]
+            a, b, c = pts[prev_i], pts[curr_i], pts[next_i]
+            if _cross(b - a, c - b) <= EPS:
+                continue  # reflex or collinear vertex - not an ear
+            if _any_point_inside(pts, remaining, (prev_i, curr_i, next_i)):
+                continue
+            triangles.append((prev_i, curr_i, next_i))
+            remaining.pop(i)
+            ear_found = True
+            break
+        if not ear_found:
+            # Degenerate remainder (collinear chain); clip the least-bad ear.
+            best = _least_degenerate_ear(pts, remaining)
+            prev_i, curr_i, next_i, i = best
+            triangles.append((prev_i, curr_i, next_i))
+            remaining.pop(i)
+    if len(remaining) == 3:
+        triangles.append((remaining[0], remaining[1], remaining[2]))
+    return triangles
+
+
+def triangulation_area(polygon: Polygon2, triangles: List[Tuple[int, int, int]]) -> float:
+    """Total area of a triangulation (should match the polygon area)."""
+    pts = polygon.points
+    total = 0.0
+    for a, b, c in triangles:
+        total += 0.5 * abs(_cross(pts[b] - pts[a], pts[c] - pts[a]))
+    return total
+
+
+def _cross(u: np.ndarray, v: np.ndarray) -> float:
+    return float(u[0] * v[1] - u[1] * v[0])
+
+
+def _any_point_inside(pts: np.ndarray, remaining: List[int], ear) -> bool:
+    ia, ib, ic = ear
+    a, b, c = pts[ia], pts[ib], pts[ic]
+    for idx in remaining:
+        if idx in ear:
+            continue
+        p = pts[idx]
+        if _point_in_triangle(p, a, b, c):
+            return True
+    return False
+
+
+def _point_in_triangle(p: np.ndarray, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> bool:
+    d1 = _cross(b - a, p - a)
+    d2 = _cross(c - b, p - b)
+    d3 = _cross(a - c, p - c)
+    has_neg = (d1 < -EPS) or (d2 < -EPS) or (d3 < -EPS)
+    has_pos = (d1 > EPS) or (d2 > EPS) or (d3 > EPS)
+    return not (has_neg and has_pos)
+
+
+def _least_degenerate_ear(pts: np.ndarray, remaining: List[int]):
+    """Pick the convex-most vertex as an emergency ear."""
+    m = len(remaining)
+    best = None
+    best_cross = -np.inf
+    for i in range(m):
+        prev_i = remaining[(i - 1) % m]
+        curr_i = remaining[i]
+        next_i = remaining[(i + 1) % m]
+        cr = _cross(pts[curr_i] - pts[prev_i], pts[next_i] - pts[curr_i])
+        if cr > best_cross:
+            best_cross = cr
+            best = (prev_i, curr_i, next_i, i)
+    return best

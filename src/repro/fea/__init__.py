@@ -1,0 +1,32 @@
+"""Finite-element substrate: 2D plane-stress analysis of specimens.
+
+The paper's process chain (Fig. 1) runs every design through FEA before
+release, and its Fig. 9 explains the Table 2 degradation via the stress
+concentration at the spline tip.  This package provides the numerical
+version of both:
+
+* :mod:`repro.fea.mesh2d` - Delaunay triangulation of profile polygons;
+* :mod:`repro.fea.plane_stress` - constant-strain-triangle plane-stress
+  solver (sparse assembly, scipy solve);
+* :mod:`repro.fea.analysis` - virtual tensile FEA of intact and
+  spline-split specimens, with cohesive springs along the printed seam,
+  yielding the numerically computed tip concentration factor.
+"""
+
+from repro.fea.mesh2d import FeaMesh, mesh_polygon
+from repro.fea.plane_stress import PlaneStressModel, PlaneStressResult
+from repro.fea.analysis import (
+    SeamFeaResult,
+    analyze_intact_bar,
+    analyze_split_bar,
+)
+
+__all__ = [
+    "FeaMesh",
+    "PlaneStressModel",
+    "PlaneStressResult",
+    "SeamFeaResult",
+    "analyze_intact_bar",
+    "analyze_split_bar",
+    "mesh_polygon",
+]

@@ -1,0 +1,156 @@
+"""2D triangular meshing of profile polygons for FEA.
+
+Grid-seeded Delaunay: interior grid points plus resampled boundary
+points are triangulated, and triangles whose centroid falls outside the
+polygon are discarded.  Element quality is adequate for the
+plane-stress estimates this package makes (stiffness, stress
+concentration trends); it is not a production mesher and DESIGN.md does
+not claim otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.spatial import Delaunay, cKDTree
+
+from repro.geometry.polygon import Polygon2
+
+
+@dataclass
+class FeaMesh:
+    """A 2D triangle mesh for finite-element analysis.
+
+    Attributes
+    ----------
+    nodes:
+        (n, 2) node coordinates.
+    elements:
+        (m, 3) node indices, counter-clockwise.
+    """
+
+    nodes: np.ndarray
+    elements: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return int(len(self.nodes))
+
+    @property
+    def n_elements(self) -> int:
+        return int(len(self.elements))
+
+    def element_areas(self) -> np.ndarray:
+        a = self.nodes[self.elements[:, 0]]
+        b = self.nodes[self.elements[:, 1]]
+        c = self.nodes[self.elements[:, 2]]
+        return 0.5 * np.abs(
+            (b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1])
+            - (c[:, 0] - a[:, 0]) * (b[:, 1] - a[:, 1])
+        )
+
+    @property
+    def total_area(self) -> float:
+        return float(self.element_areas().sum())
+
+    def nodes_where(self, predicate) -> np.ndarray:
+        """Indices of nodes whose coordinates satisfy ``predicate``."""
+        mask = predicate(self.nodes)
+        return np.nonzero(mask)[0].astype(np.int64)
+
+    def nearest_nodes(self, points: np.ndarray, tol: float) -> np.ndarray:
+        """Nearest node index per query point; -1 where beyond ``tol``."""
+        tree = cKDTree(self.nodes)
+        dist, idx = tree.query(np.atleast_2d(points), k=1)
+        idx = np.asarray(idx, dtype=np.int64)
+        idx[dist > tol] = -1
+        return idx
+
+
+def mesh_polygon(
+    polygon: Polygon2,
+    target_h: float,
+    extra_points: Optional[np.ndarray] = None,
+) -> FeaMesh:
+    """Triangulate the interior of ``polygon`` with ~``target_h`` spacing.
+
+    ``extra_points`` are seeded into the node set exactly (used to place
+    nodes on a seam path so cohesive springs can attach to them).
+    """
+    if target_h <= 0:
+        raise ValueError("target mesh size must be positive")
+    boundary = polygon.resampled(target_h).points
+    lo = polygon.bounds.lo
+    hi = polygon.bounds.hi
+    xs = np.arange(lo[0] + target_h / 2, hi[0], target_h)
+    ys = np.arange(lo[1] + target_h / 2, hi[1], target_h)
+    grid = np.array(
+        [
+            [x, y]
+            for x in xs
+            for y in ys
+            if polygon.contains(np.array([x, y]))
+        ]
+    )
+    candidates = [boundary]
+    if extra_points is not None and len(extra_points):
+        candidates.append(np.asarray(extra_points, dtype=float))
+    if len(grid):
+        candidates.append(grid)
+    points = np.vstack(candidates)
+    n_first = len(boundary) + (
+        len(extra_points) if extra_points is not None else 0
+    )
+    # Exact duplicates (seam points coinciding with boundary corners)
+    # break Delaunay; keep the first occurrence.
+    _, first = np.unique(np.round(points / 1e-9), axis=0, return_index=True)
+    order = np.sort(first)
+    points = points[order]
+    keep_first = int(np.count_nonzero(order < n_first))
+
+    # Drop near-duplicates (grid points close to boundary/extra points
+    # create sliver elements).
+    points = _thin_points(points, min_dist=0.35 * target_h, keep_first=keep_first)
+
+    tri = Delaunay(points)
+    elements = []
+    for simplex in tri.simplices:
+        a, b, c = points[simplex]
+        centroid = (a + b + c) / 3.0
+        if not polygon.contains(centroid):
+            continue
+        area2 = (b[0] - a[0]) * (c[1] - a[1]) - (c[0] - a[0]) * (b[1] - a[1])
+        if abs(area2) < 1e-12:
+            continue
+        if area2 < 0:
+            simplex = simplex[[0, 2, 1]]
+        elements.append(simplex)
+    if not elements:
+        raise ValueError("meshing produced no interior elements")
+    element_array = np.array(elements, dtype=np.int64)
+    # Drop nodes that belong to no interior element: they would add
+    # zero-stiffness (singular) dofs to the FEA system.
+    used = np.unique(element_array)
+    remap = -np.ones(len(points), dtype=np.int64)
+    remap[used] = np.arange(len(used))
+    return FeaMesh(nodes=points[used], elements=remap[element_array])
+
+
+def _thin_points(points: np.ndarray, min_dist: float, keep_first: int) -> np.ndarray:
+    """Remove points closer than ``min_dist`` to an earlier point.
+
+    The first ``keep_first`` points (boundary + seeded seam points) are
+    always kept; only later (grid) points are thinned against them.
+    """
+    kept = list(points[:keep_first])
+    tree_pts = points[:keep_first]
+    tree = cKDTree(tree_pts) if len(tree_pts) else None
+    for p in points[keep_first:]:
+        if tree is not None:
+            d, _ = tree.query(p, k=1)
+            if d < min_dist:
+                continue
+        kept.append(p)
+    return np.array(kept)

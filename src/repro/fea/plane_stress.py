@@ -1,0 +1,183 @@
+"""Plane-stress finite elements: constant-strain triangles plus springs.
+
+A small but real FEM: sparse global stiffness assembly, Dirichlet
+boundary conditions via row/column elimination, optional two-node
+spring elements (used as the cohesive bond along a printed seam), and
+per-element stress recovery (Cauchy components and von Mises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import coo_matrix, csr_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.fea.mesh2d import FeaMesh
+
+
+@dataclass
+class PlaneStressResult:
+    """Solved displacement and recovered stresses."""
+
+    displacements: np.ndarray  # (n_nodes, 2)
+    element_stress: np.ndarray  # (n_elements, 3): sxx, syy, txy
+    von_mises: np.ndarray  # (n_elements,)
+    reaction_force_n: float  # total reaction along x at the fixed edge
+
+    def max_von_mises(self) -> float:
+        return float(self.von_mises.max()) if len(self.von_mises) else 0.0
+
+
+@dataclass
+class PlaneStressModel:
+    """A plane-stress problem on a 2D triangle mesh.
+
+    Parameters
+    ----------
+    mesh:
+        Geometry and connectivity.
+    young_modulus_mpa / poisson / thickness_mm:
+        Material and section.
+    springs:
+        Two-node cohesive springs ``(node_i, node_j, stiffness_n_mm)``
+        acting equally on both dofs (a penalty bond between coincident
+        or near-coincident nodes of two mesh parts).
+    """
+
+    mesh: FeaMesh
+    young_modulus_mpa: float
+    poisson: float = 0.35
+    thickness_mm: float = 1.0
+    springs: List[Tuple[int, int, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.young_modulus_mpa <= 0 or self.thickness_mm <= 0:
+            raise ValueError("modulus and thickness must be positive")
+        if not 0.0 <= self.poisson < 0.5:
+            raise ValueError("poisson ratio must be in [0, 0.5)")
+
+    # -- assembly ----------------------------------------------------------
+
+    def _constitutive(self) -> np.ndarray:
+        e, nu = self.young_modulus_mpa, self.poisson
+        factor = e / (1.0 - nu * nu)
+        return factor * np.array(
+            [[1.0, nu, 0.0], [nu, 1.0, 0.0], [0.0, 0.0, (1.0 - nu) / 2.0]]
+        )
+
+    def element_b_matrix(self, element: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Strain-displacement matrix and area of one CST element."""
+        n = self.mesh.nodes
+        x1, y1 = n[element[0]]
+        x2, y2 = n[element[1]]
+        x3, y3 = n[element[2]]
+        area2 = (x2 - x1) * (y3 - y1) - (x3 - x1) * (y2 - y1)
+        area = area2 / 2.0
+        if area <= 0:
+            raise ValueError("element with non-positive area")
+        b1, b2, b3 = y2 - y3, y3 - y1, y1 - y2
+        c1, c2, c3 = x3 - x2, x1 - x3, x2 - x1
+        b = (
+            np.array(
+                [
+                    [b1, 0, b2, 0, b3, 0],
+                    [0, c1, 0, c2, 0, c3],
+                    [c1, b1, c2, b2, c3, b3],
+                ]
+            )
+            / area2
+        )
+        return b, area
+
+    def assemble(self) -> csr_matrix:
+        """The global stiffness matrix (2 dofs per node)."""
+        d = self._constitutive()
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for element in self.mesh.elements:
+            b, area = self.element_b_matrix(element)
+            ke = b.T @ d @ b * area * self.thickness_mm
+            dofs = np.array(
+                [2 * element[0], 2 * element[0] + 1,
+                 2 * element[1], 2 * element[1] + 1,
+                 2 * element[2], 2 * element[2] + 1]
+            )
+            for i in range(6):
+                for j in range(6):
+                    rows.append(dofs[i])
+                    cols.append(dofs[j])
+                    vals.append(ke[i, j])
+        for ni, nj, k in self.springs:
+            for axis in (0, 1):
+                di, dj = 2 * ni + axis, 2 * nj + axis
+                rows += [di, dj, di, dj]
+                cols += [di, dj, dj, di]
+                vals += [k, k, -k, -k]
+        ndof = 2 * self.mesh.n_nodes
+        return coo_matrix((vals, (rows, cols)), shape=(ndof, ndof)).tocsr()
+
+    # -- solving -------------------------------------------------------------
+
+    def solve(
+        self,
+        fixed_nodes: Sequence[int],
+        prescribed: Dict[int, float],
+    ) -> PlaneStressResult:
+        """Solve with ``fixed_nodes`` clamped and prescribed x-displacements.
+
+        ``prescribed`` maps node index -> imposed u_x (u_y left free on
+        those nodes), the virtual grip pulling the specimen.
+        """
+        k_global = self.assemble()
+        ndof = 2 * self.mesh.n_nodes
+        u = np.zeros(ndof)
+        known = {}
+        for node in fixed_nodes:
+            known[2 * node] = 0.0
+            known[2 * node + 1] = 0.0
+        for node, ux in prescribed.items():
+            known[2 * node] = float(ux)
+
+        known_dofs = np.array(sorted(known), dtype=np.int64)
+        known_vals = np.array([known[d] for d in known_dofs])
+        free_dofs = np.setdiff1d(np.arange(ndof), known_dofs)
+
+        k_ff = k_global[free_dofs][:, free_dofs]
+        k_fk = k_global[free_dofs][:, known_dofs]
+        rhs = -k_fk @ known_vals
+        u_free = spsolve(k_ff.tocsc(), rhs)
+        u[known_dofs] = known_vals
+        u[free_dofs] = u_free
+
+        stresses, von_mises = self._recover_stress(u)
+        reaction = self._reaction_x(k_global, u, fixed_nodes)
+        return PlaneStressResult(
+            displacements=u.reshape(-1, 2),
+            element_stress=stresses,
+            von_mises=von_mises,
+            reaction_force_n=reaction,
+        )
+
+    def _recover_stress(self, u: np.ndarray):
+        d = self._constitutive()
+        stresses = np.zeros((self.mesh.n_elements, 3))
+        for ei, element in enumerate(self.mesh.elements):
+            b, _ = self.element_b_matrix(element)
+            dofs = np.array(
+                [2 * element[0], 2 * element[0] + 1,
+                 2 * element[1], 2 * element[1] + 1,
+                 2 * element[2], 2 * element[2] + 1]
+            )
+            stresses[ei] = d @ (b @ u[dofs])
+        sxx, syy, txy = stresses[:, 0], stresses[:, 1], stresses[:, 2]
+        von_mises = np.sqrt(sxx ** 2 - sxx * syy + syy ** 2 + 3 * txy ** 2)
+        return stresses, von_mises
+
+    @staticmethod
+    def _reaction_x(k_global: csr_matrix, u: np.ndarray, fixed_nodes) -> float:
+        forces = k_global @ u
+        return float(sum(forces[2 * n] for n in fixed_nodes))

@@ -1,0 +1,38 @@
+"""Geometry kernel: vectors, transforms, polygons, planes, and splines.
+
+This package is the lowest substrate of the reproduction.  Everything in
+the CAD kernel, the mesh kernel and the slicer is expressed in terms of
+the primitives defined here.  All coordinates are in millimetres and all
+angles are in radians unless a name says otherwise.
+"""
+
+from repro.geometry.vec import (
+    EPS,
+    angle_between,
+    normalize,
+    unit_or_zero,
+    vec2,
+    vec3,
+)
+from repro.geometry.bbox import Aabb
+from repro.geometry.transform import Transform
+from repro.geometry.plane import Plane
+from repro.geometry.segment import Segment2
+from repro.geometry.polygon import Polygon2
+from repro.geometry.spline import CubicSpline2, SamplingTolerance
+
+__all__ = [
+    "EPS",
+    "Aabb",
+    "CubicSpline2",
+    "Plane",
+    "Polygon2",
+    "SamplingTolerance",
+    "Segment2",
+    "Transform",
+    "angle_between",
+    "normalize",
+    "unit_or_zero",
+    "vec2",
+    "vec3",
+]

@@ -1,0 +1,72 @@
+"""Axis-aligned bounding boxes in 2D and 3D."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Aabb:
+    """Axis-aligned bounding box of arbitrary dimension (2 or 3).
+
+    ``lo`` and ``hi`` are numpy arrays of equal length; ``lo <= hi``
+    holds component-wise for a non-empty box.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lo", np.asarray(self.lo, dtype=float))
+        object.__setattr__(self, "hi", np.asarray(self.hi, dtype=float))
+        if self.lo.shape != self.hi.shape:
+            raise ValueError("lo and hi must have the same dimension")
+
+    @staticmethod
+    def from_points(points: np.ndarray) -> "Aabb":
+        """Bounding box of an (n, d) array of points."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError("from_points needs a non-empty (n, d) array")
+        return Aabb(pts.min(axis=0), pts.max(axis=0))
+
+    @property
+    def dim(self) -> int:
+        return int(self.lo.shape[0])
+
+    @property
+    def size(self) -> np.ndarray:
+        """Edge lengths of the box."""
+        return self.hi - self.lo
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the main diagonal (used by the STL resolution model)."""
+        return float(np.linalg.norm(self.size))
+
+    @property
+    def volume(self) -> float:
+        """Product of edge lengths (area in 2D)."""
+        return float(np.prod(np.maximum(self.size, 0.0)))
+
+    def contains(self, point: np.ndarray, tol: float = 0.0) -> bool:
+        p = np.asarray(point, dtype=float)
+        return bool(np.all(p >= self.lo - tol) and np.all(p <= self.hi + tol))
+
+    def union(self, other: "Aabb") -> "Aabb":
+        return Aabb(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def intersects(self, other: "Aabb", tol: float = 0.0) -> bool:
+        return bool(
+            np.all(self.lo - tol <= other.hi) and np.all(other.lo - tol <= self.hi)
+        )
+
+    def expanded(self, margin: float) -> "Aabb":
+        """Box grown by ``margin`` on every side."""
+        return Aabb(self.lo - margin, self.hi + margin)

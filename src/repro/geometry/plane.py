@@ -1,0 +1,102 @@
+"""Planes and plane/triangle intersection.
+
+The slicer cuts meshes with horizontal planes, but the implementation is
+kept general so tests can exercise oblique planes as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.vec import EPS, normalize
+
+
+@dataclass(frozen=True)
+class Plane:
+    """Oriented plane ``dot(normal, p) == offset`` with a unit normal."""
+
+    normal: np.ndarray
+    offset: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "normal", normalize(np.asarray(self.normal, dtype=float)))
+        object.__setattr__(self, "offset", float(self.offset))
+
+    @staticmethod
+    def horizontal(z: float) -> "Plane":
+        """The plane of a print layer at height ``z``."""
+        return Plane(np.array([0.0, 0.0, 1.0]), z)
+
+    @staticmethod
+    def from_point_normal(point: np.ndarray, normal: np.ndarray) -> "Plane":
+        n = normalize(np.asarray(normal, dtype=float))
+        return Plane(n, float(np.dot(n, np.asarray(point, dtype=float))))
+
+    def signed_distance(self, points: np.ndarray) -> np.ndarray:
+        """Signed distance of one point or an (n, 3) array of points."""
+        pts = np.asarray(points, dtype=float)
+        return pts @ self.normal - self.offset
+
+    def intersect_segment(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Intersection point of segment ``ab`` with the plane, or None.
+
+        Endpoints lying exactly on the plane count as intersections.
+        """
+        da = float(self.signed_distance(a))
+        db = float(self.signed_distance(b))
+        if abs(da) < EPS:
+            return np.asarray(a, dtype=float)
+        if abs(db) < EPS:
+            return np.asarray(b, dtype=float)
+        if (da > 0) == (db > 0):
+            return None
+        t = da / (da - db)
+        return np.asarray(a, dtype=float) + t * (np.asarray(b, dtype=float) - np.asarray(a, dtype=float))
+
+    def intersect_triangle(
+        self, tri: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Intersection segment of a triangle with the plane.
+
+        Parameters
+        ----------
+        tri:
+            Array of shape (3, 3): the triangle's vertices.
+
+        Returns
+        -------
+        A pair of 3D points, or ``None`` when the triangle does not cross
+        the plane or only touches it at a single vertex.  Triangles lying
+        entirely in the plane return ``None``; their area is recovered by
+        the layers above and below, which is the standard slicing
+        convention (coplanar faces otherwise produce duplicate loops).
+        """
+        tri = np.asarray(tri, dtype=float).reshape(3, 3)
+        d = self.signed_distance(tri)
+        if np.all(np.abs(d) < EPS):
+            return None  # coplanar
+        points: List[np.ndarray] = []
+        for i in range(3):
+            j = (i + 1) % 3
+            di, dj = d[i], d[j]
+            if abs(di) < EPS:
+                points.append(tri[i])
+                continue
+            if abs(dj) < EPS:
+                continue  # captured when the loop reaches vertex j
+            if (di > 0) != (dj > 0):
+                t = di / (di - dj)
+                points.append(tri[i] + t * (tri[j] - tri[i]))
+        # Deduplicate (a vertex on the plane appears once per incident edge).
+        unique: List[np.ndarray] = []
+        for p in points:
+            if not any(np.linalg.norm(p - q) < EPS for q in unique):
+                unique.append(p)
+        if len(unique) != 2:
+            return None
+        return unique[0], unique[1]

@@ -1,0 +1,80 @@
+"""2D line segments: intersection, distance and projection queries.
+
+These are the workhorse predicates of the slicer's contour chaining and
+of the tessellation-gap detector (Fig. 4 of the paper), which must decide
+whether a vertex of one body lies on an edge of the other body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.vec import EPS
+
+
+@dataclass(frozen=True)
+class Segment2:
+    """Directed 2D segment from ``a`` to ``b``."""
+
+    a: np.ndarray
+    b: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "a", np.asarray(self.a, dtype=float).reshape(2))
+        object.__setattr__(self, "b", np.asarray(self.b, dtype=float).reshape(2))
+
+    @property
+    def vector(self) -> np.ndarray:
+        return self.b - self.a
+
+    @property
+    def length(self) -> float:
+        return float(np.linalg.norm(self.vector))
+
+    @property
+    def midpoint(self) -> np.ndarray:
+        return 0.5 * (self.a + self.b)
+
+    def point_at(self, t: float) -> np.ndarray:
+        """Point at parameter ``t`` in [0, 1]."""
+        return self.a + t * self.vector
+
+    def project_parameter(self, point: np.ndarray) -> float:
+        """Parameter of the closest point on the *infinite* line."""
+        v = self.vector
+        denom = float(np.dot(v, v))
+        if denom < EPS * EPS:
+            return 0.0
+        return float(np.dot(np.asarray(point, dtype=float) - self.a, v) / denom)
+
+    def distance_to_point(self, point: np.ndarray) -> float:
+        """Distance from ``point`` to the segment (not the infinite line)."""
+        t = min(1.0, max(0.0, self.project_parameter(point)))
+        return float(np.linalg.norm(self.point_at(t) - np.asarray(point, dtype=float)))
+
+    def contains_point(self, point: np.ndarray, tol: float = EPS) -> bool:
+        """Whether ``point`` lies on the segment within ``tol``."""
+        return self.distance_to_point(point) <= tol
+
+    def intersect(self, other: "Segment2", tol: float = EPS) -> Optional[np.ndarray]:
+        """Proper intersection point of two segments, or ``None``.
+
+        Collinear overlaps return ``None``: callers that care about
+        overlap (the contour stitcher) handle that case via
+        :meth:`contains_point` on endpoints instead, which keeps this
+        predicate unambiguous.
+        """
+        p, r = self.a, self.vector
+        q, s = other.a, other.vector
+        rxs = float(r[0] * s[1] - r[1] * s[0])
+        if abs(rxs) < tol:
+            return None
+        qp = q - p
+        t = float(qp[0] * s[1] - qp[1] * s[0]) / rxs
+        u = float(qp[0] * r[1] - qp[1] * r[0]) / rxs
+        if -tol <= t <= 1 + tol and -tol <= u <= 1 + tol:
+            return p + t * r
+        return None

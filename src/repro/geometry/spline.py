@@ -1,0 +1,175 @@
+"""Cubic splines with SolidWorks-style adaptive sampling.
+
+The paper's central security feature is a *spline split*: a cubic spline
+drawn across a part, exported to STL.  The STL export dialog (paper
+Fig. 5) exposes two tolerances:
+
+* **Angle tolerance** - maximum turn angle between consecutive chords;
+* **Deviation tolerance** - maximum chordal deviation from the true curve.
+
+:func:`CubicSpline2.sample_adaptive` implements exactly that contract, so
+different export resolutions sample the same spline at different,
+mutually incompatible vertex sets - the root cause of the Fig. 4
+tessellation gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.geometry.vec import EPS, angle_between
+
+
+@dataclass(frozen=True)
+class SamplingTolerance:
+    """Tolerances controlling adaptive curve sampling.
+
+    Attributes
+    ----------
+    angle:
+        Maximum angle, in radians, between successive chord directions.
+    deviation:
+        Maximum distance, in millimetres, between the chord midpoint and
+        the true curve.
+    """
+
+    angle: float
+    deviation: float
+
+    def __post_init__(self) -> None:
+        if self.angle <= 0 or self.deviation <= 0:
+            raise ValueError("tolerances must be positive")
+
+
+class CubicSpline2:
+    """Natural cubic spline through 2D control points.
+
+    Parametrised by chord length.  The spline interpolates every control
+    point, like the sketch splines of a parametric CAD package.
+    """
+
+    def __init__(self, control_points: np.ndarray):
+        pts = np.asarray(control_points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2 or pts.shape[0] < 2:
+            raise ValueError("need an (n>=2, 2) array of control points")
+        deltas = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+        if np.any(deltas < EPS):
+            raise ValueError("control points must be distinct")
+        self._points = pts
+        # Chord-length parametrisation normalised to [0, 1].
+        t = np.concatenate([[0.0], np.cumsum(deltas)])
+        self._t = t / t[-1]
+        self._coeffs_x = _natural_cubic_coefficients(self._t, pts[:, 0])
+        self._coeffs_y = _natural_cubic_coefficients(self._t, pts[:, 1])
+
+    @property
+    def control_points(self) -> np.ndarray:
+        return self._points.copy()
+
+    def evaluate(self, t) -> np.ndarray:
+        """Evaluate the spline at parameter(s) ``t`` in [0, 1]."""
+        t_arr = np.atleast_1d(np.asarray(t, dtype=float))
+        x = _evaluate_piecewise(self._t, self._coeffs_x, t_arr)
+        y = _evaluate_piecewise(self._t, self._coeffs_y, t_arr)
+        out = np.stack([x, y], axis=1)
+        if np.isscalar(t) or (hasattr(t, "ndim") and getattr(t, "ndim") == 0):
+            return out[0]
+        return out
+
+    def tangent(self, t: float) -> np.ndarray:
+        """Unnormalised tangent vector at parameter ``t``."""
+        h = 1e-6
+        lo = max(0.0, t - h)
+        hi = min(1.0, t + h)
+        a, b = self.evaluate(np.array([lo, hi]))
+        return (b - a) / (hi - lo)
+
+    def arc_length(self, n: int = 2048) -> float:
+        """Arc length via dense chord summation."""
+        pts = self.evaluate(np.linspace(0.0, 1.0, n))
+        return float(np.sum(np.linalg.norm(np.diff(pts, axis=0), axis=1)))
+
+    def sample_adaptive(self, tol: SamplingTolerance, max_depth: int = 24) -> np.ndarray:
+        """Sample the spline honouring angle and deviation tolerances.
+
+        Recursive bisection: a chord ``(t0, t1)`` is split whenever the
+        curve midpoint deviates from the chord by more than
+        ``tol.deviation`` or the two half-chords turn by more than
+        ``tol.angle``.  Returns the ordered (m, 2) vertex array including
+        both endpoints.
+
+        Different tolerances yield *different vertex sets* for the same
+        curve, which is exactly the mismatch the paper exploits.
+        """
+        params: List[float] = [0.0, 1.0]
+
+        def refine(t0: float, t1: float, depth: int) -> List[float]:
+            tm = 0.5 * (t0 + t1)
+            p0, pm, p1 = self.evaluate(np.array([t0, tm, t1]))
+            chord = p1 - p0
+            chord_len = float(np.linalg.norm(chord))
+            if depth >= max_depth or chord_len < EPS:
+                return []
+            # Chordal deviation of true midpoint from the straight chord.
+            if chord_len > 0:
+                mid = pm - p0
+                dev = abs(float(chord[0] * mid[1] - chord[1] * mid[0])) / chord_len
+            else:
+                dev = float(np.linalg.norm(pm - p0))
+            turn = angle_between(pm - p0, p1 - pm)
+            if dev <= tol.deviation and turn <= tol.angle:
+                return []
+            return refine(t0, tm, depth + 1) + [tm] + refine(tm, t1, depth + 1)
+
+        inner = refine(0.0, 1.0, 0)
+        params = [0.0] + inner + [1.0]
+        return self.evaluate(np.array(params))
+
+    def sample_uniform(self, n: int) -> np.ndarray:
+        """``n`` samples at uniform parameter spacing (n >= 2)."""
+        if n < 2:
+            raise ValueError("need at least 2 samples")
+        return self.evaluate(np.linspace(0.0, 1.0, n))
+
+
+def _natural_cubic_coefficients(t: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Per-interval cubic coefficients of the natural spline through (t, y).
+
+    Returns an (n-1, 4) array of ``(a, b, c, d)`` such that on interval i
+    ``y(s) = a + b*h + c*h^2 + d*h^3`` with ``h = s - t[i]``.
+    """
+    n = len(t)
+    if n == 2:
+        slope = (y[1] - y[0]) / (t[1] - t[0])
+        return np.array([[y[0], slope, 0.0, 0.0]])
+    h = np.diff(t)
+    # Solve the tridiagonal system for second derivatives (natural BCs).
+    a_mat = np.zeros((n, n))
+    rhs = np.zeros(n)
+    a_mat[0, 0] = 1.0
+    a_mat[-1, -1] = 1.0
+    for i in range(1, n - 1):
+        a_mat[i, i - 1] = h[i - 1]
+        a_mat[i, i] = 2.0 * (h[i - 1] + h[i])
+        a_mat[i, i + 1] = h[i]
+        rhs[i] = 3.0 * ((y[i + 1] - y[i]) / h[i] - (y[i] - y[i - 1]) / h[i - 1])
+    c = np.linalg.solve(a_mat, rhs)
+    coeffs = np.zeros((n - 1, 4))
+    for i in range(n - 1):
+        coeffs[i, 0] = y[i]
+        coeffs[i, 2] = c[i]
+        coeffs[i, 3] = (c[i + 1] - c[i]) / (3.0 * h[i])
+        coeffs[i, 1] = (y[i + 1] - y[i]) / h[i] - h[i] * (2.0 * c[i] + c[i + 1]) / 3.0
+    return coeffs
+
+
+def _evaluate_piecewise(t: np.ndarray, coeffs: np.ndarray, s: np.ndarray) -> np.ndarray:
+    """Evaluate piecewise cubics at parameters ``s`` (clipped to [t0, tn])."""
+    s = np.clip(s, t[0], t[-1])
+    idx = np.clip(np.searchsorted(t, s, side="right") - 1, 0, len(t) - 2)
+    h = s - t[idx]
+    a, b, c, d = coeffs[idx, 0], coeffs[idx, 1], coeffs[idx, 2], coeffs[idx, 3]
+    return a + h * (b + h * (c + h * d))

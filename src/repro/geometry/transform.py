@@ -1,0 +1,98 @@
+"""Rigid-body (and uniform-scale) transforms for 3D geometry.
+
+Print orientation in the paper (Fig. 6) is a rotation of the part with
+respect to the build plate; ``Transform`` is how the printer package
+expresses those orientations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Transform:
+    """Affine transform ``p -> R @ p + t`` with a 3x3 matrix and offset.
+
+    The matrix is not restricted to rotations, but every constructor on
+    this class produces a similarity (rotation + uniform scale), which is
+    what CAD placement and print orientation need.
+    """
+
+    matrix: np.ndarray = field(default_factory=lambda: np.eye(3))
+    offset: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "matrix", np.asarray(self.matrix, dtype=float).reshape(3, 3))
+        object.__setattr__(self, "offset", np.asarray(self.offset, dtype=float).reshape(3))
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def identity() -> "Transform":
+        return Transform()
+
+    @staticmethod
+    def translation(offset: np.ndarray) -> "Transform":
+        return Transform(np.eye(3), np.asarray(offset, dtype=float))
+
+    @staticmethod
+    def scaling(factor: float) -> "Transform":
+        if factor == 0:
+            raise ValueError("scale factor must be non-zero")
+        return Transform(np.eye(3) * float(factor), np.zeros(3))
+
+    @staticmethod
+    def rotation_x(angle: float) -> "Transform":
+        c, s = np.cos(angle), np.sin(angle)
+        return Transform(np.array([[1, 0, 0], [0, c, -s], [0, s, c]], dtype=float))
+
+    @staticmethod
+    def rotation_y(angle: float) -> "Transform":
+        c, s = np.cos(angle), np.sin(angle)
+        return Transform(np.array([[c, 0, s], [0, 1, 0], [-s, 0, c]], dtype=float))
+
+    @staticmethod
+    def rotation_z(angle: float) -> "Transform":
+        c, s = np.cos(angle), np.sin(angle)
+        return Transform(np.array([[c, -s, 0], [s, c, 0], [0, 0, 1]], dtype=float))
+
+    # -- application ---------------------------------------------------
+
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        """Transform one point (shape ``(3,)``) or many (shape ``(n, 3)``)."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim == 1:
+            return self.matrix @ pts + self.offset
+        return pts @ self.matrix.T + self.offset
+
+    def apply_vector(self, vectors: np.ndarray) -> np.ndarray:
+        """Transform direction vectors (no translation)."""
+        v = np.asarray(vectors, dtype=float)
+        if v.ndim == 1:
+            return self.matrix @ v
+        return v @ self.matrix.T
+
+    # -- algebra -------------------------------------------------------
+
+    def compose(self, inner: "Transform") -> "Transform":
+        """Return the transform equivalent to applying ``inner`` first."""
+        return Transform(self.matrix @ inner.matrix, self.matrix @ inner.offset + self.offset)
+
+    def inverse(self) -> "Transform":
+        inv = np.linalg.inv(self.matrix)
+        return Transform(inv, -inv @ self.offset)
+
+    @property
+    def is_rigid(self) -> bool:
+        """True when the matrix is orthonormal with determinant +1."""
+        should_be_identity = self.matrix @ self.matrix.T
+        return bool(
+            np.allclose(should_be_identity, np.eye(3), atol=1e-9)
+            and np.isclose(np.linalg.det(self.matrix), 1.0, atol=1e-9)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Transform(matrix={self.matrix.tolist()}, offset={self.offset.tolist()})"

@@ -1,0 +1,88 @@
+"""Small vector helpers shared by the whole geometry stack.
+
+All functions accept and return plain ``numpy`` arrays of dtype float64.
+The module deliberately avoids defining a vector class: the rest of the
+code base manipulates arrays of many points at once, and free functions
+over arrays compose better with numpy broadcasting than a scalar class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default geometric tolerance, in millimetres.  Chosen to be far below
+#: any printer resolution (the finest machine modelled is 16 um) while
+#: far above float64 noise for part-sized coordinates.
+EPS = 1e-9
+
+
+def vec2(x: float, y: float) -> np.ndarray:
+    """Build a 2D float vector."""
+    return np.array([x, y], dtype=float)
+
+
+def vec3(x: float, y: float, z: float) -> np.ndarray:
+    """Build a 3D float vector."""
+    return np.array([x, y, z], dtype=float)
+
+
+def normalize(v: np.ndarray) -> np.ndarray:
+    """Return ``v`` scaled to unit length.
+
+    Raises
+    ------
+    ValueError
+        If the vector has (numerically) zero length.
+    """
+    n = float(np.linalg.norm(v))
+    if n < EPS:
+        raise ValueError("cannot normalize a zero-length vector")
+    return np.asarray(v, dtype=float) / n
+
+
+def unit_or_zero(v: np.ndarray) -> np.ndarray:
+    """Return ``v`` normalized, or a zero vector if it is degenerate.
+
+    Used where degenerate input is expected and must not abort the whole
+    pipeline (e.g. normals of sliver triangles produced by tessellation).
+    """
+    n = float(np.linalg.norm(v))
+    if n < EPS:
+        return np.zeros_like(np.asarray(v, dtype=float))
+    return np.asarray(v, dtype=float) / n
+
+
+def angle_between(a: np.ndarray, b: np.ndarray) -> float:
+    """Angle in radians between two vectors, in ``[0, pi]``.
+
+    Robust near 0 and pi: uses ``arctan2`` of cross/dot magnitudes rather
+    than ``arccos`` of the clipped dot product.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape[-1] == 2:
+        cross_mag = abs(float(a[0] * b[1] - a[1] * b[0]))
+    else:
+        cross_mag = float(np.linalg.norm(np.cross(a, b)))
+    dot = float(np.dot(a, b))
+    return float(np.arctan2(cross_mag, dot))
+
+
+def perpendicular_2d(v: np.ndarray) -> np.ndarray:
+    """Return ``v`` rotated +90 degrees in the plane."""
+    return np.array([-v[1], v[0]], dtype=float)
+
+
+def lerp(a: np.ndarray, b: np.ndarray, t: float) -> np.ndarray:
+    """Linear interpolation between two points."""
+    return np.asarray(a, dtype=float) * (1.0 - t) + np.asarray(b, dtype=float) * t
+
+
+def dist(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two points."""
+    return float(np.linalg.norm(np.asarray(a, dtype=float) - np.asarray(b, dtype=float)))
+
+
+def almost_equal(a: np.ndarray, b: np.ndarray, tol: float = EPS) -> bool:
+    """Whether two points coincide within ``tol`` (infinity norm)."""
+    return bool(np.all(np.abs(np.asarray(a, dtype=float) - np.asarray(b, dtype=float)) <= tol))

@@ -1,0 +1,48 @@
+"""Virtual mechanics lab: materials, stress analysis, tensile testing.
+
+Substitutes the paper's physical tensile test machine.  The intact
+(reference) specimen groups anchor the material model; the spline-split
+groups inherit their knockdowns from the *measured* seam geometry of the
+simulated print, through a crack-tip stress-concentration model.
+"""
+
+from repro.mechanics.material import (
+    ABS_FDM,
+    VEROCLEAR_POLYJET,
+    MaterialModel,
+    OrientationProperties,
+)
+from repro.mechanics.constitutive import StressStrainCurve, build_curve, toughness_kj_m3
+from repro.mechanics.stress import (
+    crack_tip_concentration,
+    ductility_knockdown,
+    strength_knockdown,
+)
+from repro.mechanics.specimen import SpecimenDescriptor, specimen_from_print
+from repro.mechanics.tensile import (
+    GroupStatistics,
+    TensileResult,
+    TensileTestRig,
+)
+from repro.mechanics.fatigue import ABS_FATIGUE, FatigueModel, service_life_report
+
+__all__ = [
+    "ABS_FATIGUE",
+    "ABS_FDM",
+    "FatigueModel",
+    "service_life_report",
+    "GroupStatistics",
+    "MaterialModel",
+    "OrientationProperties",
+    "SpecimenDescriptor",
+    "StressStrainCurve",
+    "TensileResult",
+    "TensileTestRig",
+    "VEROCLEAR_POLYJET",
+    "build_curve",
+    "crack_tip_concentration",
+    "ductility_knockdown",
+    "specimen_from_print",
+    "strength_knockdown",
+    "toughness_kj_m3",
+]

@@ -1,0 +1,99 @@
+"""Constitutive law: stress-strain curves and their derived quantities.
+
+The curve is linear-elastic to the proportional limit, then saturates
+exponentially toward UTS (a standard smooth plasticity shape for
+thermoplastics), and ends at the failure strain.  Toughness is the area
+under the curve - exactly how the paper's Table 2 derives it from the
+measured curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mechanics.material import OrientationProperties
+
+
+@dataclass(frozen=True)
+class StressStrainCurve:
+    """A sampled engineering stress-strain curve up to failure."""
+
+    strain: np.ndarray
+    stress_mpa: np.ndarray
+
+    def __post_init__(self) -> None:
+        s = np.asarray(self.strain, dtype=float)
+        p = np.asarray(self.stress_mpa, dtype=float)
+        if s.shape != p.shape or s.ndim != 1 or len(s) < 2:
+            raise ValueError("strain and stress must be equal-length 1D arrays")
+        if np.any(np.diff(s) <= 0):
+            raise ValueError("strain must be strictly increasing")
+        object.__setattr__(self, "strain", s)
+        object.__setattr__(self, "stress_mpa", p)
+
+    @property
+    def failure_strain(self) -> float:
+        return float(self.strain[-1])
+
+    @property
+    def uts_mpa(self) -> float:
+        return float(self.stress_mpa.max())
+
+    @property
+    def young_modulus_gpa(self) -> float:
+        """Initial slope, estimated over the first 20 % of the curve."""
+        n = max(2, len(self.strain) // 5)
+        slope = np.polyfit(self.strain[:n], self.stress_mpa[:n], 1)[0]
+        return float(slope / 1000.0)
+
+    @property
+    def toughness_kj_m3(self) -> float:
+        return toughness_kj_m3(self.strain, self.stress_mpa)
+
+
+def toughness_kj_m3(strain: np.ndarray, stress_mpa: np.ndarray) -> float:
+    """Area under an engineering stress-strain curve.
+
+    1 MPa * 1 (mm/mm) = 1 MJ/m^3 = 1000 kJ/m^3.
+    """
+    return float(np.trapezoid(stress_mpa, strain) * 1000.0)
+
+
+def build_curve(
+    props: OrientationProperties,
+    young_modulus_gpa: float = None,
+    uts_mpa: float = None,
+    failure_strain: float = None,
+    n_points: int = 400,
+) -> StressStrainCurve:
+    """Build the constitutive curve for (possibly knocked-down) properties.
+
+    Any of the three overrides replaces the intact value; the curve
+    shape (yield fraction, saturation rate) comes from ``props``.
+    """
+    e_gpa = young_modulus_gpa if young_modulus_gpa is not None else props.young_modulus_gpa
+    uts = uts_mpa if uts_mpa is not None else props.uts_mpa
+    eps_f = failure_strain if failure_strain is not None else props.failure_strain
+    if min(e_gpa, uts, eps_f) <= 0:
+        raise ValueError("curve parameters must be positive")
+
+    e_mpa = e_gpa * 1000.0
+    sigma_y = props.yield_fraction * uts
+    eps_y = sigma_y / e_mpa
+    if eps_y >= eps_f:
+        # Extremely embrittled specimen: fails while still elastic.
+        strain = np.linspace(0.0, eps_f, n_points)
+        return StressStrainCurve(strain=strain, stress_mpa=e_mpa * strain)
+
+    # Saturation rate chosen so the curve reaches ~99 % of UTS within
+    # the first third of the post-yield range (UTS plateau thereafter).
+    k = 5.0 / max((eps_f - eps_y) / 3.0, 1e-9)
+    strain = np.linspace(0.0, eps_f, n_points)
+    stress = np.where(
+        strain <= eps_y,
+        e_mpa * strain,
+        uts - (uts - sigma_y) * np.exp(-k * (strain - eps_y)),
+    )
+    return StressStrainCurve(strain=strain, stress_mpa=stress)

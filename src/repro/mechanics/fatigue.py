@@ -1,0 +1,88 @@
+"""Fatigue and service life under the seam's stress concentration.
+
+The paper claims off-key prints have "an inferior service life" - a
+fatigue statement, not a static-strength one.  This module quantifies
+it with the standard high-cycle machinery: a Basquin stress-life law
+whose local stress amplitude is amplified by the seam's concentration
+factor.  Because fatigue life is a steep power law of stress, even a
+modest Kt collapses the life by orders of magnitude - which is exactly
+what makes the spline split such an effective sabotage feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FatigueModel:
+    """Basquin high-cycle fatigue law ``sigma_a = sigma_f' * (2N)^b``.
+
+    Attributes
+    ----------
+    fatigue_strength_coefficient_mpa:
+        sigma_f': the (extrapolated) one-reversal strength.
+    basquin_exponent:
+        b, negative; ABS-class thermoplastics run around -0.08..-0.12.
+    endurance_cycles:
+        Life treated as "infinite" (run-out) for reporting.
+    """
+
+    fatigue_strength_coefficient_mpa: float = 55.0
+    basquin_exponent: float = -0.095
+    endurance_cycles: float = 1e7
+
+    def __post_init__(self) -> None:
+        if self.fatigue_strength_coefficient_mpa <= 0:
+            raise ValueError("fatigue strength coefficient must be positive")
+        if not -0.5 < self.basquin_exponent < 0:
+            raise ValueError("Basquin exponent must be negative and sane")
+
+    def cycles_to_failure(self, stress_amplitude_mpa: float, kt: float = 1.0) -> float:
+        """Reversals to failure at the given nominal amplitude and Kt.
+
+        The local amplitude at the seam tip is ``kt * sigma_a``; life
+        follows the inverted Basquin law and is capped at run-out.
+        """
+        if stress_amplitude_mpa <= 0:
+            raise ValueError("stress amplitude must be positive")
+        if kt < 1.0:
+            raise ValueError("Kt cannot be below 1")
+        local = kt * stress_amplitude_mpa
+        if local >= self.fatigue_strength_coefficient_mpa:
+            return 1.0  # fails on the first reversal
+        n = 0.5 * (local / self.fatigue_strength_coefficient_mpa) ** (
+            1.0 / self.basquin_exponent
+        )
+        return float(min(n, self.endurance_cycles))
+
+    def service_life_ratio(self, kt: float) -> float:
+        """Life of a seamed part over an intact one, at equal load.
+
+        Independent of the load level (below run-out): the Basquin law
+        gives ``ratio = kt ** (1/b)``.
+        """
+        if kt < 1.0:
+            raise ValueError("Kt cannot be below 1")
+        return float(kt ** (1.0 / self.basquin_exponent))
+
+    def knee_amplitude_mpa(self, kt: float = 1.0) -> float:
+        """Largest amplitude that still reaches run-out life."""
+        sigma = self.fatigue_strength_coefficient_mpa * (
+            2.0 * self.endurance_cycles
+        ) ** self.basquin_exponent
+        return float(sigma / kt)
+
+
+#: ABS-class default used by the benches.
+ABS_FATIGUE = FatigueModel()
+
+
+def service_life_report(kt_by_label: dict, model: FatigueModel = ABS_FATIGUE) -> dict:
+    """Life ratios for a set of specimens keyed by group label."""
+    return {
+        label: model.service_life_ratio(max(kt, 1.0))
+        for label, kt in kt_by_label.items()
+    }

@@ -1,0 +1,95 @@
+"""Material models with print-orientation anisotropy.
+
+FDM parts are anisotropic: properties depend on how the deposited roads
+and layer interfaces are oriented with respect to the load.  The values
+for ABS below are the intact-specimen baselines (handbook-class numbers
+for Stratasys ABS coupons; the paper's own intact groups in Table 2 are
+exactly such measurements, which is what makes them the calibration
+anchor rather than a fitted target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class OrientationProperties:
+    """Tensile properties of the *intact* material in one orientation.
+
+    Attributes
+    ----------
+    young_modulus_gpa:
+        Elastic modulus, GPa.
+    uts_mpa:
+        Ultimate tensile strength, MPa.
+    failure_strain:
+        Engineering strain at break, mm/mm.
+    yield_fraction:
+        Proportional-limit stress as a fraction of UTS (where the
+        stress-strain curve departs from linear).
+    """
+
+    young_modulus_gpa: float
+    uts_mpa: float
+    failure_strain: float
+    yield_fraction: float = 0.60
+
+    def __post_init__(self) -> None:
+        if min(self.young_modulus_gpa, self.uts_mpa, self.failure_strain) <= 0:
+            raise ValueError("material properties must be positive")
+        if not 0.1 <= self.yield_fraction < 1.0:
+            raise ValueError("yield fraction must be in [0.1, 1)")
+        # The proportional limit must be reachable before failure.
+        eps_y = self.yield_fraction * self.uts_mpa / (self.young_modulus_gpa * 1000.0)
+        if eps_y >= self.failure_strain:
+            raise ValueError("yield strain exceeds failure strain")
+
+
+@dataclass(frozen=True)
+class MaterialModel:
+    """A printable material: per-orientation intact tensile properties."""
+
+    name: str
+    orientations: Dict[str, OrientationProperties]
+
+    def properties(self, orientation: str) -> OrientationProperties:
+        try:
+            return self.orientations[orientation]
+        except KeyError as exc:
+            known = ", ".join(sorted(self.orientations))
+            raise KeyError(
+                f"material {self.name!r} has no orientation {orientation!r} "
+                f"(known: {known})"
+            ) from exc
+
+
+#: FDM ABS (Stratasys Dimension class).  In the x-y orientation the
+#: specimen is flat and the load crosses more inter-road interfaces in
+#: the narrow cross-section; printed on edge (x-z) the roads align with
+#: the load and the material draws out much further before breaking.
+ABS_FDM = MaterialModel(
+    name="ABS (FDM)",
+    orientations={
+        "x-y": OrientationProperties(
+            young_modulus_gpa=1.98, uts_mpa=30.0, failure_strain=0.029
+        ),
+        "x-z": OrientationProperties(
+            young_modulus_gpa=2.05, uts_mpa=32.5, failure_strain=0.077
+        ),
+    },
+)
+
+#: PolyJet VeroClear: jetted photopolymer, nearly isotropic.
+VEROCLEAR_POLYJET = MaterialModel(
+    name="VeroClear (PolyJet)",
+    orientations={
+        "x-y": OrientationProperties(
+            young_modulus_gpa=2.2, uts_mpa=55.0, failure_strain=0.15
+        ),
+        "x-z": OrientationProperties(
+            young_modulus_gpa=2.2, uts_mpa=52.0, failure_strain=0.12
+        ),
+    },
+)

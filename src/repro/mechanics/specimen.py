@@ -1,0 +1,122 @@
+"""Specimen descriptors: from a printed artifact to testable properties.
+
+``specimen_from_print`` is the bridge between the printer and the lab:
+it reads the *measured* seam geometry off a print outcome (nothing here
+is looked up from the CAD model - a counterfeit print without the
+correct key carries its defects in the artifact itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.mechanics.material import ABS_FDM, MaterialModel, OrientationProperties
+from repro.mechanics.stress import (
+    crack_tip_concentration,
+    ductility_knockdown,
+    stiffness_knockdown,
+    strength_knockdown,
+)
+
+
+@dataclass(frozen=True)
+class SpecimenDescriptor:
+    """Everything the tensile rig needs to know about one specimen.
+
+    Attributes
+    ----------
+    label:
+        Group label, e.g. "Spline x-y" or "Intact x-z" (Table 2 rows).
+    properties:
+        Intact material properties for the print orientation.
+    has_seam / unbonded_fraction / interlayer_fraction / load_alignment:
+        Measured seam geometry (zeros for intact specimens).
+    fracture_site_mm:
+        Predicted fracture initiation point in model coordinates (the
+        seam tip for split specimens, None for intact ones) - Fig. 9.
+    """
+
+    label: str
+    properties: OrientationProperties
+    orientation: str
+    has_seam: bool = False
+    unbonded_fraction: float = 0.0
+    interlayer_fraction: float = 0.0
+    load_alignment: float = 0.0
+    fracture_site_mm: Optional[np.ndarray] = None
+
+    @property
+    def kt(self) -> float:
+        """Effective seam-tip strain concentration."""
+        if not self.has_seam:
+            return 1.0
+        return crack_tip_concentration(self.unbonded_fraction, self.interlayer_fraction)
+
+    @property
+    def effective_young_modulus_gpa(self) -> float:
+        if not self.has_seam:
+            return self.properties.young_modulus_gpa
+        return self.properties.young_modulus_gpa * stiffness_knockdown(
+            self.load_alignment, self.unbonded_fraction
+        )
+
+    @property
+    def effective_uts_mpa(self) -> float:
+        if not self.has_seam:
+            return self.properties.uts_mpa
+        return self.properties.uts_mpa * strength_knockdown(
+            self.load_alignment, self.unbonded_fraction, self.interlayer_fraction
+        )
+
+    @property
+    def effective_failure_strain(self) -> float:
+        if not self.has_seam:
+            return self.properties.failure_strain
+        return self.properties.failure_strain * ductility_knockdown(self.kt)
+
+
+def specimen_from_print(
+    outcome,
+    material: MaterialModel = ABS_FDM,
+    label: Optional[str] = None,
+) -> SpecimenDescriptor:
+    """Derive a specimen descriptor from a :class:`PrintOutcome`.
+
+    Seam geometry comes from the outcome's seam analysis; intact prints
+    (no split feature) yield a defect-free descriptor.
+    """
+    orientation = outcome.orientation.value
+    props = material.properties(orientation)
+    seam = outcome.seam
+    if seam is None or seam.wall_area_mm2 <= 0:
+        return SpecimenDescriptor(
+            label=label or f"Intact {orientation}",
+            properties=props,
+            orientation=orientation,
+        )
+    fracture_site = _seam_tip(outcome)
+    return SpecimenDescriptor(
+        label=label or f"Spline {orientation}",
+        properties=props,
+        orientation=orientation,
+        has_seam=True,
+        unbonded_fraction=float(np.clip(1.0 - seam.bonded_fraction, 0.0, 1.0)),
+        interlayer_fraction=float(np.clip(seam.interlayer_fraction, 0.0, 1.0)),
+        load_alignment=float(np.clip(seam.wall_mean_abs_nload, 0.0, 1.0)),
+        fracture_site_mm=fracture_site,
+    )
+
+
+def _seam_tip(outcome) -> Optional[np.ndarray]:
+    """The split-tip location in model coordinates, if recorded.
+
+    Print jobs record the split spline in the artifact metadata; its
+    endpoints are the seam tips where fracture initiates (Fig. 9).
+    """
+    spline = outcome.artifact.metadata.get("split_spline")
+    if spline is None:
+        return None
+    return np.asarray(spline.evaluate(1.0), dtype=float)

@@ -1,0 +1,112 @@
+"""Stress concentration at the split seam and the resulting knockdowns.
+
+The spline split is a crack-like internal surface.  Linear-elastic
+fracture reasoning says such a feature barely changes stiffness and net
+strength (the crack faces still transmit compression and most shear,
+and the bonded regions carry the load), but the *tip* concentrates
+strain and triggers premature fracture - exactly the paper's Fig. 9 and
+the Table 2 pattern (comparable E and UTS, halved failure strain).
+
+Two seam regimes, matching the print physics:
+
+* **in-layer seam** (x-y printing): the wall is perpendicular to the
+  layers; beads fused across it leave a partially-bonded crack whose
+  tip sharpness scales with the unbonded fraction;
+* **inter-layer seam** (x-z printing): the wall lies along the layer
+  interfaces; the whole wall is a cold joint with FDM's inherent
+  z-bonding knockdown, plus a stress-concentrating terrace at the tip.
+
+The coefficients below are the model's calibration constants.  They are
+exposed as arguments so the Kt-model ablation bench can sweep them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Tip-sharpness gain of an in-layer (bead-fused) seam.
+Q_IN_LAYER = 4.2
+#: Tip-sharpness gain of an inter-layer (cold-joint) seam.
+Q_INTER_LAYER = 3.3
+#: Stiffness sensitivity to unbonded, load-facing seam area.
+C_STIFFNESS = 0.45
+#: Net-strength sensitivity to the load-facing, unbonded fraction of an
+#: in-layer crack.
+C_STRENGTH_IN_LAYER = 2.0
+#: Net-strength sensitivity of an inter-layer cold joint.
+C_STRENGTH_INTER_LAYER = 0.015
+#: Fraction of intact z-bond strength retained across a cold joint.
+Z_BOND_EFFICIENCY = 0.45
+
+
+def crack_tip_concentration(
+    unbonded_fraction: float,
+    interlayer_fraction: float,
+    q_in_layer: float = Q_IN_LAYER,
+    q_inter_layer: float = Q_INTER_LAYER,
+) -> float:
+    """Effective strain-concentration factor Kt at the seam tip.
+
+    ``unbonded_fraction`` drives the in-layer term (a better-fused seam
+    has a blunter effective tip); ``interlayer_fraction`` drives the
+    cold-joint term.  Both default gains are calibration constants.
+    Kt >= 1 always; an absent seam gives exactly 1.
+    """
+    _check_fraction(unbonded_fraction, "unbonded_fraction")
+    _check_fraction(interlayer_fraction, "interlayer_fraction")
+    in_layer = q_in_layer * unbonded_fraction * (1.0 - interlayer_fraction)
+    inter_layer = q_inter_layer * interlayer_fraction
+    return 1.0 + in_layer + inter_layer
+
+
+def ductility_knockdown(kt: float) -> float:
+    """Failure-strain multiplier: local strain at the tip hits the
+    material's ductility limit when the nominal strain is eps_f / Kt."""
+    if kt < 1.0:
+        raise ValueError("Kt cannot be below 1")
+    return 1.0 / kt
+
+
+def strength_knockdown(
+    load_alignment: float,
+    unbonded_fraction: float,
+    interlayer_fraction: float,
+    c_in_layer: float = C_STRENGTH_IN_LAYER,
+    c_inter_layer: float = C_STRENGTH_INTER_LAYER,
+    z_bond: float = Z_BOND_EFFICIENCY,
+) -> float:
+    """UTS multiplier for a seamed specimen.
+
+    ``load_alignment`` is the area-weighted |seam normal . load axis|:
+    only the load-facing part of the seam subtracts net section, and
+    only its *unbonded* portion - a fully fused seam (genuine-key
+    print) carries nearly the full load.
+    """
+    _check_fraction(load_alignment, "load_alignment")
+    _check_fraction(unbonded_fraction, "unbonded_fraction")
+    _check_fraction(interlayer_fraction, "interlayer_fraction")
+    in_layer = (
+        c_in_layer * load_alignment * unbonded_fraction * (1.0 - interlayer_fraction)
+    )
+    inter_layer = c_inter_layer * interlayer_fraction * (1.0 - z_bond) / (1.0 - Z_BOND_EFFICIENCY)
+    factor = 1.0 - in_layer - inter_layer
+    return float(np.clip(factor, 0.05, 1.0))
+
+
+def stiffness_knockdown(
+    load_alignment: float,
+    unbonded_fraction: float,
+    c_stiffness: float = C_STIFFNESS,
+) -> float:
+    """Young's modulus multiplier: only unbonded, load-facing seam area
+    removes load path; a fully fused seam leaves stiffness untouched."""
+    _check_fraction(load_alignment, "load_alignment")
+    _check_fraction(unbonded_fraction, "unbonded_fraction")
+    return float(
+        np.clip(1.0 - c_stiffness * unbonded_fraction * load_alignment, 0.05, 1.0)
+    )
+
+
+def _check_fraction(value: float, name: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")

@@ -1,0 +1,50 @@
+"""Mesh kernel: indexed triangle meshes, STL I/O, validation and repair.
+
+The STL file format and its tessellation artifacts are where ObfusCADe's
+spline-split feature lives, so this package is faithful to the actual
+format: both ASCII and binary STL are implemented byte-for-byte, and the
+validator reproduces the "manifold geometry error" checks that Table 1
+of the paper lists as an STL-stage mitigation.
+"""
+
+from repro.mesh.trimesh import TriangleMesh
+from repro.mesh.stl_io import (
+    load_stl,
+    load_stl_bytes,
+    save_stl,
+    stl_binary_bytes,
+    stl_ascii_text,
+)
+from repro.mesh.validate import (
+    GeometryReport,
+    TessellationGap,
+    find_internal_faces,
+    find_tessellation_gaps,
+    points_in_mesh,
+    validate_mesh,
+)
+from repro.mesh.repair import (
+    merge_duplicate_faces,
+    orient_consistently,
+    remove_degenerate_faces,
+    weld_vertices,
+)
+
+__all__ = [
+    "GeometryReport",
+    "TessellationGap",
+    "TriangleMesh",
+    "find_internal_faces",
+    "find_tessellation_gaps",
+    "points_in_mesh",
+    "load_stl",
+    "load_stl_bytes",
+    "merge_duplicate_faces",
+    "orient_consistently",
+    "remove_degenerate_faces",
+    "save_stl",
+    "stl_ascii_text",
+    "stl_binary_bytes",
+    "validate_mesh",
+    "weld_vertices",
+]

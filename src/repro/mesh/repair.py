@@ -1,0 +1,125 @@
+"""Mesh repair operations: welding, cleanup and winding repair.
+
+These are the remediations a careful STL-stage reviewer (Table 1 of the
+paper) applies after :func:`repro.mesh.validate.validate_mesh` flags a
+model.  They are pure functions: each returns a new mesh.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Set
+
+import numpy as np
+
+from repro.mesh.trimesh import TriangleMesh
+
+
+def weld_vertices(mesh: TriangleMesh, tol: float = 1e-7) -> TriangleMesh:
+    """Merge vertices closer than ``tol`` and drop collapsed faces."""
+    if mesh.n_vertices == 0:
+        return mesh.copy()
+    keys = np.round(mesh.vertices / tol).astype(np.int64)
+    _, first_index, inverse = np.unique(keys, axis=0, return_index=True, return_inverse=True)
+    vertices = mesh.vertices[first_index]
+    faces = inverse[mesh.faces]
+    keep = (
+        (faces[:, 0] != faces[:, 1])
+        & (faces[:, 1] != faces[:, 2])
+        & (faces[:, 2] != faces[:, 0])
+    )
+    return TriangleMesh(vertices, faces[keep])
+
+
+def remove_degenerate_faces(mesh: TriangleMesh, area_tol: float = 1e-12) -> TriangleMesh:
+    """Drop faces with (numerically) zero area or repeated vertices."""
+    if mesh.n_faces == 0:
+        return mesh.copy()
+    areas = mesh.face_areas()
+    distinct = (
+        (mesh.faces[:, 0] != mesh.faces[:, 1])
+        & (mesh.faces[:, 1] != mesh.faces[:, 2])
+        & (mesh.faces[:, 2] != mesh.faces[:, 0])
+    )
+    return TriangleMesh(mesh.vertices.copy(), mesh.faces[(areas >= area_tol) & distinct])
+
+
+def merge_duplicate_faces(mesh: TriangleMesh) -> TriangleMesh:
+    """Keep a single copy of each face regardless of winding."""
+    if mesh.n_faces == 0:
+        return mesh.copy()
+    key = np.sort(mesh.faces, axis=1)
+    _, first_index = np.unique(key, axis=0, return_index=True)
+    return TriangleMesh(mesh.vertices.copy(), mesh.faces[np.sort(first_index)])
+
+
+def orient_consistently(mesh: TriangleMesh) -> TriangleMesh:
+    """Flip faces so adjacent faces agree on winding, outward overall.
+
+    Breadth-first traversal over face adjacency propagates a consistent
+    winding within each connected component; each component is then
+    flipped globally if its signed volume is negative (pointing inward).
+    Works for manifold meshes; non-manifold edges are skipped.
+    """
+    if mesh.n_faces == 0:
+        return mesh.copy()
+    faces = mesh.faces.copy()
+    edge_map = mesh.edge_face_map()
+    adjacency = {}
+    for edge, incident in edge_map.items():
+        if len(incident) == 2:
+            a, b = incident
+            adjacency.setdefault(a, []).append((b, edge))
+            adjacency.setdefault(b, []).append((a, edge))
+
+    visited: Set[int] = set()
+    for seed in range(len(faces)):
+        if seed in visited:
+            continue
+        component = [seed]
+        visited.add(seed)
+        queue = deque([seed])
+        while queue:
+            fi = queue.popleft()
+            for fj, edge in adjacency.get(fi, []):
+                if fj in visited:
+                    continue
+                if _windings_agree(faces[fi], faces[fj], edge):
+                    faces[fj] = faces[fj][::-1]
+                visited.add(fj)
+                component.append(fj)
+                queue.append(fj)
+        # Orient the whole component outward.
+        sub = TriangleMesh(mesh.vertices, faces[np.array(component)])
+        if sub.is_watertight and sub.volume < 0:
+            for fi in component:
+                faces[fi] = faces[fi][::-1]
+    return TriangleMesh(mesh.vertices.copy(), faces)
+
+
+def repair(mesh: TriangleMesh, weld_tol: float = 1e-7) -> TriangleMesh:
+    """Full pipeline: weld, de-duplicate, drop degenerates, re-orient."""
+    out = weld_vertices(mesh, weld_tol)
+    out = merge_duplicate_faces(out)
+    out = remove_degenerate_faces(out)
+    return orient_consistently(out)
+
+
+def _windings_agree(face_a: np.ndarray, face_b: np.ndarray, edge) -> bool:
+    """True when two faces traverse the shared edge in the *same* direction.
+
+    Consistently wound neighbours traverse a shared edge in opposite
+    directions, so "agree" means the winding of one must be flipped.
+    """
+    return _edge_direction(face_a, edge) == _edge_direction(face_b, edge)
+
+
+def _edge_direction(face: np.ndarray, edge) -> bool:
+    u, v = edge
+    for i in range(3):
+        a, b = int(face[i]), int(face[(i + 1) % 3])
+        if (a, b) == (u, v):
+            return True
+        if (a, b) == (v, u):
+            return False
+    raise ValueError("edge not on face")

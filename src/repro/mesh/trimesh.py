@@ -1,0 +1,244 @@
+"""Indexed triangle meshes with topology and mass-property queries."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.geometry.bbox import Aabb
+from repro.geometry.transform import Transform
+from repro.geometry.vec import EPS
+
+
+class TriangleMesh:
+    """An indexed triangle mesh.
+
+    Attributes
+    ----------
+    vertices:
+        ``(n, 3)`` float array of vertex positions (millimetres).
+    faces:
+        ``(m, 3)`` int array of vertex indices, counter-clockwise when
+        seen from outside for a correctly oriented solid.
+    """
+
+    def __init__(self, vertices: np.ndarray, faces: np.ndarray):
+        v = np.asarray(vertices, dtype=float)
+        f = np.asarray(faces, dtype=np.int64)
+        if v.ndim != 2 or v.shape[1] != 3:
+            raise ValueError("vertices must be an (n, 3) array")
+        if f.ndim != 2 or f.shape[1] != 3:
+            raise ValueError("faces must be an (m, 3) array")
+        if f.size and (f.min() < 0 or f.max() >= len(v)):
+            raise ValueError("face indices out of range")
+        self.vertices = v
+        self.faces = f
+
+    # -- construction ----------------------------------------------------
+
+    @staticmethod
+    def empty() -> "TriangleMesh":
+        return TriangleMesh(np.zeros((0, 3)), np.zeros((0, 3), dtype=np.int64))
+
+    @staticmethod
+    def from_triangle_soup(triangles: np.ndarray, weld_tol: float = 1e-7) -> "TriangleMesh":
+        """Build an indexed mesh from an (m, 3, 3) triangle array.
+
+        Vertices closer than ``weld_tol`` are merged, which is how STL
+        loaders recover connectivity from the format's exploded triangle
+        list.
+        """
+        tris = np.asarray(triangles, dtype=float)
+        if tris.size == 0:
+            return TriangleMesh.empty()
+        if tris.ndim != 3 or tris.shape[1:] != (3, 3):
+            raise ValueError("triangle soup must be an (m, 3, 3) array")
+        flat = tris.reshape(-1, 3)
+        keys = np.round(flat / max(weld_tol, EPS)).astype(np.int64)
+        _, first_index, inverse = np.unique(
+            keys, axis=0, return_index=True, return_inverse=True
+        )
+        vertices = flat[first_index]
+        faces = inverse.reshape(-1, 3)
+        return TriangleMesh(vertices, faces)
+
+    @staticmethod
+    def merged(meshes: Iterable["TriangleMesh"]) -> "TriangleMesh":
+        """Concatenate several meshes into one (no welding across parts)."""
+        vs: List[np.ndarray] = []
+        fs: List[np.ndarray] = []
+        offset = 0
+        for m in meshes:
+            vs.append(m.vertices)
+            fs.append(m.faces + offset)
+            offset += len(m.vertices)
+        if not vs:
+            return TriangleMesh.empty()
+        return TriangleMesh(np.vstack(vs), np.vstack(fs))
+
+    def copy(self) -> "TriangleMesh":
+        return TriangleMesh(self.vertices.copy(), self.faces.copy())
+
+    # -- basic quantities --------------------------------------------------
+
+    @property
+    def n_vertices(self) -> int:
+        return int(len(self.vertices))
+
+    @property
+    def n_faces(self) -> int:
+        return int(len(self.faces))
+
+    @property
+    def triangles(self) -> np.ndarray:
+        """The (m, 3, 3) exploded triangle array."""
+        return self.vertices[self.faces]
+
+    @property
+    def bounds(self) -> Aabb:
+        if self.n_vertices == 0:
+            raise ValueError("empty mesh has no bounds")
+        return Aabb.from_points(self.vertices)
+
+    def face_normals(self) -> np.ndarray:
+        """Unit normals per face; zero vectors for degenerate faces."""
+        tris = self.triangles
+        n = np.cross(tris[:, 1] - tris[:, 0], tris[:, 2] - tris[:, 0])
+        lengths = np.linalg.norm(n, axis=1)
+        safe = np.where(lengths < EPS, 1.0, lengths)
+        n = n / safe[:, None]
+        n[lengths < EPS] = 0.0
+        return n
+
+    def face_areas(self) -> np.ndarray:
+        tris = self.triangles
+        n = np.cross(tris[:, 1] - tris[:, 0], tris[:, 2] - tris[:, 0])
+        return 0.5 * np.linalg.norm(n, axis=1)
+
+    @property
+    def surface_area(self) -> float:
+        return float(np.sum(self.face_areas()))
+
+    @property
+    def volume(self) -> float:
+        """Signed volume by the divergence theorem.
+
+        Positive for outward-oriented watertight meshes; meaningless for
+        open meshes (use :meth:`is_watertight` first).
+        """
+        tris = self.triangles
+        if len(tris) == 0:
+            return 0.0
+        cross = np.cross(tris[:, 1], tris[:, 2])
+        return float(np.einsum("ij,ij->i", tris[:, 0], cross).sum()) / 6.0
+
+    def centroid(self) -> np.ndarray:
+        """Volume centroid of a watertight mesh."""
+        tris = self.triangles
+        cross = np.cross(tris[:, 1] - tris[:, 0], tris[:, 2] - tris[:, 0])
+        # Signed tetra volumes against the origin.
+        vols = np.einsum("ij,ij->i", tris[:, 0], np.cross(tris[:, 1], tris[:, 2])) / 6.0
+        total = vols.sum()
+        if abs(total) < EPS:
+            return self.vertices.mean(axis=0)
+        centers = tris.sum(axis=1) / 4.0  # tetra centroid with 4th vertex at origin
+        return (centers * vols[:, None]).sum(axis=0) / total
+
+    # -- topology ----------------------------------------------------------
+
+    def edge_face_map(self) -> Dict[Tuple[int, int], List[int]]:
+        """Map from undirected edge (lo, hi) to the list of incident faces."""
+        edge_map: Dict[Tuple[int, int], List[int]] = {}
+        for fi, (a, b, c) in enumerate(self.faces):
+            for u, v in ((a, b), (b, c), (c, a)):
+                key = (int(min(u, v)), int(max(u, v)))
+                edge_map.setdefault(key, []).append(fi)
+        return edge_map
+
+    def unique_edges(self) -> np.ndarray:
+        """(k, 2) array of undirected edges."""
+        if self.n_faces == 0:
+            return np.zeros((0, 2), dtype=np.int64)
+        e = np.vstack(
+            [self.faces[:, [0, 1]], self.faces[:, [1, 2]], self.faces[:, [2, 0]]]
+        )
+        e = np.sort(e, axis=1)
+        return np.unique(e, axis=0)
+
+    def boundary_edges(self) -> List[Tuple[int, int]]:
+        """Edges incident to exactly one face (holes / open seams)."""
+        return [e for e, faces in self.edge_face_map().items() if len(faces) == 1]
+
+    def nonmanifold_edges(self) -> List[Tuple[int, int]]:
+        """Edges incident to three or more faces."""
+        return [e for e, faces in self.edge_face_map().items() if len(faces) > 2]
+
+    @property
+    def is_watertight(self) -> bool:
+        """Every edge shared by exactly two faces (closed 2-manifold)."""
+        if self.n_faces == 0:
+            return False
+        return all(len(f) == 2 for f in self.edge_face_map().values())
+
+    @property
+    def euler_characteristic(self) -> int:
+        """V - E + F; equals 2 for a sphere-like closed surface."""
+        return self.n_vertices - len(self.unique_edges()) + self.n_faces
+
+    def connected_components(self) -> List[np.ndarray]:
+        """Face-index arrays of edge-connected components (bodies)."""
+        if self.n_faces == 0:
+            return []
+        parent = list(range(self.n_faces))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[rb] = ra
+
+        for faces in self.edge_face_map().values():
+            for other in faces[1:]:
+                union(faces[0], other)
+        groups: Dict[int, List[int]] = {}
+        for fi in range(self.n_faces):
+            groups.setdefault(find(fi), []).append(fi)
+        return [np.array(g, dtype=np.int64) for g in groups.values()]
+
+    def submesh(self, face_indices: np.ndarray) -> "TriangleMesh":
+        """A new mesh containing only the given faces (vertices compacted)."""
+        faces = self.faces[np.asarray(face_indices, dtype=np.int64)]
+        used = np.unique(faces)
+        remap = -np.ones(self.n_vertices, dtype=np.int64)
+        remap[used] = np.arange(len(used))
+        return TriangleMesh(self.vertices[used], remap[faces])
+
+    # -- transforms ----------------------------------------------------------
+
+    def transformed(self, transform: Transform) -> "TriangleMesh":
+        """A new mesh with transformed vertices.
+
+        Reflections (negative determinant) also flip face winding so that
+        outward orientation is preserved.
+        """
+        verts = transform.apply(self.vertices) if self.n_vertices else self.vertices
+        faces = self.faces
+        if np.linalg.det(transform.matrix) < 0:
+            faces = faces[:, ::-1]
+        return TriangleMesh(verts, faces.copy())
+
+    def translated(self, offset: np.ndarray) -> "TriangleMesh":
+        return TriangleMesh(self.vertices + np.asarray(offset, dtype=float), self.faces.copy())
+
+    def flipped(self) -> "TriangleMesh":
+        """A new mesh with all face windings (and hence normals) reversed."""
+        return TriangleMesh(self.vertices.copy(), self.faces[:, ::-1].copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TriangleMesh(vertices={self.n_vertices}, faces={self.n_faces})"

@@ -1,0 +1,55 @@
+"""ObfusCADe: CAD-model obfuscation against counterfeiting (the paper's core).
+
+The workflow mirrors Sec. 3 of the paper:
+
+1. A designer takes an original CAD model and *protects* it with an
+   :class:`Obfuscator` - embedding a spline split and/or an embedded
+   sphere whose defect behaviour depends on the process conditions.
+2. The protected model ships with a secret :class:`ManufacturingKey`
+   (STL resolution + print orientation + CAD operation recipe).
+3. A licensed manufacturer printing under the key obtains a
+   genuine-quality part; a counterfeiter printing the stolen file under
+   any other conditions obtains a part with visible and/or structural
+   defects (:mod:`repro.obfuscade.quality` quantifies that).
+4. Inspection of a physical part for the embedded-feature signature
+   identifies genuine units (:mod:`repro.obfuscade.verify`).
+5. :mod:`repro.obfuscade.attack` models the counterfeiter who searches
+   process settings blindly.
+"""
+
+from repro.obfuscade.key import ManufacturingKey
+from repro.obfuscade.obfuscator import Obfuscator, ProtectedModel
+from repro.obfuscade.quality import QualityGrade, QualityReport, assess_print
+from repro.obfuscade.verify import AuthenticationReport, PartAuthenticator
+from repro.obfuscade.attack import AttackResult, CounterfeiterSimulator
+from repro.obfuscade.repair_attack import (
+    RepairOutcome,
+    attempt_seam_repair,
+    sweep_repair_tolerances,
+)
+from repro.obfuscade.watermark import (
+    MicroCavityWatermarkFeature,
+    WatermarkReadout,
+    WatermarkSpec,
+    read_watermark,
+)
+
+__all__ = [
+    "AttackResult",
+    "MicroCavityWatermarkFeature",
+    "RepairOutcome",
+    "WatermarkReadout",
+    "WatermarkSpec",
+    "attempt_seam_repair",
+    "read_watermark",
+    "sweep_repair_tolerances",
+    "AuthenticationReport",
+    "CounterfeiterSimulator",
+    "ManufacturingKey",
+    "Obfuscator",
+    "PartAuthenticator",
+    "ProtectedModel",
+    "QualityGrade",
+    "QualityReport",
+    "assess_print",
+]

@@ -1,0 +1,96 @@
+"""Counterfeiter model: printing a stolen, obfuscated file blindly.
+
+The threat model of the paper: an adversary exfiltrates the CAD/STL file
+(IP theft) but not the manufacturing key.  The simulator enumerates the
+process-condition space the attacker would realistically search and
+grades every attempt, quantifying how well the obfuscation resists a
+settings grid search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cad.resolution import COARSE, FINE, StlResolution, custom_resolution
+from repro.obfuscade.obfuscator import ProtectedModel
+from repro.obfuscade.quality import QualityGrade, QualityReport, assess_print
+from repro.printer.job import PrintJob
+from repro.printer.orientation import PrintOrientation
+
+
+@dataclass(frozen=True)
+class AttackAttempt:
+    """One counterfeit print attempt and its graded quality."""
+
+    resolution: str
+    orientation: str
+    report: QualityReport
+    matches_key: bool
+
+
+@dataclass
+class AttackResult:
+    """Outcome of a full settings grid search."""
+
+    attempts: List[AttackAttempt] = field(default_factory=list)
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def successful(self) -> List[AttackAttempt]:
+        """Attempts that produced a genuine-grade counterfeit."""
+        return [a for a in self.attempts if a.report.grade is QualityGrade.GENUINE]
+
+    @property
+    def success_rate(self) -> float:
+        return len(self.successful) / self.n_attempts if self.attempts else 0.0
+
+    @property
+    def best_quality(self) -> float:
+        return max((a.report.score for a in self.attempts), default=0.0)
+
+    @property
+    def key_only_success(self) -> bool:
+        """True when every genuine-grade attempt used the secret key -
+        the paper's headline property."""
+        return all(a.matches_key for a in self.successful)
+
+    def summary_rows(self) -> List[Tuple[str, str, str, float, bool]]:
+        return [
+            (a.resolution, a.orientation, a.report.grade.value, a.report.score, a.matches_key)
+            for a in self.attempts
+        ]
+
+
+class CounterfeiterSimulator:
+    """Grid-searches process settings against a stolen protected model."""
+
+    def __init__(
+        self,
+        job: Optional[PrintJob] = None,
+        resolutions: Optional[Sequence[StlResolution]] = None,
+        orientations: Optional[Sequence[PrintOrientation]] = None,
+    ):
+        self.job = job or PrintJob()
+        self.resolutions = list(resolutions or (COARSE, FINE, custom_resolution()))
+        self.orientations = list(orientations or (PrintOrientation.XY, PrintOrientation.XZ))
+
+    def attack(self, protected: ProtectedModel) -> AttackResult:
+        """Print the stolen model under every setting combination."""
+        result = AttackResult()
+        for resolution in self.resolutions:
+            for orientation in self.orientations:
+                outcome = self.job.print_model(protected.model, resolution, orientation)
+                report = assess_print(outcome)
+                result.attempts.append(
+                    AttackAttempt(
+                        resolution=resolution.name,
+                        orientation=orientation.value,
+                        report=report,
+                        matches_key=protected.key.matches(resolution, orientation),
+                    )
+                )
+        return result

@@ -1,0 +1,81 @@
+"""Manufacturing keys: the secret process conditions of a protected model.
+
+The "key" of ObfusCADe is not a cryptographic string but a recipe: the
+unique set of processing settings and conditions under which the part
+manufactures correctly (paper abstract).  For the spline-split feature
+that is the STL export resolution and the print orientation; for the
+embedded-sphere feature it additionally includes the CAD operation
+order (material removal before embedding a *solid* sphere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.cad.resolution import StlResolution
+from repro.printer.orientation import PrintOrientation
+
+
+@dataclass(frozen=True)
+class ManufacturingKey:
+    """The process conditions a licensed manufacturer must use.
+
+    Attributes
+    ----------
+    resolutions:
+        STL export settings that produce a genuine part.  Several
+        settings can be key-equivalent (the paper's Fine and Custom
+        both print the spline bar cleanly in x-y).
+    orientation:
+        The required print orientation.
+    cad_recipe:
+        Free-form ordered CAD operation identifiers the file must be
+        regenerated with, for features keyed on CAD operation order
+        (e.g. ``("remove_material", "embed_solid_sphere")``).
+    """
+
+    resolutions: FrozenSet[str]
+    orientation: PrintOrientation
+    cad_recipe: Tuple[str, ...] = field(default=())
+
+    @staticmethod
+    def of(
+        resolutions,
+        orientation: PrintOrientation,
+        cad_recipe: Tuple[str, ...] = (),
+    ) -> "ManufacturingKey":
+        """Build a key from resolution objects/names and an orientation."""
+        names = frozenset(
+            r.name if isinstance(r, StlResolution) else str(r) for r in resolutions
+        )
+        if not names:
+            raise ValueError("a key needs at least one permitted resolution")
+        return ManufacturingKey(
+            resolutions=names, orientation=orientation, cad_recipe=tuple(cad_recipe)
+        )
+
+    def matches(
+        self,
+        resolution,
+        orientation: PrintOrientation,
+        cad_recipe: Optional[Tuple[str, ...]] = None,
+    ) -> bool:
+        """Whether the given process conditions satisfy the key."""
+        name = resolution.name if isinstance(resolution, StlResolution) else str(resolution)
+        if name not in self.resolutions:
+            return False
+        if orientation is not self.orientation:
+            return False
+        if self.cad_recipe and tuple(cad_recipe or ()) != self.cad_recipe:
+            return False
+        return True
+
+    def describe(self) -> str:
+        parts = [
+            f"STL resolution in {{{', '.join(sorted(self.resolutions))}}}",
+            f"print orientation {self.orientation.value}",
+        ]
+        if self.cad_recipe:
+            parts.append("CAD recipe " + " -> ".join(self.cad_recipe))
+        return "; ".join(parts)

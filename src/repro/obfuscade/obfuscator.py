@@ -1,0 +1,188 @@
+"""The Obfuscator: embed protection features into CAD models.
+
+This is the designer-side API of ObfusCADe.  Both of the paper's
+feature families are offered, plus a combined mode.  The analogy the
+paper draws is IC logic locking: extra design features (instead of
+extra gates) lock correct manufacturing behind a secret key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cad.features import (
+    BaseExtrudeFeature,
+    BasePrismFeature,
+    EmbeddedSphereFeature,
+    SphereStyle,
+    SplineSplitFeature,
+)
+from repro.cad.model import CadModel
+from repro.cad.resolution import FINE, custom_resolution
+from repro.cad.tensile_bar import TensileBarSpec, default_split_spline, tensile_bar_profile
+from repro.geometry.spline import CubicSpline2
+from repro.obfuscade.key import ManufacturingKey
+from repro.printer.orientation import PrintOrientation
+
+
+@dataclass(frozen=True)
+class ProtectedModel:
+    """An obfuscated model together with its manufacturing key."""
+
+    model: CadModel
+    key: ManufacturingKey
+    feature_names: Sequence[str]
+
+    def describe(self) -> str:
+        return (
+            f"model {self.model.name!r} protected by "
+            f"{', '.join(self.feature_names)}; key: {self.key.describe()}"
+        )
+
+
+class Obfuscator:
+    """Embeds ObfusCADe protection features into parts.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the generation of randomized split splines, so two
+        protected releases of the same part carry different (but
+        equally well-hidden) features.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = np.random.default_rng(seed)
+
+    # -- spline split (paper Sec. 3.1) -------------------------------------
+
+    def protect_tensile_bar(
+        self,
+        spec: TensileBarSpec = TensileBarSpec(),
+        spline: Optional[CubicSpline2] = None,
+        randomize: bool = False,
+        name: str = "protected-bar",
+    ) -> ProtectedModel:
+        """Protect a dogbone with a spline split through its gauge.
+
+        The key is x-y orientation with Fine-or-better STL export: under
+        it the zero-width split fuses invisibly; under a coarse export
+        or an x-z orientation the part prints with a discontinuity and
+        fails prematurely (Table 2).
+        """
+        if spline is None:
+            spline = self.random_split_spline(spec) if randomize else default_split_spline(spec)
+        model = CadModel(
+            name,
+            [
+                BaseExtrudeFeature(tensile_bar_profile(spec), spec.thickness),
+                SplineSplitFeature(spline),
+            ],
+        )
+        key = ManufacturingKey.of(
+            (FINE, custom_resolution()), PrintOrientation.XY
+        )
+        return ProtectedModel(model=model, key=key, feature_names=("spline split",))
+
+    def protect_profile(
+        self,
+        profile,
+        thickness: float,
+        spline: CubicSpline2,
+        name: str = "protected-part",
+    ) -> ProtectedModel:
+        """Protect an arbitrary extruded part with a given split spline."""
+        model = CadModel(
+            name,
+            [BaseExtrudeFeature(profile, thickness), SplineSplitFeature(spline)],
+        )
+        key = ManufacturingKey.of((FINE, custom_resolution()), PrintOrientation.XY)
+        return ProtectedModel(model=model, key=key, feature_names=("spline split",))
+
+    def random_split_spline(self, spec: TensileBarSpec) -> CubicSpline2:
+        """A randomized S-curve across the gauge (still ~3.5x its width)."""
+        yg = spec.gauge_width / 2.0
+        half_span = float(self._rng.uniform(0.50, 0.62)) * spec.gauge_length / 2.0
+        amp = float(self._rng.uniform(0.08, 0.16)) * spec.gauge_width
+        sign = 1.0 if self._rng.random() < 0.5 else -1.0
+        control = np.array(
+            [
+                [-half_span, -yg],
+                [-0.5 * half_span, -sign * amp],
+                [0.0, sign * amp],
+                [0.5 * half_span, -sign * amp],
+                [half_span, yg],
+            ]
+        )
+        return CubicSpline2(control)
+
+    # -- embedded sphere (paper Sec. 3.2) -----------------------------------
+
+    def protect_prism(
+        self,
+        size: Sequence[float] = (25.4, 12.7, 12.7),
+        sphere_radius: float = 3.175,
+        sphere_center: Optional[Sequence[float]] = None,
+        name: str = "protected-prism",
+    ) -> ProtectedModel:
+        """Protect a prism with an embedded sphere keyed on CAD operations.
+
+        Only the recipe "remove material, then embed a *solid* sphere"
+        produces a fully dense part; every other recipe (no removal, or
+        a surface sphere) leaves a washable support-material void at
+        the sphere (Table 3) that ruins structural use.
+        """
+        center = tuple(sphere_center) if sphere_center is not None else (0.0, 0.0, 0.0)
+        model = CadModel(
+            name,
+            [
+                BasePrismFeature(size),
+                EmbeddedSphereFeature(
+                    center, sphere_radius, SphereStyle.SOLID, material_removal=True
+                ),
+            ],
+        )
+        key = ManufacturingKey.of(
+            ("Coarse", "Fine", "Custom"),
+            PrintOrientation.XY,
+            cad_recipe=("remove_material", "embed_solid_sphere"),
+        )
+        return ProtectedModel(
+            model=model, key=key, feature_names=("embedded sphere",)
+        )
+
+    @staticmethod
+    def sphere_variant(
+        style: SphereStyle,
+        material_removal: bool,
+        size: Sequence[float] = (25.4, 12.7, 12.7),
+        sphere_radius: float = 3.175,
+    ) -> CadModel:
+        """One of the paper's four embedded-sphere test models (Table 3)."""
+        removal = "removal" if material_removal else "noremoval"
+        return CadModel(
+            f"prism-{style.value}-{removal}",
+            [
+                BasePrismFeature(size),
+                EmbeddedSphereFeature(
+                    (0.0, 0.0, 0.0), sphere_radius, style, material_removal
+                ),
+            ],
+        )
+
+
+def feature_names(model: CadModel) -> List[str]:
+    """Human-readable protection feature list of a model."""
+    names: List[str] = []
+    for f in model.features:
+        if isinstance(f, SplineSplitFeature):
+            names.append("spline split")
+        elif isinstance(f, EmbeddedSphereFeature):
+            names.append(
+                f"embedded {f.style.value} sphere"
+                + (" (with material removal)" if f.material_removal else "")
+            )
+    return names

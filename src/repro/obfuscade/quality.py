@@ -1,0 +1,129 @@
+"""Print quality assessment: genuine-grade vs defective.
+
+Quantifies the paper's claim that, away from the key conditions, "the
+printed artifact suffers from poor quality, premature failures and/or
+malfunctions".  A print is scored on three axes - cosmetic (visible
+seam/disruption), structural (toughness and ductility retention against
+the intact reference), and completeness (voids / wrong material in
+feature regions) - and graded.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.mechanics.material import ABS_FDM, MaterialModel
+from repro.mechanics.specimen import specimen_from_print
+from repro.mechanics.tensile import TensileTestRig
+
+
+class QualityGrade(enum.Enum):
+    """Verdict on one printed part."""
+
+    GENUINE = "genuine-grade"
+    COSMETIC_DEFECT = "cosmetic-defect"
+    STRUCTURAL_DEFECT = "structural-defect"
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Scored print quality.
+
+    ``toughness_retention`` and ``ductility_retention`` compare against
+    the intact material in the same orientation (1.0 = full quality).
+    """
+
+    grade: QualityGrade
+    visible_seam: bool
+    surface_disruption_mm2: float
+    void_volume_mm3: float
+    toughness_retention: float
+    ductility_retention: float
+    strength_retention: float
+
+    @property
+    def score(self) -> float:
+        """Scalar quality in [0, 1]: min of the retention axes, zeroed
+        by visible defects' severity."""
+        structural = min(
+            self.toughness_retention, self.ductility_retention, self.strength_retention
+        )
+        cosmetic = 0.75 if self.visible_seam else 1.0
+        return float(np.clip(structural * cosmetic, 0.0, 1.0))
+
+
+#: Retention thresholds for grading.
+_STRUCTURAL_THRESHOLD = 0.80
+_COSMETIC_DISRUPTION_MM2 = 0.5
+
+
+def assess_print(
+    outcome,
+    material: MaterialModel = ABS_FDM,
+    rig: Optional[TensileTestRig] = None,
+) -> QualityReport:
+    """Grade one :class:`~repro.printer.job.PrintOutcome`.
+
+    Structural retention is evaluated deterministically (no rig noise)
+    unless a rig is supplied, in which case a single virtual coupon is
+    pulled - matching how a counterfeiter would spot-check parts.
+    """
+    specimen = specimen_from_print(outcome, material)
+    props = specimen.properties
+
+    if rig is None:
+        e = specimen.effective_young_modulus_gpa
+        uts = specimen.effective_uts_mpa
+        eps = specimen.effective_failure_strain
+        from repro.mechanics.constitutive import build_curve
+
+        tough = build_curve(props, e, uts, eps).toughness_kj_m3
+        tough_ref = build_curve(props).toughness_kj_m3
+    else:
+        result = rig.test(specimen)
+        e, uts, eps, tough = (
+            result.young_modulus_gpa,
+            result.uts_mpa,
+            result.failure_strain,
+            result.toughness_kj_m3,
+        )
+        from repro.mechanics.constitutive import build_curve
+
+        tough_ref = build_curve(props).toughness_kj_m3
+
+    artifact = outcome.artifact
+    visible = artifact.has_visible_seam
+    disruption = artifact.surface_disruption_area_mm2
+    voids = artifact.void_volume_mm3
+
+    ductility_retention = float(np.clip(eps / props.failure_strain, 0.0, 1.5))
+    strength_retention = float(np.clip(uts / props.uts_mpa, 0.0, 1.5))
+    toughness_retention = float(np.clip(tough / max(tough_ref, 1e-9), 0.0, 1.5))
+
+    structural_ok = (
+        toughness_retention >= _STRUCTURAL_THRESHOLD
+        and ductility_retention >= _STRUCTURAL_THRESHOLD
+        and strength_retention >= _STRUCTURAL_THRESHOLD
+    )
+    cosmetic_ok = not visible and disruption < _COSMETIC_DISRUPTION_MM2
+
+    if structural_ok and cosmetic_ok:
+        grade = QualityGrade.GENUINE
+    elif structural_ok:
+        grade = QualityGrade.COSMETIC_DEFECT
+    else:
+        grade = QualityGrade.STRUCTURAL_DEFECT
+
+    return QualityReport(
+        grade=grade,
+        visible_seam=visible,
+        surface_disruption_mm2=disruption,
+        void_volume_mm3=voids,
+        toughness_retention=min(toughness_retention, 1.0),
+        ductility_retention=min(ductility_retention, 1.0),
+        strength_retention=min(strength_retention, 1.0),
+    )

@@ -1,0 +1,151 @@
+"""The repair attack: can a counterfeiter weld the protection away?
+
+A counterfeiter who *suspects* an ObfusCADe split could run mesh
+repair on the stolen STL, welding vertices across the tessellation gap
+so the two bodies fuse into one.  This module quantifies that attack.
+
+The result (see the repair-attack bench) is that STL-level vertex
+welding fails outright: the two walls tessellate the same surface with
+*different triangle structures*, so merging nearby vertices never makes
+the triangles coincide and cancel - the internal wall survives as
+geometry that still slices as a boundary.  Worse for the attacker,
+welding the junction lines fuses the two bodies' edges into
+non-manifold geometry that the STL-stage review (Table 1) flags, and
+aggressive tolerances additionally collapse any legitimate feature of
+comparable size.  Removing the feature cleanly requires reconstructing
+the B-rep - the "reconstruction of CAD model" attack the paper cites as
+its own, much harder, problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.mesh.repair import merge_duplicate_faces, weld_vertices
+from repro.mesh.trimesh import TriangleMesh
+from repro.slicer.coincident import resolve_coincident_faces
+from repro.slicer.seams import analyze_split_seam
+from repro.slicer.settings import SlicerSettings
+from repro.supplychain.attacks import detect_tampering
+
+
+@dataclass
+class RepairOutcome:
+    """What a weld-repair attempt did to the stolen model."""
+
+    weld_tolerance_mm: float
+    seam_removed: bool
+    residual_gap_mm: float
+    volume_change_pct: float
+    fine_feature_damage: bool
+    detected_by_review: bool
+    review_findings: List[str]
+
+    @property
+    def attack_succeeded(self) -> bool:
+        """The counterfeiter wins only if the seam is gone AND the part
+        survives undamaged AND the downstream review stays quiet."""
+        return (
+            self.seam_removed
+            and not self.fine_feature_damage
+            and not self.detected_by_review
+        )
+
+
+def attempt_seam_repair(
+    body_a: TriangleMesh,
+    body_b: TriangleMesh,
+    weld_tolerance_mm: float,
+    reference: Optional[TriangleMesh] = None,
+    fine_feature_mm: Optional[float] = None,
+    settings: Optional[SlicerSettings] = None,
+) -> RepairOutcome:
+    """Weld the two split bodies and measure what happened.
+
+    Parameters
+    ----------
+    body_a, body_b:
+        The split bodies from the stolen export (model coordinates).
+    weld_tolerance_mm:
+        The mesh-repair weld radius the attacker chooses.
+    reference:
+        The released STL (merged bodies) the downstream review compares
+        against; defaults to the merge of the inputs.
+    fine_feature_mm:
+        Size of the smallest legitimate feature on the part.  Welding
+        at a tolerance at or above roughly half this size collapses the
+        feature (vertices across it merge) - the collateral-damage
+        model.
+    """
+    settings = settings or SlicerSettings()
+    merged = TriangleMesh.merged([body_a, body_b])
+    reference = reference if reference is not None else merged
+
+    welded = weld_vertices(merged, tol=weld_tolerance_mm)
+    welded = merge_duplicate_faces(welded)
+    resolved = resolve_coincident_faces(welded)
+
+    # Has the internal wall disappeared?  Only if welding made the two
+    # walls' triangles coincide so coincident-face resolution cancelled
+    # them - which requires identical tessellation structure, not just
+    # nearby vertices.
+    seam_removed = _interior_wall_gone(resolved, body_a, body_b)
+    if seam_removed:
+        residual = 0.0
+    else:
+        residual = analyze_split_seam(body_a, body_b, settings).mismatch_3d_max_mm
+
+    volume_change = (
+        abs(resolved.volume - reference.volume) / abs(reference.volume) * 100.0
+        if abs(reference.volume) > 1e-9
+        else 0.0
+    )
+    fine_damage = (
+        fine_feature_mm is not None
+        and weld_tolerance_mm >= 0.5 * fine_feature_mm
+    )
+    review = detect_tampering(resolved, reference=reference)
+
+    return RepairOutcome(
+        weld_tolerance_mm=weld_tolerance_mm,
+        seam_removed=seam_removed,
+        residual_gap_mm=residual,
+        volume_change_pct=volume_change,
+        fine_feature_damage=bool(fine_damage),
+        detected_by_review=review.tampered,
+        review_findings=review.findings,
+    )
+
+
+def sweep_repair_tolerances(
+    body_a: TriangleMesh,
+    body_b: TriangleMesh,
+    tolerances_mm,
+    fine_feature_mm: Optional[float] = None,
+) -> List[RepairOutcome]:
+    """Run :func:`attempt_seam_repair` across a tolerance sweep."""
+    return [
+        attempt_seam_repair(
+            body_a, body_b, tol, fine_feature_mm=fine_feature_mm
+        )
+        for tol in tolerances_mm
+    ]
+
+
+def _interior_wall_gone(
+    resolved: TriangleMesh, body_a: TriangleMesh, body_b: TriangleMesh
+) -> bool:
+    """Whether the split wall survived coincident-face resolution.
+
+    After a successful weld, the two walls become coincident
+    opposite pairs and cancel; face count then drops below the sum of
+    the bodies' faces by at least the wall area's worth of triangles.
+    """
+    from repro.slicer.seams import wall_faces
+
+    wall = wall_faces(body_a, body_b, band=0.6)
+    if len(wall) == 0:
+        return True
+    total_before = body_a.n_faces + body_b.n_faces
+    return resolved.n_faces <= total_before - len(wall)

@@ -1,0 +1,37 @@
+"""Virtual AM printers: firmware, deposition simulation, printed artifacts.
+
+This package replaces the paper's physical Stratasys machines (a
+Dimension Elite FDM printer and an Objet30 Pro PolyJet printer) with a
+voxel deposition simulator driven by the same G-code/slice data a real
+machine would receive.  DESIGN.md records the substitution.
+"""
+
+from repro.printer.machines import (
+    DIMENSION_ELITE,
+    OBJET30_PRO,
+    MachineProfile,
+    Material,
+)
+from repro.printer.orientation import PrintOrientation
+from repro.printer.firmware import FirmwareResult, PrinterFirmware
+from repro.printer.artifact import PrintedArtifact, VoxelMaterial
+from repro.printer.deposition import DepositionSimulator
+from repro.printer.job import PrintJob, PrintOutcome
+from repro.printer.inspection import CtScanner, CtScanResult
+
+__all__ = [
+    "CtScanResult",
+    "CtScanner",
+    "DIMENSION_ELITE",
+    "DepositionSimulator",
+    "FirmwareResult",
+    "MachineProfile",
+    "Material",
+    "OBJET30_PRO",
+    "PrintJob",
+    "PrintOrientation",
+    "PrintOutcome",
+    "PrintedArtifact",
+    "PrinterFirmware",
+    "VoxelMaterial",
+]

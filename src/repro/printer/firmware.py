@@ -1,0 +1,114 @@
+"""Printer firmware simulator: parse, validate and "execute" G-code.
+
+This is the cloud-aware firmware box of the paper's Fig. 1 process
+chain.  It enforces the electromechanical protections Table 1 lists for
+the printer stage - actuator limit switches that prevent malicious
+coordinates from damaging the machine, and feedrate clamping - and
+reports exactly what it executed so a verification stage can compare
+tool paths (paper ref. [20]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.printer.machines import MachineProfile
+from repro.slicer.gcode import GCodeMove, GCodeProgram, parse_gcode
+
+
+@dataclass
+class FirmwareResult:
+    """Outcome of running one program through the firmware."""
+
+    executed_moves: int
+    rejected_moves: int
+    limit_violations: List[str] = field(default_factory=list)
+    feedrate_clamps: int = 0
+    total_extrusion_e: float = 0.0
+    build_time_s: float = 0.0
+
+    @property
+    def completed(self) -> bool:
+        """A job aborts when any limit switch trips."""
+        return not self.limit_violations
+
+
+class PrinterFirmware:
+    """G-code interpreter with actuator limit switches.
+
+    Parameters
+    ----------
+    machine:
+        The machine profile whose build volume and feedrate limits the
+        firmware enforces.
+    abort_on_violation:
+        When True (default, matching real firmware), the first limit
+        violation aborts the job; remaining moves are counted rejected.
+    """
+
+    def __init__(self, machine: MachineProfile, abort_on_violation: bool = True):
+        self.machine = machine
+        self.abort_on_violation = abort_on_violation
+
+    def run(self, program: GCodeProgram) -> FirmwareResult:
+        """Execute a program, enforcing limits; returns the result."""
+        moves = parse_gcode(program)
+        return self.run_moves(moves)
+
+    def run_moves(self, moves: List[GCodeMove]) -> FirmwareResult:
+        vol = self.machine.build_volume_mm
+        max_f = self.machine.max_feedrate_mm_min
+        x = y = z = 0.0
+        e_prev = 0.0
+        executed = 0
+        rejected = 0
+        clamps = 0
+        violations: List[str] = []
+        time_s = 0.0
+        aborted = False
+        for m in moves:
+            if aborted:
+                rejected += 1
+                continue
+            nx = m.x if m.x is not None else x
+            ny = m.y if m.y is not None else y
+            nz = m.z if m.z is not None else z
+            violation = self._check_limits(nx, ny, nz, vol)
+            if violation:
+                violations.append(violation)
+                rejected += 1
+                if self.abort_on_violation:
+                    aborted = True
+                continue
+            feed = m.feedrate if m.feedrate else max_f
+            if feed > max_f:
+                feed = max_f
+                clamps += 1
+            dist = float(np.sqrt((nx - x) ** 2 + (ny - y) ** 2 + (nz - z) ** 2))
+            time_s += dist / max(feed / 60.0, 1e-9)
+            if m.e is not None:
+                e_prev = max(e_prev, m.e)
+            x, y, z = nx, ny, nz
+            executed += 1
+        return FirmwareResult(
+            executed_moves=executed,
+            rejected_moves=rejected,
+            limit_violations=violations,
+            feedrate_clamps=clamps,
+            total_extrusion_e=e_prev,
+            build_time_s=time_s,
+        )
+
+    @staticmethod
+    def _check_limits(x: float, y: float, z: float, vol) -> Optional[str]:
+        margin = 1e-6
+        if not (-margin <= x <= vol[0] + margin):
+            return f"X limit switch: {x:.3f} outside [0, {vol[0]}]"
+        if not (-margin <= y <= vol[1] + margin):
+            return f"Y limit switch: {y:.3f} outside [0, {vol[1]}]"
+        if not (-margin <= z <= vol[2] + margin):
+            return f"Z limit switch: {z:.3f} outside [0, {vol[2]}]"
+        return None

@@ -1,0 +1,124 @@
+"""Non-destructive inspection: the Testing stage of the process chain.
+
+Table 1's Testing row is about *resolution*: the risks are "detection
+granularity versus test time trade-off" and "low CT/ultrasonic
+equipment resolution"; the mitigations are high-resolution scans on
+random samples, over different angles.  This module implements that
+virtual CT station: it re-samples the printed artifact's voxel volume
+at the scanner's resolution, so defects smaller than a voxel genuinely
+disappear, and scan time scales inversely with the cube of the
+resolution - the exact trade-off the paper names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+from scipy import ndimage
+
+from repro.printer.artifact import PrintedArtifact
+
+
+@dataclass(frozen=True)
+class CtScanner:
+    """A computed-tomography inspection station.
+
+    Attributes
+    ----------
+    resolution_mm:
+        Edge length of the scanner's reconstruction voxel.  Features
+        smaller than this are averaged away.
+    base_time_s_per_cm3:
+        Scan time at 1 mm resolution; time scales with (1/res)^3.
+    detection_threshold:
+        Minimum fraction of a scanner voxel that must be non-model for
+        the voxel to register as an indication.
+    """
+
+    resolution_mm: float = 0.5
+    base_time_s_per_cm3: float = 30.0
+    detection_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.resolution_mm <= 0:
+            raise ValueError("scanner resolution must be positive")
+        if not 0.0 < self.detection_threshold < 1.0:
+            raise ValueError("detection threshold must be in (0, 1)")
+
+    def scan_time_s(self, artifact: PrintedArtifact) -> float:
+        """Scan duration: volume at this resolution's voxel rate."""
+        volume_cm3 = artifact.model_volume_mm3 / 1000.0
+        return float(
+            self.base_time_s_per_cm3 * volume_cm3 / self.resolution_mm ** 3
+        )
+
+    def scan(self, artifact: PrintedArtifact) -> "CtScanResult":
+        """Scan the artifact and report internal indications.
+
+        The artifact's (model | support | void) volume is block-averaged
+        down to the scanner resolution; interior voxels that are not
+        sufficiently dense register as indications (voids, inclusions,
+        seams wide enough to resolve).
+        """
+        density = artifact.model.astype(float)
+        interior_mask = ndimage.binary_fill_holes(
+            artifact.model | artifact.support | artifact.voids
+        )
+        fx = max(int(round(self.resolution_mm / artifact.cell_mm)), 1)
+        fz = max(int(round(self.resolution_mm / artifact.layer_height_mm)), 1)
+        coarse_density = _block_mean(density, (fz, fx, fx))
+        coarse_interior = _block_mean(interior_mask.astype(float), (fz, fx, fx))
+
+        indications = (coarse_density < (1.0 - self.detection_threshold)) & (
+            coarse_interior > 0.99
+        )
+        labels, n_indications = ndimage.label(indications)
+        voxel_mm3 = (
+            (artifact.cell_mm * fx) ** 2 * (artifact.layer_height_mm * fz)
+        )
+        sizes = ndimage.sum(indications, labels, range(1, n_indications + 1))
+        return CtScanResult(
+            resolution_mm=self.resolution_mm,
+            scan_time_s=self.scan_time_s(artifact),
+            n_indications=int(n_indications),
+            indication_volumes_mm3=[float(s) * voxel_mm3 for s in sizes],
+        )
+
+
+@dataclass
+class CtScanResult:
+    """Indications found by one scan."""
+
+    resolution_mm: float
+    scan_time_s: float
+    n_indications: int
+    indication_volumes_mm3: List[float] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.n_indications == 0
+
+    @property
+    def total_indication_volume_mm3(self) -> float:
+        return float(sum(self.indication_volumes_mm3))
+
+
+def _block_mean(volume: np.ndarray, factors) -> np.ndarray:
+    """Downsample a 3D array by block averaging (padding partial blocks)."""
+    fz, fy, fx = factors
+    nz, ny, nx = volume.shape
+    pz = (-nz) % fz
+    py = (-ny) % fy
+    px = (-nx) % fx
+    padded = np.pad(volume, ((0, pz), (0, py), (0, px)), mode="constant")
+    shape = (
+        padded.shape[0] // fz,
+        fz,
+        padded.shape[1] // fy,
+        fy,
+        padded.shape[2] // fx,
+        fx,
+    )
+    return padded.reshape(shape).mean(axis=(1, 3, 5))

@@ -1,0 +1,82 @@
+"""Machine and material profiles of the two printers used in the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Material:
+    """A build or support material.
+
+    Densities are used for the weight/density integrity check the paper
+    lists among 3D-printer-stage mitigations (Table 1).
+    """
+
+    name: str
+    density_g_cm3: float
+    soluble: bool = False
+
+    def __post_init__(self) -> None:
+        if self.density_g_cm3 <= 0:
+            raise ValueError("density must be positive")
+
+
+#: Stratasys ABS model material (FDM).
+ABS = Material(name="ABS", density_g_cm3=1.04)
+#: SR-10 / P400SR soluble support (acrylic copolymer).
+SR10_SUPPORT = Material(name="SR-10", density_g_cm3=1.18, soluble=True)
+#: Objet VeroClear rigid photopolymer.
+VEROCLEAR = Material(name="VeroClear", density_g_cm3=1.18)
+#: Objet SUP705 gel-like soluble support.
+SUP705_SUPPORT = Material(name="SUP705", density_g_cm3=1.13, soluble=True)
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """One printer: kinematic limits, resolution, and loaded materials."""
+
+    name: str
+    technology: str  # "FDM" or "PolyJet"
+    layer_height_mm: float
+    bead_width_mm: float
+    build_volume_mm: Tuple[float, float, float]
+    model_material: Material
+    support_material: Material
+    max_feedrate_mm_min: float = 12000.0
+
+    def __post_init__(self) -> None:
+        if self.layer_height_mm <= 0 or self.bead_width_mm <= 0:
+            raise ValueError("layer height and bead width must be positive")
+        if any(v <= 0 for v in self.build_volume_mm):
+            raise ValueError("build volume must be positive")
+
+    def fits(self, size_mm) -> bool:
+        """Whether a part of the given (x, y, z) size fits the build volume."""
+        return all(float(s) <= v + 1e-9 for s, v in zip(size_mm, self.build_volume_mm))
+
+
+#: The paper's FDM machine: Stratasys Dimension Elite, 178 um layers,
+#: ABS model material with soluble SR-10 support.
+DIMENSION_ELITE = MachineProfile(
+    name="Stratasys Dimension Elite",
+    technology="FDM",
+    layer_height_mm=0.1778,
+    bead_width_mm=0.5,
+    build_volume_mm=(203.0, 203.0, 305.0),
+    model_material=ABS,
+    support_material=SR10_SUPPORT,
+)
+
+#: The paper's material-jetting machine: Stratasys Objet30 Pro, minimum
+#: 16 um layers, VeroClear photopolymer.
+OBJET30_PRO = MachineProfile(
+    name="Stratasys Objet30 Pro",
+    technology="PolyJet",
+    layer_height_mm=0.016,
+    bead_width_mm=0.085,
+    build_volume_mm=(294.0, 192.0, 148.6),
+    model_material=VEROCLEAR,
+    support_material=SUP705_SUPPORT,
+)

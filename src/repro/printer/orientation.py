@@ -1,0 +1,55 @@
+"""Print orientations (paper Fig. 6).
+
+The paper defines two orientations for the tensile bar:
+
+* **x-y** - the specimen lies flat: its largest face is on the build
+  plate and the 3.2 mm thickness is built up in z;
+* **x-z** - the specimen stands on its long narrow edge: the 19 mm
+  width is built up in z (rotation of 90 degrees about the bar's long
+  axis).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.geometry.transform import Transform
+from repro.mesh.trimesh import TriangleMesh
+
+
+class PrintOrientation(enum.Enum):
+    """Named build orientations used throughout the paper."""
+
+    XY = "x-y"
+    XZ = "x-z"
+
+    @property
+    def transform(self) -> Transform:
+        """Model-to-machine rotation for this orientation."""
+        if self is PrintOrientation.XY:
+            return Transform.identity()
+        return Transform.rotation_x(np.pi / 2.0)
+
+
+def place_on_plate(meshes, orientation: PrintOrientation):
+    """Orient one or more meshes and translate them jointly onto z = 0.
+
+    All meshes receive the *same* translation so their relative
+    positions (e.g. the two bodies of a split part) are preserved.
+    Returns a list of transformed meshes in input order.
+    """
+    items = list(meshes)
+    if not items:
+        return []
+    rotated = [m.transformed(orientation.transform) for m in items]
+    lo = rotated[0].bounds.lo
+    for m in rotated[1:]:
+        lo = np.minimum(lo, m.bounds.lo)
+    return [m.translated(-lo) for m in rotated]
+
+
+def oriented_size(mesh: TriangleMesh, orientation: PrintOrientation) -> np.ndarray:
+    """Bounding-box size of a mesh in build orientation (x, y, z)."""
+    return mesh.transformed(orientation.transform).bounds.size

@@ -1,0 +1,49 @@
+"""Slicing substrate: STL -> layers -> 2D tool paths -> G-code.
+
+Mirrors the CatalystEX step of the paper's process chain (Fig. 1): the
+same slicing properties are used throughout the paper's experiments -
+0.1778 mm layer resolution, solid model interior, smart support fill,
+STL units of millimetres - and those are the defaults of
+:class:`~repro.slicer.settings.SlicerSettings`.
+"""
+
+from repro.slicer.settings import SlicerSettings
+from repro.slicer.slicer import Layer, SliceResult, slice_mesh
+from repro.slicer.coincident import resolve_coincident_faces
+from repro.slicer.seams import SeamReport, analyze_split_seam
+from repro.slicer.toolpath import Path, PathRole, ToolpathLayer, generate_toolpaths
+from repro.slicer.support import support_columns
+from repro.slicer.gcode import GCodeProgram, generate_gcode, parse_gcode
+from repro.slicer.preview import LayerPreview, preview_layer
+from repro.slicer.reverse import (
+    GcodeValidator,
+    ReconstructedLayer,
+    ValidationReport,
+    reconstruct_layers,
+    reconstruction_fidelity,
+)
+
+__all__ = [
+    "GCodeProgram",
+    "GcodeValidator",
+    "ReconstructedLayer",
+    "ValidationReport",
+    "reconstruct_layers",
+    "reconstruction_fidelity",
+    "Layer",
+    "LayerPreview",
+    "Path",
+    "PathRole",
+    "SeamReport",
+    "SliceResult",
+    "SlicerSettings",
+    "ToolpathLayer",
+    "analyze_split_seam",
+    "generate_gcode",
+    "generate_toolpaths",
+    "parse_gcode",
+    "preview_layer",
+    "resolve_coincident_faces",
+    "slice_mesh",
+    "support_columns",
+]

@@ -1,0 +1,81 @@
+"""Coincident-face resolution: the slicer's pre-pass over raw STL.
+
+Multibody STL exports can contain *coincident* triangles - identical
+vertex triples contributed by two different bodies.  A real slicer must
+resolve them before region classification, and the resolution rule is
+what makes the paper's Table 3 come out the way it does:
+
+* a coincident pair with **opposite** orientation is an interior
+  interface between two solids (e.g. a cavity wall annihilated by the
+  solid sphere embedded into it) - both triangles are removed;
+* coincident triangles with the **same** orientation are duplicated
+  boundary (e.g. a surface sphere pasted onto a cavity wall) - they
+  deduplicate to a single boundary triangle.
+
+After this pass, even-odd classification of the remaining surfaces
+decides model vs empty space for every point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.mesh.trimesh import TriangleMesh
+
+#: Vertex quantisation for coincidence detection, mm.
+_COINCIDENCE_TOL = 1e-6
+
+
+def resolve_coincident_faces(mesh: TriangleMesh) -> TriangleMesh:
+    """Cancel opposite coincident pairs; deduplicate same-oriented ones."""
+    if mesh.n_faces == 0:
+        return mesh.copy()
+    tris = mesh.triangles
+    groups = _group_coincident(tris)
+
+    keep = np.ones(mesh.n_faces, dtype=bool)
+    for indices in groups.values():
+        if len(indices) == 1:
+            continue
+        plus: List[int] = []
+        minus: List[int] = []
+        reference = _orientation_key(tris[indices[0]])
+        for fi in indices:
+            if _orientation_key(tris[fi]) == reference:
+                plus.append(fi)
+            else:
+                minus.append(fi)
+        n_cancel = min(len(plus), len(minus))
+        # Cancel opposite pairs.
+        for fi in plus[:n_cancel] + minus[:n_cancel]:
+            keep[fi] = False
+        # Deduplicate whichever orientation survives to a single face.
+        survivors = plus[n_cancel:] + minus[n_cancel:]
+        for fi in survivors[1:]:
+            keep[fi] = False
+    return TriangleMesh(mesh.vertices.copy(), mesh.faces[keep])
+
+
+def _group_coincident(tris: np.ndarray) -> Dict[Tuple, List[int]]:
+    """Group face indices by their (unordered) quantised vertex set."""
+    groups: Dict[Tuple, List[int]] = {}
+    quant = np.round(tris / _COINCIDENCE_TOL).astype(np.int64)
+    for fi in range(len(tris)):
+        corners = sorted(tuple(v) for v in quant[fi])
+        groups.setdefault(tuple(corners), []).append(fi)
+    return groups
+
+
+def _orientation_key(tri: np.ndarray) -> bool:
+    """A binary orientation label for a triangle within its plane.
+
+    Two coincident triangles share a plane; comparing the sign of their
+    normals against a fixed reference direction distinguishes the two
+    possible windings.
+    """
+    n = np.cross(tri[1] - tri[0], tri[2] - tri[0])
+    # Use the largest-magnitude component as the robust sign reference.
+    i = int(np.argmax(np.abs(n)))
+    return bool(n[i] > 0)

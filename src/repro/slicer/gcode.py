@@ -1,0 +1,171 @@
+"""G-code generation and parsing.
+
+The generated dialect is the common FDM subset: ``G21`` (mm), ``G90``
+(absolute), ``G0`` travels, ``G1`` extruding moves with an ``E`` axis,
+and ``T0``/``T1`` tool selection for model/support material.  The parser
+reads the same subset back; it is also what the firmware simulator and
+the tool-path reverse-engineering verification (paper ref. [20]) run on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.slicer.toolpath import Path, ToolMaterial, ToolpathLayer
+
+#: Extruded filament cross-section factor: E advance per mm of travel.
+_E_PER_MM = 0.033
+
+
+@dataclass
+class GCodeMove:
+    """One parsed motion command."""
+
+    command: str  # "G0" or "G1"
+    x: Optional[float] = None
+    y: Optional[float] = None
+    z: Optional[float] = None
+    e: Optional[float] = None
+    feedrate: Optional[float] = None
+    tool: int = 0
+
+    @property
+    def is_extruding(self) -> bool:
+        return self.command == "G1" and self.e is not None
+
+
+@dataclass
+class GCodeProgram:
+    """A G-code file: raw text plus the parsed move list."""
+
+    lines: List[str] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    @property
+    def n_lines(self) -> int:
+        return len(self.lines)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.text.encode())
+
+
+def generate_gcode(
+    layers: Iterable[ToolpathLayer],
+    travel_feedrate: float = 6000.0,
+    print_feedrate: float = 2400.0,
+) -> GCodeProgram:
+    """Emit G-code for a list of tool-path layers."""
+    lines = [
+        "; repro ObfusCADe G-code",
+        "G21 ; millimetres",
+        "G90 ; absolute positioning",
+        "M82 ; absolute extrusion",
+        "T0",
+    ]
+    e = 0.0
+    current_tool = 0
+    for layer in layers:
+        lines.append(f"; layer z={layer.z:.4f}")
+        lines.append(f"G0 Z{layer.z:.4f} F{travel_feedrate:.0f}")
+        for path in layer.paths:
+            tool = 0 if path.material is ToolMaterial.MODEL else 1
+            if tool != current_tool:
+                lines.append(f"T{tool}")
+                current_tool = tool
+            pts = path.points
+            lines.append(f"G0 X{pts[0, 0]:.4f} Y{pts[0, 1]:.4f} F{travel_feedrate:.0f}")
+            sequence = list(range(1, len(pts)))
+            if path.closed:
+                sequence.append(0)
+            prev = pts[0]
+            for idx in sequence:
+                p = pts[idx]
+                e += float(np.linalg.norm(p - prev)) * _E_PER_MM
+                lines.append(
+                    f"G1 X{p[0]:.4f} Y{p[1]:.4f} E{e:.5f} F{print_feedrate:.0f}"
+                )
+                prev = p
+    lines.append("M104 S0 ; cool down")
+    lines.append("M140 S0")
+    return GCodeProgram(lines=lines)
+
+
+def parse_gcode(program) -> List[GCodeMove]:
+    """Parse a :class:`GCodeProgram` (or raw text) into moves.
+
+    Unknown commands are skipped; comments (``;``) are stripped.  Raises
+    ``ValueError`` on malformed coordinate words, because silently
+    mis-parsing a tool path is exactly the failure mode a G-code
+    validation stage exists to catch.
+    """
+    text = program.text if isinstance(program, GCodeProgram) else str(program)
+    moves: List[GCodeMove] = []
+    tool = 0
+    for raw in text.splitlines():
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        head = parts[0].upper()
+        if head.startswith("T") and head[1:].isdigit():
+            tool = int(head[1:])
+            continue
+        if head not in ("G0", "G1"):
+            continue
+        move = GCodeMove(command=head, tool=tool)
+        for word in parts[1:]:
+            letter = word[0].upper()
+            try:
+                value = float(word[1:])
+            except ValueError as exc:
+                raise ValueError(f"malformed G-code word {word!r} in line {raw!r}") from exc
+            if letter == "X":
+                move.x = value
+            elif letter == "Y":
+                move.y = value
+            elif letter == "Z":
+                move.z = value
+            elif letter == "E":
+                move.e = value
+            elif letter == "F":
+                move.feedrate = value
+        moves.append(move)
+    return moves
+
+
+def toolpath_statistics(moves: List[GCodeMove]) -> dict:
+    """Aggregate statistics of a parsed program (for Fig. 3's stage view)."""
+    x = y = z = None
+    e_prev = 0.0
+    travel = 0.0
+    extrude = 0.0
+    layers = set()
+    for m in moves:
+        nx = m.x if m.x is not None else x
+        ny = m.y if m.y is not None else y
+        nz = m.z if m.z is not None else z
+        if x is not None and nx is not None and ny is not None and y is not None:
+            d = float(np.hypot(nx - x, ny - y))
+            if m.is_extruding and m.e is not None and m.e > e_prev:
+                extrude += d
+            else:
+                travel += d
+        if m.e is not None:
+            e_prev = m.e
+        if m.z is not None:
+            layers.add(round(m.z, 4))
+        x, y, z = nx, ny, nz
+    return {
+        "n_moves": len(moves),
+        "n_layers": len(layers),
+        "travel_mm": travel,
+        "extrude_mm": extrude,
+        "filament_e": e_prev,
+    }

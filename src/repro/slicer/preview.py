@@ -1,0 +1,110 @@
+"""Slice preview: the on-screen layer inspection of the paper's Fig. 7a.
+
+Rasterizes a layer into an occupancy image and renders it as ASCII art,
+so examples and tests can "look at" slices the way the paper's authors
+used the CatalystEX Preview function to navigate 2D tool paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.slicer.settings import SlicerSettings
+from repro.slicer.slicer import Layer
+from repro.slicer.toolpath import region_spans
+
+
+@dataclass
+class LayerPreview:
+    """Raster view of one layer."""
+
+    z: float
+    grid: np.ndarray  # boolean occupancy (ny, nx)
+    cell_mm: float
+    origin: np.ndarray  # (x0, y0) of cell [0, 0]
+
+    @property
+    def filled_area_mm2(self) -> float:
+        return float(self.grid.sum()) * self.cell_mm ** 2
+
+    def n_regions(self) -> int:
+        """Count 4-connected filled regions (a fused layer has one)."""
+        from scipy import ndimage
+
+        _, n = ndimage.label(self.grid)
+        return int(n)
+
+    def internal_gap_cells(self) -> int:
+        """Empty cells that lie inside the filled bounding region.
+
+        A discontinuity (split gap) shows up as empty cells enclosed by
+        material; a clean layer has none.
+        """
+        from scipy import ndimage
+
+        filled = ndimage.binary_fill_holes(self.grid)
+        return int(np.count_nonzero(filled & ~self.grid))
+
+    def to_ascii(self, max_width: int = 100) -> str:
+        """Render the layer as ASCII art ('#' = material)."""
+        grid = self.grid
+        step = max(1, int(np.ceil(grid.shape[1] / max_width)))
+        small = grid[::step, ::step]
+        rows = ["".join("#" if v else "." for v in row) for row in small[::-1]]
+        return "\n".join(rows)
+
+
+def rasterize_contours(
+    contours, lo: np.ndarray, nx: int, ny: int, cell: float
+) -> np.ndarray:
+    """Even-odd rasterization of contours onto a fixed (ny, nx) frame.
+
+    Cell ``[iy, ix]`` covers ``lo + (ix..ix+1, iy..iy+1) * cell``; a cell
+    is filled when its centre is interior.
+    """
+    grid = np.zeros((ny, nx), dtype=bool)
+    if not contours:
+        return grid
+    for iy in range(ny):
+        y = lo[1] + (iy + 0.5) * cell
+        for x_in, x_out in region_spans(contours, y):
+            i0 = int(np.floor((x_in - lo[0]) / cell))
+            i1 = int(np.ceil((x_out - lo[0]) / cell))
+            if i1 <= 0 or i0 >= nx:
+                continue
+            grid[iy, max(i0, 0):min(i1, nx)] = True
+    return grid
+
+
+def preview_layer(
+    layer: Layer,
+    settings: Optional[SlicerSettings] = None,
+    cell_mm: Optional[float] = None,
+) -> LayerPreview:
+    """Rasterize a layer's even-odd interior (self-sized frame)."""
+    settings = settings or SlicerSettings()
+    cell = cell_mm if cell_mm is not None else settings.raster_cell_mm
+    if not layer.contours:
+        return LayerPreview(
+            z=layer.z, grid=np.zeros((1, 1), dtype=bool), cell_mm=cell, origin=np.zeros(2)
+        )
+    pts = np.vstack([c.points for c in layer.contours])
+    lo = pts.min(axis=0) - cell
+    hi = pts.max(axis=0) + cell
+    nx = max(int(np.ceil((hi[0] - lo[0]) / cell)), 1)
+    ny = max(int(np.ceil((hi[1] - lo[1]) / cell)), 1)
+    grid = rasterize_contours(layer.contours, lo, nx, ny, cell)
+    return LayerPreview(z=layer.z, grid=grid, cell_mm=cell, origin=lo)
+
+
+def stack_previews(previews: List[LayerPreview]) -> np.ndarray:
+    """Stack equal-shape previews into a (nz, ny, nx) boolean volume."""
+    if not previews:
+        return np.zeros((0, 1, 1), dtype=bool)
+    shapes = {p.grid.shape for p in previews}
+    if len(shapes) != 1:
+        raise ValueError("previews must share one raster shape to stack")
+    return np.stack([p.grid for p in previews])

@@ -1,0 +1,213 @@
+"""Tool-path reverse engineering (paper ref [20]).
+
+Tsoutsos, Gamil and Maniatakos, "Secure 3D Printing: Reconstructing and
+Validating Solid Geometries using Toolpath Reverse Engineering"
+(CPSS 2017) - cited by ObfusCADe both as an IP-theft *attack* on stolen
+G-code ("reconstruction of CAD model", Table 1 slicing row) and as a
+*mitigation* ("simulation of generated G-code").
+
+This module implements both directions:
+
+* :func:`reconstruct_layers` - rebuild per-layer solid regions from a
+  parsed G-code program (the attack: geometry out of motion commands);
+* :class:`GcodeValidator` - compare a G-code program against the
+  reference STL it claims to print (the mitigation: a tampered tool
+  path no longer matches the signed geometry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.polygon import Polygon2
+from repro.mesh.trimesh import TriangleMesh
+from repro.slicer.gcode import GCodeMove
+from repro.slicer.settings import SlicerSettings
+from repro.slicer.slicer import Layer, slice_mesh
+
+#: Loop-closure tolerance when chaining extrusion moves, mm.
+_CLOSE_TOL = 1e-6
+
+
+@dataclass
+class ReconstructedLayer:
+    """One layer recovered from G-code: closed loops and stray paths."""
+
+    z: float
+    loops: List[Polygon2] = field(default_factory=list)
+    open_runs: List[np.ndarray] = field(default_factory=list)
+    raster_length_mm: float = 0.0
+
+    @property
+    def outline_area_mm2(self) -> float:
+        """Even-odd area enclosed by the recovered perimeter loops."""
+        return abs(sum(p.signed_area for p in self.loops))
+
+
+def reconstruct_layers(
+    moves: Sequence[GCodeMove], model_material_only: bool = True
+) -> List[ReconstructedLayer]:
+    """Rebuild per-layer geometry from parsed G-code moves.
+
+    Extruding runs (consecutive G1 moves with increasing E between
+    travels) are collected per layer; runs that close on themselves are
+    perimeter loops and become polygons, the rest (raster infill) is
+    accumulated as filled path length.  Support-material moves (tool 1)
+    are skipped by default - the attacker wants the part, not its
+    scaffolding.
+    """
+    layers: Dict[float, ReconstructedLayer] = {}
+    run: List[np.ndarray] = []
+    x = y = 0.0
+    z = 0.0
+    e_prev = 0.0
+
+    def flush() -> None:
+        nonlocal run
+        if len(run) >= 2:
+            layer = layers.setdefault(round(z, 6), ReconstructedLayer(z=round(z, 6)))
+            pts = np.array(run)
+            if (
+                len(pts) >= 4
+                and np.linalg.norm(pts[0] - pts[-1]) < _CLOSE_TOL
+            ):
+                try:
+                    layer.loops.append(Polygon2(pts[:-1]))
+                except ValueError:
+                    layer.open_runs.append(pts)
+            else:
+                layer.open_runs.append(pts)
+                layer.raster_length_mm += float(
+                    np.sum(np.linalg.norm(np.diff(pts, axis=0), axis=1))
+                )
+        run = []
+
+    for m in moves:
+        nx = m.x if m.x is not None else x
+        ny = m.y if m.y is not None else y
+        if m.z is not None and m.z != z:
+            flush()
+            z = m.z
+        is_print = (
+            m.command == "G1"
+            and m.e is not None
+            and m.e > e_prev
+            and (not model_material_only or m.tool == 0)
+        )
+        if is_print:
+            if not run:
+                run = [np.array([x, y])]
+            run.append(np.array([nx, ny]))
+        else:
+            flush()
+        if m.e is not None:
+            e_prev = max(e_prev, m.e)
+        x, y = nx, ny
+    flush()
+    return [layers[key] for key in sorted(layers)]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating G-code against its reference geometry."""
+
+    n_layers_gcode: int
+    n_layers_expected: int
+    mean_area_error_pct: float
+    max_area_error_pct: float
+    worst_layer_z: Optional[float]
+    mismatched_layers: List[float] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        return (
+            self.n_layers_gcode == self.n_layers_expected
+            and not self.mismatched_layers
+        )
+
+
+class GcodeValidator:
+    """Validates a tool path against the signed reference STL.
+
+    Parameters
+    ----------
+    area_tolerance_pct:
+        Maximum per-layer deviation between the area enclosed by the
+        G-code perimeters and the area of the reference slice.
+    """
+
+    def __init__(
+        self,
+        settings: Optional[SlicerSettings] = None,
+        area_tolerance_pct: float = 5.0,
+    ):
+        self.settings = settings or SlicerSettings()
+        self.area_tolerance_pct = area_tolerance_pct
+
+    def validate(
+        self, moves: Sequence[GCodeMove], reference: TriangleMesh
+    ) -> ValidationReport:
+        """Compare the program's layers with slices of ``reference``.
+
+        The reference mesh must be in the same build coordinates the
+        G-code was generated for.
+        """
+        recon = reconstruct_layers(moves)
+        zs = np.array([layer.z for layer in recon])
+        expected = slice_mesh(reference, self.settings, z_values=zs)
+
+        mismatches: List[float] = []
+        errors: List[float] = []
+        worst: Tuple[float, Optional[float]] = (0.0, None)
+        for got, want in zip(recon, expected.layers):
+            want_area = want.total_area
+            got_area = got.outline_area_mm2
+            if want_area < 1e-9:
+                if got_area > 1e-6:
+                    mismatches.append(got.z)
+                continue
+            err = abs(got_area - want_area) / want_area * 100.0
+            errors.append(err)
+            if err > worst[0]:
+                worst = (err, got.z)
+            if err > self.area_tolerance_pct:
+                mismatches.append(got.z)
+
+        return ValidationReport(
+            n_layers_gcode=len(recon),
+            n_layers_expected=expected.n_layers,
+            mean_area_error_pct=float(np.mean(errors)) if errors else 0.0,
+            max_area_error_pct=float(max(errors)) if errors else 0.0,
+            worst_layer_z=worst[1],
+            mismatched_layers=mismatches,
+        )
+
+
+def reconstruction_fidelity(
+    moves: Sequence[GCodeMove], reference: TriangleMesh, settings=None
+) -> Dict[str, float]:
+    """IP-theft yield: how much of the part the attacker recovers.
+
+    Returns the per-layer area recovery statistics of a reconstruction
+    against the true geometry (the attacker's success metric).
+    """
+    settings = settings or SlicerSettings()
+    recon = reconstruct_layers(moves)
+    zs = np.array([layer.z for layer in recon])
+    truth = slice_mesh(reference, settings, z_values=zs)
+    ratios = []
+    for got, want in zip(recon, truth.layers):
+        if want.total_area > 1e-9:
+            ratios.append(got.outline_area_mm2 / want.total_area)
+    ratios_arr = np.array(ratios) if ratios else np.zeros(1)
+    return {
+        "n_layers": float(len(recon)),
+        "mean_area_recovery": float(ratios_arr.mean()),
+        "min_area_recovery": float(ratios_arr.min()),
+        "volume_estimate_mm3": float(
+            sum(l.outline_area_mm2 for l in recon) * settings.layer_height_mm
+        ),
+    }

@@ -1,0 +1,382 @@
+"""Split-seam analysis: what the slicer preview and the printer see.
+
+Given the two bodies of a split part (in build orientation), this module
+measures everything the paper reads off Figs. 4, 7 and 8:
+
+* the 3D tessellation mismatch along the shared split wall;
+* the per-layer in-plane gap between the two sliced regions (which is
+  *amplified* when the wall is shallow with respect to the layers);
+* the wall's orientation relative to the build plane, which decides
+  whether the seam is an in-layer boundary (x-y printing: beads can
+  fuse across it) or an inter-layer interface (x-z printing: weak
+  z-bonding plus a stair-step trace visible at every STL resolution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.mesh.trimesh import TriangleMesh
+from repro.slicer.settings import SlicerSettings
+from repro.slicer.slicer import Layer, layer_heights, slice_mesh
+
+
+@dataclass
+class LayerSeamSample:
+    """In-plane gap statistics of the seam at one layer."""
+
+    z: float
+    n_samples: int
+    max_gap: float
+    mean_gap: float
+
+
+@dataclass
+class SeamReport:
+    """Full measurement of one split seam under one print setup.
+
+    Attributes
+    ----------
+    wall_area_mm2:
+        Area of the tessellated split wall (one side).
+    wall_mean_abs_nz:
+        Area-weighted mean of ``|normal . z|`` over wall faces.
+        ~0 means the wall is vertical (perpendicular to layers, x-y
+        printing); ~1 means horizontal (parallel to layers).
+    mismatch_3d_max_mm / mismatch_3d_mean_mm:
+        Tessellation mismatch between the two wall meshes in 3D; scales
+        with the STL deviation tolerance.
+    inplane_max_gap_mm / inplane_mean_gap_mm:
+        Gap between the two sliced regions measured inside the layers;
+        includes the shallow-wall amplification.
+    bonded_fraction:
+        Fraction of in-plane seam samples whose gap is within the
+        bead-merge tolerance (they will fuse when printed).
+    interlayer_fraction:
+        Area fraction of the wall lying flatter than 45 degrees - seam
+        portions that become weak layer-to-layer interfaces.
+    stair_trace_mm:
+        Horizontal run of the stair-step trace the layer quantisation
+        leaves on a tilted wall; independent of STL resolution.
+    visible_in_preview:
+        Whether the slice preview shows the discontinuity (paper
+        Fig. 7a vs the clean x-y previews).
+    prints_discontinuity:
+        Whether the printed part carries a visible/structural seam.
+    """
+
+    wall_area_mm2: float
+    wall_mean_abs_nz: float
+    #: Area-weighted mean of ``|normal . load_axis|`` in *model*
+    #: coordinates (load axis = model x for a tensile bar): how much of
+    #: the split wall faces the pulling direction.
+    wall_mean_abs_nload: float
+    mismatch_3d_max_mm: float
+    mismatch_3d_mean_mm: float
+    inplane_max_gap_mm: float
+    inplane_mean_gap_mm: float
+    bonded_fraction: float
+    interlayer_fraction: float
+    stair_trace_mm: float
+    n_layers_with_seam: int
+    layer_samples: List[LayerSeamSample] = field(default_factory=list)
+    settings: Optional[SlicerSettings] = None
+
+    @property
+    def visible_in_preview(self) -> bool:
+        """Whether the slice preview shows the split (paper Fig. 7a).
+
+        The preview renders bead-width tool paths, so a within-layer
+        hairline gap narrower than one bead is covered by the drawn
+        beads and invisible (the clean x-y previews at every STL
+        resolution).  A seam lying shallow against the layers is
+        visible regardless of STL resolution: its stair-step trace
+        displaces the interior region boundary from layer to layer by
+        more than the preview's visibility scale.
+        """
+        settings = self.settings or SlicerSettings()
+        wide_gap = self.inplane_max_gap_mm >= settings.bead_width_mm
+        stair_visible = (
+            self.stair_trace_mm >= settings.preview_visibility_mm
+            and self.interlayer_fraction > 0.25
+        )
+        return wide_gap or stair_visible
+
+    @property
+    def prints_discontinuity(self) -> bool:
+        merge = self.settings.merge_gap_mm if self.settings else 0.1
+        unfused = self.inplane_max_gap_mm > merge
+        interlayer_seam = self.interlayer_fraction > 0.25
+        return unfused or interlayer_seam
+
+
+def _surface_cloud(mesh: TriangleMesh, samples_per_edge: int = 9) -> np.ndarray:
+    """Densify a mesh's edges into a point cloud approximating its surface."""
+    edges = mesh.unique_edges()
+    pa, pb = mesh.vertices[edges[:, 0]], mesh.vertices[edges[:, 1]]
+    ts = np.linspace(0.0, 1.0, samples_per_edge)
+    cloud = (
+        pa[:, None, :] * (1 - ts)[None, :, None]
+        + pb[:, None, :] * ts[None, :, None]
+    ).reshape(-1, 3)
+    return cloud
+
+
+def wall_faces(
+    mesh: TriangleMesh, other: TriangleMesh, band: float = 0.6
+) -> np.ndarray:
+    """Indices of ``mesh`` faces lying on the shared split wall.
+
+    A face belongs to the wall when its centroid is within ``band`` of
+    the other body's (edge-densified) surface - robust because the two
+    walls tessellate the *same* surface to within the STL deviation.
+    """
+    if mesh.n_faces == 0 or other.n_vertices == 0:
+        return np.zeros(0, dtype=np.int64)
+    centroids = mesh.triangles.mean(axis=1)
+    tree = cKDTree(_surface_cloud(other))
+    dist, _ = tree.query(centroids, k=1)
+    return np.nonzero(dist <= band)[0].astype(np.int64)
+
+
+def analyze_split_seam(
+    mesh_a: TriangleMesh,
+    mesh_b: TriangleMesh,
+    settings: Optional[SlicerSettings] = None,
+    orientation=None,
+    band: float = 0.6,
+    max_samples_per_layer: int = 400,
+) -> SeamReport:
+    """Measure the seam between two split bodies.
+
+    ``mesh_a``/``mesh_b`` are the bodies in *model* coordinates (as
+    exported: profile in the x-y plane, extruded along +z), so the split
+    wall can be told apart from the extrusion caps.  ``orientation`` is
+    the build-orientation transform (model -> machine coordinates);
+    identity means x-y printing.
+    """
+    from repro.geometry.transform import Transform
+
+    settings = settings or SlicerSettings()
+    orientation = orientation or Transform.identity()
+
+    # ---- wall detection (model coordinates) ---------------------------------
+    # The split wall is part of the extrusion side surface: |normal.z|
+    # is ~0 in model coordinates, which excludes the (coplanar) caps.
+    wa = wall_faces(mesh_a, mesh_b, band)
+    if len(wa):
+        side = np.abs(mesh_a.face_normals()[wa][:, 2]) < 0.5
+        wa = wa[side]
+    wall_a = mesh_a.submesh(wa) if len(wa) else TriangleMesh.empty()
+    mismatch_max, mismatch_mean = _wall_mismatch(wall_a, mesh_b, band)
+
+    # ---- wall statistics (build coordinates) --------------------------------
+    wall_build = wall_a.transformed(orientation) if wall_a.n_faces else wall_a
+    areas = wall_build.face_areas() if wall_build.n_faces else np.zeros(0)
+    normals = wall_build.face_normals() if wall_build.n_faces else np.zeros((0, 3))
+    total_area = float(areas.sum())
+    if total_area > 0:
+        abs_nz = np.abs(normals[:, 2])
+        mean_abs_nz = float((abs_nz * areas).sum() / total_area)
+        interlayer_fraction = float(areas[abs_nz > np.sin(np.deg2rad(45))].sum() / total_area)
+    else:
+        mean_abs_nz = 0.0
+        interlayer_fraction = 0.0
+
+    # Load-axis alignment in model coordinates (tensile load = model x).
+    if wall_a.n_faces:
+        model_areas = wall_a.face_areas()
+        model_normals = wall_a.face_normals()
+        mean_abs_nload = float(
+            (np.abs(model_normals[:, 0]) * model_areas).sum() / model_areas.sum()
+        )
+    else:
+        mean_abs_nload = 0.0
+
+    # Stair-step trace of a tilted wall: horizontal run per layer step.
+    nz = min(mean_abs_nz, 0.999)
+    tan_tilt = nz / np.sqrt(max(1.0 - nz * nz, 1e-9))
+    stair_trace = float(settings.layer_height_mm * tan_tilt)
+
+    # ---- per-layer in-plane gaps (build coordinates) -------------------------
+    build_a = mesh_a.transformed(orientation)
+    build_b = mesh_b.transformed(orientation)
+    lo = build_a.bounds.union(build_b.bounds).lo
+    build_a = build_a.translated(-lo)
+    build_b = build_b.translated(-lo)
+    bounds = build_a.bounds.union(build_b.bounds)
+    zs = layer_heights(float(bounds.lo[2]), float(bounds.hi[2]), settings.layer_height_mm)
+    slices_a = slice_mesh(build_a, settings, z_values=zs)
+    slices_b = slice_mesh(build_b, settings, z_values=zs)
+
+    # Contour samples count as *seam* samples only when they lie on the
+    # split wall itself; samples on the outer boundary near the wall
+    # junction would otherwise register phantom gaps.
+    if wall_a.n_faces:
+        wall_cloud = _surface_cloud(wall_a.transformed(orientation).translated(-lo))
+        wall_tree = cKDTree(wall_cloud)
+        wall_tol = max(1.5 * mismatch_max, 0.15)
+        junction_tree = _junction_tree(wall_a, orientation, lo)
+    else:
+        wall_tree = None
+        wall_tol = 0.0
+        junction_tree = None
+
+    layer_samples: List[LayerSeamSample] = []
+    gaps_all: List[float] = []
+    bonded = 0
+    total = 0
+    for la, lb in zip(slices_a.layers, slices_b.layers):
+        gaps = _layer_gaps(
+            la, lb, band, max_samples_per_layer, wall_tree, wall_tol, junction_tree
+        )
+        if gaps.size == 0:
+            continue
+        gaps_all.extend(gaps.tolist())
+        bonded += int(np.count_nonzero(gaps <= settings.merge_gap_mm))
+        total += int(gaps.size)
+        layer_samples.append(
+            LayerSeamSample(
+                z=la.z,
+                n_samples=int(gaps.size),
+                max_gap=float(gaps.max()),
+                mean_gap=float(gaps.mean()),
+            )
+        )
+
+    gaps_arr = np.array(gaps_all) if gaps_all else np.zeros(0)
+    return SeamReport(
+        wall_area_mm2=total_area,
+        wall_mean_abs_nz=mean_abs_nz,
+        wall_mean_abs_nload=mean_abs_nload,
+        mismatch_3d_max_mm=mismatch_max,
+        mismatch_3d_mean_mm=mismatch_mean,
+        inplane_max_gap_mm=float(gaps_arr.max()) if gaps_arr.size else 0.0,
+        inplane_mean_gap_mm=float(gaps_arr.mean()) if gaps_arr.size else 0.0,
+        bonded_fraction=(bonded / total) if total else 1.0,
+        interlayer_fraction=interlayer_fraction,
+        stair_trace_mm=stair_trace,
+        n_layers_with_seam=len(layer_samples),
+        layer_samples=layer_samples,
+        settings=settings,
+    )
+
+
+def _wall_mismatch(wall_a: TriangleMesh, mesh_b: TriangleMesh, band: float):
+    """Distance from A's wall vertices to B's surface (vertex/edge cloud)."""
+    if wall_a.n_vertices == 0 or mesh_b.n_vertices == 0:
+        return 0.0, 0.0
+    # Densify B's edges so point-to-cloud approximates point-to-surface.
+    tree = cKDTree(_surface_cloud(mesh_b))
+    dist, _ = tree.query(wall_a.vertices, k=1)
+    near = dist[dist <= band]
+    if near.size == 0:
+        return 0.0, 0.0
+    return float(near.max()), float(near.mean())
+
+
+#: Samples this close to a wall/outer-boundary junction are discarded:
+#: the distance they measure runs *along* the shared outer boundary, not
+#: across the seam.
+_JUNCTION_RADIUS = 0.6
+
+
+def _junction_tree(wall_a: TriangleMesh, orientation, lo):
+    """KD-tree of the wall's junction lines (in build coordinates).
+
+    The split wall is an open surface; its boundary edges that run
+    vertically in model coordinates are where the wall meets the part's
+    outer side surface (the spline tips).
+    """
+    points = []
+    for u, v in wall_a.boundary_edges():
+        d = wall_a.vertices[v] - wall_a.vertices[u]
+        norm = np.linalg.norm(d)
+        if norm < 1e-12:
+            continue
+        if abs(d[2]) / norm > 0.7:  # vertical in model coordinates
+            ts = np.linspace(0.0, 1.0, 9)[:, None]
+            points.append(wall_a.vertices[u] * (1 - ts) + wall_a.vertices[v] * ts)
+    if not points:
+        return None
+    cloud = orientation.apply(np.vstack(points)) - lo
+    return cKDTree(cloud)
+
+
+def _layer_gaps(
+    layer_a: Layer,
+    layer_b: Layer,
+    band: float,
+    max_samples: int,
+    wall_tree=None,
+    wall_tol: float = 0.0,
+    junction_tree=None,
+) -> np.ndarray:
+    """Gaps from A's seam samples to B's contours, within ``band``."""
+    seg_b = _contour_segments(layer_b)
+    if seg_b is None:
+        return np.zeros(0)
+    samples = _contour_samples(layer_a, max_samples)
+    if samples.size == 0:
+        return np.zeros(0)
+    if wall_tree is not None:
+        pts3 = np.column_stack([samples, np.full(len(samples), layer_a.z)])
+        dist, _ = wall_tree.query(pts3, k=1)
+        keep = dist <= wall_tol
+        if junction_tree is not None:
+            jdist, _ = junction_tree.query(pts3, k=1)
+            keep &= jdist > _JUNCTION_RADIUS
+        samples = samples[keep]
+        if samples.size == 0:
+            return np.zeros(0)
+    d = _points_to_segments_distance(samples, seg_b)
+    return d[d <= band]
+
+
+def _contour_segments(layer: Layer):
+    starts, ends = [], []
+    for c in layer.contours:
+        pts = c.points
+        starts.append(pts)
+        ends.append(np.roll(pts, -1, axis=0))
+    for path in layer.open_paths:
+        if len(path) >= 2:
+            starts.append(path[:-1])
+            ends.append(path[1:])
+    if not starts:
+        return None
+    return np.vstack(starts), np.vstack(ends)
+
+
+def _contour_samples(layer: Layer, max_samples: int) -> np.ndarray:
+    pts_list = [c.points for c in layer.contours]
+    pts_list += [p for p in layer.open_paths if len(p)]
+    if not pts_list:
+        return np.zeros((0, 2))
+    pts = np.vstack(pts_list)
+    if len(pts) > max_samples:
+        idx = np.linspace(0, len(pts) - 1, max_samples).astype(int)
+        pts = pts[idx]
+    return pts
+
+
+def _points_to_segments_distance(points: np.ndarray, segments) -> np.ndarray:
+    a, b = segments
+    ab = b - a
+    denom = np.einsum("ij,ij->i", ab, ab)
+    denom = np.where(denom < 1e-18, 1.0, denom)
+    # (n_points, n_segments) pairwise distances, chunked to bound memory.
+    out = np.empty(len(points))
+    chunk = max(1, int(4_000_000 / max(len(a), 1)))
+    for i0 in range(0, len(points), chunk):
+        p = points[i0:i0 + chunk]
+        ap = p[:, None, :] - a[None, :, :]
+        t = np.clip(np.einsum("pij,ij->pi", ap, ab) / denom[None, :], 0.0, 1.0)
+        closest = a[None, :, :] + ab[None, :, :] * t[:, :, None]
+        d = np.linalg.norm(p[:, None, :] - closest, axis=2)
+        out[i0:i0 + chunk] = d.min(axis=1)
+    return out

@@ -1,0 +1,89 @@
+"""Slicing properties (the paper's fixed CatalystEX configuration)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SlicerSettings:
+    """Slicing properties used to prepare a tool path.
+
+    Defaults reproduce the paper's configuration: "0.01778 cm layer
+    resolution, solid model interior, smart support fill, and STL unit
+    of millimeters".
+
+    Attributes
+    ----------
+    layer_height_mm:
+        Layer resolution.  0.1778 mm is the Dimension Elite FDM preset.
+    bead_width_mm:
+        Deposited road width (FDM nozzle bead).
+    interior:
+        ``"solid"`` (paper setting) or ``"sparse"`` raster interior.
+    support:
+        ``"smart"`` (fill under unsupported model regions and enclosed
+        voids) or ``"none"``.
+    stl_units:
+        Interpretation of STL coordinates; only ``"mm"`` is meaningful
+        here, but the knob exists because unit mismatch is a classic
+        process-chain error.
+    merge_gap_mm:
+        Largest within-layer gap between abutting regions that beads
+        still squeeze together and fuse across.  This is the knob the
+        merge-tolerance ablation sweeps.
+    preview_visibility_mm:
+        Smallest in-plane gap visible when inspecting the slice preview,
+        i.e. the resolution of the "Preview function in the slicing
+        software" the paper uses to look for discontinuities.
+    raster_cell_mm:
+        Cell size of the rasterized layer grids used by the deposition
+        simulator; must be well below ``merge_gap_mm``.
+    n_perimeters:
+        Number of perimeter (shell) loops per region.
+    """
+
+    layer_height_mm: float = 0.1778
+    bead_width_mm: float = 0.5
+    interior: str = "solid"
+    support: str = "smart"
+    stl_units: str = "mm"
+    merge_gap_mm: float = 0.10
+    preview_visibility_mm: float = 0.25
+    raster_cell_mm: float = 0.05
+    n_perimeters: int = 1
+
+    def __post_init__(self) -> None:
+        if self.layer_height_mm <= 0:
+            raise ValueError("layer height must be positive")
+        if self.bead_width_mm <= 0:
+            raise ValueError("bead width must be positive")
+        if self.interior not in ("solid", "sparse"):
+            raise ValueError("interior must be 'solid' or 'sparse'")
+        if self.support not in ("smart", "none"):
+            raise ValueError("support must be 'smart' or 'none'")
+        if self.stl_units not in ("mm", "cm", "inch"):
+            raise ValueError("stl_units must be one of mm/cm/inch")
+        if self.raster_cell_mm <= 0 or self.raster_cell_mm > self.merge_gap_mm:
+            raise ValueError("raster cell must be positive and <= merge gap")
+        if self.n_perimeters < 0:
+            raise ValueError("perimeter count cannot be negative")
+
+    @property
+    def unit_scale(self) -> float:
+        """Multiplier from STL units to millimetres."""
+        return {"mm": 1.0, "cm": 10.0, "inch": 25.4}[self.stl_units]
+
+    def with_layer_height(self, layer_height_mm: float) -> "SlicerSettings":
+        """Copy with a different layer height (machine-specific presets)."""
+        return SlicerSettings(
+            layer_height_mm=layer_height_mm,
+            bead_width_mm=self.bead_width_mm,
+            interior=self.interior,
+            support=self.support,
+            stl_units=self.stl_units,
+            merge_gap_mm=self.merge_gap_mm,
+            preview_visibility_mm=self.preview_visibility_mm,
+            raster_cell_mm=self.raster_cell_mm,
+            n_perimeters=self.n_perimeters,
+        )

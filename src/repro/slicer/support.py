@@ -1,0 +1,56 @@
+"""Support material placement ("smart support fill").
+
+Column logic on boolean occupancy grids: a cell receives support when it
+is empty but some cell *above* it in the same column holds model
+material.  This single rule produces both kinds of support visible in
+the paper's Fig. 10: the bed support printed under every model, and the
+support filling enclosed voids (the embedded-sphere cavity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def support_columns(model: np.ndarray) -> np.ndarray:
+    """Support mask for a (nz, ny, nx) boolean model-occupancy grid.
+
+    Layer index 0 is the bottom (build plate).  Returns a boolean grid
+    of the same shape: True where support material is deposited.
+    """
+    occupancy = np.asarray(model, dtype=bool)
+    if occupancy.ndim != 3:
+        raise ValueError("model grid must be 3D (nz, ny, nx)")
+    # has_model_above[z] = any model strictly above layer z in the column.
+    above = np.zeros_like(occupancy)
+    running = np.zeros(occupancy.shape[1:], dtype=bool)
+    for z in range(occupancy.shape[0] - 1, -1, -1):
+        above[z] = running
+        running = running | occupancy[z]
+    return above & ~occupancy
+
+
+def support_volume_fraction(model: np.ndarray) -> float:
+    """Support volume as a fraction of model volume (0 if no model)."""
+    occupancy = np.asarray(model, dtype=bool)
+    n_model = int(occupancy.sum())
+    if n_model == 0:
+        return 0.0
+    return float(support_columns(occupancy).sum()) / n_model
+
+
+def enclosed_support(model: np.ndarray) -> np.ndarray:
+    """Support cells fully enclosed by model in their layer (internal voids).
+
+    Distinguishes the washable support inside the embedded sphere from
+    the bed support under the part: a support cell is *enclosed* when
+    its column also has model material below it.
+    """
+    occupancy = np.asarray(model, dtype=bool)
+    support = support_columns(occupancy)
+    below = np.zeros_like(occupancy)
+    running = np.zeros(occupancy.shape[1:], dtype=bool)
+    for z in range(occupancy.shape[0]):
+        below[z] = running
+        running = running | occupancy[z]
+    return support & below

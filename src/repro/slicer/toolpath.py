@@ -1,0 +1,170 @@
+"""Tool-path generation: perimeters and raster infill per layer.
+
+CatalystEX's exact routing is proprietary; we implement the standard
+perimeter + alternating-axis solid raster, which preserves everything
+the paper reads off tool paths (region coverage, seam visibility,
+support placement).  DESIGN.md lists this as a known divergence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.polygon import Polygon2
+from repro.slicer.settings import SlicerSettings
+from repro.slicer.slicer import Layer, SliceResult
+
+
+class PathRole(enum.Enum):
+    """What a deposited path is for."""
+
+    PERIMETER = "perimeter"
+    INFILL = "infill"
+    SUPPORT = "support"
+
+
+class ToolMaterial(enum.Enum):
+    """Which extruder/material a path uses."""
+
+    MODEL = "model"
+    SUPPORT = "support"
+
+
+@dataclass
+class Path:
+    """One continuous extrusion path in a layer."""
+
+    points: np.ndarray
+    role: PathRole
+    material: ToolMaterial = ToolMaterial.MODEL
+    closed: bool = False
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=float).reshape(-1, 2)
+        if len(self.points) < 2:
+            raise ValueError("a path needs at least two points")
+
+    @property
+    def length(self) -> float:
+        d = np.diff(self.points, axis=0)
+        total = float(np.sum(np.linalg.norm(d, axis=1)))
+        if self.closed:
+            total += float(np.linalg.norm(self.points[0] - self.points[-1]))
+        return total
+
+
+@dataclass
+class ToolpathLayer:
+    """All paths of one layer."""
+
+    z: float
+    paths: List[Path] = field(default_factory=list)
+
+    @property
+    def total_extrusion_length(self) -> float:
+        return sum(p.length for p in self.paths)
+
+    def paths_by_role(self, role: PathRole) -> List[Path]:
+        return [p for p in self.paths if p.role is role]
+
+
+def region_spans(contours: Sequence[Polygon2], y: float) -> List[tuple]:
+    """Even-odd interior x-spans of a set of contours at height ``y``."""
+    crossings: List[float] = []
+    for poly in contours:
+        p = poly.points
+        q = np.roll(p, -1, axis=0)
+        mask = (p[:, 1] > y) != (q[:, 1] > y)
+        if np.any(mask):
+            ps, qs = p[mask], q[mask]
+            xs = ps[:, 0] + (y - ps[:, 1]) / (qs[:, 1] - ps[:, 1]) * (qs[:, 0] - ps[:, 0])
+            crossings.extend(xs.tolist())
+    crossings.sort()
+    return [
+        (crossings[i], crossings[i + 1])
+        for i in range(0, len(crossings) - 1, 2)
+        if crossings[i + 1] - crossings[i] > 1e-9
+    ]
+
+
+def generate_toolpaths(
+    slices: SliceResult,
+    settings: Optional[SlicerSettings] = None,
+    support_layers: Optional[List[List[Path]]] = None,
+    raster_angles_deg: Sequence[float] = (0.0, 90.0),
+) -> List[ToolpathLayer]:
+    """Perimeter + solid raster tool paths for every layer.
+
+    ``support_layers`` (one path list per layer), when given, is merged
+    in as support-material paths; the deposition simulator produces it
+    from its occupancy grid (see ``repro.printer.deposition``).
+
+    ``raster_angles_deg`` cycles per layer; real FDM slicers commonly
+    use ``(45, -45)``, the default here alternates axis-aligned rasters.
+    """
+    settings = settings or slices.settings
+    if not raster_angles_deg:
+        raise ValueError("need at least one raster angle")
+    layers: List[ToolpathLayer] = []
+    for li, layer in enumerate(slices.layers):
+        paths: List[Path] = []
+        # Perimeters follow the contours themselves (bead centred on the
+        # boundary is offset inward by half a bead in a real slicer; the
+        # simplification is area-neutral for the analyses here).
+        for _ in range(max(settings.n_perimeters, 0)):
+            for contour in layer.contours:
+                paths.append(
+                    Path(points=contour.points.copy(), role=PathRole.PERIMETER, closed=True)
+                )
+        angle = float(raster_angles_deg[li % len(raster_angles_deg)])
+        paths.extend(_raster_infill(layer, settings, angle_deg=angle))
+        if support_layers is not None and li < len(support_layers):
+            paths.extend(support_layers[li])
+        layers.append(ToolpathLayer(z=layer.z, paths=paths))
+    return layers
+
+
+def _rotation(angle_deg: float) -> np.ndarray:
+    theta = np.deg2rad(angle_deg)
+    c, s = np.cos(theta), np.sin(theta)
+    return np.array([[c, -s], [s, c]])
+
+
+def _raster_infill(
+    layer: Layer, settings: SlicerSettings, angle_deg: float = 0.0
+) -> List[Path]:
+    """Solid raster scan lines at ``angle_deg`` across the interior.
+
+    The contours are rotated by ``-angle``, scanned with horizontal
+    lines, and the resulting paths rotated back.
+    """
+    if not layer.contours or settings.interior not in ("solid", "sparse"):
+        return []
+    spacing = settings.bead_width_mm
+    if settings.interior == "sparse":
+        spacing *= 4.0
+    rot = _rotation(-angle_deg)
+    unrot = _rotation(angle_deg)
+    contours = [Polygon2(c.points @ rot.T) for c in layer.contours]
+
+    los = np.array([c.bounds.lo for c in contours])
+    his = np.array([c.bounds.hi for c in contours])
+    y0, y1 = float(los[:, 1].min()), float(his[:, 1].max())
+    margin = settings.bead_width_mm / 2.0
+    paths: List[Path] = []
+    y = y0 + margin
+    flip = False
+    while y <= y1 - margin + 1e-12:
+        for x_in, x_out in region_spans(contours, y):
+            a, b = x_in + margin, x_out - margin
+            if b - a < settings.bead_width_mm / 4.0:
+                continue
+            pts = np.array([[a, y], [b, y]]) if not flip else np.array([[b, y], [a, y]])
+            paths.append(Path(points=pts @ unrot.T, role=PathRole.INFILL))
+        flip = not flip
+        y += spacing
+    return paths

@@ -1,0 +1,80 @@
+"""The cloud-aware AM supply chain of the paper's Section 2.
+
+Models the process chain (Fig. 1), the attack taxonomy (Fig. 2), the
+per-stage risk/mitigation matrix (Table 1), concrete STL tampering
+attacks with their detection controls, and the acoustic side-channel
+information-leakage attack the paper cites.
+"""
+
+from repro.supplychain.taxonomy import (
+    ATTACK_TAXONOMY,
+    AbstractionLevel,
+    AttackClass,
+    AttackVector,
+    taxonomy_tree,
+)
+from repro.supplychain.risks import (
+    AmStage,
+    RISK_REGISTER,
+    Risk,
+    RiskRegister,
+    Mitigation,
+)
+from repro.supplychain.integrity import FileRecord, IntegrityVault, sign_bytes, verify_signature
+from repro.supplychain.attacks import (
+    insert_void,
+    add_protrusion,
+    scale_model,
+    change_orientation_metadata,
+    TamperReport,
+    detect_tampering,
+)
+from repro.supplychain.chain import (
+    ChainLedger,
+    ProcessChain,
+    StageRecord,
+)
+from repro.supplychain.actors import (
+    Actor,
+    ChainConfiguration,
+    TrustLevel,
+    typical_outsourced_chain,
+)
+from repro.supplychain.sidechannel import (
+    AcousticEmissionModel,
+    SideChannelAttack,
+    ReconstructionReport,
+)
+
+__all__ = [
+    "ATTACK_TAXONOMY",
+    "Actor",
+    "ChainConfiguration",
+    "TrustLevel",
+    "typical_outsourced_chain",
+    "AbstractionLevel",
+    "AcousticEmissionModel",
+    "AmStage",
+    "AttackClass",
+    "AttackVector",
+    "ChainLedger",
+    "FileRecord",
+    "IntegrityVault",
+    "Mitigation",
+    "ProcessChain",
+    "ReconstructionReport",
+    "Risk",
+    "RiskRegister",
+    "RISK_REGISTER",
+    "SideChannelAttack",
+    "StageRecord",
+    "TamperReport",
+    "add_protrusion",
+    "change_orientation_metadata",
+    "detect_tampering",
+    "insert_void",
+    "scale_model",
+    "sign_bytes",
+    "taxonomy_tree",
+    "verify_signature",
+]

@@ -1,0 +1,119 @@
+"""Actors and trust in the distributed AM supply chain.
+
+Section 2 of the paper frames the problem: "teams located in different
+parts of the world can collaborate on each step" and the parties are
+"trusted, partially trusted or potentially untrusted".  This module
+models that assignment and derives the *threat surface*: which taxonomy
+attacks become available given who runs which stage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.supplychain.risks import AmStage
+from repro.supplychain.taxonomy import AttackVector, attacks_for_stage
+
+
+class TrustLevel(enum.Enum):
+    """How much the IP owner trusts a party."""
+
+    TRUSTED = "trusted"
+    PARTIALLY_TRUSTED = "partially trusted"
+    UNTRUSTED = "untrusted"
+
+
+@dataclass(frozen=True)
+class Actor:
+    """One party in the distributed chain."""
+
+    name: str
+    trust: TrustLevel
+    cloud_connected: bool = True
+
+    @property
+    def may_attack(self) -> bool:
+        return self.trust is not TrustLevel.TRUSTED
+
+
+@dataclass
+class ChainConfiguration:
+    """Assignment of supply-chain stages to actors."""
+
+    assignment: Dict[AmStage, Actor] = field(default_factory=dict)
+
+    def assign(self, stage: AmStage, actor: Actor) -> "ChainConfiguration":
+        self.assignment[stage] = actor
+        return self
+
+    def actor_for(self, stage: AmStage) -> Optional[Actor]:
+        return self.assignment.get(stage)
+
+    def validate(self) -> List[str]:
+        """Unstaffed stages (a chain must cover all five)."""
+        return [s.display_name for s in AmStage if s not in self.assignment]
+
+    # -- threat analysis -----------------------------------------------------
+
+    def exposed_attacks(self) -> List[AttackVector]:
+        """Attacks available to non-trusted actors at their stages."""
+        exposed: List[AttackVector] = []
+        for stage, actor in self.assignment.items():
+            if not actor.may_attack:
+                continue
+            exposed.extend(attacks_for_stage(stage.value))
+        return exposed
+
+    def insider_ip_theft_possible(self) -> bool:
+        """Whether some non-trusted actor sees IP-bearing artifacts.
+
+        Every stage up to slicing handles geometry that reconstructs
+        the design (the paper's IP-theft rows in Table 1).
+        """
+        ip_stages = (AmStage.CAD_FEA, AmStage.STL, AmStage.SLICING)
+        return any(
+            stage in self.assignment and self.assignment[stage].may_attack
+            for stage in ip_stages
+        )
+
+    def obfuscation_recommended(self) -> bool:
+        """ObfusCADe matters exactly when IP flows through non-trusted
+        hands - the paper's motivating deployment scenario."""
+        return self.insider_ip_theft_possible()
+
+    def summary(self) -> List[str]:
+        lines = []
+        for stage in AmStage:
+            actor = self.assignment.get(stage)
+            if actor is None:
+                lines.append(f"{stage.display_name}: UNASSIGNED")
+                continue
+            cloud = "cloud" if actor.cloud_connected else "air-gapped"
+            lines.append(
+                f"{stage.display_name}: {actor.name} ({actor.trust.value}, {cloud})"
+            )
+        exposed = self.exposed_attacks()
+        lines.append(f"exposed attack vectors: {len(exposed)}")
+        lines.append(
+            "ObfusCADe protection recommended: "
+            + ("YES" if self.obfuscation_recommended() else "no")
+        )
+        return lines
+
+
+def typical_outsourced_chain() -> ChainConfiguration:
+    """The paper's motivating setup: design in-house, production out."""
+    design = Actor("in-house design team", TrustLevel.TRUSTED)
+    cloud = Actor("cloud slicing service", TrustLevel.PARTIALLY_TRUSTED)
+    fab = Actor("contract manufacturer", TrustLevel.UNTRUSTED)
+    qa = Actor("in-house QA lab", TrustLevel.TRUSTED, cloud_connected=False)
+    return (
+        ChainConfiguration()
+        .assign(AmStage.CAD_FEA, design)
+        .assign(AmStage.STL, design)
+        .assign(AmStage.SLICING, cloud)
+        .assign(AmStage.PRINTER, fab)
+        .assign(AmStage.TESTING, qa)
+    )

@@ -1,0 +1,148 @@
+"""Concrete STL tampering attacks and their detection.
+
+Table 1's STL row lists the attacks: removal/addition of tetrahedrons
+(voids/protrusions), dimension & ratio scaling, shape changes.  These
+functions perform them on real meshes, and :func:`detect_tampering`
+implements the corresponding review controls (geometry error checks,
+volume/bounds comparison against the released reference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.mesh.trimesh import TriangleMesh
+from repro.mesh.validate import validate_mesh
+
+
+def insert_void(
+    mesh: TriangleMesh, center: Sequence[float], size: float
+) -> TriangleMesh:
+    """Insert an internal cubic void (inward-facing faces) at ``center``.
+
+    The classic strength-sabotage attack: an internal cavity invisible
+    from outside.  The attacker keeps the mesh watertight so casual
+    geometry checks pass; only volume/weight comparison reveals it.
+    """
+    if size <= 0:
+        raise ValueError("void size must be positive")
+    cavity = _axis_cube(np.asarray(center, dtype=float), size)
+    # Inward orientation: the cavity removes material.
+    return TriangleMesh.merged([mesh, cavity.flipped()])
+
+
+def add_protrusion(
+    mesh: TriangleMesh, center: Sequence[float], size: float
+) -> TriangleMesh:
+    """Add a small solid cube (outward faces) - the protrusion attack."""
+    if size <= 0:
+        raise ValueError("protrusion size must be positive")
+    return TriangleMesh.merged([mesh, _axis_cube(np.asarray(center, dtype=float), size)])
+
+
+def scale_model(mesh: TriangleMesh, factor: float) -> TriangleMesh:
+    """Uniformly scale a model (dimension/ratio attack).
+
+    A few percent is enough to break assembly tolerances while passing
+    a visual review.
+    """
+    if factor <= 0:
+        raise ValueError("scale factor must be positive")
+    return TriangleMesh(mesh.vertices * float(factor), mesh.faces.copy())
+
+
+def change_orientation_metadata(mesh: TriangleMesh, angle_rad: float) -> TriangleMesh:
+    """Rotate the model (slicing-stage orientation attack).
+
+    Printing a load-bearing part in the wrong orientation exploits FDM
+    anisotropy; see the x-z row of Table 2 for how much the material
+    cares.
+    """
+    from repro.geometry.transform import Transform
+
+    return mesh.transformed(Transform.rotation_x(float(angle_rad)))
+
+
+@dataclass
+class TamperReport:
+    """Outcome of the STL-stage review against a released reference."""
+
+    findings: List[str] = field(default_factory=list)
+
+    @property
+    def tampered(self) -> bool:
+        return bool(self.findings)
+
+
+#: Relative tolerances of the review checks.
+_VOLUME_RTOL = 1e-3
+_BOUNDS_RTOL = 1e-3
+_AREA_RTOL = 1e-3
+
+
+def detect_tampering(
+    received: TriangleMesh,
+    reference: Optional[TriangleMesh] = None,
+) -> TamperReport:
+    """STL review: manifold geometry errors + reference comparison.
+
+    Without a reference, only intrinsic geometry errors can be caught;
+    with one, volume, surface area and bounding box are compared - the
+    "review 3D rendering/file contents" control of Table 1.
+    """
+    report = TamperReport()
+    geometry = validate_mesh(received)
+    for issue in geometry.issues:
+        report.findings.append(f"geometry error: {issue}")
+
+    if reference is None:
+        return report
+
+    ref_validate = validate_mesh(reference)
+    if geometry.n_components != ref_validate.n_components:
+        report.findings.append(
+            f"component count changed: {ref_validate.n_components} -> {geometry.n_components}"
+        )
+    if not np.isclose(received.volume, reference.volume, rtol=_VOLUME_RTOL):
+        report.findings.append(
+            f"volume changed: {reference.volume:.3f} -> {received.volume:.3f} mm^3"
+        )
+    if not np.isclose(received.surface_area, reference.surface_area, rtol=_AREA_RTOL):
+        report.findings.append(
+            f"surface area changed: {reference.surface_area:.3f} -> "
+            f"{received.surface_area:.3f} mm^2"
+        )
+    ref_size = reference.bounds.size
+    got_size = received.bounds.size
+    if not np.allclose(got_size, ref_size, rtol=_BOUNDS_RTOL):
+        report.findings.append(
+            f"bounding box changed: {ref_size.round(3).tolist()} -> "
+            f"{got_size.round(3).tolist()} mm"
+        )
+    return report
+
+
+def _axis_cube(center: np.ndarray, size: float) -> TriangleMesh:
+    """A watertight axis-aligned cube mesh (outward faces)."""
+    h = size / 2.0
+    corners = np.array(
+        [
+            [-h, -h, -h], [h, -h, -h], [h, h, -h], [-h, h, -h],
+            [-h, -h, h], [h, -h, h], [h, h, h], [-h, h, h],
+        ]
+    ) + center
+    faces = np.array(
+        [
+            [0, 2, 1], [0, 3, 2],  # bottom (z-)
+            [4, 5, 6], [4, 6, 7],  # top (z+)
+            [0, 1, 5], [0, 5, 4],  # front (y-)
+            [2, 3, 7], [2, 7, 6],  # back (y+)
+            [1, 2, 6], [1, 6, 5],  # right (x+)
+            [3, 0, 4], [3, 4, 7],  # left (x-)
+        ],
+        dtype=np.int64,
+    )
+    return TriangleMesh(corners, faces)

@@ -1,0 +1,300 @@
+"""The cloud-aware AM process chain (paper Fig. 1), with security hooks.
+
+``ProcessChain.run`` walks a CAD model through every stage - CAD/FEA,
+STL export, slicing/G-code, printing, testing - under explicit process
+conditions.  Each stage records what it produced (the Fig. 3 artifact
+stages) and which security controls fired.  Attacks can be injected at
+any stage to exercise the Table 1 mitigations end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.cad.model import CadModel
+from repro.cad.resolution import FINE, StlResolution
+from repro.geometry.transform import Transform
+from repro.mesh.stl_io import load_stl_bytes, stl_binary_bytes
+from repro.mesh.trimesh import TriangleMesh
+from repro.printer.deposition import DepositionSimulator
+from repro.printer.firmware import PrinterFirmware
+from repro.printer.machines import DIMENSION_ELITE, MachineProfile
+from repro.printer.orientation import PrintOrientation, place_on_plate
+from repro.slicer.coincident import resolve_coincident_faces
+from repro.slicer.gcode import generate_gcode, parse_gcode, toolpath_statistics
+from repro.slicer.settings import SlicerSettings
+from repro.slicer.slicer import slice_mesh
+from repro.slicer.toolpath import generate_toolpaths
+from repro.supplychain.attacks import detect_tampering
+from repro.supplychain.integrity import IntegrityVault
+from repro.supplychain.risks import AmStage
+from repro.supplychain.taxonomy import attacks_for_stage
+
+
+@dataclass
+class StageRecord:
+    """Ledger entry for one completed (or aborted) stage."""
+
+    stage: AmStage
+    ok: bool
+    details: Dict[str, object] = field(default_factory=dict)
+    security_events: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ChainLedger:
+    """The full audit trail of one run through the process chain."""
+
+    records: List[StageRecord] = field(default_factory=list)
+    artifact: Optional[object] = None  # PrintedArtifact when printing ran
+
+    @property
+    def completed(self) -> bool:
+        return all(r.ok for r in self.records) and len(self.records) == len(AmStage)
+
+    @property
+    def compromised(self) -> bool:
+        return any(r.security_events for r in self.records)
+
+    def record_for(self, stage: AmStage) -> Optional[StageRecord]:
+        for r in self.records:
+            if r.stage is stage:
+                return r
+        return None
+
+    def render(self) -> str:
+        lines = []
+        for r in self.records:
+            status = "ok" if r.ok else "ABORTED"
+            lines.append(f"[{r.stage.display_name}] {status}")
+            for key, value in r.details.items():
+                lines.append(f"    {key}: {value}")
+            for event in r.security_events:
+                lines.append(f"    !! {event}")
+        return "\n".join(lines)
+
+
+#: Attack hook: receives the stage's main data product and returns a
+#: (possibly tampered) replacement.
+AttackHook = Callable[[object], object]
+
+
+class ProcessChain:
+    """A configured AM supply chain.
+
+    Parameters
+    ----------
+    machine / settings:
+        The production printer and slicing properties.
+    design_load_n:
+        Tensile service load used by the FEA qualification stage.
+    safety_factor:
+        Required strength margin in the FEA stage.
+    secret:
+        Signing secret of the integrity vault (file release control).
+    """
+
+    def __init__(
+        self,
+        machine: MachineProfile = DIMENSION_ELITE,
+        settings: Optional[SlicerSettings] = None,
+        design_load_n: float = 300.0,
+        safety_factor: float = 1.5,
+        secret: bytes = b"obfuscade-release-key",
+    ):
+        self.machine = machine
+        self.settings = settings or SlicerSettings()
+        self.design_load_n = design_load_n
+        self.safety_factor = safety_factor
+        self.vault = IntegrityVault(secret=secret)
+
+    def run(
+        self,
+        model: CadModel,
+        resolution: StlResolution = FINE,
+        orientation: PrintOrientation = PrintOrientation.XY,
+        allowable_stress_mpa: float = 30.0,
+        attacks: Optional[Dict[AmStage, AttackHook]] = None,
+        stop_on_detection: bool = True,
+        configuration=None,
+    ) -> ChainLedger:
+        """Walk the model through all five stages.
+
+        ``configuration`` (a
+        :class:`~repro.supplychain.actors.ChainConfiguration`) annotates
+        every stage record with the actor running it and flags stages
+        executed by non-trusted parties.
+        """
+        attacks = attacks or {}
+        ledger = ChainLedger()
+
+        def annotate(record: StageRecord) -> StageRecord:
+            if configuration is None:
+                return record
+            actor = configuration.actor_for(record.stage)
+            if actor is None:
+                record.security_events.append("stage has no assigned actor")
+                return record
+            record.details["actor"] = actor.name
+            record.details["trust"] = actor.trust.value
+            if actor.may_attack:
+                n_attacks = len(attacks_for_stage(record.stage.value))
+                record.details["exposure"] = (
+                    f"{n_attacks} taxonomy attacks available to this actor"
+                )
+            return record
+
+        # ---- Stage 1: CAD modelling and FEA qualification ---------------
+        export = model.export_stl(resolution)
+        mesh = export.mesh
+        fea = self._fea_qualify(mesh, allowable_stress_mpa)
+        ledger.records.append(
+            annotate(StageRecord(
+                stage=AmStage.CAD_FEA,
+                ok=fea["qualified"],
+                details={
+                    "bodies": len(export.body_meshes),
+                    "cad_file_bytes": model.cad_file_size(),
+                    "min_section_mm2": round(fea["min_section_mm2"], 2),
+                    "peak_stress_mpa": round(fea["peak_stress_mpa"], 2),
+                    "fea_iterations": fea["iterations"],
+                },
+            ))
+        )
+        if not fea["qualified"]:
+            return ledger
+
+        # ---- Stage 2: STL export, release and (possible) tampering ------
+        stl_bytes = stl_binary_bytes(mesh, header=model.name)
+        self.vault.register(f"{model.name}.stl", stl_bytes)
+        record = StageRecord(
+            stage=AmStage.STL,
+            ok=True,
+            details={
+                "triangles": export.n_triangles,
+                "stl_file_bytes": len(stl_bytes),
+                "resolution": resolution.name,
+            },
+        )
+        if AmStage.STL in attacks:
+            stl_bytes = attacks[AmStage.STL](stl_bytes)
+        received_mesh = load_stl_bytes(stl_bytes)
+        violations = self.vault.verify(f"{model.name}.stl", stl_bytes)
+        tamper = detect_tampering(received_mesh, reference=mesh)
+        record.security_events.extend(violations)
+        record.security_events.extend(tamper.findings)
+        if record.security_events and stop_on_detection:
+            record.ok = False
+            ledger.records.append(annotate(record))
+            return ledger
+        ledger.records.append(annotate(record))
+
+        # ---- Stage 3: slicing and G-code ---------------------------------
+        resolved = resolve_coincident_faces(received_mesh)
+        oriented = place_on_plate([resolved], orientation)[0]
+        oriented = oriented.translated(np.array([10.0, 10.0, 0.0]))
+        sim = DepositionSimulator(self.machine, self.settings)
+        slices = slice_mesh(oriented, sim.settings)
+        toolpaths = generate_toolpaths(slices, sim.settings)
+        gcode = generate_gcode(toolpaths)
+        if AmStage.SLICING in attacks:
+            gcode = attacks[AmStage.SLICING](gcode)
+        moves = parse_gcode(gcode)
+        stats = toolpath_statistics(moves)
+        # G-code verification (paper ref [20]): dry-run simulation.
+        dry_run = PrinterFirmware(self.machine).run_moves(moves)
+        record = StageRecord(
+            stage=AmStage.SLICING,
+            ok=dry_run.completed,
+            details={
+                "layers": stats["n_layers"],
+                "moves": stats["n_moves"],
+                "extrude_mm": round(stats["extrude_mm"], 1),
+                "gcode_bytes": gcode.size_bytes,
+            },
+            security_events=[
+                f"G-code simulation: {v}" for v in dry_run.limit_violations
+            ],
+        )
+        ledger.records.append(annotate(record))
+        if not dry_run.completed and stop_on_detection:
+            record.ok = False
+            return ledger
+
+        # ---- Stage 4: printing -------------------------------------------
+        firmware = PrinterFirmware(self.machine).run_moves(moves)
+        artifact = sim.build_from_slices(slices, oriented.bounds)
+        ledger.artifact = artifact
+        ledger.records.append(
+            annotate(StageRecord(
+                stage=AmStage.PRINTER,
+                ok=firmware.completed,
+                details={
+                    "build_time_min": round(firmware.build_time_s / 60.0, 1),
+                    "model_volume_mm3": round(artifact.model_volume_mm3, 1),
+                    "support_volume_mm3": round(artifact.support_volume_mm3, 1),
+                    "weight_g": round(artifact.weight_g, 2),
+                },
+                security_events=[
+                    f"limit switch: {v}" for v in firmware.limit_violations
+                ],
+            ))
+        )
+
+        # ---- Stage 5: testing and inspection ------------------------------
+        expected_volume = mesh.volume
+        got_volume = artifact.model_volume_mm3
+        deviation_pct = abs(got_volume - expected_volume) / expected_volume * 100.0
+        events: List[str] = []
+        if deviation_pct > 3.0:
+            events.append(
+                f"weight/density check failed: volume deviates {deviation_pct:.1f}%"
+            )
+        if artifact.porosity > 0.002:
+            events.append(f"CT scan: internal porosity {artifact.porosity:.2%}")
+        ledger.records.append(
+            annotate(StageRecord(
+                stage=AmStage.TESTING,
+                ok=not events,
+                details={
+                    "expected_volume_mm3": round(expected_volume, 1),
+                    "printed_volume_mm3": round(got_volume, 1),
+                    "porosity": round(artifact.porosity, 5),
+                },
+                security_events=events,
+            ))
+        )
+        return ledger
+
+    def _fea_qualify(self, mesh: TriangleMesh, allowable_stress_mpa: float) -> Dict:
+        """Minimal FEA qualification: peak net-section stress under the
+        design load, iterated the way a design loop would report it."""
+        min_area = _min_section_area(mesh)
+        stress = (
+            self.design_load_n / min_area if min_area > 0 else float("inf")
+        )
+        qualified = stress * self.safety_factor <= allowable_stress_mpa
+        return {
+            "min_section_mm2": min_area,
+            "peak_stress_mpa": stress,
+            "qualified": qualified,
+            "iterations": 1 if qualified else 2,
+        }
+
+
+def _min_section_area(mesh: TriangleMesh, n_stations: int = 25) -> float:
+    """Smallest cross-section area perpendicular to the load (model x).
+
+    Rotates the mesh so x becomes the slicing axis and measures contour
+    areas at evenly spaced stations, skipping the free ends.
+    """
+    rotated = mesh.transformed(Transform.rotation_y(-np.pi / 2.0))
+    lo, hi = rotated.bounds.lo[2], rotated.bounds.hi[2]
+    span = hi - lo
+    stations = np.linspace(lo + 0.05 * span, hi - 0.05 * span, n_stations)
+    result = slice_mesh(rotated, SlicerSettings(), z_values=stations)
+    areas = [layer.total_area for layer in result.layers if layer.total_area > 0]
+    return min(areas) if areas else 0.0

@@ -1,0 +1,80 @@
+"""File integrity controls: hashes, signatures and size checks.
+
+Table 1's STL-stage mitigations include "verification of digital
+signatures, file sizes/hashes".  The vault below is that control: it
+records the legitimate fingerprint of every file released into the
+supply chain and verifies what arrives downstream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+def file_digest(data: bytes) -> str:
+    """SHA-256 fingerprint of file contents."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sign_bytes(data: bytes, secret: bytes) -> str:
+    """HMAC-SHA256 signature over file contents."""
+    if not secret:
+        raise ValueError("signing secret must not be empty")
+    return hmac.new(secret, data, hashlib.sha256).hexdigest()
+
+
+def verify_signature(data: bytes, signature: str, secret: bytes) -> bool:
+    """Constant-time verification of an HMAC signature."""
+    return hmac.compare_digest(sign_bytes(data, secret), signature)
+
+
+@dataclass(frozen=True)
+class FileRecord:
+    """The registered fingerprint of one released file."""
+
+    name: str
+    size_bytes: int
+    digest: str
+    signature: Optional[str] = None
+
+
+class IntegrityVault:
+    """Registers released files and audits received copies."""
+
+    def __init__(self, secret: Optional[bytes] = None):
+        self._secret = secret
+        self._records: Dict[str, FileRecord] = {}
+
+    def register(self, name: str, data: bytes) -> FileRecord:
+        """Record a legitimate file at release time."""
+        record = FileRecord(
+            name=name,
+            size_bytes=len(data),
+            digest=file_digest(data),
+            signature=sign_bytes(data, self._secret) if self._secret else None,
+        )
+        self._records[name] = record
+        return record
+
+    def verify(self, name: str, data: bytes) -> List[str]:
+        """Audit a received file; returns a list of violations (empty = clean)."""
+        record = self._records.get(name)
+        if record is None:
+            return [f"no release record for {name!r}"]
+        violations: List[str] = []
+        if len(data) != record.size_bytes:
+            violations.append(
+                f"size mismatch: released {record.size_bytes} bytes, received {len(data)}"
+            )
+        if file_digest(data) != record.digest:
+            violations.append("hash mismatch: file contents altered")
+        if record.signature is not None and self._secret is not None:
+            if not verify_signature(data, record.signature, self._secret):
+                violations.append("signature verification failed")
+        return violations
+
+    def records(self) -> List[FileRecord]:
+        return list(self._records.values())

@@ -1,0 +1,183 @@
+"""Cybersecurity risks per AM supply-chain stage (paper Table 1).
+
+A queryable risk register carrying every risk and mitigation the table
+lists, with cross-references into the attack taxonomy.  The Table 1
+bench regenerates the table from this register.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class AmStage(enum.Enum):
+    """The five supply-chain stages of Table 1 (and Fig. 1)."""
+
+    CAD_FEA = "cad_fea"
+    STL = "stl"
+    SLICING = "slicing"
+    PRINTER = "printer"
+    TESTING = "testing"
+
+    @property
+    def display_name(self) -> str:
+        return {
+            AmStage.CAD_FEA: "CAD model & FEA",
+            AmStage.STL: "STL file",
+            AmStage.SLICING: "Slicing & G-code",
+            AmStage.PRINTER: "3D Printer",
+            AmStage.TESTING: "Testing",
+        }[self]
+
+
+@dataclass(frozen=True)
+class Risk:
+    """One cybersecurity risk at one stage."""
+
+    stage: AmStage
+    description: str
+
+
+@dataclass(frozen=True)
+class Mitigation:
+    """One risk-mitigation strategy.
+
+    ``is_this_work`` marks the paper's own contribution (CAD-level
+    design obfuscation for IP protection).
+    """
+
+    stage: AmStage
+    description: str
+    is_this_work: bool = False
+
+
+_TABLE_1: Tuple[Tuple[AmStage, Tuple[str, ...], Tuple[Tuple[str, bool], ...]], ...] = (
+    (
+        AmStage.CAD_FEA,
+        (
+            "IP theft, ransomware, software Trojans, malware",
+            "CAD libraries & FEA databases corruption/modification",
+            "Malicious insider corrupts CAD model, adds vulnerabilities",
+        ),
+        (
+            ("Data-Loss Prevention software, code reviews, periodic backups", False),
+            ("CAD-level design obfuscation for IP protection (this work)", True),
+            ("IP file access/integrity controls, entitlement reviews", False),
+        ),
+    ),
+    (
+        AmStage.STL,
+        (
+            "Removal/addition of tetrahedrons (i.e. voids/protrusions)",
+            "Dimension & ratio scaling, shape changes, end point changes",
+            "File theft/loss/corruption, ransomware",
+        ),
+        (
+            ("Review 3D rendering/file contents/manifold geometry errors", False),
+            ("Verification of digital signatures, file sizes/hashes", False),
+            ("Strict access control to files, regular backups", False),
+        ),
+    ),
+    (
+        AmStage.SLICING,
+        (
+            "Orientation changes, addition of porosity/contaminants",
+            "Damage to printer actuators using malicious coordinates",
+            "IP theft/reverse-engineering, reconstruction of CAD model",
+        ),
+        (
+            ("Simulation of generated G-code, code review", False),
+            ("Actuator limit switch preventing physical damage", False),
+            ("Periodic review of printer parameters, strict access controls", False),
+        ),
+    ),
+    (
+        AmStage.PRINTER,
+        (
+            "Malicious firmware updates, unauthorized remote access",
+            "Activation of firmware Trojans, malicious operator",
+            "Acoustic/thermal side channels, IP theft, information leakage",
+            "File parser/firmware zero-day, corrupted calibration files",
+        ),
+        (
+            ("Strict access control, network firewalls, secure updates", False),
+            ("Inspection of printed object, measurement of weight/density", False),
+            ("Tensile strength test, X-Ray/Ultrasound/CT scan reconstruction", False),
+            ("Side-channel shielding, noise emission, physical access controls", False),
+        ),
+    ),
+    (
+        AmStage.TESTING,
+        (
+            "Detection granularity versus test time trade-off",
+            "Low CT/ultrasonic equipment resolution",
+        ),
+        (
+            ("High resolution CT/ultrasonic tests on random samples", False),
+            ("Use higher resolution equipment, test over different angles", False),
+        ),
+    ),
+)
+
+
+@dataclass
+class RiskRegister:
+    """Queryable container of the Table 1 content."""
+
+    risks: List[Risk] = field(default_factory=list)
+    mitigations: List[Mitigation] = field(default_factory=list)
+
+    def risks_for(self, stage: AmStage) -> List[Risk]:
+        return [r for r in self.risks if r.stage is stage]
+
+    def mitigations_for(self, stage: AmStage) -> List[Mitigation]:
+        return [m for m in self.mitigations if m.stage is stage]
+
+    def coverage(self) -> Dict[AmStage, bool]:
+        """Whether every stage with risks also has mitigations."""
+        return {
+            stage: bool(self.mitigations_for(stage)) or not self.risks_for(stage)
+            for stage in AmStage
+        }
+
+    def this_work(self) -> Optional[Mitigation]:
+        """The mitigation contributed by the paper (ObfusCADe)."""
+        for m in self.mitigations:
+            if m.is_this_work:
+                return m
+        return None
+
+    def as_table(self) -> List[Dict[str, str]]:
+        """Rows matching the layout of the paper's Table 1."""
+        rows = []
+        for stage in AmStage:
+            rows.append(
+                {
+                    "AM stage": stage.display_name,
+                    "Description of applicable cybersecurity risks": "; ".join(
+                        r.description for r in self.risks_for(stage)
+                    ),
+                    "Potential risk-mitigation strategies": "; ".join(
+                        m.description for m in self.mitigations_for(stage)
+                    ),
+                }
+            )
+        return rows
+
+
+def _build_register() -> RiskRegister:
+    register = RiskRegister()
+    for stage, risk_texts, mitigation_entries in _TABLE_1:
+        for text in risk_texts:
+            register.risks.append(Risk(stage=stage, description=text))
+        for text, is_this_work in mitigation_entries:
+            register.mitigations.append(
+                Mitigation(stage=stage, description=text, is_this_work=is_this_work)
+            )
+    return register
+
+
+#: The populated Table 1 register.
+RISK_REGISTER = _build_register()

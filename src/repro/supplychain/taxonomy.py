@@ -1,0 +1,162 @@
+"""Attack taxonomy for additive manufacturing (paper Fig. 2).
+
+The paper classifies attacks by the *system abstraction level* they
+strike (physical material, electromechanical parts, logical parts) and
+by their *effect class* (IP theft/counterfeiting, quality/integrity
+sabotage, equipment damage, information leakage, denial of service).
+The taxonomy instance below enumerates every attack Section 2 and
+Table 1 discuss, tagged with the supply-chain stage it enters through.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class AbstractionLevel(enum.Enum):
+    """Where in the system stack an attack lands."""
+
+    PHYSICAL = "physical"              # material composition
+    ELECTROMECHANICAL = "electromechanical"  # actuators, sensors
+    LOGICAL = "logical"                # firmware, files, software, cloud
+
+
+class AttackClass(enum.Enum):
+    """What an attack is after."""
+
+    IP_THEFT = "IP theft / counterfeiting"
+    SABOTAGE = "quality / integrity sabotage"
+    EQUIPMENT_DAMAGE = "equipment damage"
+    INFORMATION_LEAKAGE = "information leakage"
+    DENIAL_OF_SERVICE = "denial of service"
+
+
+@dataclass(frozen=True)
+class AttackVector:
+    """One concrete attack from the paper."""
+
+    name: str
+    level: AbstractionLevel
+    attack_class: AttackClass
+    entry_stage: str  # AmStage value; string to avoid a circular import
+    description: str
+
+
+ATTACK_TAXONOMY: Tuple[AttackVector, ...] = (
+    # -- CAD & FEA stage -----------------------------------------------------
+    AttackVector(
+        "CAD file theft", AbstractionLevel.LOGICAL, AttackClass.IP_THEFT,
+        "cad_fea", "exfiltration of design files for counterfeiting"),
+    AttackVector(
+        "ransomware on design workstation", AbstractionLevel.LOGICAL,
+        AttackClass.DENIAL_OF_SERVICE, "cad_fea",
+        "design data held hostage, production halted"),
+    AttackVector(
+        "software Trojan in CAD tool", AbstractionLevel.LOGICAL,
+        AttackClass.SABOTAGE, "cad_fea",
+        "compromised tool silently corrupts generated geometry"),
+    AttackVector(
+        "CAD/FEA library corruption", AbstractionLevel.LOGICAL,
+        AttackClass.SABOTAGE, "cad_fea",
+        "poisoned component libraries or material databases"),
+    AttackVector(
+        "malicious insider edits model", AbstractionLevel.LOGICAL,
+        AttackClass.SABOTAGE, "cad_fea",
+        "vulnerabilities designed into the part by an insider"),
+    # -- STL stage ------------------------------------------------------------
+    AttackVector(
+        "void insertion (tetrahedron removal)", AbstractionLevel.LOGICAL,
+        AttackClass.SABOTAGE, "stl",
+        "internal voids weaken the part without visual change"),
+    AttackVector(
+        "protrusion insertion (tetrahedron addition)", AbstractionLevel.LOGICAL,
+        AttackClass.SABOTAGE, "stl",
+        "added geometry disrupts fit or balance"),
+    AttackVector(
+        "dimension/ratio scaling", AbstractionLevel.LOGICAL,
+        AttackClass.SABOTAGE, "stl",
+        "scaled parts fail tolerance at assembly"),
+    AttackVector(
+        "STL file theft", AbstractionLevel.LOGICAL, AttackClass.IP_THEFT,
+        "stl", "printable geometry exfiltrated for counterfeiting"),
+    # -- slicing / G-code stage -----------------------------------------------
+    AttackVector(
+        "orientation change", AbstractionLevel.LOGICAL, AttackClass.SABOTAGE,
+        "slicing", "anisotropy abuse: strength drops in the loaded axis"),
+    AttackVector(
+        "porosity / contaminant insertion", AbstractionLevel.PHYSICAL,
+        AttackClass.SABOTAGE, "slicing",
+        "tool path edited to under-fill or embed foreign material"),
+    AttackVector(
+        "malicious coordinates", AbstractionLevel.ELECTROMECHANICAL,
+        AttackClass.EQUIPMENT_DAMAGE, "slicing",
+        "G-code drives actuators beyond travel limits"),
+    AttackVector(
+        "tool-path reverse engineering", AbstractionLevel.LOGICAL,
+        AttackClass.IP_THEFT, "slicing",
+        "CAD model reconstructed from stolen G-code"),
+    # -- printer stage ----------------------------------------------------------
+    AttackVector(
+        "malicious firmware update", AbstractionLevel.LOGICAL,
+        AttackClass.SABOTAGE, "printer",
+        "unauthorized update implants persistent print defects"),
+    AttackVector(
+        "firmware Trojan activation", AbstractionLevel.LOGICAL,
+        AttackClass.SABOTAGE, "printer",
+        "dormant logic alters deposition under trigger conditions"),
+    AttackVector(
+        "acoustic side channel", AbstractionLevel.PHYSICAL,
+        AttackClass.INFORMATION_LEAKAGE, "printer",
+        "smartphone near the printer reconstructs the tool path"),
+    AttackVector(
+        "thermal/magnetic side channel", AbstractionLevel.PHYSICAL,
+        AttackClass.INFORMATION_LEAKAGE, "printer",
+        "emissions of actuators leak motion information"),
+    AttackVector(
+        "USB port exploitation", AbstractionLevel.LOGICAL,
+        AttackClass.SABOTAGE, "printer",
+        "physical access: backdoors and covert channels via exposed ports"),
+    AttackVector(
+        "file parser zero-day", AbstractionLevel.LOGICAL,
+        AttackClass.SABOTAGE, "printer",
+        "crafted job file exploits the firmware's parser"),
+    AttackVector(
+        "corrupted calibration files", AbstractionLevel.ELECTROMECHANICAL,
+        AttackClass.SABOTAGE, "printer",
+        "mis-calibration yields systematic dimensional errors"),
+    # -- testing stage -----------------------------------------------------------
+    AttackVector(
+        "test-resolution evasion", AbstractionLevel.PHYSICAL,
+        AttackClass.SABOTAGE, "testing",
+        "defects sized below CT/ultrasound resolution slip through"),
+)
+
+
+def taxonomy_tree() -> Dict[AbstractionLevel, Dict[AttackClass, List[AttackVector]]]:
+    """The Fig. 2 tree: level -> class -> attack vectors."""
+    tree: Dict[AbstractionLevel, Dict[AttackClass, List[AttackVector]]] = {}
+    for attack in ATTACK_TAXONOMY:
+        tree.setdefault(attack.level, {}).setdefault(attack.attack_class, []).append(attack)
+    return tree
+
+
+def attacks_for_stage(stage: str) -> List[AttackVector]:
+    """All taxonomy entries entering through one supply-chain stage."""
+    return [a for a in ATTACK_TAXONOMY if a.entry_stage == stage]
+
+
+def render_tree(max_width: int = 100) -> str:
+    """ASCII rendering of the taxonomy (the Fig. 2 figure)."""
+    lines = ["Attacks in additive manufacturing"]
+    tree = taxonomy_tree()
+    for level in AbstractionLevel:
+        if level not in tree:
+            continue
+        lines.append(f"+- {level.value}")
+        for cls, attacks in tree[level].items():
+            lines.append(f"|  +- {cls.value}")
+            for attack in attacks:
+                lines.append(f"|  |  +- {attack.name}")
+    return "\n".join(line[:max_width] for line in lines)

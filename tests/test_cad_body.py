@@ -1,0 +1,112 @@
+"""Unit tests for repro.cad.body (tessellation correctness)."""
+
+import numpy as np
+import pytest
+
+from repro.cad.body import BodyKind, CompoundBody, ExtrudedBody, SphereBody
+from repro.cad.primitives import make_rect_prism
+from repro.cad.profile import polygon_profile
+from repro.geometry.spline import SamplingTolerance
+from repro.mesh.validate import validate_mesh
+
+TOL = SamplingTolerance(angle=np.deg2rad(15), deviation=0.05)
+FINE_TOL = SamplingTolerance(angle=np.deg2rad(4), deviation=0.005)
+
+
+class TestExtrudedBody:
+    @pytest.fixture
+    def box_body(self):
+        ring = np.array([[0, 0], [4, 0], [4, 2], [0, 2]], dtype=float)
+        return ExtrudedBody(polygon_profile(ring), 0.0, 3.0, name="box")
+
+    def test_watertight(self, box_body):
+        mesh = box_body.tessellate(TOL)
+        report = validate_mesh(mesh)
+        assert report.is_watertight, report.issues
+
+    def test_volume(self, box_body):
+        mesh = box_body.tessellate(TOL)
+        assert np.isclose(mesh.volume, 4 * 2 * 3, rtol=1e-9)
+
+    def test_outward_volume_positive(self, box_body):
+        assert box_body.tessellate(TOL).volume > 0
+
+    def test_inward_flag_flips(self):
+        ring = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        body = ExtrudedBody(polygon_profile(ring), 0.0, 1.0, inward=True)
+        assert body.tessellate(TOL).volume < 0
+
+    def test_invalid_heights(self):
+        ring = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        with pytest.raises(ValueError):
+            ExtrudedBody(polygon_profile(ring), 1.0, 1.0)
+
+    def test_bounds_estimate(self, box_body):
+        box = box_body.bounds_estimate()
+        assert np.allclose(box.lo, [0, 0, 0], atol=1e-6)
+        assert np.allclose(box.hi, [4, 2, 3], atol=1e-6)
+
+
+class TestSphereBody:
+    def test_watertight(self):
+        mesh = SphereBody((0, 0, 0), 2.0).tessellate(TOL)
+        report = validate_mesh(mesh)
+        assert report.is_watertight, report.issues
+        assert report.euler_characteristic == 2
+
+    def test_volume_converges(self):
+        mesh = SphereBody((0, 0, 0), 2.0).tessellate(FINE_TOL)
+        assert np.isclose(mesh.volume, 4.0 / 3.0 * np.pi * 8.0, rtol=3e-3)
+
+    def test_center_offset(self):
+        mesh = SphereBody((1, 2, 3), 0.5).tessellate(TOL)
+        assert np.allclose(mesh.centroid(), [1, 2, 3], atol=1e-6)
+
+    def test_finer_tolerance_more_triangles(self):
+        body = SphereBody((0, 0, 0), 2.0)
+        assert body.tessellate(FINE_TOL).n_faces > body.tessellate(TOL).n_faces
+
+    def test_segment_counts_respect_angle(self):
+        body = SphereBody((0, 0, 0), 5.0)
+        around, vertical = body.segment_counts(
+            SamplingTolerance(angle=np.deg2rad(30), deviation=100.0)
+        )
+        assert around >= 12
+        assert vertical >= 6
+
+    def test_inward_sphere_negative_volume(self):
+        mesh = SphereBody((0, 0, 0), 1.0, inward=True).tessellate(TOL)
+        assert mesh.volume < 0
+
+    def test_surface_kind(self):
+        body = SphereBody((0, 0, 0), 1.0, kind=BodyKind.SURFACE)
+        assert not body.is_solid
+
+    def test_bad_radius(self):
+        with pytest.raises(ValueError):
+            SphereBody((0, 0, 0), 0.0)
+
+    def test_bounds(self):
+        box = SphereBody((1, 0, 0), 2.0).bounds_estimate()
+        assert np.allclose(box.lo, [-1, -2, -2])
+        assert np.allclose(box.hi, [3, 2, 2])
+
+
+class TestCompoundBody:
+    def test_cavity_subtracts_volume(self):
+        prism = make_rect_prism((10, 10, 10))
+        cavity = SphereBody((0, 0, 0), 2.0, inward=True)
+        compound = CompoundBody([prism, cavity])
+        mesh = compound.tessellate(FINE_TOL)
+        expected = 1000.0 - 4.0 / 3.0 * np.pi * 8.0
+        assert np.isclose(mesh.volume, expected, rtol=5e-3)
+
+    def test_bounds_union(self):
+        prism = make_rect_prism((10, 10, 10))
+        cavity = SphereBody((0, 0, 0), 2.0, inward=True)
+        box = CompoundBody([prism, cavity]).bounds_estimate()
+        assert np.allclose(box.size, [10, 10, 10], atol=1e-6)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            CompoundBody([])

@@ -1,0 +1,126 @@
+"""Unit tests for repro.cad.features (the feature tree)."""
+
+import numpy as np
+import pytest
+
+from repro.cad.body import BodyKind, CompoundBody, ExtrudedBody, SphereBody, TessellationStrategy
+from repro.cad.features import (
+    BaseExtrudeFeature,
+    BasePrismFeature,
+    EmbeddedSphereFeature,
+    SphereStyle,
+    SplineSplitFeature,
+)
+from repro.cad.tensile_bar import default_split_spline, tensile_bar_profile
+
+
+class TestBaseFeatures:
+    def test_base_extrude(self):
+        f = BaseExtrudeFeature(tensile_bar_profile(), 3.2)
+        bodies = f.apply([])
+        assert len(bodies) == 1
+        assert isinstance(bodies[0], ExtrudedBody)
+        assert bodies[0].z1 - bodies[0].z0 == pytest.approx(3.2)
+
+    def test_base_extrude_bad_thickness(self):
+        with pytest.raises(ValueError):
+            BaseExtrudeFeature(tensile_bar_profile(), 0.0)
+
+    def test_base_prism(self):
+        bodies = BasePrismFeature((2, 3, 4)).apply([])
+        assert len(bodies) == 1
+        size = bodies[0].bounds_estimate().size
+        assert np.allclose(size, [2, 3, 4], atol=1e-6)
+
+
+class TestSplineSplit:
+    def test_produces_two_bodies(self):
+        bodies = BaseExtrudeFeature(tensile_bar_profile(), 3.2).apply([])
+        split = SplineSplitFeature(default_split_spline())
+        out = split.apply(bodies)
+        assert len(out) == 2
+        assert all(isinstance(b, ExtrudedBody) for b in out)
+
+    def test_independent_strategies(self):
+        bodies = BaseExtrudeFeature(tensile_bar_profile(), 3.2).apply([])
+        out = SplineSplitFeature(default_split_spline()).apply(bodies)
+        strategies = {b.strategy for b in out}
+        assert strategies == {
+            TessellationStrategy.ADAPTIVE,
+            TessellationStrategy.UNIFORM,
+        }
+
+    def test_shared_tessellation_ablation(self):
+        bodies = BaseExtrudeFeature(tensile_bar_profile(), 3.2).apply([])
+        out = SplineSplitFeature(
+            default_split_spline(), shared_tessellation=True
+        ).apply(bodies)
+        assert {b.strategy for b in out} == {TessellationStrategy.ADAPTIVE}
+
+    def test_requires_single_extruded_body(self):
+        with pytest.raises(ValueError):
+            SplineSplitFeature(default_split_spline()).apply([])
+
+
+class TestEmbeddedSphere:
+    def host(self):
+        return BasePrismFeature((25.4, 12.7, 12.7)).apply([])
+
+    def test_no_removal_adds_one_sphere(self):
+        f = EmbeddedSphereFeature((0, 0, 0), 3.0, SphereStyle.SOLID, False)
+        out = f.apply(self.host())
+        assert len(out) == 2
+        sphere = out[1]
+        assert isinstance(sphere, SphereBody)
+        assert not sphere.inward
+
+    def test_no_removal_surface_sphere_not_solid(self):
+        f = EmbeddedSphereFeature((0, 0, 0), 3.0, SphereStyle.SURFACE, False)
+        out = f.apply(self.host())
+        assert out[1].kind is BodyKind.SURFACE
+
+    def test_removal_creates_cavity_compound(self):
+        f = EmbeddedSphereFeature((0, 0, 0), 3.0, SphereStyle.SOLID, True)
+        out = f.apply(self.host())
+        assert isinstance(out[0], CompoundBody)
+        cavity = out[0].parts[1]
+        assert cavity.inward
+
+    def test_removal_surface_sphere_inherits_inward(self):
+        f = EmbeddedSphereFeature((0, 0, 0), 3.0, SphereStyle.SURFACE, True)
+        out = f.apply(self.host())
+        assert out[1].inward
+
+    def test_removal_solid_sphere_outward(self):
+        f = EmbeddedSphereFeature((0, 0, 0), 3.0, SphereStyle.SOLID, True)
+        out = f.apply(self.host())
+        assert not out[1].inward
+
+    def test_sphere_must_fit_host(self):
+        f = EmbeddedSphereFeature((0, 0, 0), 10.0, SphereStyle.SOLID, False)
+        with pytest.raises(ValueError):
+            f.apply(self.host())
+
+    def test_sphere_off_center_out_of_bounds(self):
+        f = EmbeddedSphereFeature((12.0, 0, 0), 3.0, SphereStyle.SOLID, False)
+        with pytest.raises(ValueError):
+            f.apply(self.host())
+
+    def test_needs_exactly_one_host(self):
+        f = EmbeddedSphereFeature((0, 0, 0), 3.0, SphereStyle.SOLID, False)
+        with pytest.raises(ValueError):
+            f.apply(self.host() + self.host())
+
+    def test_bad_radius(self):
+        with pytest.raises(ValueError):
+            EmbeddedSphereFeature((0, 0, 0), -1.0, SphereStyle.SOLID, False)
+
+    def test_cad_bytes_differ_by_style(self):
+        solid = EmbeddedSphereFeature((0, 0, 0), 3.0, SphereStyle.SOLID, False)
+        surface = EmbeddedSphereFeature((0, 0, 0), 3.0, SphereStyle.SURFACE, False)
+        assert solid.cad_bytes != surface.cad_bytes
+
+    def test_cad_bytes_grow_with_removal(self):
+        without = EmbeddedSphereFeature((0, 0, 0), 3.0, SphereStyle.SOLID, False)
+        with_removal = EmbeddedSphereFeature((0, 0, 0), 3.0, SphereStyle.SOLID, True)
+        assert with_removal.cad_bytes > without.cad_bytes

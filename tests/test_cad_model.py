@@ -1,0 +1,131 @@
+"""Unit tests for repro.cad.model (exports and file-size observations)."""
+
+import numpy as np
+import pytest
+
+from repro.cad import (
+    COARSE,
+    FINE,
+    BaseExtrudeFeature,
+    BasePrismFeature,
+    CadModel,
+    EmbeddedSphereFeature,
+    SphereStyle,
+    SplineSplitFeature,
+    custom_resolution,
+    default_split_spline,
+    tensile_bar_profile,
+)
+from repro.mesh.stl_io import load_stl_bytes
+
+
+@pytest.fixture(scope="module")
+def intact_model():
+    return CadModel("bar", [BaseExtrudeFeature(tensile_bar_profile(), 3.2)])
+
+
+def sphere_model(style, removal):
+    return CadModel(
+        "prism",
+        [
+            BasePrismFeature((25.4, 12.7, 12.7)),
+            EmbeddedSphereFeature((0, 0, 0), 3.175, style, removal),
+        ],
+    )
+
+
+class TestEvaluation:
+    def test_empty_model_raises(self):
+        with pytest.raises(ValueError):
+            CadModel("empty").bodies()
+
+    def test_add_feature_chains(self):
+        m = CadModel("m").add_feature(BasePrismFeature((1, 1, 1)))
+        assert len(m.features) == 1
+        assert len(m.bodies()) == 1
+
+    def test_bounds(self, intact_model):
+        box = intact_model.bounds()
+        assert np.allclose(box.size, [115, 19, 3.2], atol=0.01)
+
+
+class TestStlExport:
+    def test_more_triangles_at_finer_resolution(self, intact_model):
+        coarse = intact_model.export_stl(COARSE)
+        fine = intact_model.export_stl(FINE)
+        custom = intact_model.export_stl(custom_resolution())
+        assert coarse.n_triangles < fine.n_triangles < custom.n_triangles
+
+    def test_file_size_matches_triangles(self, intact_model):
+        e = intact_model.export_stl(COARSE)
+        assert e.file_size_bytes == 84 + 50 * e.n_triangles
+
+    def test_export_bytes_parse_back(self, intact_model):
+        e = intact_model.export_stl(COARSE)
+        mesh = load_stl_bytes(e.to_bytes())
+        assert mesh.n_faces == e.n_triangles
+
+    def test_split_model_two_bodies(self):
+        m = CadModel(
+            "split",
+            [
+                BaseExtrudeFeature(tensile_bar_profile(), 3.2),
+                SplineSplitFeature(default_split_spline()),
+            ],
+        )
+        e = m.export_stl(COARSE)
+        assert len(e.body_meshes) == 2
+        total = sum(mesh.n_faces for mesh in e.body_meshes.values())
+        assert total == e.n_triangles
+
+
+class TestPaperFileSizeObservations:
+    """Sec. 3.2's file-size observations, as assertions."""
+
+    def test_sphere_increases_stl_size_vs_intact(self):
+        intact = CadModel("prism", [BasePrismFeature((25.4, 12.7, 12.7))])
+        with_sphere = sphere_model(SphereStyle.SOLID, False)
+        assert (
+            with_sphere.export_stl(FINE).file_size_bytes
+            > intact.export_stl(FINE).file_size_bytes
+        )
+
+    def test_solid_and_surface_sphere_same_stl_size(self):
+        for removal in (False, True):
+            solid = sphere_model(SphereStyle.SOLID, removal)
+            surface = sphere_model(SphereStyle.SURFACE, removal)
+            assert (
+                solid.export_stl(FINE).file_size_bytes
+                == surface.export_stl(FINE).file_size_bytes
+            )
+
+    def test_solid_and_surface_sphere_different_cad_size(self):
+        solid = sphere_model(SphereStyle.SOLID, False)
+        surface = sphere_model(SphereStyle.SURFACE, False)
+        assert solid.cad_file_size() != surface.cad_file_size()
+
+    def test_removal_larger_than_no_removal(self):
+        no_removal = sphere_model(SphereStyle.SOLID, False)
+        removal = sphere_model(SphereStyle.SOLID, True)
+        assert (
+            removal.export_stl(FINE).file_size_bytes
+            > no_removal.export_stl(FINE).file_size_bytes
+        )
+        assert removal.cad_file_size() > no_removal.cad_file_size()
+
+    def test_split_feature_grows_cad_file(self, intact_model):
+        split = CadModel(
+            "split",
+            [
+                BaseExtrudeFeature(tensile_bar_profile(), 3.2),
+                SplineSplitFeature(default_split_spline()),
+            ],
+        )
+        assert split.cad_file_size() > intact_model.cad_file_size()
+
+
+class TestToleranceScaling:
+    def test_export_tolerance_from_model_bounds(self, intact_model):
+        e = intact_model.export_stl(COARSE)
+        diag = intact_model.bounds().diagonal
+        assert np.isclose(e.tolerance.deviation, COARSE.deviation_fraction * diag)

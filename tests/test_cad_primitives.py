@@ -1,0 +1,62 @@
+"""Unit tests for repro.cad.primitives."""
+
+import numpy as np
+import pytest
+
+from repro.cad.primitives import make_cylinder, make_rect_prism, make_sphere
+from repro.cad.body import BodyKind
+from repro.geometry.spline import SamplingTolerance
+from repro.mesh.validate import validate_mesh
+
+TOL = SamplingTolerance(angle=np.deg2rad(6), deviation=0.01)
+
+
+class TestPrism:
+    def test_volume(self):
+        mesh = make_rect_prism((2, 3, 4)).tessellate(TOL)
+        assert np.isclose(mesh.volume, 24.0)
+
+    def test_centered(self):
+        mesh = make_rect_prism((2, 2, 2), center=(1, 1, 1)).tessellate(TOL)
+        assert np.allclose(mesh.centroid(), [1, 1, 1], atol=1e-9)
+
+    def test_watertight(self):
+        assert validate_mesh(make_rect_prism((1, 1, 1)).tessellate(TOL)).is_watertight
+
+    def test_paper_prism_dimensions(self):
+        """The paper's host: 1 x 0.5 x 0.5 in = 25.4 x 12.7 x 12.7 mm."""
+        mesh = make_rect_prism((25.4, 12.7, 12.7)).tessellate(TOL)
+        assert np.isclose(mesh.volume, 25.4 * 12.7 * 12.7)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            make_rect_prism((0, 1, 1))
+
+
+class TestSphere:
+    def test_solid_default(self):
+        assert make_sphere((0, 0, 0), 1.0).kind is BodyKind.SOLID
+
+    def test_surface_kind(self):
+        s = make_sphere((0, 0, 0), 1.0, kind=BodyKind.SURFACE)
+        assert s.kind is BodyKind.SURFACE
+
+    def test_paper_sphere_radius(self):
+        """The paper's embedded sphere: radius 0.3175 cm = 3.175 mm."""
+        mesh = make_sphere((0, 0, 0), 3.175).tessellate(TOL)
+        expected = 4.0 / 3.0 * np.pi * 3.175 ** 3
+        assert np.isclose(mesh.volume, expected, rtol=5e-3)
+
+
+class TestCylinder:
+    def test_volume(self):
+        mesh = make_cylinder((0, 0), 2.0, 0.0, 5.0).tessellate(TOL)
+        assert np.isclose(mesh.volume, np.pi * 4.0 * 5.0, rtol=2e-3)
+
+    def test_watertight(self):
+        mesh = make_cylinder((1, 1), 1.0, 0.0, 2.0).tessellate(TOL)
+        assert validate_mesh(mesh).is_watertight
+
+    def test_bad_radius(self):
+        with pytest.raises(ValueError):
+            make_cylinder((0, 0), 0.0, 0.0, 1.0)

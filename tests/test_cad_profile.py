@@ -1,0 +1,149 @@
+"""Unit tests for repro.cad.profile."""
+
+import numpy as np
+import pytest
+
+from repro.cad.profile import (
+    ArcSegment,
+    LineSegment,
+    Profile,
+    SplineSegment,
+    polygon_profile,
+)
+from repro.geometry.spline import CubicSpline2, SamplingTolerance
+
+TOL = SamplingTolerance(angle=np.deg2rad(10), deviation=0.05)
+LOOSE = SamplingTolerance(angle=np.deg2rad(40), deviation=1.0)
+
+
+class TestLineSegment:
+    def test_endpoints(self):
+        seg = LineSegment((0, 0), (2, 1))
+        assert np.allclose(seg.start, [0, 0])
+        assert np.allclose(seg.end, [2, 1])
+
+    def test_sampling_exact(self):
+        seg = LineSegment((0, 0), (2, 1))
+        pts = seg.sample(TOL)
+        assert len(pts) == 2
+
+    def test_zero_length_raises(self):
+        with pytest.raises(ValueError):
+            LineSegment((1, 1), (1, 1))
+
+    def test_reversed(self):
+        seg = LineSegment((0, 0), (1, 0)).reversed()
+        assert np.allclose(seg.start, [1, 0])
+
+
+class TestArcSegment:
+    def test_endpoints(self):
+        arc = ArcSegment((0, 0), 1.0, 0.0, np.pi / 2)
+        assert np.allclose(arc.start, [1, 0])
+        assert np.allclose(arc.end, [0, 1], atol=1e-12)
+
+    def test_sample_on_circle(self):
+        arc = ArcSegment((0, 0), 2.0, 0.0, np.pi)
+        pts = arc.sample(TOL)
+        radii = np.linalg.norm(pts, axis=1)
+        assert np.allclose(radii, 2.0)
+
+    def test_finer_tolerance_more_points(self):
+        arc = ArcSegment((0, 0), 5.0, 0.0, np.pi)
+        assert len(arc.sample(TOL)) > len(arc.sample(LOOSE))
+
+    def test_sagitta_criterion(self):
+        arc = ArcSegment((0, 0), 10.0, 0.0, np.pi)
+        pts = arc.sample(SamplingTolerance(angle=np.pi, deviation=0.01))
+        # Max sagitta of any chord must respect the deviation.
+        for a, b in zip(pts[:-1], pts[1:]):
+            mid = 0.5 * (a + b)
+            sagitta = 10.0 - np.linalg.norm(mid)
+            assert sagitta <= 0.011
+
+    def test_invalid_arcs(self):
+        with pytest.raises(ValueError):
+            ArcSegment((0, 0), -1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            ArcSegment((0, 0), 1.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            ArcSegment((0, 0), 1.0, 0.0, 3 * np.pi)
+
+    def test_reversed(self):
+        arc = ArcSegment((0, 0), 1.0, 0.0, np.pi / 2)
+        rev = arc.reversed()
+        assert np.allclose(rev.start, arc.end)
+        assert np.allclose(rev.end, arc.start)
+
+
+class TestSplineSegment:
+    @pytest.fixture
+    def spline(self):
+        return CubicSpline2(np.array([[0.0, 0.0], [5.0, 2.0], [10.0, 0.0]]))
+
+    def test_strategies_share_endpoints(self, spline):
+        adaptive = SplineSegment(spline, "adaptive").sample(TOL)
+        uniform = SplineSegment(spline, "uniform").sample(TOL)
+        assert np.allclose(adaptive[0], uniform[0])
+        assert np.allclose(adaptive[-1], uniform[-1])
+        assert len(adaptive) == len(uniform)
+
+    def test_strategies_place_different_vertices(self, spline):
+        adaptive = SplineSegment(spline, "adaptive").sample(TOL)
+        uniform = SplineSegment(spline, "uniform").sample(TOL)
+        diff = max(
+            np.linalg.norm(uniform - p, axis=1).min() for p in adaptive[1:-1]
+        )
+        assert diff > 1e-9
+
+    def test_unknown_strategy_raises(self, spline):
+        with pytest.raises(ValueError):
+            SplineSegment(spline, "banana")
+
+    def test_reverse(self, spline):
+        seg = SplineSegment(spline, reverse=True)
+        assert np.allclose(seg.start, spline.evaluate(1.0))
+        pts = seg.sample(TOL)
+        assert np.allclose(pts[0], seg.start)
+
+    def test_with_strategy(self, spline):
+        seg = SplineSegment(spline, "adaptive").with_strategy("uniform")
+        assert seg.strategy == "uniform"
+
+
+class TestProfile:
+    def test_unclosed_raises(self):
+        with pytest.raises(ValueError):
+            Profile([LineSegment((0, 0), (1, 0)), LineSegment((2, 0), (0, 0))])
+
+    def test_polygon_profile_roundtrip(self):
+        ring = np.array([[0, 0], [4, 0], [4, 2], [0, 2]], dtype=float)
+        prof = polygon_profile(ring)
+        poly = prof.sample(TOL)
+        assert np.isclose(poly.area, 8.0)
+
+    def test_stadium_profile(self):
+        # Rectangle with semicircular caps: two lines + two arcs.
+        left = ArcSegment((0, 0), 1.0, np.pi / 2, 3 * np.pi / 2)
+        bottom = LineSegment((0, -1), (4, -1))
+        right = ArcSegment((4, 0), 1.0, -np.pi / 2, np.pi / 2)
+        top = LineSegment((4, 1), (0, 1))
+        prof = Profile([left, bottom, right, top])
+        poly = prof.sample(SamplingTolerance(angle=np.deg2rad(2), deviation=0.001))
+        expected = 4 * 2 + np.pi  # rectangle + circle
+        assert np.isclose(poly.area, expected, rtol=1e-3)
+
+    def test_with_spline_strategy(self):
+        spline = CubicSpline2(np.array([[0.0, 0.0], [2.0, 1.0], [4.0, 0.0]]))
+        prof = Profile(
+            [SplineSegment(spline), LineSegment((4, 0), (0, 0))]
+        )
+        prof2 = prof.with_spline_strategy("uniform")
+        spline_segs = [s for s in prof2.segments if isinstance(s, SplineSegment)]
+        assert all(s.strategy == "uniform" for s in spline_segs)
+
+    def test_sample_drops_duplicate_joint_points(self):
+        ring = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        poly = polygon_profile(ring).sample(TOL)
+        # Four corners, no duplicates at segment joints.
+        assert len(poly) == 4

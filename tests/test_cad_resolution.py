@@ -1,0 +1,70 @@
+"""Unit tests for repro.cad.resolution (Fig. 5 parameters)."""
+
+import numpy as np
+import pytest
+
+from repro.cad.resolution import COARSE, FINE, PAPER_RESOLUTIONS, StlResolution, custom_resolution
+from repro.geometry.bbox import Aabb
+
+
+class TestPresets:
+    def test_names(self):
+        assert COARSE.name == "Coarse"
+        assert FINE.name == "Fine"
+        assert custom_resolution().name == "Custom"
+
+    def test_paper_resolutions_triple(self):
+        assert [r.name for r in PAPER_RESOLUTIONS] == ["Coarse", "Fine", "Custom"]
+
+    def test_fine_is_finer(self):
+        assert FINE.angle_deg < COARSE.angle_deg
+        assert FINE.deviation_fraction < COARSE.deviation_fraction
+
+    def test_custom_is_finest(self):
+        c = custom_resolution()
+        assert c.angle_deg < FINE.angle_deg
+        assert c.deviation_fraction < FINE.deviation_fraction
+
+
+class TestValidation:
+    def test_bad_angle(self):
+        with pytest.raises(ValueError):
+            StlResolution(name="x", angle_deg=0.0, deviation_fraction=0.01)
+        with pytest.raises(ValueError):
+            StlResolution(name="x", angle_deg=95.0, deviation_fraction=0.01)
+
+    def test_bad_deviation(self):
+        with pytest.raises(ValueError):
+            StlResolution(name="x", angle_deg=10.0, deviation_fraction=-0.1)
+
+
+class TestToleranceMapping:
+    def test_scales_with_model_size(self):
+        small = Aabb(np.zeros(3), np.ones(3) * 10)
+        large = Aabb(np.zeros(3), np.ones(3) * 100)
+        assert (
+            COARSE.tolerance_for(small).deviation
+            < COARSE.tolerance_for(large).deviation
+        )
+
+    def test_angle_in_radians(self):
+        box = Aabb(np.zeros(3), np.ones(3) * 100)
+        tol = COARSE.tolerance_for(box)
+        assert np.isclose(tol.angle, np.deg2rad(30.0))
+
+    def test_min_deviation_floor(self):
+        tiny = Aabb(np.zeros(3), np.ones(3) * 1e-3)
+        tol = FINE.tolerance_for(tiny)
+        assert tol.deviation >= FINE.min_deviation_mm
+
+    def test_diagonal_shortcut_matches(self):
+        box = Aabb(np.zeros(3), np.array([30.0, 40.0, 0.0]))
+        a = COARSE.tolerance_for(box)
+        b = COARSE.tolerance_for_diagonal(50.0)
+        assert np.isclose(a.deviation, b.deviation)
+        assert np.isclose(a.angle, b.angle)
+
+    def test_presets_ordered_on_same_part(self):
+        box = Aabb(np.zeros(3), np.array([115.0, 19.0, 3.2]))
+        devs = [r.tolerance_for(box).deviation for r in PAPER_RESOLUTIONS]
+        assert devs[0] > devs[1] > devs[2]

@@ -1,0 +1,103 @@
+"""Unit tests for repro.cad.serialize (model + key JSON round trips)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cad import COARSE, FINE, SphereStyle, custom_resolution
+from repro.cad.serialize import (
+    dumps_model,
+    key_from_dict,
+    key_to_dict,
+    load_model,
+    loads_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.obfuscade import ManufacturingKey, Obfuscator
+from repro.printer import PrintOrientation
+
+
+class TestModelRoundtrip:
+    def test_intact_bar(self, intact_bar):
+        rebuilt = loads_model(dumps_model(intact_bar))
+        assert rebuilt.name == intact_bar.name
+        assert len(rebuilt.features) == len(intact_bar.features)
+        original = intact_bar.export_stl(COARSE)
+        copy = rebuilt.export_stl(COARSE)
+        assert copy.n_triangles == original.n_triangles
+        assert np.isclose(copy.mesh.volume, original.mesh.volume, rtol=1e-9)
+
+    def test_split_bar_identical_export(self, split_bar):
+        """The protection must survive the round trip bit for bit: the
+        rebuilt model exports the *same* STL bytes."""
+        rebuilt = loads_model(dumps_model(split_bar))
+        assert rebuilt.export_stl(FINE).to_bytes() == split_bar.export_stl(FINE).to_bytes()
+
+    def test_sphere_models(self):
+        for style in SphereStyle:
+            for removal in (False, True):
+                model = Obfuscator.sphere_variant(style, removal)
+                rebuilt = loads_model(dumps_model(model))
+                assert (
+                    rebuilt.export_stl(FINE).file_size_bytes
+                    == model.export_stl(FINE).file_size_bytes
+                )
+                assert rebuilt.cad_file_size() == model.cad_file_size()
+
+    def test_shared_tessellation_flag_preserved(self, bar_spec):
+        from repro.cad import (
+            BaseExtrudeFeature,
+            CadModel,
+            SplineSplitFeature,
+            default_split_spline,
+            tensile_bar_profile,
+        )
+
+        model = CadModel(
+            "abl",
+            [
+                BaseExtrudeFeature(tensile_bar_profile(bar_spec), bar_spec.thickness),
+                SplineSplitFeature(default_split_spline(bar_spec), shared_tessellation=True),
+            ],
+        )
+        rebuilt = loads_model(dumps_model(model))
+        assert rebuilt.features[1].shared_tessellation
+
+    def test_file_roundtrip(self, tmp_path, split_bar):
+        path = tmp_path / "model.json"
+        save_model(split_bar, path)
+        rebuilt = load_model(path)
+        assert rebuilt.name == split_bar.name
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            model_from_dict({"format": "dxf", "name": "x", "features": []})
+
+    def test_json_is_plain(self, split_bar):
+        # Every value must be JSON-native (no numpy scalars leaking).
+        payload = json.loads(dumps_model(split_bar))
+        assert payload["format"] == "repro-cad/1"
+
+
+class TestKeyRoundtrip:
+    def test_roundtrip(self):
+        key = ManufacturingKey.of(
+            (FINE, custom_resolution()),
+            PrintOrientation.XY,
+            cad_recipe=("remove_material", "embed_solid_sphere"),
+        )
+        rebuilt = key_from_dict(key_to_dict(key))
+        assert rebuilt == key
+
+    def test_matches_after_roundtrip(self):
+        key = ManufacturingKey.of((FINE,), PrintOrientation.XZ)
+        rebuilt = key_from_dict(key_to_dict(key))
+        assert rebuilt.matches(FINE, PrintOrientation.XZ)
+        assert not rebuilt.matches(COARSE, PrintOrientation.XZ)
+
+    def test_bad_format(self):
+        with pytest.raises(ValueError):
+            key_from_dict({"format": "pem"})

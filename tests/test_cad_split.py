@@ -1,0 +1,84 @@
+"""Unit tests for repro.cad.split (the split operation)."""
+
+import numpy as np
+import pytest
+
+from repro.cad.split import split_profile
+from repro.cad.profile import polygon_profile
+from repro.cad.tensile_bar import default_split_spline, tensile_bar_profile
+from repro.geometry.spline import CubicSpline2, SamplingTolerance
+
+TOL = SamplingTolerance(angle=np.deg2rad(8), deviation=0.02)
+
+
+class TestSquareSplit:
+    @pytest.fixture
+    def square(self):
+        return polygon_profile(
+            np.array([[0, 0], [10, 0], [10, 10], [0, 10]], dtype=float)
+        )
+
+    def test_straight_cut(self, square):
+        cut = CubicSpline2(np.array([[5.0, 0.0], [5.0, 10.0]]))
+        a, b = split_profile(square, cut)
+        pa, pb = a.sample(TOL), b.sample(TOL)
+        assert np.isclose(pa.area + pb.area, 100.0, rtol=1e-9)
+        assert np.isclose(pa.area, 50.0, rtol=1e-9)
+
+    def test_both_sides_ccw(self, square):
+        cut = CubicSpline2(np.array([[5.0, 0.0], [5.0, 10.0]]))
+        a, b = split_profile(square, cut)
+        assert a.sample(TOL).is_ccw
+        assert b.sample(TOL).is_ccw
+
+    def test_curved_cut_conserves_area(self, square):
+        cut = CubicSpline2(
+            np.array([[5.0, 0.0], [3.0, 3.0], [7.0, 7.0], [5.0, 10.0]])
+        )
+        a, b = split_profile(square, cut)
+        fine = SamplingTolerance(angle=np.deg2rad(2), deviation=0.002)
+        total = a.sample(fine).area + b.sample(fine).area
+        assert np.isclose(total, 100.0, rtol=1e-4)
+
+    def test_cut_through_corner_boundary(self, square):
+        # Spline endpoint exactly at an existing vertex.
+        cut = CubicSpline2(np.array([[0.0, 0.0], [10.0, 10.0]]))
+        a, b = split_profile(square, cut)
+        total = a.sample(TOL).area + b.sample(TOL).area
+        assert np.isclose(total, 100.0, rtol=1e-9)
+
+    def test_endpoint_off_boundary_raises(self, square):
+        cut = CubicSpline2(np.array([[5.0, 2.0], [5.0, 10.0]]))
+        with pytest.raises(ValueError):
+            split_profile(square, cut)
+
+
+class TestDogboneSplit:
+    def test_split_areas_sum(self):
+        profile = tensile_bar_profile()
+        spline = default_split_spline()
+        a, b = split_profile(profile, spline)
+        whole = profile.sample(TOL).area
+        total = a.sample(TOL).area + b.sample(TOL).area
+        assert np.isclose(total, whole, rtol=2e-3)
+
+    def test_sides_share_the_spline_object(self):
+        from repro.cad.profile import SplineSegment
+
+        profile = tensile_bar_profile()
+        spline = default_split_spline()
+        a, b = split_profile(profile, spline)
+        spline_a = [s for s in a.segments if isinstance(s, SplineSegment)]
+        spline_b = [s for s in b.segments if isinstance(s, SplineSegment)]
+        assert len(spline_a) == 1 and len(spline_b) == 1
+        assert spline_a[0].spline is spline_b[0].spline
+
+    def test_left_side_contains_left_grip(self):
+        profile = tensile_bar_profile()
+        spline = default_split_spline()
+        a, b = split_profile(profile, spline)
+        pa, pb = a.sample(TOL), b.sample(TOL)
+        left_grip = np.array([-55.0, 0.0])
+        in_a = pa.contains(left_grip)
+        in_b = pb.contains(left_grip)
+        assert in_a != in_b  # exactly one side owns the left grip

@@ -1,0 +1,107 @@
+"""Unit tests for repro.cad.tensile_bar (the paper's specimen)."""
+
+import numpy as np
+import pytest
+
+from repro.cad.tensile_bar import (
+    TensileBarSpec,
+    default_split_spline,
+    spline_tip_points,
+    tensile_bar_profile,
+)
+from repro.geometry.spline import SamplingTolerance
+
+TOL = SamplingTolerance(angle=np.deg2rad(5), deviation=0.01)
+
+
+class TestSpec:
+    def test_defaults_are_astm_type_iv(self):
+        spec = TensileBarSpec()
+        assert spec.overall_length == 115.0
+        assert spec.gauge_width == 6.0  # the paper's gauge width
+        assert spec.thickness == 3.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TensileBarSpec(gauge_width=20.0)  # wider than the grips
+        with pytest.raises(ValueError):
+            TensileBarSpec(overall_length=-1.0)
+        with pytest.raises(ValueError):
+            TensileBarSpec(fillet_radius=1.0)  # cannot span width change
+        with pytest.raises(ValueError):
+            TensileBarSpec(overall_length=40.0)  # too short for fillets
+
+    def test_fillet_geometry(self):
+        spec = TensileBarSpec()
+        drop = (spec.overall_width - spec.gauge_width) / 2.0
+        # The fillet sweep must exactly absorb the width change.
+        assert np.isclose(
+            spec.fillet_radius * (1 - np.cos(spec.fillet_sweep)), drop
+        )
+
+    def test_gauge_cross_section(self):
+        assert np.isclose(TensileBarSpec().gauge_cross_section_mm2, 19.2)
+
+
+class TestProfile:
+    @pytest.fixture(scope="class")
+    def polygon(self):
+        return tensile_bar_profile().sample(TOL)
+
+    def test_is_closed_ccw(self, polygon):
+        assert polygon.is_ccw
+
+    def test_overall_bounds(self, polygon):
+        spec = TensileBarSpec()
+        assert np.allclose(
+            polygon.bounds.size,
+            [spec.overall_length, spec.overall_width],
+            atol=1e-6,
+        )
+
+    def test_symmetry(self, polygon):
+        # The dogbone is symmetric about both axes.
+        pts = polygon.points
+        assert abs(pts[:, 0].mean()) < 0.2
+        assert abs(pts[:, 1].mean()) < 0.2
+
+    def test_gauge_width_at_center(self, polygon):
+        # The cross-section at x=0 is exactly the 6 mm gauge.
+        assert polygon.contains(np.array([0.0, 2.99]))
+        assert polygon.contains(np.array([0.0, -2.99]))
+        assert not polygon.contains(np.array([0.0, 3.01]))
+        assert not polygon.contains(np.array([0.0, -3.01]))
+
+    def test_area_between_gauge_and_grip_rectangles(self, polygon):
+        spec = TensileBarSpec()
+        lower = spec.overall_length * spec.gauge_width
+        upper = spec.overall_length * spec.overall_width
+        assert lower < polygon.area < upper
+
+
+class TestSplitSpline:
+    def test_arc_length_is_3_5x_gauge_width(self):
+        spec = TensileBarSpec()
+        spline = default_split_spline(spec)
+        assert np.isclose(spline.arc_length(), 3.5 * spec.gauge_width, rtol=0.02)
+
+    def test_endpoints_on_gauge_edges(self):
+        spec = TensileBarSpec()
+        spline = default_split_spline(spec)
+        start, end = spline.evaluate(0.0), spline.evaluate(1.0)
+        assert np.isclose(start[1], -spec.gauge_width / 2)
+        assert np.isclose(end[1], spec.gauge_width / 2)
+
+    def test_stays_within_gauge_section(self):
+        spec = TensileBarSpec()
+        spline = default_split_spline(spec)
+        pts = spline.evaluate(np.linspace(0, 1, 500))
+        assert np.all(np.abs(pts[:, 0]) <= spec.gauge_length / 2 + 1e-9)
+        assert np.all(np.abs(pts[:, 1]) <= spec.gauge_width / 2 + 1e-9)
+
+    def test_tip_points(self):
+        spline = default_split_spline()
+        tips = spline_tip_points(spline)
+        assert tips.shape == (2, 2)
+        assert np.allclose(tips[0], spline.evaluate(0.0))
+        assert np.allclose(tips[1], spline.evaluate(1.0))

@@ -1,0 +1,76 @@
+"""Unit tests for repro.cad.triangulate (ear clipping)."""
+
+import numpy as np
+import pytest
+
+from repro.cad.triangulate import triangulate_polygon, triangulation_area
+from repro.geometry.polygon import Polygon2, regular_polygon
+
+
+def check(poly: Polygon2):
+    tris = triangulate_polygon(poly)
+    assert len(tris) == len(poly) - 2
+    assert np.isclose(triangulation_area(poly, tris), poly.area, rtol=1e-9)
+    return tris
+
+
+class TestConvex:
+    def test_triangle(self):
+        check(Polygon2(np.array([[0, 0], [1, 0], [0, 1]], dtype=float)))
+
+    def test_square(self):
+        check(Polygon2(np.array([[0, 0], [2, 0], [2, 2], [0, 2]], dtype=float)))
+
+    def test_regular_ngon(self):
+        check(regular_polygon(12, 3.0))
+
+    def test_many_sided(self):
+        check(regular_polygon(100, 1.0))
+
+
+class TestConcave:
+    def test_l_shape(self):
+        check(
+            Polygon2(
+                np.array([[0, 0], [2, 0], [2, 1], [1, 1], [1, 2], [0, 2]], dtype=float)
+            )
+        )
+
+    def test_star(self):
+        angles = np.linspace(0, 2 * np.pi, 10, endpoint=False)
+        radii = np.where(np.arange(10) % 2 == 0, 2.0, 0.8)
+        pts = np.stack([radii * np.cos(angles), radii * np.sin(angles)], axis=1)
+        check(Polygon2(pts))
+
+    def test_deep_notch(self):
+        pts = np.array(
+            [[0, 0], [10, 0], [10, 5], [5.1, 5], [5.1, 1], [4.9, 1], [4.9, 5], [0, 5]],
+            dtype=float,
+        )
+        check(Polygon2(pts))
+
+
+class TestOrientation:
+    def test_cw_input_accepted(self):
+        poly = Polygon2(np.array([[0, 0], [0, 2], [2, 2], [2, 0]], dtype=float))
+        assert not poly.is_ccw
+        tris = triangulate_polygon(poly)
+        assert np.isclose(triangulation_area(poly, tris), 4.0)
+
+    def test_triangles_are_ccw(self):
+        poly = Polygon2(np.array([[0, 0], [3, 0], [3, 3], [0, 3]], dtype=float))
+        pts = poly.points
+        for a, b, c in triangulate_polygon(poly):
+            u, v = pts[b] - pts[a], pts[c] - pts[a]
+            assert u[0] * v[1] - u[1] * v[0] > 0
+
+
+class TestDogbone:
+    def test_tensile_profile_triangulates(self):
+        from repro.cad.tensile_bar import tensile_bar_profile
+        from repro.geometry.spline import SamplingTolerance
+
+        poly = tensile_bar_profile().sample(
+            SamplingTolerance(angle=np.deg2rad(10), deviation=0.02)
+        )
+        check(poly if poly.is_ccw else poly.reversed())

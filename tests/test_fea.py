@@ -1,0 +1,155 @@
+"""Unit tests for the FEA substrate (mesh2d, plane_stress, analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.fea.mesh2d import mesh_polygon
+from repro.fea.plane_stress import PlaneStressModel
+from repro.geometry.polygon import rectangle
+
+
+@pytest.fixture(scope="module")
+def strip_mesh():
+    """A 20 x 4 mm strip meshed at h=1."""
+    return mesh_polygon(rectangle(20.0, 4.0), target_h=1.0)
+
+
+class TestMeshing:
+    def test_area_covered(self, strip_mesh):
+        assert np.isclose(strip_mesh.total_area, 80.0, rtol=0.02)
+
+    def test_all_elements_ccw(self, strip_mesh):
+        n = strip_mesh.nodes
+        for a, b, c in strip_mesh.elements:
+            cross = (n[b][0] - n[a][0]) * (n[c][1] - n[a][1]) - (
+                n[c][0] - n[a][0]
+            ) * (n[b][1] - n[a][1])
+            assert cross > 0
+
+    def test_no_isolated_nodes(self, strip_mesh):
+        used = np.unique(strip_mesh.elements)
+        assert len(used) == strip_mesh.n_nodes
+
+    def test_extra_points_become_nodes(self):
+        seeds = np.array([[0.0, 0.0], [3.0, 1.0]])
+        mesh = mesh_polygon(rectangle(20.0, 4.0), 1.0, extra_points=seeds)
+        idx = mesh.nearest_nodes(seeds, tol=1e-9)
+        assert np.all(idx >= 0)
+
+    def test_bad_target_h(self):
+        with pytest.raises(ValueError):
+            mesh_polygon(rectangle(10, 10), 0.0)
+
+    def test_finer_h_more_elements(self):
+        coarse = mesh_polygon(rectangle(20.0, 4.0), 2.0)
+        fine = mesh_polygon(rectangle(20.0, 4.0), 0.7)
+        assert fine.n_elements > coarse.n_elements
+
+
+class TestPlaneStress:
+    def test_uniaxial_strip_matches_theory(self, strip_mesh):
+        """A strip pulled to strain eps carries sigma ~ E*eps.
+
+        (Plane-stress with clamped ends adds slight constraint stress;
+        5 % tolerance absorbs it.)
+        """
+        e_mpa = 2000.0
+        model = PlaneStressModel(strip_mesh, young_modulus_mpa=e_mpa, thickness_mm=3.0)
+        left = strip_mesh.nodes_where(lambda n: n[:, 0] < -10.0 + 1e-6)
+        right = strip_mesh.nodes_where(lambda n: n[:, 0] > 10.0 - 1e-6)
+        eps = 0.01
+        result = model.solve(left, {int(n): eps * 20.0 for n in right})
+        sigma = e_mpa * eps
+        sxx = result.element_stress[:, 0]
+        interior = np.abs(strip_mesh.nodes[strip_mesh.elements].mean(axis=1)[:, 0]) < 5
+        assert np.isclose(np.median(sxx[interior]), sigma, rtol=0.05)
+        # Reaction force = sigma * A.
+        assert np.isclose(
+            abs(result.reaction_force_n), sigma * 4.0 * 3.0, rtol=0.05
+        )
+
+    def test_rigid_translation_zero_stress(self, strip_mesh):
+        model = PlaneStressModel(strip_mesh, young_modulus_mpa=1000.0)
+        # No fixed nodes: prescribe the same ux everywhere on both ends
+        left = strip_mesh.nodes_where(lambda n: n[:, 0] < -10.0 + 1e-6)
+        right = strip_mesh.nodes_where(lambda n: n[:, 0] > 10.0 - 1e-6)
+        prescribed = {int(n): 1.0 for n in np.concatenate([left, right])}
+        # Fix one node's y to remove the rigid mode.
+        result = model.solve([int(left[0])], prescribed)
+        assert result.max_von_mises() < 1.0  # ~zero up to the pinned node
+
+    def test_spring_transfers_load(self):
+        """Two strips joined by stiff springs behave like one strip."""
+        left_mesh = mesh_polygon(rectangle(10.0, 4.0, center=(-5.0, 0.0)), 1.0)
+        right_mesh = mesh_polygon(rectangle(10.0, 4.0, center=(5.0, 0.0)), 1.0)
+        from repro.fea.mesh2d import FeaMesh
+
+        offset = left_mesh.n_nodes
+        mesh = FeaMesh(
+            nodes=np.vstack([left_mesh.nodes, right_mesh.nodes]),
+            elements=np.vstack([left_mesh.elements, right_mesh.elements + offset]),
+        )
+        seam = np.array([[0.0, y] for y in np.linspace(-2.0, 2.0, 9)])
+        ia = left_mesh.nearest_nodes(seam, tol=0.5)
+        ib = right_mesh.nearest_nodes(seam, tol=0.5)
+        springs = [
+            (int(a), int(b) + offset, 1e6)
+            for a, b in zip(ia, ib)
+            if a >= 0 and b >= 0
+        ]
+        assert springs
+        model = PlaneStressModel(mesh, young_modulus_mpa=2000.0, springs=springs)
+        fixed = mesh.nodes_where(lambda n: n[:, 0] < -10.0 + 1e-6)
+        pulled = mesh.nodes_where(lambda n: n[:, 0] > 10.0 - 1e-6)
+        result = model.solve(fixed, {int(n): 0.2 for n in pulled})
+        # Load crosses the springs: reaction is that of a 20 mm strip.
+        assert abs(result.reaction_force_n) > 1.0
+
+    def test_validation(self, strip_mesh):
+        with pytest.raises(ValueError):
+            PlaneStressModel(strip_mesh, young_modulus_mpa=-1.0)
+        with pytest.raises(ValueError):
+            PlaneStressModel(strip_mesh, young_modulus_mpa=1.0, poisson=0.6)
+
+
+class TestSpecimenAnalysis:
+    @pytest.fixture(scope="class")
+    def intact(self):
+        from repro.fea import analyze_intact_bar
+
+        return analyze_intact_bar(mesh_h=1.2)
+
+    @pytest.fixture(scope="class")
+    def fused(self):
+        from repro.fea import analyze_split_bar
+
+        return analyze_split_bar(bonded_fraction=1.0, mesh_h=1.2)
+
+    @pytest.fixture(scope="class")
+    def degraded(self):
+        from repro.fea import analyze_split_bar
+
+        return analyze_split_bar(bonded_fraction=0.6, mesh_h=1.2)
+
+    def test_intact_modulus_recovered(self, intact):
+        assert intact.effective_modulus_gpa == pytest.approx(1.98, rel=0.05)
+
+    def test_intact_no_concentration(self, intact):
+        assert intact.concentration_factor == pytest.approx(1.0, abs=0.05)
+
+    def test_split_concentrates_at_seam(self, fused):
+        assert fused.concentration_factor > 1.5
+
+    def test_unbonded_run_raises_kt(self, fused, degraded):
+        assert degraded.concentration_factor > fused.concentration_factor
+
+    def test_unbonded_run_softens(self, fused, degraded):
+        assert degraded.effective_modulus_gpa < fused.effective_modulus_gpa
+
+    def test_invalid_fractions(self):
+        from repro.fea import analyze_split_bar
+
+        with pytest.raises(ValueError):
+            analyze_split_bar(bonded_fraction=0.0)
+        with pytest.raises(ValueError):
+            analyze_split_bar(bond_efficiency=1.5)

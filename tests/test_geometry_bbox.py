@@ -1,0 +1,73 @@
+"""Unit tests for repro.geometry.bbox."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import Aabb
+
+
+class TestConstruction:
+    def test_from_points(self):
+        pts = np.array([[0, 0, 0], [1, 2, 3], [-1, 5, 0.5]])
+        box = Aabb.from_points(pts)
+        assert np.allclose(box.lo, [-1, 0, 0])
+        assert np.allclose(box.hi, [1, 5, 3])
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            Aabb.from_points(np.zeros((0, 3)))
+
+    def test_mismatched_dims_raise(self):
+        with pytest.raises(ValueError):
+            Aabb(np.zeros(2), np.zeros(3))
+
+
+class TestProperties:
+    def test_size_center(self):
+        box = Aabb(np.array([0.0, 0.0]), np.array([4.0, 2.0]))
+        assert np.allclose(box.size, [4, 2])
+        assert np.allclose(box.center, [2, 1])
+        assert box.dim == 2
+
+    def test_diagonal(self):
+        box = Aabb(np.zeros(3), np.array([3.0, 4.0, 12.0]))
+        assert np.isclose(box.diagonal, 13.0)
+
+    def test_volume(self):
+        box = Aabb(np.zeros(3), np.array([2.0, 3.0, 4.0]))
+        assert np.isclose(box.volume, 24.0)
+
+    def test_volume_2d_is_area(self):
+        box = Aabb(np.zeros(2), np.array([2.0, 5.0]))
+        assert np.isclose(box.volume, 10.0)
+
+
+class TestQueries:
+    def test_contains(self):
+        box = Aabb(np.zeros(3), np.ones(3))
+        assert box.contains(np.array([0.5, 0.5, 0.5]))
+        assert box.contains(np.array([1.0, 1.0, 1.0]))  # boundary
+        assert not box.contains(np.array([1.1, 0.5, 0.5]))
+
+    def test_contains_with_tolerance(self):
+        box = Aabb(np.zeros(3), np.ones(3))
+        assert box.contains(np.array([1.05, 0.5, 0.5]), tol=0.1)
+
+    def test_union(self):
+        a = Aabb(np.zeros(2), np.ones(2))
+        b = Aabb(np.array([2.0, -1.0]), np.array([3.0, 0.5]))
+        u = a.union(b)
+        assert np.allclose(u.lo, [0, -1])
+        assert np.allclose(u.hi, [3, 1])
+
+    def test_intersects(self):
+        a = Aabb(np.zeros(2), np.ones(2))
+        assert a.intersects(Aabb(np.array([0.5, 0.5]), np.array([2.0, 2.0])))
+        assert not a.intersects(Aabb(np.array([2.0, 2.0]), np.array([3.0, 3.0])))
+        # Touching boxes intersect.
+        assert a.intersects(Aabb(np.array([1.0, 0.0]), np.array([2.0, 1.0])))
+
+    def test_expanded(self):
+        box = Aabb(np.zeros(2), np.ones(2)).expanded(0.5)
+        assert np.allclose(box.lo, [-0.5, -0.5])
+        assert np.allclose(box.hi, [1.5, 1.5])

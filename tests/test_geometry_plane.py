@@ -1,0 +1,92 @@
+"""Unit tests for repro.geometry.plane."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.plane import Plane
+
+
+class TestConstruction:
+    def test_horizontal(self):
+        p = Plane.horizontal(2.5)
+        assert np.allclose(p.normal, [0, 0, 1])
+        assert p.offset == 2.5
+
+    def test_from_point_normal(self):
+        p = Plane.from_point_normal(np.array([1.0, 0.0, 0.0]), np.array([2.0, 0.0, 0.0]))
+        assert np.allclose(p.normal, [1, 0, 0])
+        assert np.isclose(p.offset, 1.0)
+
+    def test_normal_is_normalized(self):
+        p = Plane(np.array([0.0, 3.0, 4.0]), 10.0)
+        assert np.isclose(np.linalg.norm(p.normal), 1.0)
+
+
+class TestSignedDistance:
+    def test_scalar_point(self):
+        p = Plane.horizontal(1.0)
+        assert np.isclose(p.signed_distance(np.array([0, 0, 3.0])), 2.0)
+        assert np.isclose(p.signed_distance(np.array([0, 0, 0.0])), -1.0)
+
+    def test_batch(self):
+        p = Plane.horizontal(0.0)
+        pts = np.array([[0, 0, 1.0], [0, 0, -2.0]])
+        assert np.allclose(p.signed_distance(pts), [1, -2])
+
+
+class TestSegmentIntersection:
+    def test_crossing_segment(self):
+        p = Plane.horizontal(0.5)
+        hit = p.intersect_segment(np.array([0, 0, 0.0]), np.array([0, 0, 1.0]))
+        assert np.allclose(hit, [0, 0, 0.5])
+
+    def test_non_crossing(self):
+        p = Plane.horizontal(2.0)
+        assert p.intersect_segment(np.array([0, 0, 0.0]), np.array([0, 0, 1.0])) is None
+
+    def test_endpoint_on_plane(self):
+        p = Plane.horizontal(1.0)
+        hit = p.intersect_segment(np.array([0, 0, 1.0]), np.array([0, 0, 2.0]))
+        assert np.allclose(hit, [0, 0, 1])
+
+
+class TestTriangleIntersection:
+    def test_crossing_triangle(self):
+        p = Plane.horizontal(0.5)
+        tri = np.array([[0, 0, 0], [1, 0, 1], [0, 1, 1]], dtype=float)
+        seg = p.intersect_triangle(tri)
+        assert seg is not None
+        a, b = seg
+        assert np.isclose(a[2], 0.5) and np.isclose(b[2], 0.5)
+
+    def test_above_plane(self):
+        p = Plane.horizontal(-1.0)
+        tri = np.array([[0, 0, 0], [1, 0, 1], [0, 1, 1]], dtype=float)
+        assert p.intersect_triangle(tri) is None
+
+    def test_coplanar_returns_none(self):
+        p = Plane.horizontal(0.0)
+        tri = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]], dtype=float)
+        assert p.intersect_triangle(tri) is None
+
+    def test_single_vertex_touch_returns_none(self):
+        p = Plane.horizontal(1.0)
+        tri = np.array([[0, 0, 1], [1, 0, 0], [0, 1, 0]], dtype=float)
+        assert p.intersect_triangle(tri) is None
+
+    def test_edge_on_plane(self):
+        p = Plane.horizontal(0.0)
+        tri = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 1]], dtype=float)
+        seg = p.intersect_triangle(tri)
+        assert seg is not None
+        pts = np.array(seg)
+        # The intersection is exactly the bottom edge.
+        assert np.allclose(sorted(pts[:, 0].tolist()), [0, 1])
+
+    def test_intersection_length_matches_geometry(self):
+        p = Plane.horizontal(0.5)
+        tri = np.array([[0, 0, 0], [2, 0, 0], [0, 0, 2]], dtype=float)
+        seg = p.intersect_triangle(tri)
+        a, b = seg
+        # The cut of this right triangle at z=0.5 has length 1.5.
+        assert np.isclose(np.linalg.norm(a - b), 1.5)

@@ -1,0 +1,134 @@
+"""Unit tests for repro.geometry.polygon."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import Polygon2, rectangle, regular_polygon
+
+
+@pytest.fixture
+def square() -> Polygon2:
+    return Polygon2(np.array([[0.0, 0.0], [2.0, 0.0], [2.0, 2.0], [0.0, 2.0]]))
+
+
+class TestConstruction:
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            Polygon2(np.array([[0, 0], [1, 1]]))
+
+    def test_closing_vertex_dropped(self):
+        p = Polygon2(np.array([[0, 0], [1, 0], [0, 1], [0, 0]], dtype=float))
+        assert len(p) == 3
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            Polygon2(np.zeros((4, 3)))
+
+
+class TestMetrics:
+    def test_area_square(self, square):
+        assert np.isclose(square.area, 4.0)
+        assert square.is_ccw
+
+    def test_signed_area_flips(self, square):
+        assert np.isclose(square.reversed().signed_area, -4.0)
+
+    def test_perimeter(self, square):
+        assert np.isclose(square.perimeter, 8.0)
+
+    def test_centroid_square(self, square):
+        assert np.allclose(square.centroid, [1, 1])
+
+    def test_centroid_asymmetric(self):
+        # L-shaped polygon: centroid must use the area formula, not the
+        # vertex mean.
+        pts = np.array(
+            [[0, 0], [2, 0], [2, 1], [1, 1], [1, 2], [0, 2]], dtype=float
+        )
+        poly = Polygon2(pts)
+        assert np.isclose(poly.area, 3.0)
+        assert np.allclose(poly.centroid, [5.0 / 6.0, 5.0 / 6.0])
+
+    def test_regular_polygon_area_converges_to_circle(self):
+        poly = regular_polygon(256, radius=2.0)
+        assert np.isclose(poly.area, np.pi * 4.0, rtol=1e-3)
+
+    def test_rectangle_helper(self):
+        r = rectangle(4.0, 2.0, center=(1.0, 1.0))
+        assert np.isclose(r.area, 8.0)
+        assert r.is_ccw
+        assert np.allclose(r.centroid, [1, 1])
+
+    def test_rectangle_bad_dims(self):
+        with pytest.raises(ValueError):
+            rectangle(0.0, 1.0)
+
+
+class TestContainment:
+    def test_inside(self, square):
+        assert square.contains(np.array([1.0, 1.0]))
+
+    def test_outside(self, square):
+        assert not square.contains(np.array([3.0, 1.0]))
+
+    def test_boundary_counts_inside(self, square):
+        assert square.contains(np.array([2.0, 1.0]))
+        assert square.contains(np.array([0.0, 0.0]))
+
+    def test_concave(self):
+        pts = np.array(
+            [[0, 0], [4, 0], [4, 4], [2, 4], [2, 2], [0, 2]], dtype=float
+        )
+        poly = Polygon2(pts)
+        assert poly.contains(np.array([1.0, 1.0]))
+        assert poly.contains(np.array([3.0, 3.0]))
+        assert not poly.contains(np.array([1.0, 3.0]))  # in the notch
+
+
+class TestScanline:
+    def test_simple_span(self, square):
+        spans = square.scanline_spans(1.0)
+        assert len(spans) == 1
+        assert np.allclose(spans[0], (0.0, 2.0))
+
+    def test_outside_no_spans(self, square):
+        assert square.scanline_spans(5.0) == []
+
+    def test_concave_two_spans(self):
+        pts = np.array(
+            [[0, 0], [5, 0], [5, 3], [3, 3], [3, 1], [2, 1], [2, 3], [0, 3]],
+            dtype=float,
+        )
+        poly = Polygon2(pts)
+        spans = poly.scanline_spans(2.0)
+        assert len(spans) == 2
+        assert np.allclose(spans[0], (0, 2))
+        assert np.allclose(spans[1], (3, 5))
+
+    def test_span_area_integration(self, square):
+        ys = np.linspace(0.01, 1.99, 200)
+        total = sum(
+            sum(b - a for a, b in square.scanline_spans(y)) for y in ys
+        ) * (ys[1] - ys[0])
+        assert np.isclose(total, square.area, rtol=0.02)
+
+
+class TestOps:
+    def test_translated(self, square):
+        t = square.translated([1.0, -1.0])
+        assert np.isclose(t.area, square.area)
+        assert np.allclose(t.centroid, [2, 0])
+
+    def test_resampled_edge_limit(self, square):
+        r = square.resampled(0.5)
+        edges = np.linalg.norm(np.roll(r.points, -1, axis=0) - r.points, axis=1)
+        assert edges.max() <= 0.5 + 1e-9
+        assert np.isclose(r.area, square.area)
+
+    def test_resampled_bad_edge(self, square):
+        with pytest.raises(ValueError):
+            square.resampled(0.0)
+
+    def test_bounds(self, square):
+        assert np.allclose(square.bounds.lo, [0, 0])
+        assert np.allclose(square.bounds.hi, [2, 2])

@@ -1,0 +1,72 @@
+"""Unit tests for repro.geometry.segment."""
+
+import numpy as np
+
+from repro.geometry.segment import Segment2
+
+
+class TestBasics:
+    def test_vector_length_midpoint(self):
+        s = Segment2(np.array([0.0, 0.0]), np.array([3.0, 4.0]))
+        assert np.allclose(s.vector, [3, 4])
+        assert np.isclose(s.length, 5.0)
+        assert np.allclose(s.midpoint, [1.5, 2.0])
+
+    def test_point_at(self):
+        s = Segment2(np.array([0.0, 0.0]), np.array([10.0, 0.0]))
+        assert np.allclose(s.point_at(0.3), [3, 0])
+
+
+class TestProjection:
+    def test_project_parameter(self):
+        s = Segment2(np.array([0.0, 0.0]), np.array([10.0, 0.0]))
+        assert np.isclose(s.project_parameter(np.array([4.0, 5.0])), 0.4)
+
+    def test_project_beyond_ends(self):
+        s = Segment2(np.array([0.0, 0.0]), np.array([1.0, 0.0]))
+        assert s.project_parameter(np.array([2.0, 0.0])) > 1.0
+        assert s.project_parameter(np.array([-1.0, 0.0])) < 0.0
+
+    def test_distance_interior(self):
+        s = Segment2(np.array([0.0, 0.0]), np.array([10.0, 0.0]))
+        assert np.isclose(s.distance_to_point(np.array([5.0, 2.0])), 2.0)
+
+    def test_distance_clamps_to_endpoint(self):
+        s = Segment2(np.array([0.0, 0.0]), np.array([1.0, 0.0]))
+        assert np.isclose(s.distance_to_point(np.array([4.0, 4.0])), 5.0)
+
+    def test_contains_point(self):
+        s = Segment2(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+        assert s.contains_point(np.array([1.0, 1.0]))
+        assert not s.contains_point(np.array([1.0, 1.2]))
+        assert s.contains_point(np.array([1.0, 1.05]), tol=0.1)
+
+
+class TestIntersection:
+    def test_crossing(self):
+        a = Segment2(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+        b = Segment2(np.array([0.0, 2.0]), np.array([2.0, 0.0]))
+        hit = a.intersect(b)
+        assert np.allclose(hit, [1, 1])
+
+    def test_parallel_no_intersection(self):
+        a = Segment2(np.array([0.0, 0.0]), np.array([1.0, 0.0]))
+        b = Segment2(np.array([0.0, 1.0]), np.array([1.0, 1.0]))
+        assert a.intersect(b) is None
+
+    def test_collinear_overlap_returns_none(self):
+        a = Segment2(np.array([0.0, 0.0]), np.array([2.0, 0.0]))
+        b = Segment2(np.array([1.0, 0.0]), np.array([3.0, 0.0]))
+        assert a.intersect(b) is None
+
+    def test_non_crossing_skew(self):
+        a = Segment2(np.array([0.0, 0.0]), np.array([1.0, 0.0]))
+        b = Segment2(np.array([2.0, -1.0]), np.array([2.0, 1.0]))
+        assert a.intersect(b) is None
+
+    def test_endpoint_touch(self):
+        a = Segment2(np.array([0.0, 0.0]), np.array([1.0, 0.0]))
+        b = Segment2(np.array([1.0, 0.0]), np.array([1.0, 2.0]))
+        hit = a.intersect(b)
+        assert hit is not None
+        assert np.allclose(hit, [1, 0], atol=1e-8)

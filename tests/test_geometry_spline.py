@@ -1,0 +1,137 @@
+"""Unit tests for repro.geometry.spline (the ObfusCADe-critical module)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.spline import CubicSpline2, SamplingTolerance
+
+
+@pytest.fixture
+def s_curve() -> CubicSpline2:
+    return CubicSpline2(
+        np.array([[0.0, 0.0], [5.0, 3.0], [10.0, -2.0], [21.0, 0.0]])
+    )
+
+
+class TestConstruction:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            CubicSpline2(np.array([[0.0, 0.0]]))
+
+    def test_duplicate_points_raise(self):
+        with pytest.raises(ValueError):
+            CubicSpline2(np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0]]))
+
+    def test_two_points_is_a_line(self):
+        sp = CubicSpline2(np.array([[0.0, 0.0], [10.0, 5.0]]))
+        assert np.allclose(sp.evaluate(0.5), [5.0, 2.5])
+
+
+class TestEvaluation:
+    def test_interpolates_control_points(self, s_curve):
+        pts = s_curve.control_points
+        assert np.allclose(s_curve.evaluate(0.0), pts[0], atol=1e-9)
+        assert np.allclose(s_curve.evaluate(1.0), pts[-1], atol=1e-9)
+
+    def test_interpolates_interior_points(self, s_curve):
+        # Interior control points are hit at their chord-length params.
+        dense = s_curve.evaluate(np.linspace(0, 1, 4000))
+        for cp in s_curve.control_points:
+            d = np.linalg.norm(dense - cp, axis=1).min()
+            assert d < 0.01
+
+    def test_batch_evaluation_shape(self, s_curve):
+        out = s_curve.evaluate(np.linspace(0, 1, 17))
+        assert out.shape == (17, 2)
+
+    def test_clipping_outside_domain(self, s_curve):
+        assert np.allclose(s_curve.evaluate(-0.5), s_curve.evaluate(0.0))
+        assert np.allclose(s_curve.evaluate(1.5), s_curve.evaluate(1.0))
+
+    def test_continuity(self, s_curve):
+        # C0: no jumps anywhere along the parameter range.
+        t = np.linspace(0, 1, 5000)
+        pts = s_curve.evaluate(t)
+        steps = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+        assert steps.max() < 0.05
+
+    def test_tangent_direction(self):
+        line = CubicSpline2(np.array([[0.0, 0.0], [10.0, 0.0]]))
+        tan = line.tangent(0.5)
+        assert abs(tan[1]) < 1e-6
+        assert tan[0] > 0
+
+
+class TestArcLength:
+    def test_straight_line(self):
+        sp = CubicSpline2(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert np.isclose(sp.arc_length(), 5.0, rtol=1e-6)
+
+    def test_monotone_in_samples(self, s_curve):
+        assert s_curve.arc_length(64) <= s_curve.arc_length(2048) + 1e-9
+
+
+class TestAdaptiveSampling:
+    def test_endpoints_included(self, s_curve):
+        pts = s_curve.sample_adaptive(SamplingTolerance(angle=0.5, deviation=1.0))
+        assert np.allclose(pts[0], s_curve.evaluate(0.0))
+        assert np.allclose(pts[-1], s_curve.evaluate(1.0))
+
+    def test_finer_tolerance_more_points(self, s_curve):
+        coarse = s_curve.sample_adaptive(SamplingTolerance(angle=0.5, deviation=0.5))
+        fine = s_curve.sample_adaptive(SamplingTolerance(angle=0.05, deviation=0.005))
+        assert len(fine) > len(coarse)
+
+    def test_deviation_honoured(self, s_curve):
+        tol = SamplingTolerance(angle=np.pi / 2, deviation=0.05)
+        pts = s_curve.sample_adaptive(tol)
+        # Every chord midpoint must be within ~deviation of the curve.
+        dense = s_curve.evaluate(np.linspace(0, 1, 8000))
+        for a, b in zip(pts[:-1], pts[1:]):
+            mid = 0.5 * (a + b)
+            d = np.linalg.norm(dense - mid, axis=1).min()
+            assert d <= tol.deviation * 1.5
+
+    def test_angle_honoured(self, s_curve):
+        tol = SamplingTolerance(angle=np.deg2rad(15), deviation=10.0)
+        pts = s_curve.sample_adaptive(tol)
+        for i in range(1, len(pts) - 1):
+            v1 = pts[i] - pts[i - 1]
+            v2 = pts[i + 1] - pts[i]
+            cos = np.dot(v1, v2) / (np.linalg.norm(v1) * np.linalg.norm(v2))
+            # Adjacent-chord turn stays within the same order as the
+            # tolerance (bisection guarantees per-split, not global).
+            assert np.arccos(np.clip(cos, -1, 1)) <= np.deg2rad(40)
+
+    def test_straight_spline_needs_two_points(self):
+        line = CubicSpline2(np.array([[0.0, 0.0], [10.0, 0.0]]))
+        pts = line.sample_adaptive(SamplingTolerance(angle=0.1, deviation=0.01))
+        assert len(pts) == 2
+
+    def test_bad_tolerance_raises(self):
+        with pytest.raises(ValueError):
+            SamplingTolerance(angle=0.0, deviation=1.0)
+        with pytest.raises(ValueError):
+            SamplingTolerance(angle=1.0, deviation=-1.0)
+
+
+class TestUniformSampling:
+    def test_count(self, s_curve):
+        assert len(s_curve.sample_uniform(7)) == 7
+
+    def test_minimum_two(self, s_curve):
+        with pytest.raises(ValueError):
+            s_curve.sample_uniform(1)
+
+    def test_uniform_differs_from_adaptive(self, s_curve):
+        """The mismatch ObfusCADe exploits: two valid samplings of one
+        curve place different interior vertices."""
+        tol = SamplingTolerance(angle=np.deg2rad(10), deviation=0.05)
+        adaptive = s_curve.sample_adaptive(tol)
+        uniform = s_curve.sample_uniform(len(adaptive))
+        interior_a = adaptive[1:-1]
+        mismatches = 0
+        for p in interior_a:
+            if np.linalg.norm(uniform - p, axis=1).min() > 1e-6:
+                mismatches += 1
+        assert mismatches > 0

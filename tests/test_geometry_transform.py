@@ -1,0 +1,78 @@
+"""Unit tests for repro.geometry.transform."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transform import Transform
+
+
+class TestConstructors:
+    def test_identity(self):
+        t = Transform.identity()
+        p = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(t.apply(p), p)
+
+    def test_translation(self):
+        t = Transform.translation(np.array([1.0, -2.0, 0.5]))
+        assert np.allclose(t.apply(np.zeros(3)), [1, -2, 0.5])
+
+    def test_scaling(self):
+        t = Transform.scaling(2.0)
+        assert np.allclose(t.apply(np.array([1.0, 1.0, 1.0])), [2, 2, 2])
+
+    def test_zero_scale_raises(self):
+        with pytest.raises(ValueError):
+            Transform.scaling(0.0)
+
+    def test_rotation_z_quarter(self):
+        t = Transform.rotation_z(np.pi / 2)
+        assert np.allclose(t.apply(np.array([1.0, 0.0, 0.0])), [0, 1, 0], atol=1e-12)
+
+    def test_rotation_x_quarter(self):
+        t = Transform.rotation_x(np.pi / 2)
+        assert np.allclose(t.apply(np.array([0.0, 1.0, 0.0])), [0, 0, 1], atol=1e-12)
+
+    def test_rotation_y_quarter(self):
+        t = Transform.rotation_y(np.pi / 2)
+        assert np.allclose(t.apply(np.array([0.0, 0.0, 1.0])), [1, 0, 0], atol=1e-12)
+
+
+class TestApplication:
+    def test_batch_apply(self):
+        t = Transform.translation(np.array([1.0, 0.0, 0.0]))
+        pts = np.zeros((5, 3))
+        out = t.apply(pts)
+        assert out.shape == (5, 3)
+        assert np.allclose(out[:, 0], 1.0)
+
+    def test_apply_vector_ignores_translation(self):
+        t = Transform.translation(np.array([10.0, 10.0, 10.0]))
+        assert np.allclose(t.apply_vector(np.array([1.0, 0.0, 0.0])), [1, 0, 0])
+
+
+class TestAlgebra:
+    def test_compose_order(self):
+        rotate = Transform.rotation_z(np.pi / 2)
+        shift = Transform.translation(np.array([1.0, 0.0, 0.0]))
+        # shift.compose(rotate): rotate first, then shift.
+        combined = shift.compose(rotate)
+        assert np.allclose(
+            combined.apply(np.array([1.0, 0.0, 0.0])), [1, 1, 0], atol=1e-12
+        )
+
+    def test_inverse_roundtrip(self):
+        t = Transform.rotation_y(0.7).compose(
+            Transform.translation(np.array([3.0, -1.0, 2.0]))
+        )
+        p = np.array([0.3, 0.8, -0.5])
+        assert np.allclose(t.inverse().apply(t.apply(p)), p, atol=1e-12)
+
+    def test_is_rigid(self):
+        assert Transform.rotation_x(1.1).is_rigid
+        assert Transform.identity().is_rigid
+        assert not Transform.scaling(2.0).is_rigid
+
+    def test_rotation_preserves_length(self):
+        t = Transform.rotation_z(0.33)
+        v = np.array([2.0, -1.0, 0.5])
+        assert np.isclose(np.linalg.norm(t.apply_vector(v)), np.linalg.norm(v))

@@ -1,0 +1,92 @@
+"""Unit tests for repro.geometry.vec."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import (
+    EPS,
+    almost_equal,
+    angle_between,
+    dist,
+    lerp,
+    normalize,
+    perpendicular_2d,
+    unit_or_zero,
+    vec2,
+    vec3,
+)
+
+
+class TestConstructors:
+    def test_vec2(self):
+        v = vec2(1.5, -2.0)
+        assert v.shape == (2,)
+        assert v.dtype == float
+        assert v[0] == 1.5 and v[1] == -2.0
+
+    def test_vec3(self):
+        v = vec3(1, 2, 3)
+        assert v.shape == (3,)
+        assert np.allclose(v, [1, 2, 3])
+
+
+class TestNormalize:
+    def test_unit_result(self):
+        v = normalize(vec3(3, 4, 0))
+        assert np.isclose(np.linalg.norm(v), 1.0)
+        assert np.allclose(v, [0.6, 0.8, 0.0])
+
+    def test_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            normalize(vec3(0, 0, 0))
+
+    def test_tiny_vector_raises(self):
+        with pytest.raises(ValueError):
+            normalize(vec3(EPS / 10, 0, 0))
+
+    def test_unit_or_zero_degenerate(self):
+        assert np.allclose(unit_or_zero(vec3(0, 0, 0)), [0, 0, 0])
+
+    def test_unit_or_zero_normal(self):
+        assert np.allclose(unit_or_zero(vec2(0, 2)), [0, 1])
+
+
+class TestAngleBetween:
+    def test_right_angle(self):
+        assert np.isclose(angle_between(vec2(1, 0), vec2(0, 1)), np.pi / 2)
+
+    def test_parallel(self):
+        assert np.isclose(angle_between(vec3(1, 1, 0), vec3(2, 2, 0)), 0.0)
+
+    def test_antiparallel(self):
+        assert np.isclose(angle_between(vec2(1, 0), vec2(-1, 0)), np.pi)
+
+    def test_small_angle_accuracy(self):
+        # arccos-based formulas lose precision here; arctan2 must not.
+        theta = 1e-7
+        a = vec2(1, 0)
+        b = vec2(np.cos(theta), np.sin(theta))
+        assert np.isclose(angle_between(a, b), theta, rtol=1e-4)
+
+    def test_3d(self):
+        assert np.isclose(angle_between(vec3(1, 0, 0), vec3(0, 0, 3)), np.pi / 2)
+
+
+class TestHelpers:
+    def test_perpendicular_2d(self):
+        p = perpendicular_2d(vec2(1, 0))
+        assert np.allclose(p, [0, 1])
+        assert np.isclose(np.dot(p, vec2(1, 0)), 0.0)
+
+    def test_lerp_endpoints(self):
+        a, b = vec2(0, 0), vec2(10, 20)
+        assert np.allclose(lerp(a, b, 0.0), a)
+        assert np.allclose(lerp(a, b, 1.0), b)
+        assert np.allclose(lerp(a, b, 0.25), [2.5, 5.0])
+
+    def test_dist(self):
+        assert np.isclose(dist(vec2(0, 0), vec2(3, 4)), 5.0)
+
+    def test_almost_equal(self):
+        assert almost_equal(vec2(1, 1), vec2(1 + EPS / 2, 1))
+        assert not almost_equal(vec2(1, 1), vec2(1.001, 1))

@@ -1,0 +1,172 @@
+"""Paper-level integration tests: every headline claim as an assertion.
+
+Each test class corresponds to one table/figure of the paper; the
+benchmarks regenerate the full artifacts, these tests pin the *shape*
+so regressions are caught by `pytest tests/`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cad import COARSE, FINE, SphereStyle, custom_resolution
+from repro.mechanics import TensileTestRig, specimen_from_print
+from repro.obfuscade import Obfuscator
+from repro.printer import PrintJob, PrintOrientation
+from repro.printer.artifact import VoxelMaterial
+
+from conftest import sphere_model
+
+SPHERE_CENTER_BUILD = np.array([22.7, 16.35, 6.35])
+SPHERE_RADIUS = 3.175
+
+
+class TestTable2Shape:
+    """Table 2: tensile properties of the four specimen groups."""
+
+    @pytest.fixture(scope="class")
+    def groups(self, print_job, split_bar, intact_bar):
+        rig = TensileTestRig(seed=2017)
+        stats = {}
+        for model, tag in ((split_bar, "Spline"), (intact_bar, "Intact")):
+            for orientation in (PrintOrientation.XY, PrintOrientation.XZ):
+                out = print_job.print_model(model, COARSE, orientation)
+                sp = specimen_from_print(out)
+                stats[f"{tag} {orientation.value}"] = rig.test_group(
+                    [sp], n_repeats=5
+                )
+        return stats
+
+    def test_failure_strain_halved_by_split(self, groups):
+        """'the average failure strain for spline split samples is at
+        least 50% less than the intact samples'."""
+        assert (
+            groups["Spline x-y"].failure_strain
+            <= 0.62 * groups["Intact x-y"].failure_strain
+        )
+        assert (
+            groups["Spline x-z"].failure_strain
+            <= 0.5 * groups["Intact x-z"].failure_strain
+        )
+
+    def test_toughness_at_least_halved(self, groups):
+        """'the toughness of intact samples is at least twice that of
+        the specimens containing the split'."""
+        for orientation in ("x-y", "x-z"):
+            assert (
+                groups[f"Intact {orientation}"].toughness_kj_m3
+                >= 2.0 * groups[f"Spline {orientation}"].toughness_kj_m3
+            )
+
+    def test_modulus_comparable(self, groups):
+        """'Young's modulus [is] comparable between intact and spline'."""
+        for orientation in ("x-y", "x-z"):
+            ratio = (
+                groups[f"Spline {orientation}"].young_modulus_gpa
+                / groups[f"Intact {orientation}"].young_modulus_gpa
+            )
+            assert 0.9 < ratio < 1.1
+
+    def test_uts_comparable(self, groups):
+        for orientation in ("x-y", "x-z"):
+            ratio = (
+                groups[f"Spline {orientation}"].uts_mpa
+                / groups[f"Intact {orientation}"].uts_mpa
+            )
+            assert 0.75 < ratio < 1.05
+
+    def test_absolute_values_near_paper(self, groups):
+        paper = {
+            "Spline x-y": (1.89, 24.0, 0.015),
+            "Spline x-z": (2.10, 31.5, 0.021),
+            "Intact x-y": (1.98, 30.0, 0.029),
+            "Intact x-z": (2.05, 32.5, 0.077),
+        }
+        for label, (e, uts, eps) in paper.items():
+            got = groups[label]
+            assert got.young_modulus_gpa == pytest.approx(e, rel=0.10)
+            assert got.uts_mpa == pytest.approx(uts, rel=0.10)
+            assert got.failure_strain == pytest.approx(eps, rel=0.30)
+
+
+class TestTable3Matrix:
+    """Table 3: material printed in the sphere region, all four models."""
+
+    EXPECTED = {
+        (False, SphereStyle.SOLID): VoxelMaterial.SUPPORT,
+        (False, SphereStyle.SURFACE): VoxelMaterial.SUPPORT,
+        (True, SphereStyle.SOLID): VoxelMaterial.MODEL,
+        (True, SphereStyle.SURFACE): VoxelMaterial.SUPPORT,
+    }
+
+    @pytest.mark.parametrize(
+        "removal, style",
+        list(EXPECTED),
+        ids=["noremoval-solid", "noremoval-surface", "removal-solid", "removal-surface"],
+    )
+    def test_cell(self, print_job, removal, style):
+        out = print_job.print_model(sphere_model(style, removal), FINE)
+        material = out.artifact.sphere_region_material(
+            SPHERE_CENTER_BUILD, SPHERE_RADIUS
+        )
+        assert material is self.EXPECTED[(removal, style)]
+
+
+class TestFig9FractureSite:
+    """Fig. 9: fracture initiates at the tip of the spline."""
+
+    def test_fracture_at_spline_tip(self, split_coarse_xy):
+        sp = specimen_from_print(split_coarse_xy)
+        rig = TensileTestRig(seed=1)
+        result = rig.test(sp)
+        spline = split_coarse_xy.artifact.metadata["split_spline"]
+        tip = spline.evaluate(1.0)
+        assert result.fracture_site_mm is not None
+        assert np.linalg.norm(result.fracture_site_mm - tip) < 1e-9
+
+    def test_intact_has_no_predicted_site(self, intact_coarse_xy):
+        sp = specimen_from_print(intact_coarse_xy)
+        assert sp.fracture_site_mm is None
+
+
+class TestHeadlineKeyUniqueness:
+    """Abstract: high quality only under the unique key conditions."""
+
+    def test_quality_matrix(self, print_job):
+        from repro.obfuscade.quality import QualityGrade, assess_print
+
+        protected = Obfuscator(seed=3).protect_tensile_bar()
+        for resolution in (COARSE, FINE, custom_resolution()):
+            for orientation in (PrintOrientation.XY, PrintOrientation.XZ):
+                out = print_job.print_model(protected.model, resolution, orientation)
+                grade = assess_print(out).grade
+                if protected.key.matches(resolution, orientation):
+                    assert grade is QualityGrade.GENUINE, (resolution.name, orientation)
+                else:
+                    assert grade is not QualityGrade.GENUINE, (resolution.name, orientation)
+
+
+class TestPolyJetReplication:
+    """Sec. 3.1: 'results are then replicated on a material jetting
+    printer' - same seam matrix on the Objet30 Pro profile."""
+
+    def test_xz_discontinuity_on_polyjet(self, split_bar):
+        from repro.slicer import SlicerSettings, analyze_split_seam
+
+        export = split_bar.export_stl(FINE)
+        a, b = list(export.body_meshes.values())
+        settings = SlicerSettings().with_layer_height(0.016)
+        report = analyze_split_seam(
+            a, b, settings, orientation=PrintOrientation.XZ.transform
+        )
+        # Even at 16 um layers the interlayer seam remains.
+        assert report.interlayer_fraction > 0.5
+        assert report.prints_discontinuity
+
+    def test_xy_fine_clean_on_polyjet(self, split_bar):
+        from repro.slicer import SlicerSettings, analyze_split_seam
+
+        export = split_bar.export_stl(FINE)
+        a, b = list(export.body_meshes.values())
+        settings = SlicerSettings().with_layer_height(0.016)
+        report = analyze_split_seam(a, b, settings)
+        assert not report.prints_discontinuity

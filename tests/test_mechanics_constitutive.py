@@ -1,0 +1,89 @@
+"""Unit tests for repro.mechanics.constitutive."""
+
+import numpy as np
+import pytest
+
+from repro.mechanics.constitutive import StressStrainCurve, build_curve, toughness_kj_m3
+from repro.mechanics.material import ABS_FDM, OrientationProperties
+
+XY = ABS_FDM.properties("x-y")
+XZ = ABS_FDM.properties("x-z")
+
+
+class TestCurveObject:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StressStrainCurve(strain=np.array([0.0]), stress_mpa=np.array([0.0]))
+        with pytest.raises(ValueError):
+            StressStrainCurve(
+                strain=np.array([0.0, 0.0]), stress_mpa=np.array([0.0, 1.0])
+            )
+
+    def test_linear_curve_modulus(self):
+        strain = np.linspace(0, 0.01, 50)
+        curve = StressStrainCurve(strain=strain, stress_mpa=2000.0 * strain)
+        assert curve.young_modulus_gpa == pytest.approx(2.0)
+
+    def test_toughness_rectangle(self):
+        strain = np.linspace(0, 0.1, 100)
+        stress = np.full_like(strain, 10.0)
+        # 10 MPa x 0.1 = 1 MJ/m^3 = 1000 kJ/m^3.
+        assert toughness_kj_m3(strain, stress) == pytest.approx(1000.0)
+
+
+class TestBuildCurve:
+    def test_endpoint_properties(self):
+        curve = build_curve(XY)
+        assert curve.failure_strain == pytest.approx(XY.failure_strain)
+        assert curve.uts_mpa <= XY.uts_mpa + 1e-6
+        assert curve.uts_mpa > 0.9 * XY.uts_mpa
+
+    def test_initial_slope_is_modulus(self):
+        curve = build_curve(XY)
+        assert curve.young_modulus_gpa == pytest.approx(
+            XY.young_modulus_gpa, rel=0.05
+        )
+
+    def test_monotone_nondecreasing(self):
+        curve = build_curve(XZ)
+        assert np.all(np.diff(curve.stress_mpa) >= -1e-9)
+
+    def test_overrides(self):
+        curve = build_curve(XY, uts_mpa=20.0, failure_strain=0.015)
+        assert curve.failure_strain == pytest.approx(0.015)
+        assert curve.uts_mpa <= 20.0 + 1e-6
+
+    def test_embrittled_elastic_only(self):
+        # Failure before yield: pure elastic line.
+        curve = build_curve(XY, failure_strain=0.002)
+        expected = 1980.0 * 0.002
+        assert curve.stress_mpa[-1] == pytest.approx(expected, rel=1e-6)
+
+    def test_invalid_overrides(self):
+        with pytest.raises(ValueError):
+            build_curve(XY, uts_mpa=-5.0)
+
+    def test_ductile_tougher_than_brittle(self):
+        ductile = build_curve(XZ)
+        brittle = build_curve(XY)
+        assert ductile.toughness_kj_m3 > 2 * brittle.toughness_kj_m3
+
+    def test_toughness_close_to_uts_times_strain(self):
+        """For a long plateau, toughness approaches UTS * eps_f."""
+        curve = build_curve(XZ)
+        upper = XZ.uts_mpa * XZ.failure_strain * 1000.0
+        assert 0.6 * upper < curve.toughness_kj_m3 < upper
+
+
+class TestPaperScale:
+    def test_intact_xy_toughness_near_table2(self):
+        """Intact x-y: paper reports 632 kJ/m^3; the curve integral of
+        the anchored properties must land in that range."""
+        curve = build_curve(XY)
+        assert 450 < curve.toughness_kj_m3 < 800
+
+    def test_intact_xz_toughness_scale(self):
+        """Intact x-z: the deterministic integral gives ~2300; the paper's
+        3367 mean includes heavy specimen scatter (+-903)."""
+        curve = build_curve(XZ)
+        assert 1800 < curve.toughness_kj_m3 < 3400

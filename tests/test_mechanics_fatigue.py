@@ -1,0 +1,83 @@
+"""Unit tests for repro.mechanics.fatigue."""
+
+import numpy as np
+import pytest
+
+from repro.mechanics.fatigue import ABS_FATIGUE, FatigueModel, service_life_report
+
+
+class TestValidation:
+    def test_bad_coefficient(self):
+        with pytest.raises(ValueError):
+            FatigueModel(fatigue_strength_coefficient_mpa=-1.0)
+
+    def test_bad_exponent(self):
+        with pytest.raises(ValueError):
+            FatigueModel(basquin_exponent=0.1)
+        with pytest.raises(ValueError):
+            FatigueModel(basquin_exponent=-0.9)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ABS_FATIGUE.cycles_to_failure(0.0)
+        with pytest.raises(ValueError):
+            ABS_FATIGUE.cycles_to_failure(10.0, kt=0.5)
+        with pytest.raises(ValueError):
+            ABS_FATIGUE.service_life_ratio(0.9)
+
+
+class TestBasquin:
+    def test_life_decreases_with_stress(self):
+        n_low = ABS_FATIGUE.cycles_to_failure(8.0)
+        n_high = ABS_FATIGUE.cycles_to_failure(20.0)
+        assert n_low > n_high
+
+    def test_life_decreases_with_kt(self):
+        assert ABS_FATIGUE.cycles_to_failure(15.0, kt=1.0) > ABS_FATIGUE.cycles_to_failure(
+            15.0, kt=2.0
+        )
+
+    def test_overload_fails_immediately(self):
+        assert ABS_FATIGUE.cycles_to_failure(60.0) == 1.0
+        assert ABS_FATIGUE.cycles_to_failure(30.0, kt=2.0) == 1.0
+
+    def test_runout_cap(self):
+        assert ABS_FATIGUE.cycles_to_failure(1.0) == ABS_FATIGUE.endurance_cycles
+
+    def test_basquin_consistency(self):
+        """Invert the law: sigma(N(sigma)) == sigma."""
+        sigma = 20.0
+        n = ABS_FATIGUE.cycles_to_failure(sigma)
+        back = ABS_FATIGUE.fatigue_strength_coefficient_mpa * (2 * n) ** (
+            ABS_FATIGUE.basquin_exponent
+        )
+        assert np.isclose(back, sigma, rtol=1e-9)
+
+
+class TestServiceLife:
+    def test_intact_ratio_is_one(self):
+        assert ABS_FATIGUE.service_life_ratio(1.0) == pytest.approx(1.0)
+
+    def test_seam_collapses_life(self):
+        """The paper's Kt ~ 1.9 (x-y) cuts fatigue life by ~3 orders of
+        magnitude - 'inferior service life' indeed."""
+        ratio = ABS_FATIGUE.service_life_ratio(1.9)
+        assert ratio < 5e-3
+
+    def test_ratio_matches_cycle_computation(self):
+        sigma = 12.0
+        kt = 1.6
+        direct = ABS_FATIGUE.cycles_to_failure(sigma, kt) / ABS_FATIGUE.cycles_to_failure(
+            sigma, 1.0
+        )
+        assert np.isclose(direct, ABS_FATIGUE.service_life_ratio(kt), rtol=1e-6)
+
+    def test_report(self):
+        report = service_life_report({"Spline x-y": 1.92, "Intact x-y": 1.0})
+        assert report["Intact x-y"] == pytest.approx(1.0)
+        assert report["Spline x-y"] < 0.01
+
+    def test_knee_amplitude_scales_with_kt(self):
+        assert ABS_FATIGUE.knee_amplitude_mpa(kt=2.0) == pytest.approx(
+            ABS_FATIGUE.knee_amplitude_mpa(kt=1.0) / 2.0
+        )

@@ -1,0 +1,81 @@
+"""Unit tests for repro.mechanics.material."""
+
+import pytest
+
+from repro.mechanics.material import (
+    ABS_FDM,
+    VEROCLEAR_POLYJET,
+    MaterialModel,
+    OrientationProperties,
+)
+
+
+class TestOrientationProperties:
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            OrientationProperties(young_modulus_gpa=0, uts_mpa=30, failure_strain=0.03)
+        with pytest.raises(ValueError):
+            OrientationProperties(young_modulus_gpa=2, uts_mpa=-1, failure_strain=0.03)
+
+    def test_yield_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            OrientationProperties(
+                young_modulus_gpa=2, uts_mpa=30, failure_strain=0.03, yield_fraction=1.0
+            )
+
+    def test_yield_before_failure(self):
+        # eps_y = 0.9*30/2000 = 0.0135 > eps_f = 0.01 -> invalid.
+        with pytest.raises(ValueError):
+            OrientationProperties(
+                young_modulus_gpa=2.0,
+                uts_mpa=30.0,
+                failure_strain=0.01,
+                yield_fraction=0.9,
+            )
+
+
+class TestAbsFdm:
+    def test_anchored_to_paper_intact_groups(self):
+        """The intact rows of Table 2 are the calibration anchor."""
+        xy = ABS_FDM.properties("x-y")
+        xz = ABS_FDM.properties("x-z")
+        assert xy.young_modulus_gpa == pytest.approx(1.98)
+        assert xy.uts_mpa == pytest.approx(30.0)
+        assert xy.failure_strain == pytest.approx(0.029)
+        assert xz.young_modulus_gpa == pytest.approx(2.05)
+        assert xz.uts_mpa == pytest.approx(32.5)
+        assert xz.failure_strain == pytest.approx(0.077)
+
+    def test_xz_more_ductile(self):
+        assert (
+            ABS_FDM.properties("x-z").failure_strain
+            > ABS_FDM.properties("x-y").failure_strain
+        )
+
+    def test_unknown_orientation(self):
+        with pytest.raises(KeyError):
+            ABS_FDM.properties("y-z")
+
+
+class TestVeroClear:
+    def test_nearly_isotropic(self):
+        xy = VEROCLEAR_POLYJET.properties("x-y")
+        xz = VEROCLEAR_POLYJET.properties("x-z")
+        assert abs(xy.young_modulus_gpa - xz.young_modulus_gpa) < 0.2
+
+    def test_stronger_than_abs(self):
+        assert (
+            VEROCLEAR_POLYJET.properties("x-y").uts_mpa
+            > ABS_FDM.properties("x-y").uts_mpa
+        )
+
+
+class TestCustomMaterial:
+    def test_lookup(self):
+        m = MaterialModel(
+            name="PLA",
+            orientations={
+                "flat": OrientationProperties(3.5, 60.0, 0.04),
+            },
+        )
+        assert m.properties("flat").uts_mpa == 60.0

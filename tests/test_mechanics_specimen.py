@@ -1,0 +1,78 @@
+"""Unit tests for repro.mechanics.specimen."""
+
+import numpy as np
+import pytest
+
+from repro.mechanics.material import ABS_FDM
+from repro.mechanics.specimen import SpecimenDescriptor, specimen_from_print
+
+
+class TestDescriptor:
+    def make(self, **kwargs):
+        defaults = dict(
+            label="test",
+            properties=ABS_FDM.properties("x-y"),
+            orientation="x-y",
+        )
+        defaults.update(kwargs)
+        return SpecimenDescriptor(**defaults)
+
+    def test_intact_effective_equals_base(self):
+        sp = self.make()
+        assert sp.kt == 1.0
+        assert sp.effective_young_modulus_gpa == pytest.approx(1.98)
+        assert sp.effective_uts_mpa == pytest.approx(30.0)
+        assert sp.effective_failure_strain == pytest.approx(0.029)
+
+    def test_seam_reduces_ductility(self):
+        sp = self.make(has_seam=True, unbonded_fraction=0.3, load_alignment=0.4)
+        assert sp.kt > 1.0
+        assert sp.effective_failure_strain < 0.029
+
+    def test_interlayer_seam_worst_ductility(self):
+        in_layer = self.make(has_seam=True, unbonded_fraction=0.2, load_alignment=0.4)
+        inter = self.make(
+            has_seam=True,
+            unbonded_fraction=0.2,
+            interlayer_fraction=0.85,
+            load_alignment=0.4,
+        )
+        assert inter.effective_failure_strain < in_layer.effective_failure_strain
+
+
+class TestFromPrint:
+    def test_intact_print(self, intact_coarse_xy):
+        sp = specimen_from_print(intact_coarse_xy)
+        assert not sp.has_seam
+        assert sp.label == "Intact x-y"
+        assert sp.orientation == "x-y"
+
+    def test_split_print_xy(self, split_coarse_xy):
+        sp = specimen_from_print(split_coarse_xy)
+        assert sp.has_seam
+        assert sp.label == "Spline x-y"
+        assert 0.05 < sp.unbonded_fraction < 0.5
+        assert sp.interlayer_fraction < 0.05
+        assert 0.2 < sp.load_alignment < 0.8
+
+    def test_split_print_xz(self, split_coarse_xz):
+        sp = specimen_from_print(split_coarse_xz)
+        assert sp.interlayer_fraction > 0.5
+        assert sp.label == "Spline x-z"
+        assert sp.properties.failure_strain == pytest.approx(0.077)
+
+    def test_fracture_site_is_spline_tip(self, split_coarse_xy):
+        sp = specimen_from_print(split_coarse_xy)
+        spline = split_coarse_xy.artifact.metadata["split_spline"]
+        assert sp.fracture_site_mm is not None
+        assert np.allclose(sp.fracture_site_mm, spline.evaluate(1.0))
+
+    def test_custom_label(self, intact_coarse_xy):
+        sp = specimen_from_print(intact_coarse_xy, label="reference")
+        assert sp.label == "reference"
+
+    def test_fine_xy_keeps_full_ductility(self, split_fine_xy):
+        """Genuine-key print: fused seam, Kt ~ 1."""
+        sp = specimen_from_print(split_fine_xy)
+        assert sp.unbonded_fraction == pytest.approx(0.0, abs=0.02)
+        assert sp.effective_failure_strain == pytest.approx(0.029, rel=0.1)

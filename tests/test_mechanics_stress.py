@@ -1,0 +1,83 @@
+"""Unit tests for repro.mechanics.stress."""
+
+import pytest
+
+from repro.mechanics.stress import (
+    crack_tip_concentration,
+    ductility_knockdown,
+    stiffness_knockdown,
+    strength_knockdown,
+)
+
+
+class TestCrackTipConcentration:
+    def test_no_seam_is_unity(self):
+        assert crack_tip_concentration(0.0, 0.0) == pytest.approx(1.0)
+
+    def test_grows_with_unbonded(self):
+        assert crack_tip_concentration(0.4, 0.0) > crack_tip_concentration(0.1, 0.0)
+
+    def test_grows_with_interlayer(self):
+        assert crack_tip_concentration(0.0, 0.8) > crack_tip_concentration(0.0, 0.2)
+
+    def test_interlayer_dominates_mixed(self):
+        # A fully interlayer seam ignores the (in-layer) unbonded term.
+        assert crack_tip_concentration(0.5, 1.0) == pytest.approx(
+            crack_tip_concentration(0.0, 1.0)
+        )
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            crack_tip_concentration(1.5, 0.0)
+        with pytest.raises(ValueError):
+            crack_tip_concentration(0.0, -0.1)
+
+    def test_custom_gains(self):
+        kt = crack_tip_concentration(0.5, 0.0, q_in_layer=2.0)
+        assert kt == pytest.approx(2.0)
+
+
+class TestDuctility:
+    def test_reciprocal(self):
+        assert ductility_knockdown(2.0) == pytest.approx(0.5)
+
+    def test_unity(self):
+        assert ductility_knockdown(1.0) == pytest.approx(1.0)
+
+    def test_below_one_raises(self):
+        with pytest.raises(ValueError):
+            ductility_knockdown(0.9)
+
+
+class TestStrength:
+    def test_no_seam_no_knockdown(self):
+        assert strength_knockdown(0.0, 0.0, 0.0) == pytest.approx(1.0)
+
+    def test_fused_seam_keeps_strength(self):
+        """A fully bonded crack carries nearly the full load (the
+        genuine-key print keeps its UTS)."""
+        assert strength_knockdown(0.5, 0.0, 0.0) == pytest.approx(1.0)
+
+    def test_unbonded_crack_costs_strength(self):
+        assert strength_knockdown(0.5, 0.3, 0.0) < 1.0
+
+    def test_clipped_at_floor(self):
+        assert strength_knockdown(1.0, 1.0, 0.0) >= 0.05
+
+    def test_interlayer_mild(self):
+        """x-z UTS barely drops (31.5 vs 32.5 in Table 2)."""
+        factor = strength_knockdown(0.46, 0.14, 0.85)
+        assert 0.93 < factor < 1.0
+
+
+class TestStiffness:
+    def test_no_defect(self):
+        assert stiffness_knockdown(0.0, 0.0) == pytest.approx(1.0)
+
+    def test_fused_keeps_stiffness(self):
+        assert stiffness_knockdown(0.5, 0.0) == pytest.approx(1.0)
+
+    def test_coarse_xy_scale(self):
+        """Spline x-y E ratio in Table 2 is 1.89/1.98 ~ 0.955."""
+        factor = stiffness_knockdown(0.46, 0.22)
+        assert 0.93 < factor < 0.98

@@ -1,0 +1,59 @@
+"""Unit tests for points_in_mesh and find_internal_faces."""
+
+import numpy as np
+import pytest
+
+from repro.cad import COARSE, FINE
+from repro.mesh import TriangleMesh, load_stl_bytes
+from repro.mesh.validate import find_internal_faces, points_in_mesh
+
+
+class TestPointsInMesh:
+    def test_cube_containment(self, unit_cube):
+        pts = np.array(
+            [
+                [0.0, 0.0, 0.0],   # centre: inside
+                [0.4, 0.4, 0.4],   # cornerish: inside
+                [0.6, 0.0, 0.0],   # outside
+                [0.0, 2.0, 0.0],   # far outside
+            ]
+        )
+        inside = points_in_mesh(unit_cube, pts)
+        assert inside.tolist() == [True, True, False, False]
+
+    def test_tetra(self, tetra):
+        assert points_in_mesh(tetra, np.array([[0.2, 0.2, 0.2]]))[0]
+        assert not points_in_mesh(tetra, np.array([[0.9, 0.9, 0.9]]))[0]
+
+    def test_empty_mesh(self):
+        result = points_in_mesh(TriangleMesh.empty(), np.array([[0.0, 0.0, 0.0]]))
+        assert not result[0]
+
+    def test_single_point_shape(self, unit_cube):
+        assert points_in_mesh(unit_cube, np.zeros(3)).shape == (1,)
+
+
+class TestInternalFaces:
+    def test_solid_has_none(self, unit_cube):
+        assert len(find_internal_faces(unit_cube)) == 0
+
+    def test_intact_bar_has_none(self, intact_bar):
+        mesh = load_stl_bytes(intact_bar.export_stl(COARSE).to_bytes())
+        assert len(find_internal_faces(mesh)) == 0
+
+    @pytest.mark.parametrize("resolution", [COARSE, FINE], ids=["coarse", "fine"])
+    def test_split_bar_wall_detected(self, split_bar, resolution):
+        mesh = load_stl_bytes(split_bar.export_stl(resolution).to_bytes())
+        internal = find_internal_faces(mesh)
+        assert len(internal) > 0
+        # Flagged faces lie in the gauge region where the spline runs.
+        centroids = mesh.triangles[internal].mean(axis=1)
+        assert np.all(np.abs(centroids[:, 1]) < 4.0)
+        assert np.all(np.abs(centroids[:, 0]) < 17.0)
+
+    def test_flagged_area_is_wall_scale(self, split_bar):
+        mesh = load_stl_bytes(split_bar.export_stl(COARSE).to_bytes())
+        internal = find_internal_faces(mesh)
+        area = float(mesh.face_areas()[internal].sum())
+        # One wall side is ~21 mm x 3.2 mm ~ 67 mm^2; both sides ~134.
+        assert 30.0 < area < 150.0

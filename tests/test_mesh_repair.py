@@ -1,0 +1,82 @@
+"""Unit tests for repro.mesh.repair."""
+
+import numpy as np
+
+from repro.mesh.repair import (
+    merge_duplicate_faces,
+    orient_consistently,
+    remove_degenerate_faces,
+    repair,
+    weld_vertices,
+)
+from repro.mesh.trimesh import TriangleMesh
+
+
+class TestWeld:
+    def test_near_duplicates_merged(self, tetra):
+        # Split every face into its own vertices with tiny jitter.
+        soup = tetra.triangles + 1e-9
+        exploded = TriangleMesh(
+            soup.reshape(-1, 3), np.arange(12).reshape(4, 3)
+        )
+        welded = weld_vertices(exploded, tol=1e-6)
+        assert welded.n_vertices == 4
+        assert welded.is_watertight
+
+    def test_collapsed_faces_dropped(self):
+        verts = np.array([[0, 0, 0], [1e-9, 0, 0], [1, 0, 0], [0, 1, 0]], dtype=float)
+        faces = np.array([[0, 1, 2], [0, 2, 3]])
+        welded = weld_vertices(TriangleMesh(verts, faces), tol=1e-6)
+        assert welded.n_faces == 1
+
+    def test_empty(self):
+        assert weld_vertices(TriangleMesh.empty()).n_faces == 0
+
+
+class TestCleanup:
+    def test_remove_degenerate(self):
+        verts = np.array([[0, 0, 0], [1, 0, 0], [2, 0, 0], [0, 1, 0]], dtype=float)
+        faces = np.array([[0, 1, 2], [0, 1, 3]])  # first is collinear
+        cleaned = remove_degenerate_faces(TriangleMesh(verts, faces))
+        assert cleaned.n_faces == 1
+
+    def test_merge_duplicates_either_winding(self, tetra):
+        flipped_first = tetra.faces[0][::-1]
+        faces = np.vstack([tetra.faces, flipped_first[None, :]])
+        merged = merge_duplicate_faces(TriangleMesh(tetra.vertices, faces))
+        assert merged.n_faces == 4
+
+
+class TestOrientation:
+    def test_fix_flipped_face(self, unit_cube):
+        faces = unit_cube.faces.copy()
+        faces[3] = faces[3][::-1]  # sabotage one face
+        broken = TriangleMesh(unit_cube.vertices, faces)
+        fixed = orient_consistently(broken)
+        assert np.isclose(fixed.volume, 1.0)
+
+    def test_fix_inside_out_mesh(self, unit_cube):
+        fixed = orient_consistently(unit_cube.flipped())
+        assert np.isclose(fixed.volume, 1.0)
+
+    def test_already_consistent_untouched(self, unit_cube):
+        fixed = orient_consistently(unit_cube)
+        assert np.isclose(fixed.volume, unit_cube.volume)
+
+    def test_two_components(self, tetra, unit_cube):
+        merged = TriangleMesh.merged(
+            [tetra.flipped(), unit_cube.translated(np.array([5.0, 0, 0]))]
+        )
+        fixed = orient_consistently(merged)
+        assert np.isclose(fixed.volume, 1.0 / 6.0 + 1.0)
+
+
+class TestFullRepair:
+    def test_pipeline(self, tetra):
+        # Exploded + one duplicated face + inside out.
+        soup = np.vstack([tetra.triangles, tetra.triangles[:1]])
+        broken = TriangleMesh(soup.reshape(-1, 3), np.arange(15).reshape(5, 3))
+        broken = broken.flipped()
+        fixed = repair(broken)
+        assert fixed.is_watertight
+        assert np.isclose(fixed.volume, 1.0 / 6.0)

@@ -1,0 +1,114 @@
+"""Unit tests for repro.mesh.stl_io (byte-level STL correctness)."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.mesh.stl_io import (
+    load_stl,
+    load_stl_bytes,
+    predicted_file_size,
+    save_stl,
+    stl_ascii_text,
+    stl_binary_bytes,
+)
+from repro.mesh.trimesh import TriangleMesh
+
+
+class TestBinaryFormat:
+    def test_exact_size(self, tetra):
+        data = stl_binary_bytes(tetra)
+        assert len(data) == 84 + 50 * tetra.n_faces
+        assert len(data) == predicted_file_size(tetra.n_faces)
+
+    def test_triangle_count_field(self, tetra):
+        data = stl_binary_bytes(tetra)
+        (count,) = struct.unpack_from("<I", data, 80)
+        assert count == tetra.n_faces
+
+    def test_header_written(self, tetra):
+        data = stl_binary_bytes(tetra, header="hello")
+        assert data[:5] == b"hello"
+        assert len(data[:80]) == 80
+
+    def test_roundtrip_geometry(self, tetra):
+        rebuilt = load_stl_bytes(stl_binary_bytes(tetra))
+        assert rebuilt.n_faces == tetra.n_faces
+        assert np.isclose(rebuilt.volume, tetra.volume, rtol=1e-6)
+
+    def test_roundtrip_cube(self, unit_cube):
+        rebuilt = load_stl_bytes(stl_binary_bytes(unit_cube))
+        assert rebuilt.is_watertight
+        assert np.isclose(rebuilt.volume, 1.0, rtol=1e-6)
+
+    def test_truncated_raises(self, tetra):
+        data = stl_binary_bytes(tetra)
+        with pytest.raises(ValueError):
+            load_stl_bytes(data[:100])
+
+    def test_header_only_raises(self):
+        with pytest.raises(ValueError):
+            load_stl_bytes(b"\0" * 50)
+
+
+class TestAsciiFormat:
+    def test_grammar(self, tetra):
+        text = stl_ascii_text(tetra, name="part")
+        assert text.startswith("solid part")
+        assert text.rstrip().endswith("endsolid part")
+        assert text.count("facet normal") == tetra.n_faces
+        assert text.count("vertex") == 3 * tetra.n_faces
+
+    def test_roundtrip(self, tetra):
+        rebuilt = load_stl_bytes(stl_ascii_text(tetra).encode())
+        assert rebuilt.n_faces == tetra.n_faces
+        assert np.isclose(rebuilt.volume, tetra.volume, rtol=1e-6)
+
+    def test_malformed_vertex_raises(self):
+        bad = "solid x\nfacet normal 0 0 1\nouter loop\nvertex 1 2\nvertex 0 0 0\nvertex 1 0 0\nendloop\nendfacet\nendsolid x"
+        with pytest.raises(ValueError):
+            load_stl_bytes(bad.encode())
+
+
+class TestDetection:
+    def test_binary_starting_with_solid(self, tetra):
+        """The infamous case: binary STL whose header says 'solid'."""
+        data = stl_binary_bytes(tetra, header="solid trap")
+        rebuilt = load_stl_bytes(data)
+        assert rebuilt.n_faces == tetra.n_faces
+
+    def test_ascii_detected(self, tetra):
+        text = stl_ascii_text(tetra)
+        assert load_stl_bytes(text.encode()).n_faces == tetra.n_faces
+
+
+class TestFiles:
+    def test_save_binary(self, tetra, tmp_path):
+        path = tmp_path / "part.stl"
+        size = save_stl(tetra, path, binary=True)
+        assert path.stat().st_size == size
+        assert load_stl(path).n_faces == tetra.n_faces
+
+    def test_save_ascii(self, tetra, tmp_path):
+        path = tmp_path / "part_ascii.stl"
+        size = save_stl(tetra, path, binary=False)
+        assert path.stat().st_size == size
+        assert load_stl(path).n_faces == tetra.n_faces
+
+    def test_binary_smaller_than_ascii(self, unit_cube, tmp_path):
+        b = save_stl(unit_cube, tmp_path / "b.stl", binary=True)
+        a = save_stl(unit_cube, tmp_path / "a.stl", binary=False)
+        assert b < a
+
+
+class TestPredictedSize:
+    def test_monotone(self):
+        assert predicted_file_size(10) < predicted_file_size(20)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            predicted_file_size(-1)
+
+    def test_zero_triangles(self):
+        assert predicted_file_size(0) == 84

@@ -1,0 +1,139 @@
+"""Unit tests for repro.mesh.trimesh."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transform import Transform
+from repro.mesh.trimesh import TriangleMesh
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = TriangleMesh.empty()
+        assert m.n_vertices == 0 and m.n_faces == 0
+        assert not m.is_watertight
+
+    def test_bad_vertex_shape(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 2)), np.zeros((1, 3), dtype=int))
+
+    def test_face_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 3)), np.array([[0, 1, 5]]))
+
+    def test_from_triangle_soup_welds(self, tetra):
+        soup = tetra.triangles
+        rebuilt = TriangleMesh.from_triangle_soup(soup)
+        assert rebuilt.n_vertices == 4
+        assert rebuilt.n_faces == 4
+        assert rebuilt.is_watertight
+
+    def test_from_empty_soup(self):
+        m = TriangleMesh.from_triangle_soup(np.zeros((0, 3, 3)))
+        assert m.n_faces == 0
+
+    def test_merged(self, tetra, unit_cube):
+        m = TriangleMesh.merged([tetra, unit_cube])
+        assert m.n_faces == tetra.n_faces + unit_cube.n_faces
+        assert m.n_vertices == tetra.n_vertices + unit_cube.n_vertices
+
+    def test_merged_empty_list(self):
+        assert TriangleMesh.merged([]).n_faces == 0
+
+
+class TestMassProperties:
+    def test_tetra_volume(self, tetra):
+        assert np.isclose(tetra.volume, 1.0 / 6.0)
+
+    def test_cube_volume(self, unit_cube):
+        assert np.isclose(unit_cube.volume, 1.0)
+
+    def test_cube_surface_area(self, unit_cube):
+        assert np.isclose(unit_cube.surface_area, 6.0)
+
+    def test_flipped_volume_negative(self, unit_cube):
+        assert np.isclose(unit_cube.flipped().volume, -1.0)
+
+    def test_centroid_cube(self, unit_cube):
+        assert np.allclose(unit_cube.centroid(), [0, 0, 0], atol=1e-9)
+
+    def test_centroid_translated(self, unit_cube):
+        moved = unit_cube.translated(np.array([5.0, 0.0, 0.0]))
+        assert np.allclose(moved.centroid(), [5, 0, 0], atol=1e-9)
+
+    def test_volume_invariant_under_rotation(self, tetra):
+        rotated = tetra.transformed(Transform.rotation_z(0.7))
+        assert np.isclose(rotated.volume, tetra.volume)
+
+
+class TestTopology:
+    def test_tetra_watertight(self, tetra):
+        assert tetra.is_watertight
+        assert tetra.euler_characteristic == 2
+
+    def test_cube_euler(self, unit_cube):
+        assert unit_cube.euler_characteristic == 2
+        assert unit_cube.is_watertight
+
+    def test_open_mesh_boundary_edges(self, tetra):
+        open_mesh = tetra.submesh(np.array([0, 1, 2]))  # drop one face
+        assert not open_mesh.is_watertight
+        assert len(open_mesh.boundary_edges()) == 3
+
+    def test_nonmanifold_detection(self, tetra):
+        # Duplicate one face: its edges now have 3 incident faces.
+        faces = np.vstack([tetra.faces, tetra.faces[0:1]])
+        bad = TriangleMesh(tetra.vertices, faces)
+        assert len(bad.nonmanifold_edges()) == 3
+
+    def test_unique_edges_count(self, unit_cube):
+        # Cube: 12 geometric edges + 6 face diagonals.
+        assert len(unit_cube.unique_edges()) == 18
+
+    def test_connected_components(self, tetra, unit_cube):
+        merged = TriangleMesh.merged([tetra, unit_cube.translated(np.array([10.0, 0, 0]))])
+        components = merged.connected_components()
+        assert len(components) == 2
+        assert sorted(len(c) for c in components) == [4, 12]
+
+    def test_submesh_compacts_vertices(self, unit_cube):
+        sub = unit_cube.submesh(np.array([0, 1]))
+        assert sub.n_faces == 2
+        assert sub.n_vertices == 4  # two triangles of one face share 4 corners
+
+
+class TestTransforms:
+    def test_translation(self, tetra):
+        moved = tetra.translated(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(moved.vertices[0], [1, 2, 3])
+
+    def test_reflection_preserves_positive_volume(self, unit_cube):
+        mirror = Transform(np.diag([-1.0, 1.0, 1.0]), np.zeros(3))
+        reflected = unit_cube.transformed(mirror)
+        assert np.isclose(reflected.volume, 1.0)
+
+    def test_flip_roundtrip(self, tetra):
+        assert np.isclose(tetra.flipped().flipped().volume, tetra.volume)
+
+    def test_copy_independent(self, tetra):
+        c = tetra.copy()
+        c.vertices[0] += 100.0
+        assert not np.allclose(c.vertices[0], tetra.vertices[0])
+
+
+class TestNormals:
+    def test_unit_length(self, unit_cube):
+        normals = unit_cube.face_normals()
+        assert np.allclose(np.linalg.norm(normals, axis=1), 1.0)
+
+    def test_outward_orientation(self, unit_cube):
+        normals = unit_cube.face_normals()
+        centers = unit_cube.triangles.mean(axis=1)
+        # Outward: normal points away from the (origin) centroid.
+        assert np.all(np.einsum("ij,ij->i", normals, centers) > 0)
+
+    def test_degenerate_face_zero_normal(self):
+        verts = np.array([[0, 0, 0], [1, 0, 0], [2, 0, 0]], dtype=float)
+        m = TriangleMesh(verts, np.array([[0, 1, 2]]))
+        assert np.allclose(m.face_normals()[0], 0.0)
+        assert np.isclose(m.face_areas()[0], 0.0)

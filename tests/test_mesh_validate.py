@@ -1,0 +1,109 @@
+"""Unit tests for repro.mesh.validate (geometry review + Fig. 4 gaps)."""
+
+import numpy as np
+import pytest
+
+from repro.cad import (
+    COARSE,
+    FINE,
+    BaseExtrudeFeature,
+    CadModel,
+    SplineSplitFeature,
+    custom_resolution,
+    default_split_spline,
+    tensile_bar_profile,
+)
+from repro.mesh.trimesh import TriangleMesh
+from repro.mesh.validate import (
+    find_tessellation_gaps,
+    max_gap,
+    validate_mesh,
+)
+
+
+class TestValidateMesh:
+    def test_clean_mesh(self, tetra):
+        report = validate_mesh(tetra)
+        assert report.is_clean
+        assert report.is_watertight
+        assert report.euler_characteristic == 2
+        assert report.n_components == 1
+
+    def test_open_mesh_flagged(self, tetra):
+        open_mesh = tetra.submesh(np.array([0, 1, 2]))
+        report = validate_mesh(open_mesh)
+        assert not report.is_clean
+        assert report.n_boundary_edges == 3
+        assert any("boundary" in issue for issue in report.issues)
+
+    def test_duplicate_faces_flagged(self, tetra):
+        faces = np.vstack([tetra.faces, tetra.faces[0:1]])
+        report = validate_mesh(TriangleMesh(tetra.vertices, faces))
+        assert report.n_duplicate_faces == 1
+        assert report.n_nonmanifold_edges == 3
+
+    def test_degenerate_face_flagged(self):
+        verts = np.array(
+            [[0, 0, 0], [1, 0, 0], [2, 0, 0], [0, 1, 0]], dtype=float
+        )
+        faces = np.array([[0, 1, 2], [0, 1, 3]])
+        report = validate_mesh(TriangleMesh(verts, faces))
+        assert report.n_degenerate_faces == 1
+
+    def test_empty_mesh_flagged(self):
+        report = validate_mesh(TriangleMesh.empty())
+        assert not report.is_clean
+
+
+@pytest.fixture(scope="module")
+def split_export_pair():
+    """The two split-body meshes of the paper's tensile bar at Coarse."""
+    spec_model = CadModel(
+        "split",
+        [
+            BaseExtrudeFeature(tensile_bar_profile(), 3.2),
+            SplineSplitFeature(default_split_spline()),
+        ],
+    )
+
+    def export(resolution):
+        e = spec_model.export_stl(resolution)
+        meshes = list(e.body_meshes.values())
+        return meshes[0], meshes[1]
+
+    return export
+
+
+class TestTessellationGaps:
+    def test_matched_bodies_have_no_gaps(self, unit_cube):
+        a = unit_cube
+        b = unit_cube.translated(np.array([1.0, 0.0, 0.0]))  # share a face plane
+        gaps = find_tessellation_gaps(a, b, interface_band=0.2)
+        assert max_gap(gaps) < 1e-9 or not gaps
+
+    def test_coarse_split_has_gaps(self, split_export_pair):
+        a, b = split_export_pair(COARSE)
+        gaps = find_tessellation_gaps(a, b, interface_band=0.4)
+        assert gaps, "the paper's Fig. 4 mismatch must appear at Coarse"
+        assert max_gap(gaps) > 0.05
+
+    def test_gap_shrinks_with_resolution(self, split_export_pair):
+        gap_by_res = {}
+        for res in (COARSE, FINE, custom_resolution()):
+            a, b = split_export_pair(res)
+            gap_by_res[res.name] = max_gap(
+                find_tessellation_gaps(a, b, interface_band=0.4)
+            )
+        assert gap_by_res["Coarse"] > gap_by_res["Fine"] > gap_by_res["Custom"]
+
+    def test_gap_points_lie_on_interface(self, split_export_pair):
+        a, b = split_export_pair(COARSE)
+        gaps = find_tessellation_gaps(a, b, interface_band=0.4)
+        # All reported mismatch points sit inside the gauge region.
+        for g in gaps:
+            assert abs(g.point[1]) < 4.0  # within the 6 mm gauge + margin
+
+    def test_empty_meshes(self):
+        gaps = find_tessellation_gaps(TriangleMesh.empty(), TriangleMesh.empty())
+        assert gaps == []
+        assert max_gap(gaps) == 0.0

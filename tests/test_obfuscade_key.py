@@ -1,0 +1,71 @@
+"""Unit tests for repro.obfuscade.key."""
+
+import pytest
+
+from repro.cad import COARSE, FINE, custom_resolution
+from repro.obfuscade.key import ManufacturingKey
+from repro.printer import PrintOrientation
+
+
+class TestConstruction:
+    def test_of_with_resolution_objects(self):
+        key = ManufacturingKey.of((FINE,), PrintOrientation.XY)
+        assert key.resolutions == frozenset({"Fine"})
+
+    def test_of_with_names(self):
+        key = ManufacturingKey.of(("Fine", "Custom"), PrintOrientation.XY)
+        assert key.resolutions == frozenset({"Fine", "Custom"})
+
+    def test_empty_resolutions_raise(self):
+        with pytest.raises(ValueError):
+            ManufacturingKey.of((), PrintOrientation.XY)
+
+
+class TestMatching:
+    @pytest.fixture
+    def key(self):
+        return ManufacturingKey.of(
+            (FINE, custom_resolution()), PrintOrientation.XY
+        )
+
+    def test_correct_conditions(self, key):
+        assert key.matches(FINE, PrintOrientation.XY)
+        assert key.matches(custom_resolution(), PrintOrientation.XY)
+        assert key.matches("Fine", PrintOrientation.XY)
+
+    def test_wrong_resolution(self, key):
+        assert not key.matches(COARSE, PrintOrientation.XY)
+
+    def test_wrong_orientation(self, key):
+        assert not key.matches(FINE, PrintOrientation.XZ)
+
+    def test_cad_recipe_enforced(self):
+        key = ManufacturingKey.of(
+            ("Fine",),
+            PrintOrientation.XY,
+            cad_recipe=("remove_material", "embed_solid_sphere"),
+        )
+        assert key.matches(
+            FINE,
+            PrintOrientation.XY,
+            cad_recipe=("remove_material", "embed_solid_sphere"),
+        )
+        assert not key.matches(FINE, PrintOrientation.XY)
+        assert not key.matches(
+            FINE, PrintOrientation.XY, cad_recipe=("embed_solid_sphere",)
+        )
+
+
+class TestDescribe:
+    def test_mentions_conditions(self):
+        key = ManufacturingKey.of(
+            ("Fine",), PrintOrientation.XZ, cad_recipe=("a", "b")
+        )
+        text = key.describe()
+        assert "Fine" in text
+        assert "x-z" in text
+        assert "a -> b" in text
+
+    def test_hashable_and_frozen(self):
+        key = ManufacturingKey.of(("Fine",), PrintOrientation.XY)
+        assert hash(key) == hash(ManufacturingKey.of(("Fine",), PrintOrientation.XY))

@@ -1,0 +1,90 @@
+"""Unit tests for repro.obfuscade.obfuscator."""
+
+import numpy as np
+import pytest
+
+from repro.cad import TensileBarSpec
+from repro.cad.features import EmbeddedSphereFeature, SphereStyle, SplineSplitFeature
+from repro.obfuscade.obfuscator import Obfuscator, feature_names
+from repro.printer import PrintOrientation
+
+
+class TestProtectTensileBar:
+    def test_structure(self):
+        protected = Obfuscator(seed=1).protect_tensile_bar()
+        assert any(
+            isinstance(f, SplineSplitFeature) for f in protected.model.features
+        )
+        assert protected.key.orientation is PrintOrientation.XY
+        assert "Fine" in protected.key.resolutions
+        assert "Coarse" not in protected.key.resolutions
+
+    def test_two_bodies(self):
+        protected = Obfuscator(seed=1).protect_tensile_bar()
+        assert len(protected.model.bodies()) == 2
+
+    def test_describe(self):
+        text = Obfuscator(seed=1).protect_tensile_bar().describe()
+        assert "spline split" in text
+        assert "x-y" in text
+
+    def test_randomized_splines_differ(self):
+        a = Obfuscator(seed=1).protect_tensile_bar(randomize=True)
+        b = Obfuscator(seed=2).protect_tensile_bar(randomize=True)
+        ca = _split_spline(a).control_points
+        cb = _split_spline(b).control_points
+        assert not np.allclose(ca, cb)
+
+    def test_same_seed_same_spline(self):
+        a = Obfuscator(seed=9).protect_tensile_bar(randomize=True)
+        b = Obfuscator(seed=9).protect_tensile_bar(randomize=True)
+        assert np.allclose(_split_spline(a).control_points, _split_spline(b).control_points)
+
+    def test_random_spline_crosses_gauge(self):
+        spec = TensileBarSpec()
+        spline = Obfuscator(seed=5).random_split_spline(spec)
+        assert np.isclose(spline.evaluate(0.0)[1], -spec.gauge_width / 2)
+        assert np.isclose(spline.evaluate(1.0)[1], spec.gauge_width / 2)
+
+
+class TestProtectPrism:
+    def test_key_recipe(self):
+        protected = Obfuscator().protect_prism()
+        assert protected.key.cad_recipe == (
+            "remove_material",
+            "embed_solid_sphere",
+        )
+
+    def test_model_uses_removal_solid(self):
+        protected = Obfuscator().protect_prism()
+        sphere_features = [
+            f
+            for f in protected.model.features
+            if isinstance(f, EmbeddedSphereFeature)
+        ]
+        assert len(sphere_features) == 1
+        assert sphere_features[0].style is SphereStyle.SOLID
+        assert sphere_features[0].material_removal
+
+
+class TestSphereVariants:
+    @pytest.mark.parametrize("style", list(SphereStyle))
+    @pytest.mark.parametrize("removal", [False, True])
+    def test_variant_builds(self, style, removal):
+        model = Obfuscator.sphere_variant(style, removal)
+        bodies = model.bodies()
+        assert len(bodies) == 2
+
+
+class TestFeatureNames:
+    def test_names(self):
+        protected = Obfuscator().protect_prism()
+        names = feature_names(protected.model)
+        assert names == ["embedded solid sphere (with material removal)"]
+
+
+def _split_spline(protected):
+    for f in protected.model.features:
+        if isinstance(f, SplineSplitFeature):
+            return f.spline
+    raise AssertionError("no split feature")

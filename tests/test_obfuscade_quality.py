@@ -1,0 +1,58 @@
+"""Unit tests for repro.obfuscade.quality."""
+
+import pytest
+
+from repro.mechanics.tensile import TensileTestRig
+from repro.obfuscade.quality import QualityGrade, assess_print
+
+
+class TestGrading:
+    def test_intact_print_is_genuine(self, intact_coarse_xy):
+        report = assess_print(intact_coarse_xy)
+        assert report.grade is QualityGrade.GENUINE
+        assert report.score == pytest.approx(1.0)
+
+    def test_genuine_key_print_is_genuine(self, split_fine_xy):
+        report = assess_print(split_fine_xy)
+        assert report.grade is QualityGrade.GENUINE
+        assert report.toughness_retention > 0.95
+
+    def test_coarse_xy_counterfeit_fails(self, split_coarse_xy):
+        report = assess_print(split_coarse_xy)
+        assert report.grade is QualityGrade.STRUCTURAL_DEFECT
+        assert report.visible_seam
+        assert report.surface_disruption_mm2 > 0
+
+    def test_xz_counterfeit_fails_badly(self, split_coarse_xz):
+        report = assess_print(split_coarse_xz)
+        assert report.grade is QualityGrade.STRUCTURAL_DEFECT
+        assert report.ductility_retention < 0.4
+        assert report.toughness_retention < 0.4
+
+    def test_score_ordering(self, intact_coarse_xy, split_coarse_xy, split_coarse_xz):
+        genuine = assess_print(intact_coarse_xy).score
+        cosmetic = assess_print(split_coarse_xy).score
+        bad = assess_print(split_coarse_xz).score
+        assert genuine > cosmetic
+        assert genuine > bad
+
+
+class TestRigMode:
+    def test_with_rig_noise(self, intact_coarse_xy):
+        report = assess_print(intact_coarse_xy, rig=TensileTestRig(seed=3))
+        # Noise can push retention slightly above/below 1.
+        assert 0.7 < report.toughness_retention <= 1.0
+        assert report.grade in (QualityGrade.GENUINE, QualityGrade.COSMETIC_DEFECT)
+
+    def test_deterministic_without_rig(self, intact_coarse_xy):
+        a = assess_print(intact_coarse_xy)
+        b = assess_print(intact_coarse_xy)
+        assert a.toughness_retention == b.toughness_retention
+
+
+class TestRetentionFields:
+    def test_retentions_capped_at_one(self, intact_coarse_xz):
+        report = assess_print(intact_coarse_xz)
+        assert report.toughness_retention <= 1.0
+        assert report.ductility_retention <= 1.0
+        assert report.strength_retention <= 1.0

@@ -1,0 +1,62 @@
+"""Unit tests for repro.obfuscade.repair_attack."""
+
+import pytest
+
+from repro.cad import COARSE, custom_resolution
+from repro.obfuscade.repair_attack import (
+    attempt_seam_repair,
+    sweep_repair_tolerances,
+)
+
+
+@pytest.fixture(scope="module")
+def coarse_bodies(split_bar):
+    export = split_bar.export_stl(COARSE)
+    meshes = list(export.body_meshes.values())
+    return meshes[0], meshes[1]
+
+
+class TestSingleAttempt:
+    def test_conservative_weld_fails(self, coarse_bodies):
+        a, b = coarse_bodies
+        outcome = attempt_seam_repair(a, b, weld_tolerance_mm=0.01)
+        assert not outcome.seam_removed
+        assert outcome.residual_gap_mm > 0.1
+        assert not outcome.attack_succeeded
+
+    def test_aggressive_weld_still_fails(self, coarse_bodies):
+        """Vertex welding cannot cancel structurally different
+        tessellations - the wall survives any tolerance."""
+        a, b = coarse_bodies
+        outcome = attempt_seam_repair(a, b, weld_tolerance_mm=0.5)
+        assert not outcome.seam_removed
+        assert not outcome.attack_succeeded
+
+    def test_weld_creates_detectable_artifacts(self, coarse_bodies):
+        a, b = coarse_bodies
+        outcome = attempt_seam_repair(a, b, weld_tolerance_mm=0.05)
+        assert outcome.detected_by_review
+        assert any("non-manifold" in f for f in outcome.review_findings)
+
+    def test_fine_feature_damage_model(self, coarse_bodies):
+        a, b = coarse_bodies
+        gentle = attempt_seam_repair(a, b, 0.1, fine_feature_mm=0.5)
+        harsh = attempt_seam_repair(a, b, 0.3, fine_feature_mm=0.5)
+        assert not gentle.fine_feature_damage
+        assert harsh.fine_feature_damage
+
+
+class TestSweep:
+    def test_no_tolerance_wins(self, coarse_bodies):
+        a, b = coarse_bodies
+        outcomes = sweep_repair_tolerances(
+            a, b, (0.01, 0.05, 0.1, 0.3, 0.6), fine_feature_mm=0.5
+        )
+        assert len(outcomes) == 5
+        assert not any(o.attack_succeeded for o in outcomes)
+
+    def test_custom_resolution_equally_resistant(self, split_bar):
+        export = split_bar.export_stl(custom_resolution())
+        a, b = list(export.body_meshes.values())
+        outcome = attempt_seam_repair(a, b, weld_tolerance_mm=0.05)
+        assert not outcome.attack_succeeded

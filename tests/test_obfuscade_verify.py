@@ -1,0 +1,102 @@
+"""Unit tests for repro.obfuscade.verify (genuine-part identification)."""
+
+import numpy as np
+import pytest
+
+from repro.obfuscade.verify import (
+    AuthenticationReport,
+    FeatureExpectation,
+    PartAuthenticator,
+)
+
+SPHERE_CENTER = np.array([22.7, 16.35, 6.35])
+SPHERE_RADIUS = 3.175
+
+
+class TestExpectationValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FeatureExpectation(kind="hologram")
+
+    def test_sphere_needs_geometry(self):
+        with pytest.raises(ValueError):
+            FeatureExpectation(kind="sphere_cavity")
+
+    def test_authenticator_needs_expectations(self):
+        with pytest.raises(ValueError):
+            PartAuthenticator([])
+
+
+class TestSeamSignature:
+    def test_genuine_fused_seam(self, split_fine_xy):
+        auth = PartAuthenticator([FeatureExpectation(kind="seam")])
+        report = auth.inspect(split_fine_xy.artifact)
+        assert report.genuine
+        assert "fused split seam" in report.checks[0]
+
+    def test_missing_feature_fails(self, intact_coarse_xy):
+        """A counterfeit rebuilt without the feature is identified."""
+        auth = PartAuthenticator([FeatureExpectation(kind="seam")])
+        report = auth.inspect(intact_coarse_xy.artifact)
+        assert not report.genuine
+        assert "absent" in report.failures[0]
+
+    def test_defective_print_fails(self, split_coarse_xy):
+        """The feature is present but unfused: a bad (counterfeit) print."""
+        auth = PartAuthenticator([FeatureExpectation(kind="seam")])
+        report = auth.inspect(split_coarse_xy.artifact)
+        assert not report.genuine
+        assert "defective" in report.failures[0]
+
+
+class TestSphereSignature:
+    def expectation(self, kind):
+        return FeatureExpectation(
+            kind=kind, center_mm=SPHERE_CENTER, radius_mm=SPHERE_RADIUS
+        )
+
+    def test_cavity_detected(self, sphere_noremoval_solid_print):
+        auth = PartAuthenticator([self.expectation("sphere_cavity")])
+        report = auth.inspect(sphere_noremoval_solid_print.artifact)
+        assert report.genuine
+        assert "support material" in report.checks[0]
+
+    def test_cavity_detected_after_washing(self, sphere_noremoval_solid_print):
+        auth = PartAuthenticator([self.expectation("sphere_cavity")])
+        report = auth.inspect(sphere_noremoval_solid_print.artifact.washed())
+        assert report.genuine
+        assert "washed" in report.checks[0]
+
+    def test_solid_sphere_region(self, sphere_removal_solid_print):
+        auth = PartAuthenticator([self.expectation("sphere_solid")])
+        report = auth.inspect(sphere_removal_solid_print.artifact)
+        assert report.genuine
+
+    def test_wrong_expectation_fails(self, sphere_removal_solid_print):
+        auth = PartAuthenticator([self.expectation("sphere_cavity")])
+        report = auth.inspect(sphere_removal_solid_print.artifact)
+        assert not report.genuine
+
+
+class TestReport:
+    def test_explain_format(self, split_fine_xy):
+        auth = PartAuthenticator([FeatureExpectation(kind="seam")])
+        text = auth.inspect(split_fine_xy.artifact).explain()
+        assert text.startswith("verdict: GENUINE")
+        assert "[ok]" in text
+
+    def test_multiple_expectations_all_must_pass(self, split_fine_xy):
+        auth = PartAuthenticator(
+            [
+                FeatureExpectation(kind="seam"),
+                FeatureExpectation(
+                    kind="sphere_cavity",
+                    center_mm=SPHERE_CENTER,
+                    radius_mm=SPHERE_RADIUS,
+                ),
+            ]
+        )
+        report = auth.inspect(split_fine_xy.artifact)
+        assert not report.genuine  # the bar has no sphere cavity
+        assert len(report.checks) == 1
+        assert len(report.failures) == 1

@@ -1,0 +1,106 @@
+"""Unit tests for repro.obfuscade.watermark."""
+
+import numpy as np
+import pytest
+
+from repro.cad import FINE, BasePrismFeature, CadModel
+from repro.obfuscade.watermark import (
+    MicroCavityWatermarkFeature,
+    WatermarkSpec,
+    read_watermark,
+)
+
+SPEC = WatermarkSpec(origin_mm=(-7.0, 0.0, 0.0), pitch_mm=2.0, cavity_mm=0.8, n_bits=8)
+BUILD_OFFSET = (22.7, 16.35, 6.35)
+
+
+def marked_model(serial: int) -> CadModel:
+    return CadModel(
+        f"marked-{serial}",
+        [
+            BasePrismFeature((25.4, 12.7, 12.7)),
+            MicroCavityWatermarkFeature(serial, SPEC),
+        ],
+    )
+
+
+class TestSpecValidation:
+    def test_pitch_must_exceed_cavity(self):
+        with pytest.raises(ValueError):
+            WatermarkSpec(origin_mm=(0, 0, 0), pitch_mm=0.5, cavity_mm=0.8)
+
+    def test_bit_bounds(self):
+        with pytest.raises(ValueError):
+            WatermarkSpec(origin_mm=(0, 0, 0), n_bits=0)
+        with pytest.raises(ValueError):
+            WatermarkSpec(origin_mm=(0, 0, 0), n_bits=65)
+
+    def test_max_serial(self):
+        assert SPEC.max_serial() == 255
+
+    def test_cell_centers_along_x(self):
+        c0 = SPEC.cell_center(0)
+        c3 = SPEC.cell_center(3)
+        assert np.isclose(c3[0] - c0[0], 6.0)
+        assert c0[1] == c3[1] and c0[2] == c3[2]
+
+
+class TestFeature:
+    def test_serial_out_of_range(self):
+        with pytest.raises(ValueError):
+            MicroCavityWatermarkFeature(256, SPEC)
+        with pytest.raises(ValueError):
+            MicroCavityWatermarkFeature(-1, SPEC)
+
+    def test_zero_serial_no_cavities(self):
+        bodies = marked_model(0).bodies()
+        assert len(bodies) == 1  # the bare host
+
+    def test_cavities_reduce_volume(self):
+        from repro.geometry.spline import SamplingTolerance
+
+        tol = SamplingTolerance(angle=0.2, deviation=0.05)
+        plain = CadModel("p", [BasePrismFeature((25.4, 12.7, 12.7))])
+        marked = marked_model(0b11111111)
+        v_plain = sum(b.tessellate(tol).volume for b in plain.bodies())
+        v_marked = sum(b.tessellate(tol).volume for b in marked.bodies())
+        assert v_marked < v_plain
+        assert np.isclose(v_plain - v_marked, 8 * 0.8 ** 3, rtol=1e-6)
+
+    def test_cavity_outside_host_rejected(self):
+        wide_spec = WatermarkSpec(origin_mm=(0.0, 0.0, 0.0), pitch_mm=5.0, n_bits=8)
+        with pytest.raises(ValueError):
+            CadModel(
+                "bad",
+                [
+                    BasePrismFeature((25.4, 12.7, 12.7)),
+                    MicroCavityWatermarkFeature(0b10000000, wide_spec),
+                ],
+            ).bodies()
+
+
+class TestRoundtrip:
+    @pytest.fixture(scope="class")
+    def printed(self, print_job):
+        return print_job.print_model(marked_model(0b10110101), FINE)
+
+    def test_serial_decodes(self, printed):
+        readout = read_watermark(printed.artifact, SPEC, BUILD_OFFSET)
+        assert readout.serial == 0b10110101
+
+    def test_high_confidence(self, printed):
+        readout = read_watermark(printed.artifact, SPEC, BUILD_OFFSET)
+        assert readout.min_confidence > 0.8
+
+    def test_survives_support_washing(self, printed):
+        readout = read_watermark(printed.artifact.washed(), SPEC, BUILD_OFFSET)
+        assert readout.serial == 0b10110101
+
+    def test_unmarked_part_reads_zero(self, sphere_removal_solid_print):
+        # A solid prism with no watermark decodes to all-0 bits.
+        readout = read_watermark(
+            sphere_removal_solid_print.artifact,
+            WatermarkSpec(origin_mm=(-7.0, 4.0, 4.0), n_bits=4),
+            BUILD_OFFSET,
+        )
+        assert readout.serial == 0

@@ -1,0 +1,112 @@
+"""Unit tests for repro.printer.deposition."""
+
+import numpy as np
+import pytest
+
+from repro.cad.primitives import make_rect_prism
+from repro.geometry.spline import SamplingTolerance
+from repro.printer.deposition import DepositionSimulator
+from repro.printer.machines import DIMENSION_ELITE
+from repro.slicer.settings import SlicerSettings
+
+TOL = SamplingTolerance(angle=np.deg2rad(10), deviation=0.05)
+
+
+def plate_mesh(size, center=None):
+    sx, sy, sz = size
+    c = center or (sx / 2 + 5, sy / 2 + 5, sz / 2)
+    return make_rect_prism(size, center=c).tessellate(TOL)
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return DepositionSimulator(DIMENSION_ELITE, SlicerSettings(), raster_cell_mm=0.1)
+
+
+class TestBasicDeposition:
+    def test_block_volume(self, simulator):
+        artifact = simulator.build(plate_mesh((10, 8, 4)))
+        assert np.isclose(artifact.model_volume_mm3, 320.0, rtol=0.05)
+
+    def test_no_support_for_flat_block(self, simulator):
+        artifact = simulator.build(plate_mesh((10, 8, 4)))
+        assert artifact.support_volume_mm3 == 0.0
+
+    def test_no_voids_in_solid(self, simulator):
+        artifact = simulator.build(plate_mesh((10, 8, 4)))
+        assert artifact.void_volume_mm3 == 0.0
+        assert not artifact.weak.any()
+
+    def test_layer_height_from_machine(self, simulator):
+        artifact = simulator.build(plate_mesh((10, 8, 4)))
+        assert artifact.layer_height_mm == DIMENSION_ELITE.layer_height_mm
+        assert artifact.model.shape[0] == int(np.ceil(4 / 0.1778))
+
+    def test_below_plate_rejected(self, simulator):
+        mesh = make_rect_prism((5, 5, 5)).tessellate(TOL)  # centred at origin
+        with pytest.raises(ValueError):
+            simulator.build(mesh)
+
+    def test_oversized_part_rejected(self, simulator):
+        mesh = plate_mesh((400, 10, 5))
+        with pytest.raises(ValueError):
+            simulator.build(mesh)
+
+
+class TestBeadMerge:
+    def build_two_blocks(self, simulator, gap):
+        a = make_rect_prism((5, 8, 2), center=(12.5, 14, 1)).tessellate(TOL)
+        b = make_rect_prism((5, 8, 2), center=(17.5 + gap, 14, 1)).tessellate(TOL)
+        from repro.mesh.trimesh import TriangleMesh
+
+        return simulator.build(TriangleMesh.merged([a, b]))
+
+    def test_small_gap_bridges_as_weak(self, simulator):
+        # Gap below the bridging reach (2 raster cells) but above one
+        # cell, so it is resolved and then closed by bead squish.
+        artifact = self.build_two_blocks(simulator, gap=0.15)
+        assert artifact.weak.any()
+        assert not artifact.voids.any()
+
+    def test_large_gap_stays_open(self, simulator):
+        artifact = self.build_two_blocks(simulator, gap=0.5)
+        assert not artifact.weak.any()
+        # A 0.5 mm canyon between blocks is open to the outside, not an
+        # enclosed void, so the two bodies simply stay separate.
+        from scipy import ndimage
+
+        _, n = ndimage.label(artifact.model[0])
+        assert n == 2
+
+    def test_zero_gap_fuses_seamlessly(self, simulator):
+        artifact = self.build_two_blocks(simulator, gap=0.0)
+        from scipy import ndimage
+
+        _, n = ndimage.label(artifact.model[0])
+        assert n == 1
+
+
+class TestSupport:
+    def test_internal_void_gets_support(self, simulator):
+        """A hollow part fills its cavity with soluble support."""
+        from repro.cad.body import SphereBody
+        from repro.mesh.trimesh import TriangleMesh
+
+        shell = make_rect_prism((14, 14, 14), center=(12, 12, 7)).tessellate(TOL)
+        cavity = SphereBody((12, 12, 7), 3.0, inward=True).tessellate(TOL)
+        artifact = simulator.build(TriangleMesh.merged([shell, cavity]))
+        assert artifact.support_volume_mm3 > 0
+        expected = 4.0 / 3.0 * np.pi * 27.0
+        assert np.isclose(artifact.support_volume_mm3, expected, rtol=0.15)
+
+    def test_support_disabled(self):
+        sim = DepositionSimulator(
+            DIMENSION_ELITE, SlicerSettings(support="none"), raster_cell_mm=0.1
+        )
+        from repro.cad.body import SphereBody
+        from repro.mesh.trimesh import TriangleMesh
+
+        shell = make_rect_prism((14, 14, 14), center=(12, 12, 7)).tessellate(TOL)
+        cavity = SphereBody((12, 12, 7), 3.0, inward=True).tessellate(TOL)
+        artifact = sim.build(TriangleMesh.merged([shell, cavity]))
+        assert artifact.support_volume_mm3 == 0.0

@@ -1,0 +1,85 @@
+"""Unit tests for repro.printer.firmware (limit switches, Table 1)."""
+
+import pytest
+
+from repro.printer.firmware import PrinterFirmware
+from repro.printer.machines import DIMENSION_ELITE
+from repro.slicer.gcode import GCodeProgram, parse_gcode
+
+
+def program(*lines):
+    return GCodeProgram(lines=list(lines))
+
+
+class TestNormalOperation:
+    def test_simple_program_completes(self):
+        fw = PrinterFirmware(DIMENSION_ELITE)
+        result = fw.run(program("G21", "G90", "G0 X10 Y10 F6000", "G1 X20 Y10 E1 F2400"))
+        assert result.completed
+        assert result.executed_moves == 2
+        assert result.rejected_moves == 0
+
+    def test_build_time_accumulates(self):
+        fw = PrinterFirmware(DIMENSION_ELITE)
+        result = fw.run(program("G0 X60 F6000"))
+        # 60 mm at 100 mm/s = 0.6 s.
+        assert result.build_time_s == pytest.approx(0.6)
+
+    def test_extrusion_tracked(self):
+        fw = PrinterFirmware(DIMENSION_ELITE)
+        result = fw.run(program("G1 X10 E2.5 F2400"))
+        assert result.total_extrusion_e == pytest.approx(2.5)
+
+
+class TestLimitSwitches:
+    def test_out_of_volume_x_trips(self):
+        fw = PrinterFirmware(DIMENSION_ELITE)
+        result = fw.run(program("G0 X9999 F6000"))
+        assert not result.completed
+        assert "X limit switch" in result.limit_violations[0]
+
+    def test_negative_coordinate_trips(self):
+        fw = PrinterFirmware(DIMENSION_ELITE)
+        result = fw.run(program("G0 Y-5 F6000"))
+        assert not result.completed
+
+    def test_abort_rejects_rest(self):
+        fw = PrinterFirmware(DIMENSION_ELITE)
+        result = fw.run(program("G0 Z9999", "G0 X10", "G0 X20"))
+        assert result.executed_moves == 0
+        assert result.rejected_moves == 3
+
+    def test_no_abort_mode_continues(self):
+        fw = PrinterFirmware(DIMENSION_ELITE, abort_on_violation=False)
+        result = fw.run(program("G0 Z9999", "G0 X10"))
+        assert result.executed_moves == 1
+        assert result.rejected_moves == 1
+        assert len(result.limit_violations) == 1
+
+    def test_malicious_coordinates_attack_blocked(self):
+        """The Table 1 slicing-stage attack: actuator damage via G-code."""
+        attack = program("G0 X10 Y10", "G1 X100000 Y100000 E5")
+        result = PrinterFirmware(DIMENSION_ELITE).run(attack)
+        assert not result.completed
+        assert result.limit_violations
+
+
+class TestFeedrateClamping:
+    def test_overspeed_clamped(self):
+        fw = PrinterFirmware(DIMENSION_ELITE)
+        result = fw.run(program("G0 X100 F99999"))
+        assert result.feedrate_clamps == 1
+        assert result.completed
+
+    def test_clamped_time_uses_max(self):
+        fw = PrinterFirmware(DIMENSION_ELITE)
+        result = fw.run(program("G0 X100 F99999"))
+        expected = 100.0 / (DIMENSION_ELITE.max_feedrate_mm_min / 60.0)
+        assert result.build_time_s == pytest.approx(expected)
+
+
+class TestRunMoves:
+    def test_accepts_parsed_moves(self):
+        moves = parse_gcode("G0 X5 F6000\nG1 X10 E0.2 F2400\n")
+        result = PrinterFirmware(DIMENSION_ELITE).run_moves(moves)
+        assert result.executed_moves == 2

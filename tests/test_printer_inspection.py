@@ -1,0 +1,85 @@
+"""Unit tests for repro.printer.inspection (the Testing-stage CT)."""
+
+import numpy as np
+import pytest
+
+from repro.cad import FINE, BasePrismFeature, CadModel
+from repro.printer.inspection import CtScanner, _block_mean
+
+
+class TestBlockMean:
+    def test_exact_blocks(self):
+        vol = np.arange(8, dtype=float).reshape(2, 2, 2)
+        out = _block_mean(vol, (2, 2, 2))
+        assert out.shape == (1, 1, 1)
+        assert out[0, 0, 0] == pytest.approx(3.5)
+
+    def test_identity_factors(self):
+        vol = np.random.default_rng(1).random((3, 4, 5))
+        assert np.allclose(_block_mean(vol, (1, 1, 1)), vol)
+
+    def test_padding_partial_blocks(self):
+        vol = np.ones((3, 3, 3))
+        out = _block_mean(vol, (2, 2, 2))
+        assert out.shape == (2, 2, 2)
+        # Padded corners average in zeros.
+        assert out[0, 0, 0] == pytest.approx(1.0)
+        assert out[1, 1, 1] < 1.0
+
+
+class TestScannerValidation:
+    def test_bad_resolution(self):
+        with pytest.raises(ValueError):
+            CtScanner(resolution_mm=0.0)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            CtScanner(detection_threshold=1.5)
+
+    def test_time_scaling(self, sphere_noremoval_solid_print):
+        artifact = sphere_noremoval_solid_print.artifact
+        fast = CtScanner(resolution_mm=2.0).scan_time_s(artifact)
+        slow = CtScanner(resolution_mm=1.0).scan_time_s(artifact)
+        assert slow == pytest.approx(8.0 * fast, rel=1e-6)
+
+
+class TestScanning:
+    def test_intact_part_clean(self, print_job):
+        out = print_job.print_model(
+            CadModel("p", [BasePrismFeature((25.4, 12.7, 12.7))]), FINE
+        )
+        result = CtScanner(resolution_mm=0.5).scan(out.artifact)
+        assert result.clean
+
+    def test_sphere_void_found(self, sphere_noremoval_solid_print):
+        washed = sphere_noremoval_solid_print.artifact.washed()
+        result = CtScanner(resolution_mm=0.5).scan(washed)
+        assert result.n_indications == 1
+        expected = 4.0 / 3.0 * np.pi * 3.175 ** 3
+        assert result.indication_volumes_mm3[0] == pytest.approx(expected, rel=0.15)
+
+    def test_support_inclusion_found_before_washing(self, sphere_noremoval_solid_print):
+        """Support trapped inside the part is itself an indication."""
+        result = CtScanner(resolution_mm=0.5).scan(
+            sphere_noremoval_solid_print.artifact
+        )
+        assert not result.clean
+
+    def test_small_defects_vanish_at_low_resolution(self, print_job):
+        """The Table 1 Testing risk: low equipment resolution misses
+        small features (here: 0.8 mm watermark cavities)."""
+        from repro.obfuscade.watermark import MicroCavityWatermarkFeature, WatermarkSpec
+
+        spec = WatermarkSpec(origin_mm=(-7.0, 0.0, 0.0), cavity_mm=0.8, n_bits=4)
+        model = CadModel(
+            "marked",
+            [
+                BasePrismFeature((25.4, 12.7, 12.7)),
+                MicroCavityWatermarkFeature(0b1111, spec),
+            ],
+        )
+        artifact = print_job.print_model(model, FINE).artifact.washed()
+        sharp = CtScanner(resolution_mm=0.25).scan(artifact)
+        blurry = CtScanner(resolution_mm=2.5).scan(artifact)
+        assert sharp.n_indications >= 4
+        assert blurry.n_indications < sharp.n_indications

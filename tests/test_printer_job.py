@@ -1,0 +1,92 @@
+"""Integration tests for repro.printer.job (full print pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.cad import COARSE
+from repro.printer import PrintOrientation
+from repro.printer.artifact import VoxelMaterial
+
+# Sphere centre of the session prism prints in build coordinates: the
+# prism is centred at the origin, placed on the plate with a 10 mm margin.
+SPHERE_CENTER_BUILD = np.array([22.7, 16.35, 6.35])
+SPHERE_RADIUS = 3.175
+
+
+class TestOutcomeStructure:
+    def test_outcome_components(self, intact_coarse_xy):
+        out = intact_coarse_xy
+        assert out.succeeded
+        assert out.export.n_triangles > 0
+        assert out.slices.n_layers > 0
+        assert out.gcode.n_lines > 0
+        assert out.firmware.executed_moves > 0
+        assert out.seam is None  # intact model has no split
+
+    def test_metadata(self, intact_coarse_xy):
+        meta = intact_coarse_xy.artifact.metadata
+        assert meta["model"] == "intact-bar"
+        assert meta["resolution"] == "Coarse"
+        assert meta["orientation"] == "x-y"
+
+    def test_split_model_has_seam(self, split_coarse_xy):
+        assert split_coarse_xy.seam is not None
+        assert split_coarse_xy.artifact.metadata.get("split_spline") is not None
+
+
+class TestPhysicalPlausibility:
+    def test_volume_close_to_cad(self, intact_coarse_xy):
+        cad_volume = intact_coarse_xy.export.mesh.volume
+        printed = intact_coarse_xy.artifact.model_volume_mm3
+        assert np.isclose(printed, cad_volume, rtol=0.03)
+
+    def test_xz_has_more_layers(self, intact_coarse_xy, intact_coarse_xz):
+        assert intact_coarse_xz.slices.n_layers > intact_coarse_xy.slices.n_layers
+
+    def test_firmware_within_build_volume(self, split_coarse_xz):
+        assert split_coarse_xz.firmware.completed
+        assert not split_coarse_xz.firmware.limit_violations
+
+    def test_intact_has_no_defects(self, intact_coarse_xy):
+        a = intact_coarse_xy.artifact
+        assert a.void_volume_mm3 == 0.0
+        assert not a.has_visible_seam
+
+
+class TestSplitPrintDefects:
+    def test_coarse_xy_surface_disruption(self, split_coarse_xy):
+        """Fig. 8a: Coarse STL printed x-y shows a surface disruption."""
+        a = split_coarse_xy.artifact
+        assert a.void_volume_mm3 > 0
+        assert a.surface_disruption_area_mm2 > 0
+        assert a.has_visible_seam
+
+    def test_fine_xy_clean(self, split_fine_xy):
+        """Fig. 8b-like: Fine resolution in x-y prints clean."""
+        a = split_fine_xy.artifact
+        assert a.void_volume_mm3 == 0.0
+        assert not a.has_visible_seam
+
+    def test_xz_interlayer_seam(self, split_coarse_xz):
+        """Fig. 7b: x-z orientation prints the split at any resolution."""
+        assert split_coarse_xz.seam.prints_discontinuity
+        assert split_coarse_xz.artifact.has_visible_seam
+
+
+class TestEmbeddedSpherePrints:
+    def test_removal_solid_prints_model(self, sphere_removal_solid_print):
+        mat = sphere_removal_solid_print.artifact.sphere_region_material(
+            SPHERE_CENTER_BUILD, SPHERE_RADIUS
+        )
+        assert mat is VoxelMaterial.MODEL
+
+    def test_noremoval_solid_prints_support(self, sphere_noremoval_solid_print):
+        mat = sphere_noremoval_solid_print.artifact.sphere_region_material(
+            SPHERE_CENTER_BUILD, SPHERE_RADIUS
+        )
+        assert mat is VoxelMaterial.SUPPORT
+
+    def test_washing_empties_the_sphere(self, sphere_noremoval_solid_print):
+        washed = sphere_noremoval_solid_print.artifact.washed()
+        mat = washed.sphere_region_material(SPHERE_CENTER_BUILD, SPHERE_RADIUS)
+        assert mat is VoxelMaterial.EMPTY

@@ -1,0 +1,71 @@
+"""Unit tests for repro.printer.machines."""
+
+import pytest
+
+from repro.printer.machines import (
+    ABS,
+    DIMENSION_ELITE,
+    OBJET30_PRO,
+    SR10_SUPPORT,
+    MachineProfile,
+    Material,
+)
+
+
+class TestPaperMachines:
+    def test_dimension_elite_is_fdm(self):
+        assert DIMENSION_ELITE.technology == "FDM"
+        assert DIMENSION_ELITE.layer_height_mm == pytest.approx(0.1778)
+        assert DIMENSION_ELITE.model_material.name == "ABS"
+        assert DIMENSION_ELITE.support_material.soluble
+
+    def test_objet_is_polyjet_16um(self):
+        """'minimum layer thickness of 16 um, compared to 178 um'."""
+        assert OBJET30_PRO.technology == "PolyJet"
+        assert OBJET30_PRO.layer_height_mm == pytest.approx(0.016)
+        assert OBJET30_PRO.model_material.name == "VeroClear"
+
+    def test_layer_ratio_roughly_11x(self):
+        ratio = DIMENSION_ELITE.layer_height_mm / OBJET30_PRO.layer_height_mm
+        assert 10 < ratio < 12
+
+
+class TestValidation:
+    def test_bad_density(self):
+        with pytest.raises(ValueError):
+            Material(name="x", density_g_cm3=0.0)
+
+    def test_bad_layer_height(self):
+        with pytest.raises(ValueError):
+            MachineProfile(
+                name="x",
+                technology="FDM",
+                layer_height_mm=0.0,
+                bead_width_mm=0.5,
+                build_volume_mm=(100, 100, 100),
+                model_material=ABS,
+                support_material=SR10_SUPPORT,
+            )
+
+    def test_bad_volume(self):
+        with pytest.raises(ValueError):
+            MachineProfile(
+                name="x",
+                technology="FDM",
+                layer_height_mm=0.2,
+                bead_width_mm=0.5,
+                build_volume_mm=(100, -1, 100),
+                model_material=ABS,
+                support_material=SR10_SUPPORT,
+            )
+
+
+class TestFits:
+    def test_fits(self):
+        assert DIMENSION_ELITE.fits((100, 100, 100))
+
+    def test_too_big(self):
+        assert not DIMENSION_ELITE.fits((500, 10, 10))
+
+    def test_boundary(self):
+        assert DIMENSION_ELITE.fits(DIMENSION_ELITE.build_volume_mm)

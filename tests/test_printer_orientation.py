@@ -1,0 +1,60 @@
+"""Unit tests for repro.printer.orientation (Fig. 6)."""
+
+import numpy as np
+
+from repro.cad.primitives import make_rect_prism
+from repro.geometry.spline import SamplingTolerance
+from repro.printer.orientation import PrintOrientation, oriented_size, place_on_plate
+
+TOL = SamplingTolerance(angle=np.deg2rad(10), deviation=0.05)
+
+
+def bar_mesh():
+    return make_rect_prism((115, 19, 3.2)).tessellate(TOL)
+
+
+class TestTransforms:
+    def test_xy_is_identity(self):
+        assert np.allclose(PrintOrientation.XY.transform.matrix, np.eye(3))
+
+    def test_xz_rotates_about_x(self):
+        size = oriented_size(bar_mesh(), PrintOrientation.XZ)
+        # Width (19) becomes the build height.
+        assert np.allclose(size, [115, 3.2, 19], atol=1e-9)
+
+    def test_xy_size_unchanged(self):
+        size = oriented_size(bar_mesh(), PrintOrientation.XY)
+        assert np.allclose(size, [115, 19, 3.2], atol=1e-9)
+
+    def test_values(self):
+        assert PrintOrientation.XY.value == "x-y"
+        assert PrintOrientation.XZ.value == "x-z"
+
+
+class TestPlaceOnPlate:
+    def test_rests_on_z0(self):
+        placed = place_on_plate([bar_mesh()], PrintOrientation.XZ)[0]
+        assert np.isclose(placed.bounds.lo[2], 0.0, atol=1e-9)
+        assert np.isclose(placed.bounds.lo[0], 0.0, atol=1e-9)
+
+    def test_joint_translation_preserves_relative_position(self):
+        a = make_rect_prism((10, 10, 10), center=(0, 0, 5)).tessellate(TOL)
+        b = make_rect_prism((10, 10, 10), center=(20, 0, 5)).tessellate(TOL)
+        pa, pb = place_on_plate([a, b], PrintOrientation.XY)
+        gap_before = 20.0
+        gap_after = pb.centroid()[0] - pa.centroid()[0]
+        assert np.isclose(gap_after, gap_before)
+
+    def test_layer_count_depends_on_orientation(self):
+        from repro.slicer.settings import SlicerSettings
+        from repro.slicer.slicer import slice_mesh
+
+        settings = SlicerSettings()
+        mesh = bar_mesh()
+        xy = slice_mesh(place_on_plate([mesh], PrintOrientation.XY)[0], settings)
+        xz = slice_mesh(place_on_plate([mesh], PrintOrientation.XZ)[0], settings)
+        assert xy.n_layers == int(np.ceil(3.2 / 0.1778))
+        assert xz.n_layers == int(np.ceil(19.0 / 0.1778))
+
+    def test_empty_list(self):
+        assert place_on_plate([], PrintOrientation.XY) == []

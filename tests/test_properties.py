@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cad.triangulate import triangulate_polygon, triangulation_area
+from repro.geometry.polygon import Polygon2, regular_polygon
+from repro.geometry.spline import CubicSpline2, SamplingTolerance
+from repro.geometry.transform import Transform
+from repro.mesh.stl_io import load_stl_bytes, stl_binary_bytes
+from repro.mesh.trimesh import TriangleMesh
+from repro.slicer.support import support_columns
+
+finite = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+angle = st.floats(min_value=-np.pi, max_value=np.pi)
+positive = st.floats(min_value=0.1, max_value=100.0)
+
+
+# --- transforms -----------------------------------------------------------
+
+
+class TestTransformProperties:
+    @given(angle, st.lists(finite, min_size=3, max_size=3))
+    def test_rotation_preserves_norm(self, theta, point):
+        p = np.array(point)
+        rotated = Transform.rotation_z(theta).apply(p)
+        assert np.isclose(np.linalg.norm(rotated), np.linalg.norm(p), atol=1e-6)
+
+    @given(angle, angle, st.lists(finite, min_size=3, max_size=3))
+    def test_compose_matches_sequential(self, a, b, point):
+        p = np.array(point)
+        t1 = Transform.rotation_x(a)
+        t2 = Transform.rotation_y(b)
+        combined = t2.compose(t1)
+        assert np.allclose(combined.apply(p), t2.apply(t1.apply(p)), atol=1e-6)
+
+    @given(angle, st.lists(finite, min_size=3, max_size=3), st.lists(finite, min_size=3, max_size=3))
+    def test_inverse_roundtrip(self, theta, offset, point):
+        t = Transform.rotation_z(theta).compose(
+            Transform.translation(np.array(offset))
+        )
+        p = np.array(point)
+        assert np.allclose(t.inverse().apply(t.apply(p)), p, atol=1e-5)
+
+
+# --- polygons ----------------------------------------------------------------
+
+
+@st.composite
+def convex_polygons(draw):
+    """Random convex polygons via sorted angles on an ellipse."""
+    n = draw(st.integers(min_value=3, max_value=20))
+    rx = draw(positive)
+    ry = draw(positive)
+    thetas = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0, max_value=2 * np.pi - 0.01),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        )
+    )
+    assume(len(thetas) >= 3)
+    pts = np.stack(
+        [rx * np.cos(thetas), ry * np.sin(thetas)], axis=1
+    )
+    # Distinct enough vertices for a valid simple polygon.
+    edges = np.linalg.norm(np.roll(pts, -1, axis=0) - pts, axis=1)
+    assume(np.all(edges > 1e-6))
+    poly = Polygon2(pts)
+    assume(poly.area > 1e-6)
+    return poly
+
+
+class TestPolygonProperties:
+    @given(convex_polygons())
+    @settings(max_examples=50, deadline=None)
+    def test_reversal_flips_signed_area(self, poly):
+        assert np.isclose(poly.signed_area, -poly.reversed().signed_area)
+
+    @given(convex_polygons())
+    @settings(max_examples=50, deadline=None)
+    def test_centroid_inside_convex(self, poly):
+        assert poly.contains(poly.centroid)
+
+    @given(convex_polygons(), st.lists(finite, min_size=2, max_size=2))
+    @settings(max_examples=50, deadline=None)
+    def test_translation_invariants(self, poly, offset):
+        moved = poly.translated(offset)
+        assert np.isclose(moved.area, poly.area, rtol=1e-9)
+        assert np.isclose(moved.perimeter, poly.perimeter, rtol=1e-9)
+
+    @given(convex_polygons())
+    @settings(max_examples=50, deadline=None)
+    def test_triangulation_covers_area(self, poly):
+        tris = triangulate_polygon(poly)
+        assert len(tris) == len(poly) - 2
+        assert np.isclose(triangulation_area(poly, tris), poly.area, rtol=1e-6)
+
+    @given(st.integers(min_value=3, max_value=64), positive)
+    def test_regular_polygon_area_below_circle(self, n, radius):
+        poly = regular_polygon(n, radius)
+        assert poly.area <= np.pi * radius ** 2 + 1e-9
+        assert poly.is_ccw
+
+
+# --- splines -------------------------------------------------------------------
+
+
+@st.composite
+def splines(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    xs = np.cumsum(
+        draw(
+            st.lists(
+                st.floats(min_value=0.5, max_value=10.0), min_size=n, max_size=n
+            )
+        )
+    )
+    ys = draw(
+        st.lists(
+            st.floats(min_value=-10.0, max_value=10.0), min_size=n, max_size=n
+        )
+    )
+    return CubicSpline2(np.stack([xs, np.array(ys)], axis=1))
+
+
+class TestSplineProperties:
+    @given(splines())
+    @settings(max_examples=40, deadline=None)
+    def test_arc_length_at_least_chord(self, spline):
+        chord = np.linalg.norm(
+            spline.evaluate(1.0) - spline.evaluate(0.0)
+        )
+        assert spline.arc_length() >= chord - 1e-6
+
+    @given(
+        splines(),
+        st.floats(min_value=0.05, max_value=1.0),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_adaptive_sampling_includes_endpoints(self, spline, ang, dev):
+        pts = spline.sample_adaptive(SamplingTolerance(angle=ang, deviation=dev))
+        assert np.allclose(pts[0], spline.evaluate(0.0), atol=1e-9)
+        assert np.allclose(pts[-1], spline.evaluate(1.0), atol=1e-9)
+        assert len(pts) >= 2
+
+    @given(splines())
+    @settings(max_examples=40, deadline=None)
+    def test_finer_deviation_never_fewer_points(self, spline):
+        coarse = spline.sample_adaptive(SamplingTolerance(angle=0.5, deviation=0.5))
+        fine = spline.sample_adaptive(SamplingTolerance(angle=0.5, deviation=0.05))
+        assert len(fine) >= len(coarse)
+
+
+# --- meshes / STL ---------------------------------------------------------------
+
+
+@st.composite
+def boxes(draw):
+    from repro.cad.primitives import make_rect_prism
+
+    # Sizes and centres bounded so float64 cancellation in the
+    # signed-tetra volume sum stays well below the assertion tolerance.
+    edge = st.floats(min_value=0.5, max_value=100.0)
+    coord = st.floats(min_value=-100.0, max_value=100.0)
+    size = [draw(edge) for _ in range(3)]
+    center = [draw(coord) for _ in range(3)]
+    tol = SamplingTolerance(angle=0.3, deviation=0.5)
+    return make_rect_prism(size, center).tessellate(tol), np.prod(size)
+
+
+class TestMeshProperties:
+    @given(boxes())
+    @settings(max_examples=30, deadline=None)
+    def test_box_invariants(self, box_and_volume):
+        mesh, volume = box_and_volume
+        assert mesh.is_watertight
+        assert mesh.euler_characteristic == 2
+        # rtol accounts for float64 cancellation on tiny boxes placed
+        # far from the origin (signed-tetra volume summation).
+        assert np.isclose(mesh.volume, volume, rtol=1e-4)
+
+    @given(boxes())
+    @settings(max_examples=20, deadline=None)
+    def test_stl_roundtrip_preserves_volume(self, box_and_volume):
+        mesh, _ = box_and_volume
+        assume(np.all(np.abs(mesh.vertices) < 1e4))
+        rebuilt = load_stl_bytes(stl_binary_bytes(mesh))
+        # float32 quantisation in STL: tolerance scales with coordinates.
+        assert np.isclose(rebuilt.volume, mesh.volume, rtol=1e-3)
+
+    @given(boxes(), angle)
+    @settings(max_examples=30, deadline=None)
+    def test_rotation_preserves_volume_and_area(self, box_and_volume, theta):
+        mesh, _ = box_and_volume
+        rotated = mesh.transformed(Transform.rotation_y(theta))
+        assert np.isclose(rotated.volume, mesh.volume, rtol=1e-9)
+        assert np.isclose(rotated.surface_area, mesh.surface_area, rtol=1e-9)
+
+
+# --- support fill ---------------------------------------------------------------
+
+
+class TestSupportProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=0, max_value=4),
+            ),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_support_invariants(self, cells):
+        grid = np.zeros((8, 5, 5), dtype=bool)
+        for z, y, x in cells:
+            grid[z, y, x] = True
+        support = support_columns(grid)
+        # Support never overlaps model.
+        assert not (support & grid).any()
+        # Every support cell has model above it in the same column.
+        zs, ys, xs = np.nonzero(support)
+        for z, y, x in zip(zs, ys, xs):
+            assert grid[z + 1:, y, x].any()
+        # Every non-model cell below a model cell is support.
+        zs, ys, xs = np.nonzero(grid)
+        for z, y, x in zip(zs, ys, xs):
+            below = ~grid[:z, y, x]
+            assert support[:z, y, x][below].all()

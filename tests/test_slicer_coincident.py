@@ -1,0 +1,80 @@
+"""Unit tests for repro.slicer.coincident (Table 3's deciding rule)."""
+
+import numpy as np
+import pytest
+
+from repro.cad.body import SphereBody
+from repro.cad.primitives import make_rect_prism
+from repro.geometry.spline import SamplingTolerance
+from repro.mesh.trimesh import TriangleMesh
+from repro.slicer.coincident import resolve_coincident_faces
+
+TOL = SamplingTolerance(angle=np.deg2rad(10), deviation=0.05)
+
+
+class TestBasicRules:
+    def test_untouched_mesh_passes_through(self, unit_cube):
+        out = resolve_coincident_faces(unit_cube)
+        assert out.n_faces == unit_cube.n_faces
+        assert np.isclose(out.volume, unit_cube.volume)
+
+    def test_opposite_pair_cancels(self, unit_cube):
+        doubled = TriangleMesh.merged([unit_cube, unit_cube.flipped()])
+        out = resolve_coincident_faces(doubled)
+        assert out.n_faces == 0
+
+    def test_same_orientation_dedupes(self, unit_cube):
+        doubled = TriangleMesh.merged([unit_cube, unit_cube])
+        out = resolve_coincident_faces(doubled)
+        assert out.n_faces == unit_cube.n_faces
+        assert np.isclose(out.volume, unit_cube.volume)
+
+    def test_triple_same_orientation_keeps_one(self, unit_cube):
+        tripled = TriangleMesh.merged([unit_cube] * 3)
+        out = resolve_coincident_faces(tripled)
+        assert out.n_faces == unit_cube.n_faces
+
+    def test_two_plus_one_minus_leaves_one(self, tetra):
+        mixed = TriangleMesh.merged([tetra, tetra, tetra.flipped()])
+        out = resolve_coincident_faces(mixed)
+        # Each coincident triple: (+,+,-) -> cancel one pair, keep one +.
+        assert out.n_faces == tetra.n_faces
+        assert np.isclose(out.volume, tetra.volume)
+
+    def test_empty_mesh(self):
+        assert resolve_coincident_faces(TriangleMesh.empty()).n_faces == 0
+
+
+class TestSphereScenarios:
+    """The four embedded-sphere STL configurations of the paper."""
+
+    def tessellate(self, inward: bool):
+        return SphereBody((0, 0, 0), 3.0, inward=inward).tessellate(TOL)
+
+    def test_cavity_plus_solid_sphere_cancels(self):
+        """Material removal + solid sphere: the region becomes interior."""
+        prism = make_rect_prism((20, 20, 20)).tessellate(TOL)
+        cavity = self.tessellate(inward=True)
+        sphere = self.tessellate(inward=False)
+        merged = TriangleMesh.merged([prism, cavity, sphere])
+        out = resolve_coincident_faces(merged)
+        assert out.n_faces == prism.n_faces  # only the prism shell remains
+        assert np.isclose(out.volume, prism.volume)
+
+    def test_cavity_plus_surface_sphere_dedupes(self):
+        """Material removal + surface sphere: one cavity wall remains."""
+        prism = make_rect_prism((20, 20, 20)).tessellate(TOL)
+        cavity = self.tessellate(inward=True)
+        surface = self.tessellate(inward=True)  # surface inherits orientation
+        merged = TriangleMesh.merged([prism, cavity, surface])
+        out = resolve_coincident_faces(merged)
+        assert out.n_faces == prism.n_faces + cavity.n_faces
+        # Volume: prism minus the sphere void.
+        assert out.volume < prism.volume
+
+    def test_lone_sphere_inside_prism_remains(self):
+        """No material removal: the sphere boundary survives."""
+        prism = make_rect_prism((20, 20, 20)).tessellate(TOL)
+        sphere = self.tessellate(inward=False)
+        out = resolve_coincident_faces(TriangleMesh.merged([prism, sphere]))
+        assert out.n_faces == prism.n_faces + sphere.n_faces

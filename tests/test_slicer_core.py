@@ -1,0 +1,153 @@
+"""Unit tests for repro.slicer.slicer (plane slicing + contour chaining)."""
+
+import numpy as np
+import pytest
+
+from repro.cad.primitives import make_cylinder, make_rect_prism
+from repro.geometry.spline import SamplingTolerance
+from repro.slicer.settings import SlicerSettings
+from repro.slicer.slicer import chain_segments, layer_heights, slice_mesh
+
+TOL = SamplingTolerance(angle=np.deg2rad(6), deviation=0.01)
+
+
+@pytest.fixture(scope="module")
+def box_mesh():
+    return make_rect_prism((10, 6, 4), center=(0, 0, 2)).tessellate(TOL)
+
+
+class TestLayerHeights:
+    def test_count(self):
+        zs = layer_heights(0.0, 1.0, 0.25)
+        assert len(zs) == 4
+        assert np.allclose(zs, [0.125, 0.375, 0.625, 0.875])
+
+    def test_mid_layer_planes(self):
+        zs = layer_heights(0.0, 0.3, 0.2)
+        assert np.allclose(zs, [0.1, 0.3])
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            layer_heights(1.0, 0.0, 0.1)
+
+
+class TestSliceBox:
+    def test_layer_count(self, box_mesh):
+        result = slice_mesh(box_mesh, SlicerSettings(layer_height_mm=0.5))
+        assert result.n_layers == 8
+
+    def test_every_layer_rectangle(self, box_mesh):
+        result = slice_mesh(box_mesh, SlicerSettings(layer_height_mm=0.5))
+        for layer in result.layers:
+            assert len(layer.contours) == 1
+            assert not layer.open_paths
+            assert np.isclose(layer.contours[0].area, 60.0, rtol=1e-9)
+
+    def test_no_open_paths_on_watertight(self, box_mesh):
+        result = slice_mesh(box_mesh, SlicerSettings(layer_height_mm=0.5))
+        assert not result.has_open_paths
+
+    def test_z_values_override(self, box_mesh):
+        result = slice_mesh(box_mesh, z_values=np.array([1.0, 3.0]))
+        assert result.n_layers == 2
+        assert np.allclose(result.z_values, [1.0, 3.0])
+
+    def test_plane_outside_mesh_empty(self, box_mesh):
+        result = slice_mesh(box_mesh, z_values=np.array([100.0]))
+        assert result.layers[0].is_empty
+
+
+class TestSliceCylinder:
+    def test_contour_is_circle(self):
+        mesh = make_cylinder((0, 0), 3.0, 0.0, 2.0).tessellate(TOL)
+        result = slice_mesh(mesh, z_values=np.array([1.0]))
+        layer = result.layers[0]
+        assert len(layer.contours) == 1
+        assert np.isclose(layer.contours[0].area, np.pi * 9.0, rtol=5e-3)
+        radii = np.linalg.norm(layer.contours[0].points, axis=1)
+        assert np.allclose(radii, 3.0, atol=0.05)
+
+
+class TestUnits:
+    def test_cm_units_scale_geometry(self, box_mesh):
+        result = slice_mesh(
+            box_mesh, SlicerSettings(stl_units="cm", layer_height_mm=5.0)
+        )
+        # 4 mm tall in "cm units" = 40 mm: 8 layers of 5 mm.
+        assert result.n_layers == 8
+        assert np.isclose(result.layers[0].contours[0].area, 6000.0, rtol=1e-9)
+
+
+class TestLayerQueries:
+    def test_contains(self, box_mesh):
+        result = slice_mesh(box_mesh, z_values=np.array([2.0]))
+        layer = result.layers[0]
+        assert layer.contains(np.array([0.0, 0.0]))
+        assert not layer.contains(np.array([20.0, 0.0]))
+
+    def test_total_area_with_hole(self):
+        # Nested contours: outer square + inner square = annulus.
+        from repro.geometry.polygon import rectangle
+        from repro.slicer.slicer import Layer
+
+        outer = rectangle(4, 4)
+        inner = rectangle(2, 2).reversed()  # holes wind opposite
+        layer = Layer(z=0.0, contours=[outer, inner])
+        assert np.isclose(layer.total_area, 16.0 - 4.0)
+        assert not layer.contains(np.array([0.0, 0.0]))  # inside the hole
+        assert layer.contains(np.array([1.5, 0.0]))
+
+
+class TestChainSegments:
+    def test_closed_square(self):
+        segs = [
+            (np.array([0.0, 0.0]), np.array([1.0, 0.0])),
+            (np.array([1.0, 0.0]), np.array([1.0, 1.0])),
+            (np.array([1.0, 1.0]), np.array([0.0, 1.0])),
+            (np.array([0.0, 1.0]), np.array([0.0, 0.0])),
+        ]
+        contours, open_paths = chain_segments(segs)
+        assert len(contours) == 1
+        assert not open_paths
+        assert np.isclose(contours[0].area, 1.0)
+
+    def test_shuffled_order(self):
+        segs = [
+            (np.array([1.0, 1.0]), np.array([0.0, 1.0])),
+            (np.array([0.0, 0.0]), np.array([1.0, 0.0])),
+            (np.array([0.0, 1.0]), np.array([0.0, 0.0])),
+            (np.array([1.0, 0.0]), np.array([1.0, 1.0])),
+        ]
+        contours, open_paths = chain_segments(segs)
+        assert len(contours) == 1 and not open_paths
+
+    def test_open_chain_detected(self):
+        segs = [
+            (np.array([0.0, 0.0]), np.array([1.0, 0.0])),
+            (np.array([1.0, 0.0]), np.array([1.0, 1.0])),
+        ]
+        contours, open_paths = chain_segments(segs)
+        assert not contours
+        assert len(open_paths) == 1
+        assert len(open_paths[0]) == 3
+
+    def test_two_separate_loops(self):
+        def square_at(x0):
+            return [
+                (np.array([x0, 0.0]), np.array([x0 + 1, 0.0])),
+                (np.array([x0 + 1, 0.0]), np.array([x0 + 1, 1.0])),
+                (np.array([x0 + 1, 1.0]), np.array([x0, 1.0])),
+                (np.array([x0, 1.0]), np.array([x0, 0.0])),
+            ]
+
+        contours, open_paths = chain_segments(square_at(0.0) + square_at(5.0))
+        assert len(contours) == 2 and not open_paths
+
+    def test_zero_length_segments_ignored(self):
+        segs = [(np.array([0.0, 0.0]), np.array([0.0, 0.0]))]
+        contours, open_paths = chain_segments(segs)
+        assert not contours and not open_paths
+
+    def test_empty_input(self):
+        contours, open_paths = chain_segments([])
+        assert contours == [] and open_paths == []

@@ -1,0 +1,113 @@
+"""Unit tests for repro.slicer.gcode."""
+
+import numpy as np
+import pytest
+
+from repro.slicer.gcode import (
+    GCodeProgram,
+    generate_gcode,
+    parse_gcode,
+    toolpath_statistics,
+)
+from repro.slicer.toolpath import Path, PathRole, ToolMaterial, ToolpathLayer
+
+
+@pytest.fixture
+def simple_layers():
+    square = Path(
+        points=np.array([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0], [0.0, 10.0]]),
+        role=PathRole.PERIMETER,
+        closed=True,
+    )
+    raster = Path(points=np.array([[1.0, 5.0], [9.0, 5.0]]), role=PathRole.INFILL)
+    support = Path(
+        points=np.array([[0.0, -2.0], [10.0, -2.0]]),
+        role=PathRole.SUPPORT,
+        material=ToolMaterial.SUPPORT,
+    )
+    return [
+        ToolpathLayer(z=0.2, paths=[square, raster]),
+        ToolpathLayer(z=0.4, paths=[support, raster]),
+    ]
+
+
+class TestGeneration:
+    def test_header(self, simple_layers):
+        program = generate_gcode(simple_layers)
+        assert program.lines[1].startswith("G21")
+        assert program.lines[2].startswith("G90")
+
+    def test_layer_markers(self, simple_layers):
+        program = generate_gcode(simple_layers)
+        z_lines = [l for l in program.lines if l.startswith("G0 Z")]
+        assert len(z_lines) == 2
+
+    def test_extrusion_monotone(self, simple_layers):
+        moves = parse_gcode(generate_gcode(simple_layers))
+        es = [m.e for m in moves if m.e is not None]
+        assert all(b >= a for a, b in zip(es, es[1:]))
+
+    def test_tool_change_for_support(self, simple_layers):
+        program = generate_gcode(simple_layers)
+        assert any(l.strip() == "T1" for l in program.lines)
+
+    def test_closed_path_returns_to_start(self, simple_layers):
+        moves = parse_gcode(generate_gcode(simple_layers))
+        xy = [(m.x, m.y) for m in moves if m.command == "G1" and m.x is not None]
+        assert (0.0, 0.0) in xy  # perimeter closes back at its first point
+
+    def test_program_size(self, simple_layers):
+        program = generate_gcode(simple_layers)
+        assert program.size_bytes == len(program.text.encode())
+        assert program.n_lines == len(program.lines)
+
+
+class TestParsing:
+    def test_comment_stripping(self):
+        moves = parse_gcode("G1 X1 Y2 E0.1 ; a comment\n; full comment line\n")
+        assert len(moves) == 1
+        assert moves[0].x == 1.0
+
+    def test_unknown_commands_skipped(self):
+        moves = parse_gcode("M104 S200\nG28\nG1 X5 E1\n")
+        assert len(moves) == 1
+
+    def test_tool_tracking(self):
+        moves = parse_gcode("T1\nG1 X5 E1\nT0\nG1 X6 E2\n")
+        assert moves[0].tool == 1
+        assert moves[1].tool == 0
+
+    def test_malformed_word_raises(self):
+        with pytest.raises(ValueError):
+            parse_gcode("G1 Xabc\n")
+
+    def test_feedrate_parsed(self):
+        moves = parse_gcode("G0 X0 Y0 F6000\n")
+        assert moves[0].feedrate == 6000.0
+
+    def test_is_extruding(self):
+        moves = parse_gcode("G0 X1\nG1 X2\nG1 X3 E0.5\n")
+        assert [m.is_extruding for m in moves] == [False, False, True]
+
+    def test_gcode_program_text_roundtrip(self, simple_layers):
+        program = generate_gcode(simple_layers)
+        reparsed = parse_gcode(GCodeProgram(lines=program.text.splitlines()))
+        assert len(reparsed) == len(parse_gcode(program))
+
+
+class TestStatistics:
+    def test_counts(self, simple_layers):
+        moves = parse_gcode(generate_gcode(simple_layers))
+        stats = toolpath_statistics(moves)
+        assert stats["n_moves"] == len(moves)
+        assert stats["n_layers"] == 2
+        assert stats["extrude_mm"] > 0
+        assert stats["travel_mm"] > 0
+
+    def test_extrude_length_matches_paths(self, simple_layers):
+        moves = parse_gcode(generate_gcode(simple_layers))
+        stats = toolpath_statistics(moves)
+        expected = sum(
+            p.length for layer in simple_layers for p in layer.paths
+        )
+        assert np.isclose(stats["extrude_mm"], expected, rtol=1e-6)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.slicer.preview."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import rectangle
+from repro.slicer.preview import (
+    LayerPreview,
+    preview_layer,
+    rasterize_contours,
+    stack_previews,
+)
+from repro.slicer.slicer import Layer
+
+
+@pytest.fixture
+def square_layer():
+    return Layer(z=1.0, contours=[rectangle(4.0, 4.0)])
+
+
+class TestRasterize:
+    def test_fill_fraction(self, square_layer):
+        p = preview_layer(square_layer, cell_mm=0.1)
+        assert np.isclose(p.filled_area_mm2, 16.0, rtol=0.05)
+
+    def test_fixed_frame(self):
+        grid = rasterize_contours(
+            [rectangle(2.0, 2.0)], lo=np.array([-5.0, -5.0]), nx=100, ny=100, cell=0.1
+        )
+        assert grid.shape == (100, 100)
+        assert np.isclose(grid.sum() * 0.01, 4.0, rtol=0.05)
+
+    def test_out_of_frame_clipped(self):
+        grid = rasterize_contours(
+            [rectangle(2.0, 2.0, center=(50.0, 0.0))],
+            lo=np.array([-5.0, -5.0]),
+            nx=100,
+            ny=100,
+            cell=0.1,
+        )
+        assert grid.sum() == 0
+
+    def test_hole_subtracted(self):
+        grid = rasterize_contours(
+            [rectangle(4.0, 4.0), rectangle(2.0, 2.0)],
+            lo=np.array([-3.0, -3.0]),
+            nx=120,
+            ny=120,
+            cell=0.05,
+        )
+        assert np.isclose(grid.sum() * 0.0025, 12.0, rtol=0.05)
+
+    def test_empty_layer(self):
+        p = preview_layer(Layer(z=0.0))
+        assert p.filled_area_mm2 == 0.0
+
+
+class TestMetrics:
+    def test_single_region(self, square_layer):
+        p = preview_layer(square_layer, cell_mm=0.1)
+        assert p.n_regions() == 1
+        assert p.internal_gap_cells() == 0
+
+    def test_two_regions(self):
+        layer = Layer(
+            z=0.0,
+            contours=[rectangle(2, 2, center=(-3, 0)), rectangle(2, 2, center=(3, 0))],
+        )
+        p = preview_layer(layer, cell_mm=0.1)
+        assert p.n_regions() == 2
+
+    def test_internal_gap_detected(self):
+        layer = Layer(z=0.0, contours=[rectangle(4, 4), rectangle(1, 1)])
+        p = preview_layer(layer, cell_mm=0.05)
+        assert p.internal_gap_cells() > 0
+
+
+class TestAscii:
+    def test_render_contains_material(self, square_layer):
+        art = preview_layer(square_layer, cell_mm=0.2).to_ascii(max_width=40)
+        assert "#" in art
+        assert all(len(line) <= 40 for line in art.splitlines())
+
+
+class TestStack:
+    def test_stack_shape(self):
+        previews = [
+            LayerPreview(z=float(i), grid=np.zeros((4, 5), dtype=bool), cell_mm=0.1, origin=np.zeros(2))
+            for i in range(3)
+        ]
+        vol = stack_previews(previews)
+        assert vol.shape == (3, 4, 5)
+
+    def test_mismatched_shapes_raise(self):
+        previews = [
+            LayerPreview(z=0.0, grid=np.zeros((4, 5), dtype=bool), cell_mm=0.1, origin=np.zeros(2)),
+            LayerPreview(z=1.0, grid=np.zeros((4, 6), dtype=bool), cell_mm=0.1, origin=np.zeros(2)),
+        ]
+        with pytest.raises(ValueError):
+            stack_previews(previews)
+
+    def test_empty(self):
+        assert stack_previews([]).shape == (0, 1, 1)

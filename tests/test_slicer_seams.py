@@ -1,0 +1,135 @@
+"""Unit tests for repro.slicer.seams (the Fig. 7/8 measurement engine).
+
+These tests reuse the session print fixtures where possible; the seam
+reports attached to print outcomes were produced by analyze_split_seam.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cad import COARSE, FINE, custom_resolution
+from repro.geometry.transform import Transform
+from repro.slicer.seams import analyze_split_seam, wall_faces
+from repro.slicer.settings import SlicerSettings
+
+XZ = Transform.rotation_x(np.pi / 2)
+
+
+@pytest.fixture(scope="module")
+def split_bodies():
+    from repro.cad import (
+        BaseExtrudeFeature,
+        CadModel,
+        SplineSplitFeature,
+        default_split_spline,
+        tensile_bar_profile,
+    )
+
+    model = CadModel(
+        "split",
+        [
+            BaseExtrudeFeature(tensile_bar_profile(), 3.2),
+            SplineSplitFeature(default_split_spline()),
+        ],
+    )
+
+    def bodies(resolution):
+        e = model.export_stl(resolution)
+        meshes = list(e.body_meshes.values())
+        return meshes[0], meshes[1]
+
+    return bodies
+
+
+class TestWallDetection:
+    def test_wall_found(self, split_bodies):
+        a, b = split_bodies(COARSE)
+        faces = wall_faces(a, b, band=0.6)
+        assert len(faces) > 0
+
+    def test_wall_area_plausible(self, split_bodies):
+        a, b = split_bodies(COARSE)
+        report = analyze_split_seam(a, b, SlicerSettings())
+        # Wall area ~ spline length (21 mm) x thickness (3.2 mm).
+        assert 40.0 < report.wall_area_mm2 < 90.0
+
+
+class TestOrientationGeometry:
+    def test_xy_wall_vertical(self, split_bodies):
+        a, b = split_bodies(FINE)
+        report = analyze_split_seam(a, b, SlicerSettings())
+        assert report.wall_mean_abs_nz < 0.1
+        assert report.interlayer_fraction < 0.05
+        assert report.stair_trace_mm < 0.05
+
+    def test_xz_wall_horizontal(self, split_bodies):
+        a, b = split_bodies(FINE)
+        report = analyze_split_seam(a, b, SlicerSettings(), orientation=XZ)
+        assert report.wall_mean_abs_nz > 0.7
+        assert report.interlayer_fraction > 0.5
+        assert report.stair_trace_mm > 0.2
+
+    def test_load_alignment_orientation_invariant(self, split_bodies):
+        a, b = split_bodies(FINE)
+        xy = analyze_split_seam(a, b, SlicerSettings())
+        xz = analyze_split_seam(a, b, SlicerSettings(), orientation=XZ)
+        # Load alignment is measured in model coordinates.
+        assert np.isclose(xy.wall_mean_abs_nload, xz.wall_mean_abs_nload, atol=1e-9)
+        assert 0.2 < xy.wall_mean_abs_nload < 0.8
+
+
+class TestResolutionDependence:
+    def test_mismatch_shrinks_with_resolution(self, split_bodies):
+        values = {}
+        for res in (COARSE, FINE, custom_resolution()):
+            a, b = split_bodies(res)
+            values[res.name] = analyze_split_seam(a, b, SlicerSettings()).mismatch_3d_max_mm
+        assert values["Coarse"] > values["Fine"] > values["Custom"]
+
+    def test_xy_bonding_improves_with_resolution(self, split_bodies):
+        a, b = split_bodies(COARSE)
+        coarse = analyze_split_seam(a, b, SlicerSettings())
+        a, b = split_bodies(FINE)
+        fine = analyze_split_seam(a, b, SlicerSettings())
+        assert fine.bonded_fraction > coarse.bonded_fraction
+        assert fine.bonded_fraction == pytest.approx(1.0)
+
+
+class TestPaperMatrix:
+    """The Fig. 7/8 visibility matrix, row by row."""
+
+    @pytest.mark.parametrize(
+        "resolution, expect_preview, expect_print",
+        [
+            (COARSE, False, True),
+            (FINE, False, False),
+            (custom_resolution(), False, False),
+        ],
+        ids=["coarse", "fine", "custom"],
+    )
+    def test_xy(self, split_bodies, resolution, expect_preview, expect_print):
+        a, b = split_bodies(resolution)
+        report = analyze_split_seam(a, b, SlicerSettings())
+        assert report.visible_in_preview == expect_preview
+        assert report.prints_discontinuity == expect_print
+
+    @pytest.mark.parametrize(
+        "resolution",
+        [COARSE, FINE, custom_resolution()],
+        ids=["coarse", "fine", "custom"],
+    )
+    def test_xz_always_discontinuous(self, split_bodies, resolution):
+        a, b = split_bodies(resolution)
+        report = analyze_split_seam(a, b, SlicerSettings(), orientation=XZ)
+        assert report.visible_in_preview
+        assert report.prints_discontinuity
+
+
+class TestLayerSamples:
+    def test_samples_cover_gauge_layers(self, split_bodies):
+        a, b = split_bodies(COARSE)
+        report = analyze_split_seam(a, b, SlicerSettings())
+        assert report.n_layers_with_seam >= 15  # 3.2 mm / 0.1778 mm layers
+        for sample in report.layer_samples:
+            assert sample.n_samples > 0
+            assert sample.max_gap >= sample.mean_gap >= 0

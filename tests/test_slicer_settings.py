@@ -1,0 +1,60 @@
+"""Unit tests for repro.slicer.settings."""
+
+import pytest
+
+from repro.slicer.settings import SlicerSettings
+
+
+class TestDefaults:
+    def test_paper_configuration(self):
+        """The paper's fixed slicing properties."""
+        s = SlicerSettings()
+        assert s.layer_height_mm == pytest.approx(0.1778)  # 0.01778 cm
+        assert s.interior == "solid"
+        assert s.support == "smart"
+        assert s.stl_units == "mm"
+
+    def test_unit_scale(self):
+        assert SlicerSettings().unit_scale == 1.0
+        assert SlicerSettings(stl_units="cm").unit_scale == 10.0
+        assert SlicerSettings(stl_units="inch").unit_scale == 25.4
+
+
+class TestValidation:
+    def test_bad_layer_height(self):
+        with pytest.raises(ValueError):
+            SlicerSettings(layer_height_mm=0.0)
+
+    def test_bad_bead(self):
+        with pytest.raises(ValueError):
+            SlicerSettings(bead_width_mm=-1.0)
+
+    def test_bad_interior(self):
+        with pytest.raises(ValueError):
+            SlicerSettings(interior="hollow")
+
+    def test_bad_support(self):
+        with pytest.raises(ValueError):
+            SlicerSettings(support="everywhere")
+
+    def test_bad_units(self):
+        with pytest.raises(ValueError):
+            SlicerSettings(stl_units="furlong")
+
+    def test_raster_cell_must_resolve_merge_gap(self):
+        with pytest.raises(ValueError):
+            SlicerSettings(raster_cell_mm=0.5, merge_gap_mm=0.1)
+
+    def test_negative_perimeters(self):
+        with pytest.raises(ValueError):
+            SlicerSettings(n_perimeters=-1)
+
+
+class TestWithLayerHeight:
+    def test_only_layer_height_changes(self):
+        base = SlicerSettings(bead_width_mm=0.4, n_perimeters=2)
+        other = base.with_layer_height(0.016)
+        assert other.layer_height_mm == 0.016
+        assert other.bead_width_mm == 0.4
+        assert other.n_perimeters == 2
+        assert base.layer_height_mm == pytest.approx(0.1778)

@@ -1,0 +1,75 @@
+"""Unit tests for repro.slicer.support (smart support fill)."""
+
+import numpy as np
+import pytest
+
+from repro.slicer.support import enclosed_support, support_columns, support_volume_fraction
+
+
+def grid(nz, ny, nx):
+    return np.zeros((nz, ny, nx), dtype=bool)
+
+
+class TestSupportColumns:
+    def test_solid_block_on_plate_needs_none(self):
+        g = grid(3, 2, 2)
+        g[:, :, :] = True
+        assert not support_columns(g).any()
+
+    def test_floating_layer_supported_below(self):
+        g = grid(4, 1, 1)
+        g[3] = True  # model only at the top layer
+        s = support_columns(g)
+        assert s[0, 0, 0] and s[1, 0, 0] and s[2, 0, 0]
+        assert not s[3, 0, 0]
+
+    def test_internal_void_filled(self):
+        g = grid(5, 1, 1)
+        g[[0, 1, 3, 4]] = True  # hole at layer 2
+        s = support_columns(g)
+        assert s[2, 0, 0]
+        assert s.sum() == 1
+
+    def test_no_model_no_support(self):
+        assert not support_columns(grid(3, 3, 3)).any()
+
+    def test_overhang_column_only(self):
+        g = grid(2, 1, 3)
+        g[0, 0, 0] = True  # base at x=0
+        g[1, 0, :] = True  # full top layer: x=1,2 overhang
+        s = support_columns(g)
+        assert not s[0, 0, 0]
+        assert s[0, 0, 1] and s[0, 0, 2]
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            support_columns(np.zeros((2, 2), dtype=bool))
+
+
+class TestEnclosedSupport:
+    def test_sphere_like_void_is_enclosed(self):
+        g = grid(5, 1, 1)
+        g[[0, 1, 3, 4]] = True
+        e = enclosed_support(g)
+        assert e[2, 0, 0]
+
+    def test_bed_support_not_enclosed(self):
+        g = grid(3, 1, 1)
+        g[2] = True  # floating top; support below reaches the plate
+        e = enclosed_support(g)
+        assert not e.any()
+
+
+class TestVolumeFraction:
+    def test_zero_for_solid(self):
+        g = grid(3, 2, 2)
+        g[:, :, :] = True
+        assert support_volume_fraction(g) == 0.0
+
+    def test_zero_for_empty(self):
+        assert support_volume_fraction(grid(2, 2, 2)) == 0.0
+
+    def test_known_ratio(self):
+        g = grid(2, 1, 1)
+        g[1] = True  # 1 model voxel, 1 support voxel below
+        assert support_volume_fraction(g) == pytest.approx(1.0)

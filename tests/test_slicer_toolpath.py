@@ -1,0 +1,159 @@
+"""Unit tests for repro.slicer.toolpath."""
+
+import numpy as np
+import pytest
+
+from repro.cad.primitives import make_rect_prism
+from repro.geometry.polygon import rectangle
+from repro.geometry.spline import SamplingTolerance
+from repro.slicer.settings import SlicerSettings
+from repro.slicer.slicer import slice_mesh
+from repro.slicer.toolpath import (
+    Path,
+    PathRole,
+    ToolMaterial,
+    generate_toolpaths,
+    region_spans,
+)
+
+TOL = SamplingTolerance(angle=np.deg2rad(10), deviation=0.05)
+
+
+class TestPath:
+    def test_length_open(self):
+        p = Path(points=np.array([[0, 0], [3, 4]]), role=PathRole.INFILL)
+        assert np.isclose(p.length, 5.0)
+
+    def test_length_closed(self):
+        p = Path(
+            points=np.array([[0, 0], [1, 0], [1, 1], [0, 1]]),
+            role=PathRole.PERIMETER,
+            closed=True,
+        )
+        assert np.isclose(p.length, 4.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            Path(points=np.array([[0, 0]]), role=PathRole.INFILL)
+
+    def test_default_material(self):
+        p = Path(points=np.array([[0, 0], [1, 0]]), role=PathRole.INFILL)
+        assert p.material is ToolMaterial.MODEL
+
+
+class TestRegionSpans:
+    def test_single_rectangle(self):
+        spans = region_spans([rectangle(4, 2)], 0.0)
+        assert len(spans) == 1
+        assert np.allclose(spans[0], (-2, 2))
+
+    def test_hole_splits_span(self):
+        outer = rectangle(10, 10)
+        hole = rectangle(2, 2)
+        spans = region_spans([outer, hole], 0.0)
+        assert len(spans) == 2
+        assert np.allclose(spans[0], (-5, -1))
+        assert np.allclose(spans[1], (1, 5))
+
+    def test_miss_returns_empty(self):
+        assert region_spans([rectangle(2, 2)], 5.0) == []
+
+
+class TestGenerateToolpaths:
+    @pytest.fixture(scope="class")
+    def slices(self):
+        mesh = make_rect_prism((10, 10, 2), center=(0, 0, 1)).tessellate(TOL)
+        return slice_mesh(mesh, SlicerSettings(layer_height_mm=0.5))
+
+    def test_one_toolpath_layer_per_slice(self, slices):
+        layers = generate_toolpaths(slices)
+        assert len(layers) == slices.n_layers
+
+    def test_perimeter_present(self, slices):
+        layers = generate_toolpaths(slices)
+        for layer in layers:
+            assert len(layer.paths_by_role(PathRole.PERIMETER)) == 1
+
+    def test_solid_infill_covers_area(self, slices):
+        settings = slices.settings
+        layers = generate_toolpaths(slices, settings)
+        infill = layers[0].paths_by_role(PathRole.INFILL)
+        covered = sum(p.length for p in infill) * settings.bead_width_mm
+        # Solid raster must cover most of the 100 mm^2 layer.
+        assert covered > 70.0
+
+    def test_alternating_raster_axes(self, slices):
+        layers = generate_toolpaths(slices)
+        even = layers[0].paths_by_role(PathRole.INFILL)[0].points
+        odd = layers[1].paths_by_role(PathRole.INFILL)[0].points
+        even_dir = np.abs(even[1] - even[0])
+        odd_dir = np.abs(odd[1] - odd[0])
+        assert even_dir[0] > even_dir[1]  # x-aligned
+        assert odd_dir[1] > odd_dir[0]  # y-aligned
+
+    def test_sparse_interior_fewer_paths(self, slices):
+        solid = generate_toolpaths(slices, SlicerSettings(interior="solid"))
+        sparse = generate_toolpaths(slices, SlicerSettings(interior="sparse"))
+        assert (
+            len(sparse[0].paths_by_role(PathRole.INFILL))
+            < len(solid[0].paths_by_role(PathRole.INFILL))
+        )
+
+    def test_no_perimeters_option(self, slices):
+        layers = generate_toolpaths(slices, SlicerSettings(n_perimeters=0))
+        assert not layers[0].paths_by_role(PathRole.PERIMETER)
+
+    def test_support_layers_merged(self, slices):
+        support_path = Path(
+            points=np.array([[0, 0], [1, 0]]),
+            role=PathRole.SUPPORT,
+            material=ToolMaterial.SUPPORT,
+        )
+        layers = generate_toolpaths(
+            slices, support_layers=[[support_path]] * slices.n_layers
+        )
+        assert layers[0].paths_by_role(PathRole.SUPPORT)
+
+    def test_total_extrusion_positive(self, slices):
+        layers = generate_toolpaths(slices)
+        assert all(layer.total_extrusion_length > 0 for layer in layers)
+
+
+class TestAngledRaster:
+    @pytest.fixture(scope="class")
+    def slices(self):
+        from repro.cad.primitives import make_rect_prism
+
+        mesh = make_rect_prism((10, 10, 2), center=(0, 0, 1)).tessellate(TOL)
+        from repro.slicer.slicer import slice_mesh
+
+        return slice_mesh(mesh, SlicerSettings(layer_height_mm=0.5))
+
+    def test_45_degree_raster(self, slices):
+        layers = generate_toolpaths(slices, raster_angles_deg=(45.0, -45.0))
+        even = layers[0].paths_by_role(PathRole.INFILL)
+        directions = [p.points[1] - p.points[0] for p in even]
+        for d in directions:
+            d = d / np.linalg.norm(d)
+            assert abs(abs(d[0]) - abs(d[1])) < 1e-9  # 45 degrees
+
+    def test_alternating_angles(self, slices):
+        layers = generate_toolpaths(slices, raster_angles_deg=(45.0, -45.0))
+        d0 = layers[0].paths_by_role(PathRole.INFILL)[0].points
+        d1 = layers[1].paths_by_role(PathRole.INFILL)[0].points
+        v0 = (d0[1] - d0[0]) / np.linalg.norm(d0[1] - d0[0])
+        v1 = (d1[1] - d1[0]) / np.linalg.norm(d1[1] - d1[0])
+        # 45 vs -45: directions are perpendicular (up to path flipping).
+        assert abs(np.dot(v0, v1)) < 1e-9
+
+    def test_angled_coverage_equivalent(self, slices):
+        settings = slices.settings
+        axis = generate_toolpaths(slices, settings, raster_angles_deg=(0.0,))
+        diag = generate_toolpaths(slices, settings, raster_angles_deg=(45.0,))
+        len_axis = sum(p.length for p in axis[0].paths_by_role(PathRole.INFILL))
+        len_diag = sum(p.length for p in diag[0].paths_by_role(PathRole.INFILL))
+        assert np.isclose(len_axis, len_diag, rtol=0.15)
+
+    def test_empty_angles_rejected(self, slices):
+        with pytest.raises(ValueError):
+            generate_toolpaths(slices, raster_angles_deg=())

@@ -1,0 +1,72 @@
+"""Unit tests for repro.supplychain.actors."""
+
+from repro.supplychain.actors import (
+    Actor,
+    ChainConfiguration,
+    TrustLevel,
+    typical_outsourced_chain,
+)
+from repro.supplychain.risks import AmStage
+
+
+class TestActors:
+    def test_trusted_cannot_attack(self):
+        assert not Actor("us", TrustLevel.TRUSTED).may_attack
+
+    def test_partial_and_untrusted_can(self):
+        assert Actor("them", TrustLevel.PARTIALLY_TRUSTED).may_attack
+        assert Actor("them", TrustLevel.UNTRUSTED).may_attack
+
+
+class TestConfiguration:
+    def test_validate_unstaffed(self):
+        config = ChainConfiguration().assign(
+            AmStage.CAD_FEA, Actor("d", TrustLevel.TRUSTED)
+        )
+        missing = config.validate()
+        assert "STL file" in missing
+        assert len(missing) == 4
+
+    def test_typical_chain_fully_staffed(self):
+        assert typical_outsourced_chain().validate() == []
+
+    def test_exposed_attacks_from_untrusted_stages(self):
+        config = typical_outsourced_chain()
+        exposed = config.exposed_attacks()
+        stages = {a.entry_stage for a in exposed}
+        # The cloud slicer and the contract fab are not trusted.
+        assert stages == {"slicing", "printer"}
+
+    def test_all_trusted_chain_has_no_exposure(self):
+        us = Actor("in-house", TrustLevel.TRUSTED)
+        config = ChainConfiguration()
+        for stage in AmStage:
+            config.assign(stage, us)
+        assert config.exposed_attacks() == []
+        assert not config.obfuscation_recommended()
+
+    def test_outsourced_slicing_triggers_recommendation(self):
+        """IP flows through the slicer; ObfusCADe is recommended."""
+        config = typical_outsourced_chain()
+        assert config.insider_ip_theft_possible()
+        assert config.obfuscation_recommended()
+
+    def test_untrusted_printing_only_no_ip_theft(self):
+        """A fab that only receives G-code... still sees the tool path,
+        but in our model IP-bearing stages end at slicing; printing by
+        an untrusted fab alone does not leak the CAD (the tool-path
+        reverse-engineering attack is accounted at the slicing stage)."""
+        us = Actor("in-house", TrustLevel.TRUSTED)
+        fab = Actor("fab", TrustLevel.UNTRUSTED)
+        config = ChainConfiguration()
+        for stage in AmStage:
+            config.assign(stage, us)
+        config.assign(AmStage.PRINTER, fab)
+        assert not config.insider_ip_theft_possible()
+        assert config.exposed_attacks()  # printer-stage attacks remain
+
+    def test_summary_lines(self):
+        lines = typical_outsourced_chain().summary()
+        text = "\n".join(lines)
+        assert "contract manufacturer" in text
+        assert "ObfusCADe protection recommended: YES" in text

@@ -1,0 +1,87 @@
+"""Unit tests for repro.supplychain.attacks (STL tampering + detection)."""
+
+import numpy as np
+import pytest
+
+from repro.supplychain.attacks import (
+    add_protrusion,
+    change_orientation_metadata,
+    detect_tampering,
+    insert_void,
+    scale_model,
+)
+
+
+class TestVoidInsertion:
+    def test_volume_reduced(self, unit_cube):
+        attacked = insert_void(unit_cube, (0, 0, 0), 0.4)
+        assert attacked.volume < unit_cube.volume
+        assert np.isclose(attacked.volume, 1.0 - 0.4 ** 3)
+
+    def test_still_watertight(self, unit_cube):
+        attacked = insert_void(unit_cube, (0, 0, 0), 0.4)
+        assert attacked.is_watertight
+
+    def test_detected_against_reference(self, unit_cube):
+        attacked = insert_void(unit_cube, (0, 0, 0), 0.4)
+        report = detect_tampering(attacked, reference=unit_cube)
+        assert report.tampered
+        assert any("volume" in f for f in report.findings)
+        assert any("component count" in f for f in report.findings)
+
+    def test_invisible_from_bounds(self, unit_cube):
+        attacked = insert_void(unit_cube, (0, 0, 0), 0.4)
+        assert np.allclose(attacked.bounds.size, unit_cube.bounds.size)
+
+    def test_bad_size(self, unit_cube):
+        with pytest.raises(ValueError):
+            insert_void(unit_cube, (0, 0, 0), 0.0)
+
+
+class TestProtrusion:
+    def test_volume_increases(self, unit_cube):
+        attacked = add_protrusion(unit_cube, (1.0, 0, 0), 0.3)
+        assert attacked.volume > unit_cube.volume
+
+    def test_detected(self, unit_cube):
+        attacked = add_protrusion(unit_cube, (1.0, 0, 0), 0.3)
+        report = detect_tampering(attacked, reference=unit_cube)
+        assert report.tampered
+
+
+class TestScaling:
+    def test_scale_volume_cubes(self, unit_cube):
+        attacked = scale_model(unit_cube, 1.02)
+        assert np.isclose(attacked.volume, 1.02 ** 3)
+
+    def test_two_percent_detected(self, unit_cube):
+        attacked = scale_model(unit_cube, 1.02)
+        report = detect_tampering(attacked, reference=unit_cube)
+        assert report.tampered
+        assert any("bounding box" in f for f in report.findings)
+
+    def test_bad_factor(self, unit_cube):
+        with pytest.raises(ValueError):
+            scale_model(unit_cube, 0.0)
+
+
+class TestOrientation:
+    def test_rotation_keeps_volume(self, unit_cube):
+        rotated = change_orientation_metadata(unit_cube, np.pi / 2)
+        assert np.isclose(rotated.volume, unit_cube.volume)
+
+
+class TestDetection:
+    def test_clean_file_passes(self, unit_cube):
+        report = detect_tampering(unit_cube, reference=unit_cube)
+        assert not report.tampered
+
+    def test_intrinsic_errors_without_reference(self, unit_cube):
+        # Drop one face: a hole - caught without any reference.
+        damaged = unit_cube.submesh(np.arange(unit_cube.n_faces - 1))
+        report = detect_tampering(damaged)
+        assert report.tampered
+        assert any("geometry error" in f for f in report.findings)
+
+    def test_clean_without_reference(self, unit_cube):
+        assert not detect_tampering(unit_cube).tampered

@@ -1,0 +1,112 @@
+"""Integration tests for repro.supplychain.chain (Fig. 1 end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.cad import FINE
+from repro.mesh import load_stl_bytes, stl_binary_bytes
+from repro.supplychain.attacks import insert_void, scale_model
+from repro.supplychain.chain import ProcessChain
+from repro.supplychain.risks import AmStage
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return ProcessChain()
+
+
+@pytest.fixture(scope="module")
+def clean_ledger(chain, intact_bar):
+    return chain.run(intact_bar, FINE)
+
+
+class TestCleanRun:
+    def test_all_stages_complete(self, clean_ledger):
+        assert clean_ledger.completed
+        assert not clean_ledger.compromised
+        assert len(clean_ledger.records) == 5
+
+    def test_stage_order_matches_fig1(self, clean_ledger):
+        stages = [r.stage for r in clean_ledger.records]
+        assert stages == [
+            AmStage.CAD_FEA,
+            AmStage.STL,
+            AmStage.SLICING,
+            AmStage.PRINTER,
+            AmStage.TESTING,
+        ]
+
+    def test_fea_stage_details(self, clean_ledger):
+        fea = clean_ledger.record_for(AmStage.CAD_FEA)
+        # Min section = gauge: 6 mm x 3.2 mm.
+        assert fea.details["min_section_mm2"] == pytest.approx(19.2, rel=0.05)
+        assert fea.details["peak_stress_mpa"] < 30.0
+
+    def test_printed_volume_close_to_design(self, clean_ledger):
+        testing = clean_ledger.record_for(AmStage.TESTING)
+        expected = testing.details["expected_volume_mm3"]
+        printed = testing.details["printed_volume_mm3"]
+        assert abs(printed - expected) / expected < 0.03
+
+    def test_artifact_attached(self, clean_ledger):
+        assert clean_ledger.artifact is not None
+        assert clean_ledger.artifact.model_volume_mm3 > 0
+
+    def test_render(self, clean_ledger):
+        text = clean_ledger.render()
+        assert "CAD model & FEA" in text
+        assert "ok" in text
+
+
+class TestStlTamperDetection:
+    def test_void_insertion_caught(self, chain, intact_bar):
+        def tamper(stl_bytes):
+            mesh = load_stl_bytes(stl_bytes)
+            return stl_binary_bytes(insert_void(mesh, (0, 0, 1.6), 2.0))
+
+        ledger = chain.run(intact_bar, FINE, attacks={AmStage.STL: tamper})
+        assert not ledger.completed
+        assert ledger.compromised
+        record = ledger.record_for(AmStage.STL)
+        assert any("hash" in e for e in record.security_events)
+        assert any("volume" in e for e in record.security_events)
+
+    def test_scaling_caught(self, chain, intact_bar):
+        def tamper(stl_bytes):
+            mesh = load_stl_bytes(stl_bytes)
+            return stl_binary_bytes(scale_model(mesh, 1.05))
+
+        ledger = chain.run(intact_bar, FINE, attacks={AmStage.STL: tamper})
+        assert ledger.compromised
+        record = ledger.record_for(AmStage.STL)
+        assert any("bounding box" in e for e in record.security_events)
+
+    def test_stop_on_detection_halts_chain(self, chain, intact_bar):
+        def tamper(stl_bytes):
+            return stl_bytes + b"\0"
+
+        ledger = chain.run(intact_bar, FINE, attacks={AmStage.STL: tamper})
+        assert len(ledger.records) == 2  # CAD + (failed) STL
+
+
+class TestGcodeAttack:
+    def test_malicious_coordinates_blocked(self, chain, intact_bar):
+        from repro.slicer.gcode import GCodeProgram
+
+        def tamper(gcode):
+            lines = list(gcode.lines)
+            lines.insert(10, "G0 X9999 Y9999 F6000")
+            return GCodeProgram(lines=lines)
+
+        ledger = chain.run(intact_bar, FINE, attacks={AmStage.SLICING: tamper})
+        record = ledger.record_for(AmStage.SLICING)
+        assert not record.ok
+        assert any("limit" in e.lower() for e in record.security_events)
+
+
+class TestFeaGate:
+    def test_underdesigned_part_rejected(self, intact_bar):
+        weak_chain = ProcessChain(design_load_n=5000.0)
+        ledger = weak_chain.run(intact_bar, FINE)
+        assert len(ledger.records) == 1
+        assert not ledger.records[0].ok

@@ -1,0 +1,57 @@
+"""Integration tests: process chain annotated with actor configuration."""
+
+import pytest
+
+from repro.cad import FINE
+from repro.supplychain import ProcessChain
+from repro.supplychain.actors import (
+    Actor,
+    ChainConfiguration,
+    TrustLevel,
+    typical_outsourced_chain,
+)
+from repro.supplychain.risks import AmStage
+
+
+@pytest.fixture(scope="module")
+def annotated_ledger(intact_bar):
+    chain = ProcessChain()
+    return chain.run(intact_bar, FINE, configuration=typical_outsourced_chain())
+
+
+class TestAnnotation:
+    def test_every_stage_has_actor(self, annotated_ledger):
+        for record in annotated_ledger.records:
+            assert "actor" in record.details
+            assert "trust" in record.details
+
+    def test_untrusted_stages_flag_exposure(self, annotated_ledger):
+        printer = annotated_ledger.record_for(AmStage.PRINTER)
+        assert "exposure" in printer.details
+        assert "taxonomy attacks" in str(printer.details["exposure"])
+
+    def test_trusted_stages_have_no_exposure(self, annotated_ledger):
+        cad = annotated_ledger.record_for(AmStage.CAD_FEA)
+        assert "exposure" not in cad.details
+
+    def test_chain_still_completes(self, annotated_ledger):
+        assert annotated_ledger.completed
+
+    def test_render_includes_actors(self, annotated_ledger):
+        text = annotated_ledger.render()
+        assert "contract manufacturer" in text
+        assert "cloud slicing service" in text
+
+
+class TestIncompleteConfiguration:
+    def test_unassigned_stage_raises_event(self, intact_bar):
+        config = ChainConfiguration().assign(
+            AmStage.CAD_FEA, Actor("design", TrustLevel.TRUSTED)
+        )
+        chain = ProcessChain()
+        # The unassigned STL stage raises a security event, which (with
+        # stop_on_detection) aborts the chain there.
+        ledger = chain.run(intact_bar, FINE, configuration=config)
+        assert ledger.compromised
+        stl = ledger.record_for(AmStage.STL)
+        assert any("no assigned actor" in e for e in stl.security_events)

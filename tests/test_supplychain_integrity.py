@@ -1,0 +1,70 @@
+"""Unit tests for repro.supplychain.integrity."""
+
+import pytest
+
+from repro.supplychain.integrity import (
+    IntegrityVault,
+    file_digest,
+    sign_bytes,
+    verify_signature,
+)
+
+
+class TestPrimitives:
+    def test_digest_deterministic(self):
+        assert file_digest(b"abc") == file_digest(b"abc")
+        assert file_digest(b"abc") != file_digest(b"abd")
+
+    def test_signature_roundtrip(self):
+        sig = sign_bytes(b"data", b"secret")
+        assert verify_signature(b"data", sig, b"secret")
+
+    def test_signature_rejects_tamper(self):
+        sig = sign_bytes(b"data", b"secret")
+        assert not verify_signature(b"data!", sig, b"secret")
+
+    def test_signature_rejects_wrong_key(self):
+        sig = sign_bytes(b"data", b"secret")
+        assert not verify_signature(b"data", sig, b"other")
+
+    def test_empty_secret_raises(self):
+        with pytest.raises(ValueError):
+            sign_bytes(b"data", b"")
+
+
+class TestVault:
+    def test_clean_verification(self):
+        vault = IntegrityVault(secret=b"k")
+        vault.register("part.stl", b"payload")
+        assert vault.verify("part.stl", b"payload") == []
+
+    def test_size_change_detected(self):
+        vault = IntegrityVault(secret=b"k")
+        vault.register("part.stl", b"payload")
+        violations = vault.verify("part.stl", b"payload-extended")
+        assert any("size" in v for v in violations)
+
+    def test_same_size_tamper_detected(self):
+        vault = IntegrityVault(secret=b"k")
+        vault.register("part.stl", b"payload")
+        violations = vault.verify("part.stl", b"paYload")
+        assert any("hash" in v for v in violations)
+        assert any("signature" in v for v in violations)
+
+    def test_unknown_file(self):
+        vault = IntegrityVault()
+        violations = vault.verify("ghost.stl", b"x")
+        assert violations and "no release record" in violations[0]
+
+    def test_unsigned_vault_skips_signature(self):
+        vault = IntegrityVault(secret=None)
+        record = vault.register("part.stl", b"payload")
+        assert record.signature is None
+        assert vault.verify("part.stl", b"payload") == []
+
+    def test_records_listing(self):
+        vault = IntegrityVault(secret=b"k")
+        vault.register("a.stl", b"1")
+        vault.register("b.stl", b"22")
+        records = {r.name: r.size_bytes for r in vault.records()}
+        assert records == {"a.stl": 1, "b.stl": 2}

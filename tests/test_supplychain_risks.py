@@ -1,0 +1,72 @@
+"""Unit tests for repro.supplychain.risks (Table 1)."""
+
+from repro.supplychain.risks import RISK_REGISTER, AmStage
+
+
+class TestRegisterContents:
+    def test_five_stages(self):
+        assert len(list(AmStage)) == 5
+
+    def test_every_stage_has_risks_and_mitigations(self):
+        for stage in AmStage:
+            assert RISK_REGISTER.risks_for(stage), stage
+            assert RISK_REGISTER.mitigations_for(stage), stage
+
+    def test_coverage_complete(self):
+        assert all(RISK_REGISTER.coverage().values())
+
+    def test_this_work_is_obfuscade(self):
+        """Table 1 marks 'CAD-level design obfuscation (this work)'."""
+        m = RISK_REGISTER.this_work()
+        assert m is not None
+        assert m.stage is AmStage.CAD_FEA
+        assert "obfuscation" in m.description.lower()
+
+    def test_table1_row_counts(self):
+        """Row counts as printed in the paper's Table 1."""
+        assert len(RISK_REGISTER.risks_for(AmStage.CAD_FEA)) == 3
+        assert len(RISK_REGISTER.risks_for(AmStage.STL)) == 3
+        assert len(RISK_REGISTER.risks_for(AmStage.SLICING)) == 3
+        assert len(RISK_REGISTER.risks_for(AmStage.PRINTER)) == 4
+        assert len(RISK_REGISTER.risks_for(AmStage.TESTING)) == 2
+
+
+class TestSpecificEntries:
+    def test_stl_tetrahedron_attack_listed(self):
+        risks = [r.description for r in RISK_REGISTER.risks_for(AmStage.STL)]
+        assert any("tetrahedron" in r.lower() for r in risks)
+
+    def test_limit_switch_mitigation_listed(self):
+        mitigations = [
+            m.description for m in RISK_REGISTER.mitigations_for(AmStage.SLICING)
+        ]
+        assert any("limit switch" in m.lower() for m in mitigations)
+
+    def test_side_channel_shielding_listed(self):
+        mitigations = [
+            m.description for m in RISK_REGISTER.mitigations_for(AmStage.PRINTER)
+        ]
+        assert any("shielding" in m.lower() for m in mitigations)
+
+
+class TestTableRendering:
+    def test_as_table_shape(self):
+        rows = RISK_REGISTER.as_table()
+        assert len(rows) == 5
+        header = set(rows[0])
+        assert header == {
+            "AM stage",
+            "Description of applicable cybersecurity risks",
+            "Potential risk-mitigation strategies",
+        }
+
+    def test_display_names(self):
+        rows = RISK_REGISTER.as_table()
+        names = [r["AM stage"] for r in rows]
+        assert names == [
+            "CAD model & FEA",
+            "STL file",
+            "Slicing & G-code",
+            "3D Printer",
+            "Testing",
+        ]

@@ -1,0 +1,98 @@
+"""Unit tests for repro.supplychain.sidechannel."""
+
+import numpy as np
+import pytest
+
+from repro.slicer.gcode import parse_gcode
+from repro.supplychain.sidechannel import (
+    AcousticEmissionModel,
+    SideChannelAttack,
+)
+
+
+class TestEmissionModel:
+    def test_zero_move_silent(self):
+        model = AcousticEmissionModel(seed=1)
+        assert np.allclose(model.emit(0.0, 0.0, 2400.0).features, 0.0)
+
+    def test_tones_track_axis_speeds(self):
+        model = AcousticEmissionModel(noise=0.0, seed=1)
+        f = model.emit(30.0, 40.0, 3000.0).features
+        speed = 50.0  # mm/s
+        assert f[0] == pytest.approx(30.0 / 50.0 * speed)
+        assert f[1] == pytest.approx(40.0 / 50.0 * speed)
+        assert f[2] == pytest.approx(1.0)  # 50 mm at 50 mm/s
+
+    def test_sign_cues(self):
+        model = AcousticEmissionModel(noise=0.0, seed=1)
+        f = model.emit(-10.0, 5.0, 2400.0).features
+        assert f[3] < 0 and f[4] > 0
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            AcousticEmissionModel(noise=-0.1)
+
+
+class TestInversion:
+    def test_single_move_recovery(self):
+        attack = SideChannelAttack(
+            emission_model=AcousticEmissionModel(noise=0.0, seed=2)
+        )
+        emission = attack.model.emit(12.0, -7.0, 1800.0)
+        recovered = attack.invert(emission)
+        assert np.allclose(recovered, [12.0, -7.0], atol=0.05)
+
+    def test_recovery_with_noise(self):
+        attack = SideChannelAttack(
+            emission_model=AcousticEmissionModel(noise=0.02, seed=3)
+        )
+        errors = []
+        rng = np.random.default_rng(4)
+        for _ in range(100):
+            length = rng.uniform(1, 40)
+            angle = rng.uniform(0, 2 * np.pi)
+            dx, dy = length * np.cos(angle), length * np.sin(angle)
+            emission = attack.model.emit(dx, dy, 2400.0)
+            err = np.linalg.norm(attack.invert(emission) - [dx, dy])
+            errors.append(err)
+        assert np.mean(errors) < 1.0
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def victim_moves(self, intact_coarse_xy):
+        return parse_gcode(intact_coarse_xy.gcode)
+
+    def test_reconstruction_leaks_ip(self, victim_moves):
+        """Refs [4],[16]: tool paths reconstructed 'with relatively
+        small error'."""
+        attack = SideChannelAttack()
+        emissions = attack.eavesdrop(victim_moves)
+        report = attack.reconstruct(emissions, victim_moves)
+        assert report.leak_successful
+        assert report.mean_move_error_mm < 1.0
+        assert report.path_length_error_pct < 2.0
+
+    def test_emission_count_matches_motion(self, victim_moves):
+        attack = SideChannelAttack()
+        emissions = attack.eavesdrop(victim_moves)
+        in_plane = 0
+        x = y = 0.0
+        for m in victim_moves:
+            nx = m.x if m.x is not None else x
+            ny = m.y if m.y is not None else y
+            if abs(nx - x) > 1e-12 or abs(ny - y) > 1e-12:
+                in_plane += 1
+            x, y = nx, ny
+        assert len(emissions) == in_plane
+
+    def test_noisier_sensor_worse_reconstruction(self, victim_moves):
+        quiet = SideChannelAttack(
+            emission_model=AcousticEmissionModel(noise=0.01, seed=5)
+        )
+        loud = SideChannelAttack(
+            emission_model=AcousticEmissionModel(noise=0.2, seed=5)
+        )
+        rq = quiet.reconstruct(quiet.eavesdrop(victim_moves), victim_moves)
+        rl = loud.reconstruct(loud.eavesdrop(victim_moves), victim_moves)
+        assert rq.mean_move_error_mm < rl.mean_move_error_mm

@@ -1,0 +1,70 @@
+"""Unit tests for repro.supplychain.taxonomy (Fig. 2)."""
+
+from repro.supplychain.risks import AmStage
+from repro.supplychain.taxonomy import (
+    ATTACK_TAXONOMY,
+    AbstractionLevel,
+    AttackClass,
+    attacks_for_stage,
+    render_tree,
+    taxonomy_tree,
+)
+
+
+class TestCoverage:
+    def test_all_levels_present(self):
+        levels = {a.level for a in ATTACK_TAXONOMY}
+        assert levels == set(AbstractionLevel)
+
+    def test_all_classes_present(self):
+        classes = {a.attack_class for a in ATTACK_TAXONOMY}
+        assert classes == set(AttackClass)
+
+    def test_every_stage_has_attacks(self):
+        for stage in AmStage:
+            assert attacks_for_stage(stage.value), stage
+
+    def test_entry_stages_are_valid(self):
+        valid = {s.value for s in AmStage}
+        for attack in ATTACK_TAXONOMY:
+            assert attack.entry_stage in valid, attack.name
+
+    def test_names_unique(self):
+        names = [a.name for a in ATTACK_TAXONOMY]
+        assert len(names) == len(set(names))
+
+
+class TestSpecificAttacks:
+    def test_paper_mentions_present(self):
+        names = {a.name for a in ATTACK_TAXONOMY}
+        assert "void insertion (tetrahedron removal)" in names
+        assert "acoustic side channel" in names
+        assert "malicious firmware update" in names
+        assert "CAD file theft" in names
+
+    def test_side_channels_are_physical_leakage(self):
+        acoustic = next(a for a in ATTACK_TAXONOMY if "acoustic" in a.name)
+        assert acoustic.level is AbstractionLevel.PHYSICAL
+        assert acoustic.attack_class is AttackClass.INFORMATION_LEAKAGE
+
+    def test_malicious_coordinates_electromechanical(self):
+        attack = next(a for a in ATTACK_TAXONOMY if "coordinates" in a.name)
+        assert attack.level is AbstractionLevel.ELECTROMECHANICAL
+        assert attack.attack_class is AttackClass.EQUIPMENT_DAMAGE
+
+
+class TestTree:
+    def test_tree_contains_every_attack(self):
+        tree = taxonomy_tree()
+        total = sum(
+            len(attacks)
+            for by_class in tree.values()
+            for attacks in by_class.values()
+        )
+        assert total == len(ATTACK_TAXONOMY)
+
+    def test_render(self):
+        text = render_tree()
+        assert "Attacks in additive manufacturing" in text
+        assert "logical" in text
+        assert "acoustic side channel" in text
