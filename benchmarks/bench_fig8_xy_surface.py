@@ -3,21 +3,23 @@ Fine/Custom print like the intact reference.
 
 Runs the actual deposition simulation (not just the seam analysis) so
 the disruption is measured on the printed voxel artifact, as the paper
-measures it on physical specimens.
+measures it on physical specimens.  Runs on the staged process-chain
+engine: tessellations and resolves land in the session-wide stage
+cache and are reused by any other bench printing the same cells.
 """
 
 from repro.cad import COARSE, FINE, custom_resolution
 from repro.printer import PrintOrientation
 
 
-def measure(print_job, split_bar, intact_bar):
+def measure(process_chain, split_bar, intact_bar):
     rows = []
     for model, resolutions in (
         (split_bar, (COARSE, FINE, custom_resolution())),
         (intact_bar, (COARSE,)),
     ):
         for resolution in resolutions:
-            out = print_job.print_model(model, resolution, PrintOrientation.XY)
+            out = process_chain.run(model, resolution, PrintOrientation.XY)
             artifact = out.artifact
             rows.append(
                 {
@@ -31,9 +33,9 @@ def measure(print_job, split_bar, intact_bar):
     return rows
 
 
-def test_fig8_xy_surface(benchmark, report, print_job, split_bar, intact_bar):
+def test_fig8_xy_surface(benchmark, report, process_chain, split_bar, intact_bar):
     rows = benchmark.pedantic(
-        measure, args=(print_job, split_bar, intact_bar), rounds=1, iterations=1
+        measure, args=(process_chain, split_bar, intact_bar), rounds=1, iterations=1
     )
 
     lines = [

@@ -12,12 +12,12 @@ from repro.mechanics import TensileTestRig, specimen_from_print
 from repro.printer import PrintOrientation
 
 
-def measure(print_job, split_bar, intact_bar):
+def measure(process_chain, split_bar, intact_bar):
     rig = TensileTestRig(seed=9)
     rows = []
     for model in (split_bar, intact_bar):
         for orientation in (PrintOrientation.XY, PrintOrientation.XZ):
-            out = print_job.print_model(model, COARSE, orientation)
+            out = process_chain.run(model, COARSE, orientation)
             sp = specimen_from_print(out)
             result = rig.test(sp)
             spline = out.artifact.metadata.get("split_spline")
@@ -34,9 +34,9 @@ def measure(print_job, split_bar, intact_bar):
     return rows
 
 
-def test_fig9_fracture_site(benchmark, report, print_job, split_bar, intact_bar):
+def test_fig9_fracture_site(benchmark, report, process_chain, split_bar, intact_bar):
     rows = benchmark.pedantic(
-        measure, args=(print_job, split_bar, intact_bar), rounds=1, iterations=1
+        measure, args=(process_chain, split_bar, intact_bar), rounds=1, iterations=1
     )
 
     lines = [f"{'specimen':12s} {'Kt':>6s} {'fracture initiation site':>30s}"]

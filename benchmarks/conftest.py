@@ -23,6 +23,7 @@ from repro.cad import (
     default_split_spline,
     tensile_bar_profile,
 )
+from repro.pipeline import ProcessChain
 from repro.printer import PrintJob
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -87,6 +88,14 @@ def sphere_model(style: SphereStyle, removal: bool) -> CadModel:
 @pytest.fixture(scope="session")
 def print_job() -> PrintJob:
     return PrintJob()
+
+
+@pytest.fixture(scope="session")
+def process_chain() -> ProcessChain:
+    """The staged engine with a session-wide shared stage cache, so
+    benches that print overlapping (model, resolution) cells reuse
+    tessellations and resolves across files."""
+    return ProcessChain()
 
 
 #: Build-space centre of the embedded sphere in the session prints.

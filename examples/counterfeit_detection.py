@@ -6,11 +6,17 @@ process settings; every attempt is graded, and the printed parts are
 then inspected by the IP owner's authentication station, which knows
 which embedded-feature signature a genuine unit must carry.
 
+The search runs on the staged process-chain engine with one shared
+stage cache, so the re-prints at the end (best counterfeit, genuine
+unit) cost almost nothing: every stage of those chains is already
+cached from the grid search.
+
 Run:  python examples/counterfeit_detection.py
 """
 
-from repro import CounterfeiterSimulator, Obfuscator, PrintJob
+from repro import CounterfeiterSimulator, Obfuscator
 from repro.obfuscade.verify import FeatureExpectation, PartAuthenticator
+from repro.pipeline import ProcessChain
 
 
 def main() -> None:
@@ -20,8 +26,8 @@ def main() -> None:
     print()
 
     # -- the counterfeiter's grid search -----------------------------------
-    job = PrintJob()
-    simulator = CounterfeiterSimulator(job=job)
+    chain = ProcessChain()
+    simulator = CounterfeiterSimulator(chain=chain)
     result = simulator.attack(protected)
 
     print(f"{'resolution':10s} {'orientation':12s} {'grade':20s} {'score':>6s}")
@@ -32,6 +38,10 @@ def main() -> None:
     print(f"settings tried          : {result.n_attempts}")
     print(f"genuine-grade prints    : {len(result.successful)}")
     print(f"only the key succeeded  : {result.key_only_success}")
+    print()
+    print("grid-search stage cache:")
+    for line in result.cache_stats.render():
+        print("  " + line)
     print()
 
     # -- the IP owner's inspection station -------------------------------
@@ -46,7 +56,7 @@ def main() -> None:
         "inspecting the counterfeiter's best attempt "
         f"({best_counterfeit.resolution}, {best_counterfeit.orientation}):"
     )
-    counterfeit_print = job.print_model(
+    counterfeit_print = chain.run(
         protected.model,
         next(
             r
@@ -65,8 +75,8 @@ def main() -> None:
     # And a genuine unit passes.
     from repro import FINE, PrintOrientation
 
-    genuine_print = job.print_model(protected.model, FINE, PrintOrientation.XY)
-    print("inspecting a genuine unit (Fine, x-y):")
+    genuine_print = chain.run(protected.model, FINE, PrintOrientation.XY)
+    print("inspecting a genuine unit (Fine, x-y; all stages cached):")
     print(authenticator.inspect(genuine_print.artifact).explain())
 
 

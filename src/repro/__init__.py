@@ -11,6 +11,8 @@ used.  This library rebuilds the paper's entire stack in Python:
 * :mod:`repro.slicer` - slicing, tool paths, G-code and seam analysis;
 * :mod:`repro.printer` - virtual FDM / PolyJet printers (firmware +
   voxel deposition);
+* :mod:`repro.pipeline` - the staged process-chain engine: the Fig. 1
+  chain as pure stages over a content-addressed stage cache;
 * :mod:`repro.mechanics` - a virtual tensile lab (Table 2);
 * :mod:`repro.obfuscade` - the core contribution: obfuscation, keys,
   quality grading, part authentication, counterfeiter simulation;
@@ -50,7 +52,12 @@ from repro.printer import (
     PrintJob,
     PrintOrientation,
 )
+from repro.pipeline import StageCache
 from repro.slicer import SlicerSettings
+
+# NB: ``repro.ProcessChain`` remains the supply-chain *risk ledger*
+# walkthrough (Fig. 1 narrated for the security analysis).  The staged
+# execution engine lives at ``repro.pipeline.ProcessChain``.
 from repro.supplychain import ProcessChain
 
 __version__ = "1.0.0"
@@ -70,6 +77,7 @@ __all__ = [
     "ProcessChain",
     "ProtectedModel",
     "SlicerSettings",
+    "StageCache",
     "StlResolution",
     "TensileBarSpec",
     "TensileTestRig",

@@ -12,6 +12,11 @@ Subcommands
     Run the STL-stage manifold-geometry review on a file.
 ``attack``
     Demonstrate the counterfeiter grid search on a protected bar.
+``sweep``
+    Settings-space sweep on the staged process-chain engine: print a
+    protected bar under every (resolution x orientation) cell with one
+    shared stage cache; ``--stats`` reports per-stage timings and
+    cache hit rates.
 ``reverse``
     Reverse-engineer per-layer geometry from a G-code file (the
     ref [20] attack) and estimate the part volume.
@@ -78,6 +83,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("attack", help="counterfeiter grid-search demo")
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--stats", action="store_true", help="print per-stage cache statistics"
+    )
+
+    p = sub.add_parser(
+        "sweep", help="settings-space sweep on the staged process-chain engine"
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--resolutions",
+        default="coarse,fine,custom",
+        help="comma-separated subset of coarse/fine/custom",
+    )
+    p.add_argument(
+        "--orientations",
+        default="x-y,x-z",
+        help="comma-separated subset of x-y/x-z/y-z (y-z is plate-flat "
+        "like x-y and is key-equivalent in practice)",
+    )
+    p.add_argument("--machine", choices=sorted(_MACHINES), default="fdm")
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-stage timings and cache hit rates",
+    )
 
     p = sub.add_parser("reverse", help="reconstruct geometry from G-code")
     p.add_argument("gcode", help="input G-code path")
@@ -94,6 +124,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "print": _cmd_print,
         "inspect": _cmd_inspect,
         "attack": _cmd_attack,
+        "sweep": _cmd_sweep,
         "reverse": _cmd_reverse,
         "taxonomy": _cmd_taxonomy,
         "risks": _cmd_risks,
@@ -167,10 +198,13 @@ def _cmd_print(args) -> int:
 
 
 def _cmd_inspect(args) -> int:
+    from repro.mesh.content_hash import mesh_digest
+
     mesh = load_stl(args.stl)
     report = validate_mesh(mesh)
     print(f"vertices={report.n_vertices} faces={report.n_faces} "
           f"components={report.n_components} euler={report.euler_characteristic}")
+    print(f"content hash: sha256:{mesh_digest(mesh)}")
     if report.is_clean:
         print("geometry review: CLEAN")
         return 0
@@ -191,6 +225,54 @@ def _cmd_attack(args) -> int:
         marker = " <-- key" if matches else ""
         print(f"  {resolution:8s} {orientation:5s} {grade:20s} {score:5.2f}{marker}")
     print(f"genuine only under the key: {result.key_only_success}")
+    if args.stats and result.cache_stats is not None:
+        print()
+        for line in result.cache_stats.render():
+            print(line)
+    return 0 if result.key_only_success else 1
+
+
+def _cmd_sweep(args) -> int:
+    from repro.obfuscade.attack import CounterfeiterSimulator
+    from repro.obfuscade.obfuscator import Obfuscator
+    from repro.pipeline import ProcessChain
+
+    try:
+        resolutions = [
+            _RESOLUTIONS[name.strip()]
+            for name in args.resolutions.split(",")
+            if name.strip()
+        ]
+        orientations = [
+            _ORIENTATIONS[name.strip()]
+            for name in args.orientations.split(",")
+            if name.strip()
+        ]
+    except KeyError as exc:
+        print(f"unknown sweep setting: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if not resolutions or not orientations:
+        print("sweep needs at least one resolution and one orientation",
+              file=sys.stderr)
+        return 2
+
+    protected = Obfuscator(seed=args.seed).protect_tensile_bar()
+    print(f"sweeping: {protected.describe()}")
+    chain = ProcessChain(machine=_MACHINES[args.machine])
+    sim = CounterfeiterSimulator(
+        resolutions=resolutions, orientations=orientations, chain=chain
+    )
+    result = sim.attack(protected)
+    print(f"grid: {len(resolutions)} resolutions x {len(orientations)} "
+          f"orientations = {result.n_attempts} cells")
+    for resolution, orientation, grade, score, matches in result.summary_rows():
+        marker = " <-- key" if matches else ""
+        print(f"  {resolution:8s} {orientation:5s} {grade:20s} {score:5.2f}{marker}")
+    print(f"genuine only under the key: {result.key_only_success}")
+    if args.stats and result.cache_stats is not None:
+        print()
+        for line in result.cache_stats.render():
+            print(line)
     return 0 if result.key_only_success else 1
 
 

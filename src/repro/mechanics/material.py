@@ -78,6 +78,11 @@ ABS_FDM = MaterialModel(
         "x-z": OrientationProperties(
             young_modulus_gpa=2.05, uts_mpa=32.5, failure_strain=0.077
         ),
+        # Plate-flat, rotated 90 degrees about z: the +-45 degree
+        # raster makes the layup relative to the load identical to x-y.
+        "y-z": OrientationProperties(
+            young_modulus_gpa=1.98, uts_mpa=30.0, failure_strain=0.029
+        ),
     },
 )
 
@@ -90,6 +95,9 @@ VEROCLEAR_POLYJET = MaterialModel(
         ),
         "x-z": OrientationProperties(
             young_modulus_gpa=2.2, uts_mpa=52.0, failure_strain=0.12
+        ),
+        "y-z": OrientationProperties(
+            young_modulus_gpa=2.2, uts_mpa=55.0, failure_strain=0.15
         ),
     },
 )

@@ -8,6 +8,7 @@ of the paper lists as an STL-stage mitigation.
 """
 
 from repro.mesh.trimesh import TriangleMesh
+from repro.mesh.content_hash import mesh_digest, model_digest
 from repro.mesh.stl_io import (
     load_stl,
     load_stl_bytes,
@@ -40,6 +41,8 @@ __all__ = [
     "load_stl",
     "load_stl_bytes",
     "merge_duplicate_faces",
+    "mesh_digest",
+    "model_digest",
     "orient_consistently",
     "remove_degenerate_faces",
     "save_stl",

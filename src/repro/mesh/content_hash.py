@@ -1,0 +1,67 @@
+"""Stable content hashes for meshes and CAD models.
+
+The staged process-chain engine (:mod:`repro.pipeline`) addresses every
+intermediate artifact by content: a tessellation is keyed by the hash of
+the model that produced it, slices by the hash of the mesh they cut,
+and so on.  These digests are therefore *stable*: the same geometry
+always hashes to the same hex string, across processes and platforms,
+because they are computed over canonical little-endian buffers rather
+than Python object identities.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.mesh.trimesh import TriangleMesh
+
+#: Format tags mixed into the digests so a mesh hash can never collide
+#: with a model hash (and so future layout changes rev cleanly).
+_MESH_TAG = b"repro-mesh/1"
+_MODEL_TAG = b"repro-cad-model/1"
+
+
+def mesh_digest(mesh: TriangleMesh) -> str:
+    """SHA-256 over a mesh's vertex and face buffers (hex string).
+
+    Vertices are hashed as little-endian float64 and faces as
+    little-endian int64, shapes included, so two meshes digest equal
+    iff their arrays are bit-for-bit identical.  Vertex order matters:
+    this is a content hash of the concrete buffers, not a geometric
+    isomorphism test.
+    """
+    vertices = np.ascontiguousarray(mesh.vertices, dtype="<f8")
+    faces = np.ascontiguousarray(mesh.faces, dtype="<i8")
+    h = hashlib.sha256()
+    h.update(_MESH_TAG)
+    h.update(np.array(vertices.shape + faces.shape, dtype="<i8").tobytes())
+    h.update(vertices.tobytes())
+    h.update(faces.tobytes())
+    return h.hexdigest()
+
+
+def model_digest(model) -> str:
+    """SHA-256 of a :class:`~repro.cad.model.CadModel`'s feature tree.
+
+    Uses the canonical JSON serialization from :mod:`repro.cad.serialize`
+    (sorted keys, no whitespace) so the digest survives re-parsing the
+    model from disk.  Models with features the serializer does not know
+    fall back to hashing their ``repr``, which is stable within a
+    process - enough for in-memory caching, flagged by a ``repr:``
+    prefix inside the hashed payload.
+    """
+    from repro.cad.serialize import model_to_dict
+
+    try:
+        payload = json.dumps(
+            model_to_dict(model), sort_keys=True, separators=(",", ":")
+        ).encode()
+    except TypeError:
+        payload = b"repr:" + repr((model.name, model.features)).encode()
+    h = hashlib.sha256()
+    h.update(_MODEL_TAG)
+    h.update(payload)
+    return h.hexdigest()

@@ -5,6 +5,12 @@ The threat model of the paper: an adversary exfiltrates the CAD/STL file
 process-condition space the attacker would realistically search and
 grades every attempt, quantifying how well the obfuscation resists a
 settings grid search.
+
+The grid search runs on the staged process-chain engine
+(:mod:`repro.pipeline`) with one shared stage cache, so work that is
+invariant across the grid is done once: tessellation and coincident-face
+resolution depend only on the resolution, not the orientation, so a
+3 resolutions x 3 orientations search performs 3 tessellations, not 9.
 """
 
 from __future__ import annotations
@@ -15,6 +21,8 @@ from typing import List, Optional, Sequence, Tuple
 from repro.cad.resolution import COARSE, FINE, StlResolution, custom_resolution
 from repro.obfuscade.obfuscator import ProtectedModel
 from repro.obfuscade.quality import QualityGrade, QualityReport, assess_print
+from repro.pipeline.cache import CacheStats
+from repro.pipeline.chain import ProcessChain
 from repro.printer.job import PrintJob
 from repro.printer.orientation import PrintOrientation
 
@@ -34,6 +42,9 @@ class AttackResult:
     """Outcome of a full settings grid search."""
 
     attempts: List[AttackAttempt] = field(default_factory=list)
+    #: Per-stage cache counters of the search (hits, misses, timings),
+    #: captured over exactly this grid search.
+    cache_stats: Optional[CacheStats] = None
 
     @property
     def n_attempts(self) -> int:
@@ -66,24 +77,40 @@ class AttackResult:
 
 
 class CounterfeiterSimulator:
-    """Grid-searches process settings against a stolen protected model."""
+    """Grid-searches process settings against a stolen protected model.
+
+    Parameters
+    ----------
+    job:
+        Legacy entry point: an existing :class:`PrintJob` whose chain
+        (machine, settings, cache) the search should use.
+    resolutions / orientations:
+        The settings grid; defaults to the paper's three resolutions
+        and two orientations.
+    chain:
+        The staged engine to run on.  Defaults to ``job``'s chain (or a
+        fresh one), so all grid cells share one stage cache.
+    """
 
     def __init__(
         self,
         job: Optional[PrintJob] = None,
         resolutions: Optional[Sequence[StlResolution]] = None,
         orientations: Optional[Sequence[PrintOrientation]] = None,
+        chain: Optional[ProcessChain] = None,
     ):
         self.job = job or PrintJob()
+        self.chain = chain if chain is not None else self.job.chain
         self.resolutions = list(resolutions or (COARSE, FINE, custom_resolution()))
         self.orientations = list(orientations or (PrintOrientation.XY, PrintOrientation.XZ))
 
     def attack(self, protected: ProtectedModel) -> AttackResult:
         """Print the stolen model under every setting combination."""
+        before = self.chain.stats.snapshot()
         result = AttackResult()
         for resolution in self.resolutions:
             for orientation in self.orientations:
-                outcome = self.job.print_model(protected.model, resolution, orientation)
+                outcome = self.chain.run(protected.model, resolution, orientation)
                 report = assess_print(outcome)
                 result.attempts.append(
                     AttackAttempt(
@@ -93,4 +120,18 @@ class CounterfeiterSimulator:
                         matches_key=protected.key.matches(resolution, orientation),
                     )
                 )
+        result.cache_stats = _stats_delta(before, self.chain.stats.snapshot())
         return result
+
+
+def _stats_delta(before: CacheStats, after: CacheStats) -> CacheStats:
+    """Counters accumulated between two snapshots of a shared cache."""
+    delta = CacheStats()
+    for name, stats in after.stages.items():
+        prior = before.stages.get(name)
+        entry = delta.stage(name)
+        entry.hits = stats.hits - (prior.hits if prior else 0)
+        entry.misses = stats.misses - (prior.misses if prior else 0)
+        entry.run_s = stats.run_s - (prior.run_s if prior else 0.0)
+        entry.saved_s = stats.saved_s - (prior.saved_s if prior else 0.0)
+    return delta

@@ -1,0 +1,26 @@
+"""Staged process-chain engine with content-addressed stage caching.
+
+The substrate behind :class:`~repro.printer.job.PrintJob`, the
+counterfeiter grid search and the ``sweep`` CLI: the paper's Fig. 1
+chain decomposed into pure, individually cached stages.
+
+Note the name collision with :class:`repro.supplychain.chain.ProcessChain`
+(the Fig. 1 *risk ledger* walkthrough): that class narrates the chain
+for the security analysis; this package *executes* it.  Import this one
+as ``from repro.pipeline import ProcessChain``.
+"""
+
+from repro.pipeline.cache import CacheStats, StageCache, StageStats, digest_parts
+from repro.pipeline.chain import ChainContext, ProcessChain
+from repro.pipeline.stage import Stage, StageExecution
+
+__all__ = [
+    "CacheStats",
+    "ChainContext",
+    "ProcessChain",
+    "Stage",
+    "StageCache",
+    "StageExecution",
+    "StageStats",
+    "digest_parts",
+]

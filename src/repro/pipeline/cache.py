@@ -1,0 +1,212 @@
+"""Content-addressed cache for process-chain stage artifacts.
+
+Every stage output is stored under a digest of (stage name, upstream
+artifact digests, stage parameters).  Because keys chain - a slice key
+contains the orient key, which contains the resolve key, and so on up
+to the CAD model's content hash - a cached artifact can be reused by
+*any* run whose upstream world is identical, which is exactly what a
+settings grid search produces: tessellation is orientation-independent,
+so nine (resolution x orientation) attempts need only three
+tessellations.
+
+The cache also keeps per-stage hit/miss/timing counters so consumers
+(the ``sweep`` CLI, benchmarks, the counterfeiter simulator) can report
+where time went and what the cache saved.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+
+def digest_parts(*parts: Any) -> str:
+    """SHA-256 hex digest of an arbitrary tree of primitive values.
+
+    Accepts strings, bytes, numbers, booleans, ``None``, enums (hashed
+    by class and value) and nested tuples/lists/dicts of those.  The
+    encoding is injective over this domain (every value is tagged and
+    length-framed), so distinct parameter tuples cannot collide by
+    concatenation.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        _feed(h, part)
+    return h.hexdigest()
+
+
+def _feed(h, value: Any) -> None:
+    if value is None:
+        h.update(b"\x00n")
+    elif isinstance(value, bool):
+        h.update(b"\x00b1" if value else b"\x00b0")
+    elif isinstance(value, int):
+        data = str(value).encode()
+        h.update(b"\x00i" + len(data).to_bytes(4, "little") + data)
+    elif isinstance(value, float):
+        data = value.hex().encode()
+        h.update(b"\x00f" + len(data).to_bytes(4, "little") + data)
+    elif isinstance(value, str):
+        data = value.encode()
+        h.update(b"\x00s" + len(data).to_bytes(4, "little") + data)
+    elif isinstance(value, bytes):
+        h.update(b"\x00y" + len(value).to_bytes(4, "little") + value)
+    elif isinstance(value, enum.Enum):
+        _feed(h, type(value).__name__)
+        _feed(h, value.value)
+    elif isinstance(value, (tuple, list)):
+        h.update(b"\x00t" + len(value).to_bytes(4, "little"))
+        for item in value:
+            _feed(h, item)
+    elif isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: str(kv[0]))
+        h.update(b"\x00d" + len(items).to_bytes(4, "little"))
+        for k, v in items:
+            _feed(h, k)
+            _feed(h, v)
+    else:
+        raise TypeError(
+            f"cannot digest value of type {type(value).__name__}; "
+            "stage key functions must return primitive trees"
+        )
+
+
+@dataclass
+class StageStats:
+    """Counters for one stage of the chain."""
+
+    hits: int = 0
+    misses: int = 0
+    run_s: float = 0.0
+    saved_s: float = 0.0
+
+    @property
+    def runs(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.runs if self.runs else 0.0
+
+    def copy(self) -> "StageStats":
+        return StageStats(self.hits, self.misses, self.run_s, self.saved_s)
+
+
+@dataclass
+class CacheStats:
+    """Per-stage counters, in stage execution order."""
+
+    stages: "OrderedDict[str, StageStats]" = field(default_factory=OrderedDict)
+
+    def stage(self, name: str) -> StageStats:
+        if name not in self.stages:
+            self.stages[name] = StageStats()
+        return self.stages[name]
+
+    @property
+    def total_hits(self) -> int:
+        return sum(s.hits for s in self.stages.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(s.misses for s in self.stages.values())
+
+    @property
+    def total_run_s(self) -> float:
+        return sum(s.run_s for s in self.stages.values())
+
+    @property
+    def total_saved_s(self) -> float:
+        return sum(s.saved_s for s in self.stages.values())
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            OrderedDict((k, v.copy()) for k, v in self.stages.items())
+        )
+
+    def render(self) -> List[str]:
+        """Human-readable per-stage table (for ``--stats`` output)."""
+        lines = [
+            f"{'stage':12s} {'runs':>5s} {'hits':>5s} {'misses':>7s} "
+            f"{'hit rate':>9s} {'compute(s)':>11s} {'saved(s)':>9s}"
+        ]
+        for name, s in self.stages.items():
+            lines.append(
+                f"{name:12s} {s.runs:>5d} {s.hits:>5d} {s.misses:>7d} "
+                f"{s.hit_rate:>8.0%} {s.run_s:>11.3f} {s.saved_s:>9.3f}"
+            )
+        lines.append(
+            f"{'total':12s} {self.total_hits + self.total_misses:>5d} "
+            f"{self.total_hits:>5d} {self.total_misses:>7d} "
+            f"{(self.total_hits / max(1, self.total_hits + self.total_misses)):>8.0%} "
+            f"{self.total_run_s:>11.3f} {self.total_saved_s:>9.3f}"
+        )
+        return lines
+
+
+class StageCache:
+    """Content-addressed store for stage artifacts with counters.
+
+    Parameters
+    ----------
+    enabled:
+        When False the cache never stores or returns artifacts but
+        still accounts timings - useful as a cold-path baseline.
+    max_entries:
+        Optional bound on stored artifacts; the least recently *used*
+        entry is evicted first.  ``None`` (default) means unbounded,
+        which is right for one sweep's working set.
+    """
+
+    def __init__(self, enabled: bool = True, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive or None")
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        """Drop all stored artifacts (counters are kept)."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    def get_or_run(
+        self, stage_name: str, key: str, fn: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        """Return ``(artifact, was_hit)`` for one stage execution.
+
+        On a miss, ``fn`` runs and its wall time is charged to the
+        stage; on a hit the stage's mean miss time is credited to
+        ``saved_s`` as the estimate of compute avoided.
+        """
+        stats = self.stats.stage(stage_name)
+        if self.enabled and key in self._entries:
+            self._entries.move_to_end(key)
+            stats.hits += 1
+            if stats.misses:
+                stats.saved_s += stats.run_s / stats.misses
+            return self._entries[key], True
+
+        start = time.perf_counter()
+        value = fn()
+        stats.run_s += time.perf_counter() - start
+        stats.misses += 1
+        if self.enabled:
+            self._entries[key] = value
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+        return value, False

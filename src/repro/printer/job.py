@@ -4,33 +4,31 @@
 whole process chain of the paper's Fig. 1, under explicit process
 conditions (STL resolution + print orientation) - the very conditions
 that form an ObfusCADe manufacturing key.
+
+Since the staged-engine refactor, ``PrintJob`` is a thin wrapper over
+:class:`repro.pipeline.ProcessChain`: same API and bit-identical
+outcomes, but each job keeps a content-addressed stage cache, so
+re-printing the same model under overlapping conditions (a settings
+sweep, the test fixtures, a benchmark session) reuses tessellations,
+resolves and slices instead of recomputing them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
-import numpy as np
-
-from repro.cad.body import ExtrudedBody
-from repro.cad.features import SplineSplitFeature
 from repro.cad.model import CadModel, StlExport
 from repro.cad.resolution import StlResolution
-from repro.printer.deposition import DepositionSimulator
-from repro.printer.firmware import FirmwareResult, PrinterFirmware
+from repro.mesh.validate import GeometryReport
+from repro.printer.firmware import FirmwareResult
 from repro.printer.machines import DIMENSION_ELITE, MachineProfile
-from repro.printer.orientation import PrintOrientation, place_on_plate
+from repro.printer.orientation import PrintOrientation
 from repro.printer.artifact import PrintedArtifact
-from repro.slicer.coincident import resolve_coincident_faces
-from repro.slicer.gcode import GCodeProgram, generate_gcode
-from repro.slicer.seams import SeamReport, analyze_split_seam
+from repro.slicer.gcode import GCodeProgram
+from repro.slicer.seams import SeamReport
 from repro.slicer.settings import SlicerSettings
-from repro.slicer.slicer import SliceResult, slice_mesh
-from repro.slicer.toolpath import generate_toolpaths
-
-#: Clearance between the part and the plate origin, mm.
-_PLATE_MARGIN_MM = 10.0
+from repro.slicer.slicer import SliceResult
 
 
 @dataclass
@@ -45,6 +43,12 @@ class PrintOutcome:
     seam: Optional[SeamReport]
     orientation: PrintOrientation
     resolution: StlResolution
+    #: Manifold-geometry review, present when the chain ran its
+    #: ``validate`` stage (``ProcessChain.run(..., validate=True)``).
+    geometry: Optional[GeometryReport] = None
+    #: Per-stage execution records (cache hits, wall time) of the run
+    #: that produced this outcome.  Empty tuple for legacy callers.
+    stage_log: Tuple = field(default=())
 
     @property
     def succeeded(self) -> bool:
@@ -52,17 +56,39 @@ class PrintOutcome:
 
 
 class PrintJob:
-    """A configured printer ready to manufacture CAD models."""
+    """A configured printer ready to manufacture CAD models.
+
+    Parameters mirror the legacy constructor; ``cache`` optionally
+    shares a :class:`~repro.pipeline.StageCache` with other jobs or a
+    whole grid search (see ``CounterfeiterSimulator``).
+    """
 
     def __init__(
         self,
         machine: MachineProfile = DIMENSION_ELITE,
         settings: Optional[SlicerSettings] = None,
         raster_cell_mm: Optional[float] = None,
+        cache=None,
     ):
+        # Imported here (not at module top) to keep the import graph
+        # acyclic: repro.pipeline.chain imports this module for
+        # PrintOutcome.
+        from repro.pipeline.chain import ProcessChain
+
+        self.chain = ProcessChain(
+            machine=machine,
+            settings=settings,
+            raster_cell_mm=raster_cell_mm,
+            cache=cache,
+        )
         self.machine = machine
-        self.settings = settings or SlicerSettings()
-        self.simulator = DepositionSimulator(machine, self.settings, raster_cell_mm)
+        self.settings = self.chain.base_settings
+        self.simulator = self.chain.simulator
+
+    @property
+    def cache(self):
+        """The job's content-addressed stage cache."""
+        return self.chain.cache
 
     def print_model(
         self,
@@ -72,73 +98,6 @@ class PrintJob:
         analyze_seam: bool = True,
     ) -> PrintOutcome:
         """Manufacture ``model`` under the given process conditions."""
-        export = model.export_stl(resolution)
-
-        seam = None
-        if analyze_seam and _has_split(model):
-            meshes = list(export.body_meshes.values())
-            split_meshes = _split_body_meshes(model, export)
-            if split_meshes is not None:
-                seam = analyze_split_seam(
-                    split_meshes[0],
-                    split_meshes[1],
-                    self.simulator.settings,
-                    orientation=orientation.transform,
-                )
-            del meshes
-
-        resolved = resolve_coincident_faces(export.mesh)
-        oriented = place_on_plate([resolved], orientation)[0]
-        oriented = oriented.translated(
-            np.array([_PLATE_MARGIN_MM, _PLATE_MARGIN_MM, 0.0])
+        return self.chain.run(
+            model, resolution, orientation, analyze_seam=analyze_seam
         )
-
-        slices = slice_mesh(oriented, self.simulator.settings)
-        toolpaths = generate_toolpaths(slices, self.simulator.settings)
-        gcode = generate_gcode(toolpaths)
-        firmware = PrinterFirmware(self.machine).run(gcode)
-
-        metadata = {
-            "model": model.name,
-            "resolution": resolution.name,
-            "orientation": orientation.value,
-            "machine": self.machine.name,
-        }
-        for feature in model.features:
-            if isinstance(feature, SplineSplitFeature):
-                metadata["split_spline"] = feature.spline
-        artifact = self.simulator.build_from_slices(
-            slices,
-            oriented.bounds,
-            seam=seam,
-            metadata=metadata,
-        )
-        return PrintOutcome(
-            artifact=artifact,
-            export=export,
-            slices=slices,
-            gcode=gcode,
-            firmware=firmware,
-            seam=seam,
-            orientation=orientation,
-            resolution=resolution,
-        )
-
-
-def _has_split(model: CadModel) -> bool:
-    return any(isinstance(f, SplineSplitFeature) for f in model.features)
-
-
-def _split_body_meshes(model: CadModel, export: StlExport):
-    """The two split-body meshes from an export, in feature order."""
-    bodies = model.bodies()
-    extruded = [b for b in bodies if isinstance(b, ExtrudedBody)]
-    if len(extruded) != 2:
-        return None
-    meshes = []
-    for body in extruded:
-        mesh = export.body_meshes.get(body.name)
-        if mesh is None:
-            return None
-        meshes.append(mesh)
-    return meshes

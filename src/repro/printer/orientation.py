@@ -7,6 +7,11 @@ The paper defines two orientations for the tensile bar:
 * **x-z** - the specimen stands on its long narrow edge: the 19 mm
   width is built up in z (rotation of 90 degrees about the bar's long
   axis).
+
+A third plate-flat orientation, **y-z** (the part rotated 90 degrees
+about the build direction, long axis along y), extends the settings
+grid the counterfeiter simulator can sweep; it shares the x-y layup
+relative to the load by the +-45 degree raster symmetry.
 """
 
 from __future__ import annotations
@@ -24,12 +29,15 @@ class PrintOrientation(enum.Enum):
 
     XY = "x-y"
     XZ = "x-z"
+    YZ = "y-z"
 
     @property
     def transform(self) -> Transform:
         """Model-to-machine rotation for this orientation."""
         if self is PrintOrientation.XY:
             return Transform.identity()
+        if self is PrintOrientation.YZ:
+            return Transform.rotation_z(np.pi / 2.0)
         return Transform.rotation_x(np.pi / 2.0)
 
 

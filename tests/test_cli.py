@@ -69,6 +69,48 @@ class TestPrint:
         assert "model volume" in out
 
 
+class TestInspectHash:
+    def test_inspect_reports_content_hash(self, tmp_path, capsys, intact_bar):
+        from repro.cad import FINE
+        from repro.mesh import mesh_digest, save_stl
+
+        stl = tmp_path / "intact.stl"
+        export = intact_bar.export_stl(FINE)
+        save_stl(export.mesh, stl)
+        main(["inspect", str(stl)])
+        out = capsys.readouterr().out
+        assert "content hash: sha256:" in out
+        # The loader welds vertices, so hash the *loaded* mesh.
+        from repro.mesh import load_stl
+
+        assert mesh_digest(load_stl(stl)) in out
+
+
+class TestSweep:
+    def test_single_cell_sweep(self, capsys):
+        rc = main(
+            ["sweep", "--seed", "3", "--resolutions", "coarse",
+             "--orientations", "x-z", "--stats"]
+        )
+        out = capsys.readouterr().out
+        # No genuine print off the key => vacuously key-only => rc 0.
+        assert rc == 0
+        assert "1 resolutions x 1 orientations = 1 cells" in out
+        assert "genuine only under the key: True" in out
+        # --stats renders the per-stage cache table.
+        assert "tessellate" in out
+        assert "deposit" in out
+
+    def test_unknown_setting_rejected(self, capsys):
+        rc = main(["sweep", "--resolutions", "ultrafine"])
+        assert rc == 2
+        assert "unknown sweep setting" in capsys.readouterr().err
+
+    def test_empty_grid_rejected(self, capsys):
+        rc = main(["sweep", "--resolutions", ""])
+        assert rc == 2
+
+
 class TestInfoCommands:
     def test_taxonomy(self, capsys):
         assert main(["taxonomy"]) == 0

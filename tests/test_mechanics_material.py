@@ -52,9 +52,16 @@ class TestAbsFdm:
             > ABS_FDM.properties("x-y").failure_strain
         )
 
+    def test_yz_known_and_layup_equivalent_to_xy(self):
+        """y-z is an in-plane rotation of x-y: same +/-45 deg raster layup."""
+        yz = ABS_FDM.properties("y-z")
+        xy = ABS_FDM.properties("x-y")
+        assert yz.young_modulus_gpa == pytest.approx(xy.young_modulus_gpa)
+        assert yz.failure_strain == pytest.approx(xy.failure_strain)
+
     def test_unknown_orientation(self):
         with pytest.raises(KeyError):
-            ABS_FDM.properties("y-z")
+            ABS_FDM.properties("z-x")
 
 
 class TestVeroClear:

@@ -1,0 +1,84 @@
+"""Tests for repro.mesh.content_hash (stable mesh/model digests)."""
+
+import numpy as np
+
+from repro.cad import (
+    COARSE,
+    BaseExtrudeFeature,
+    CadModel,
+    SplineSplitFeature,
+    TensileBarSpec,
+    default_split_spline,
+    tensile_bar_profile,
+)
+from repro.cad.serialize import loads_model, dumps_model
+from repro.mesh import TriangleMesh, mesh_digest, model_digest
+
+
+def _bar(seed_spec=None):
+    spec = seed_spec or TensileBarSpec()
+    return CadModel(
+        "split-bar",
+        [
+            BaseExtrudeFeature(tensile_bar_profile(spec), spec.thickness),
+            SplineSplitFeature(default_split_spline(spec)),
+        ],
+    )
+
+
+class TestMeshDigest:
+    def test_deterministic(self, tetra):
+        assert mesh_digest(tetra) == mesh_digest(tetra)
+        assert len(mesh_digest(tetra)) == 64
+
+    def test_copy_hashes_equal(self, tetra):
+        assert mesh_digest(tetra.copy()) == mesh_digest(tetra)
+
+    def test_geometry_change_changes_digest(self, tetra):
+        moved = tetra.translated(np.array([1e-9, 0.0, 0.0]))
+        assert mesh_digest(moved) != mesh_digest(tetra)
+
+    def test_face_winding_changes_digest(self, tetra):
+        assert mesh_digest(tetra.flipped()) != mesh_digest(tetra)
+
+    def test_vertex_order_matters(self):
+        a = TriangleMesh(
+            np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0]]),
+            np.array([[0, 1, 2]]),
+        )
+        b = TriangleMesh(
+            np.array([[1.0, 0, 0], [0, 0, 0], [0, 1, 0]]),
+            np.array([[1, 0, 2]]),
+        )
+        # Same triangle, different buffers: content hash differs.
+        assert mesh_digest(a) != mesh_digest(b)
+
+    def test_empty_mesh(self):
+        assert mesh_digest(TriangleMesh.empty()) == mesh_digest(TriangleMesh.empty())
+
+    def test_export_reproducibility(self):
+        """Two exports of equal models digest equal at equal resolution."""
+        a = _bar().export_stl(COARSE).mesh
+        b = _bar().export_stl(COARSE).mesh
+        assert mesh_digest(a) == mesh_digest(b)
+
+
+class TestModelDigest:
+    def test_stable_across_rebuilds(self):
+        assert model_digest(_bar()) == model_digest(_bar())
+
+    def test_survives_serialization_roundtrip(self):
+        model = _bar()
+        assert model_digest(loads_model(dumps_model(model))) == model_digest(model)
+
+    def test_feature_change_changes_digest(self):
+        intact = CadModel(
+            "split-bar",
+            [BaseExtrudeFeature(tensile_bar_profile(), TensileBarSpec().thickness)],
+        )
+        assert model_digest(intact) != model_digest(_bar())
+
+    def test_name_is_part_of_content(self):
+        model = _bar()
+        renamed = CadModel("other-name", model.features)
+        assert model_digest(renamed) != model_digest(model)
