@@ -11,9 +11,19 @@ bench runs the same (3 resolutions x 3 orientations) search three ways:
 * **hot**  - the same search repeated on the populated cache: every
   stage is a hit.
 
-The measured speedups are reported to ``benchmarks/results/``.
+Each mode is measured ``ROUNDS`` times (best-of, with a GC between
+measurements) because single-digit-percent wall-clock differences on a
+shared host are dominated by allocator/OS noise.  Results go to
+``benchmarks/results/`` as both a text table and machine-readable
+JSON (``BENCH_pipeline.json``).
+
+Set ``OBFUSCADE_BENCH_SMOKE=1`` for the CI smoke configuration: a
+2x2 grid, one round, and no wall-clock ratio assertions (cache
+behaviour is still asserted exactly).
 """
 
+import gc
+import os
 import time
 
 from repro.cad import COARSE, StlResolution
@@ -21,6 +31,8 @@ from repro.obfuscade.attack import CounterfeiterSimulator
 from repro.obfuscade.obfuscator import Obfuscator
 from repro.pipeline import ProcessChain, StageCache
 from repro.printer import PrintOrientation
+
+SMOKE = os.environ.get("OBFUSCADE_BENCH_SMOKE", "") not in ("", "0")
 
 RESOLUTIONS = (
     COARSE,
@@ -32,6 +44,15 @@ ORIENTATIONS = (
     PrintOrientation.XZ,
     PrintOrientation.YZ,
 )
+if SMOKE:
+    RESOLUTIONS = RESOLUTIONS[:2]
+    ORIENTATIONS = ORIENTATIONS[:2]
+
+# Warm's true advantage over cold (the shared tessellate/resolve
+# compute minus cache bookkeeping) is a few percent - the same order
+# as host noise on one round - so each mode takes its best of several
+# interleaved rounds, which converges on the modes' true floors.
+ROUNDS = 1 if SMOKE else 3
 
 
 def _search(protected, chain):
@@ -46,19 +67,30 @@ def _search(protected, chain):
 def run():
     protected = Obfuscator(seed=7).protect_tensile_bar()
 
-    cold_chain = ProcessChain(cache=StageCache(enabled=False))
-    cold_s, cold = _search(protected, cold_chain)
+    cold_times, warm_times, hot_times = [], [], []
+    cold = warm = hot = None
+    for _ in range(ROUNDS):
+        gc.collect()
+        cold_s, cold = _search(protected, ProcessChain(cache=StageCache(enabled=False)))
+        cold_times.append(cold_s)
 
-    warm_chain = ProcessChain()
-    warm_s, warm = _search(protected, warm_chain)
-    hot_s, hot = _search(protected, warm_chain)
+        gc.collect()
+        warm_chain = ProcessChain()
+        warm_s, warm = _search(protected, warm_chain)
+        warm_times.append(warm_s)
 
-    # Caching must not change a single verdict.
-    assert warm.summary_rows() == cold.summary_rows() == hot.summary_rows()
+        gc.collect()
+        hot_s, hot = _search(protected, warm_chain)
+        hot_times.append(hot_s)
+
+        # Caching must not change a single verdict.
+        assert warm.summary_rows() == cold.summary_rows() == hot.summary_rows()
+
     return {
-        "cold_s": cold_s,
-        "warm_s": warm_s,
-        "hot_s": hot_s,
+        "cold_s": min(cold_times),
+        "warm_s": min(warm_times),
+        "hot_s": min(hot_times),
+        "rounds": ROUNDS,
         "warm_stats": warm.cache_stats,
         "hot_stats": hot.cache_stats,
     }
@@ -70,7 +102,8 @@ def test_pipeline_cache_speedup(benchmark, report):
     warm_speedup = r["cold_s"] / r["warm_s"]
     hot_speedup = r["cold_s"] / max(r["hot_s"], 1e-9)
     lines = [
-        f"grid: {len(RESOLUTIONS)} resolutions x {len(ORIENTATIONS)} orientations",
+        f"grid: {len(RESOLUTIONS)} resolutions x {len(ORIENTATIONS)} orientations"
+        f" (best of {r['rounds']} rounds{', smoke' if SMOKE else ''})",
         f"cold (no cache)     : {r['cold_s']:8.2f} s",
         f"warm (shared cache) : {r['warm_s']:8.2f} s   speedup {warm_speedup:5.2f}x",
         f"hot  (repeat search): {r['hot_s']:8.2f} s   speedup {hot_speedup:5.2f}x",
@@ -78,7 +111,26 @@ def test_pipeline_cache_speedup(benchmark, report):
         "warm search per-stage counters:",
         *r["warm_stats"].render(),
     ]
-    report("pipeline cache speedup", lines)
+    report(
+        "pipeline cache speedup",
+        lines,
+        data={
+            "grid": {
+                "resolutions": [res.name for res in RESOLUTIONS],
+                "orientations": [o.value for o in ORIENTATIONS],
+            },
+            "smoke": SMOKE,
+            "rounds": r["rounds"],
+            "cold_s": r["cold_s"],
+            "warm_s": r["warm_s"],
+            "hot_s": r["hot_s"],
+            "warm_speedup": warm_speedup,
+            "hot_speedup": hot_speedup,
+            "warm_stages": r["warm_stats"].to_dict(),
+            "hot_stages": r["hot_stats"].to_dict(),
+        },
+        json_name="BENCH_pipeline.json",
+    )
 
     warm_stats = r["warm_stats"].stages
     # The orientation-independent stages ran once per resolution.
@@ -87,11 +139,9 @@ def test_pipeline_cache_speedup(benchmark, report):
     assert warm_stats["resolve"].misses == len(RESOLUTIONS)
     # A populated cache answers the whole search from hits.
     assert r["hot_stats"].total_misses == 0
-    # Wall-time claims stay noise-tolerant: warm only skips the cheap
-    # orientation-independent stages (deposition dominates), so it is
-    # bounded near cold rather than strictly below it; the hot search
-    # still pays the out-of-cache quality grading per cell, so its
-    # speedup is large but not unbounded.
-    assert r["warm_s"] <= r["cold_s"] * 1.25
     assert r["hot_s"] < r["cold_s"]
-    assert hot_speedup > 2.0
+    if not SMOKE:
+        # Sharing a cache across the sweep must never cost wall time:
+        # warm does a strict subset of cold's compute.
+        assert r["warm_s"] <= r["cold_s"]
+        assert hot_speedup > 2.0

@@ -8,6 +8,7 @@ pytest-benchmark summary).  Results are also appended to
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -37,15 +38,24 @@ def results_dir() -> Path:
 
 @pytest.fixture
 def report(capsys, results_dir):
-    """A printer that bypasses capture and logs to the results dir."""
+    """A printer that bypasses capture and logs to the results dir.
+
+    ``data`` (optional) additionally writes a machine-readable JSON
+    file next to the text table - ``json_name`` overrides its filename
+    for consumers that want a stable path (e.g. CI trend tracking
+    reading ``BENCH_pipeline.json``).
+    """
 
     class Reporter:
-        def __call__(self, title: str, lines):
+        def __call__(self, title: str, lines, data=None, json_name=None):
             text = "\n".join([f"== {title} =="] + [str(l) for l in lines])
             with capsys.disabled():
                 print("\n" + text)
             safe = title.lower().replace(" ", "_").replace("/", "-")
             (results_dir / f"{safe}.txt").write_text(text + "\n")
+            if data is not None:
+                path = results_dir / (json_name or f"{safe}.json")
+                path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
     return Reporter()
 

@@ -104,6 +104,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--machine", choices=sorted(_MACHINES), default="fdm")
     p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; >1 fans grid cells out over a shared "
+        "on-disk stage cache (identical results, lower wall-clock)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="shared stage-cache directory for --jobs (and for reusing "
+        "artifacts across sweep invocations); temporary when omitted",
+    )
+    p.add_argument(
         "--stats",
         action="store_true",
         help="print per-stage timings and cache hit rates",
@@ -255,16 +268,32 @@ def _cmd_sweep(args) -> int:
         print("sweep needs at least one resolution and one orientation",
               file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
 
     protected = Obfuscator(seed=args.seed).protect_tensile_bar()
     print(f"sweeping: {protected.describe()}")
-    chain = ProcessChain(machine=_MACHINES[args.machine])
+    cache_dir = args.cache_dir
+    if cache_dir is not None and args.jobs == 1:
+        from repro.pipeline import DiskStageCache
+
+        chain = ProcessChain(
+            machine=_MACHINES[args.machine], cache=DiskStageCache(cache_dir)
+        )
+    else:
+        chain = ProcessChain(machine=_MACHINES[args.machine])
     sim = CounterfeiterSimulator(
-        resolutions=resolutions, orientations=orientations, chain=chain
+        resolutions=resolutions,
+        orientations=orientations,
+        chain=chain,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
     )
     result = sim.attack(protected)
     print(f"grid: {len(resolutions)} resolutions x {len(orientations)} "
-          f"orientations = {result.n_attempts} cells")
+          f"orientations = {result.n_attempts} cells"
+          + (f"  (jobs={args.jobs})" if args.jobs > 1 else ""))
     for resolution, orientation, grade, score, matches in result.summary_rows():
         marker = " <-- key" if matches else ""
         print(f"  {resolution:8s} {orientation:5s} {grade:20s} {score:5.2f}{marker}")

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import weakref
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -23,6 +25,30 @@ from repro.mesh.trimesh import TriangleMesh
 _MESH_TAG = b"repro-mesh/1"
 _MODEL_TAG = b"repro-cad-model/1"
 
+#: Digest memo tables, keyed by object id with a liveness weakref.
+#: Meshes and models are immutable once built, and hot paths (a grid
+#: search digests the same model once per cell) would otherwise re-hash
+#: identical buffers over and over; the weakref callback evicts entries
+#: when the object dies, so a recycled id can never alias a stale hash.
+_mesh_memo: Dict[int, Tuple[weakref.ref, str]] = {}
+_model_memo: Dict[int, Tuple[weakref.ref, str]] = {}
+
+
+def _memo_get(memo: Dict[int, Tuple[weakref.ref, str]], obj) -> str:
+    entry = memo.get(id(obj))
+    if entry is not None and entry[0]() is obj:
+        return entry[1]
+    return ""
+
+
+def _memo_put(memo: Dict[int, Tuple[weakref.ref, str]], obj, digest: str) -> None:
+    key = id(obj)
+    try:
+        ref = weakref.ref(obj, lambda _, key=key: memo.pop(key, None))
+    except TypeError:
+        return  # not weakref-able: skip memoization rather than leak
+    memo[key] = (ref, digest)
+
 
 def mesh_digest(mesh: TriangleMesh) -> str:
     """SHA-256 over a mesh's vertex and face buffers (hex string).
@@ -31,8 +57,12 @@ def mesh_digest(mesh: TriangleMesh) -> str:
     little-endian int64, shapes included, so two meshes digest equal
     iff their arrays are bit-for-bit identical.  Vertex order matters:
     this is a content hash of the concrete buffers, not a geometric
-    isomorphism test.
+    isomorphism test.  Memoized per mesh object - each mesh is hashed
+    once, however many dependent stage keys ask for it.
     """
+    cached = _memo_get(_mesh_memo, mesh)
+    if cached:
+        return cached
     vertices = np.ascontiguousarray(mesh.vertices, dtype="<f8")
     faces = np.ascontiguousarray(mesh.faces, dtype="<i8")
     h = hashlib.sha256()
@@ -40,7 +70,9 @@ def mesh_digest(mesh: TriangleMesh) -> str:
     h.update(np.array(vertices.shape + faces.shape, dtype="<i8").tobytes())
     h.update(vertices.tobytes())
     h.update(faces.tobytes())
-    return h.hexdigest()
+    digest = h.hexdigest()
+    _memo_put(_mesh_memo, mesh, digest)
+    return digest
 
 
 def model_digest(model) -> str:
@@ -51,10 +83,14 @@ def model_digest(model) -> str:
     model from disk.  Models with features the serializer does not know
     fall back to hashing their ``repr``, which is stable within a
     process - enough for in-memory caching, flagged by a ``repr:``
-    prefix inside the hashed payload.
+    prefix inside the hashed payload.  Memoized per model object, so a
+    grid search serializes the feature tree once, not once per cell.
     """
     from repro.cad.serialize import model_to_dict
 
+    cached = _memo_get(_model_memo, model)
+    if cached:
+        return cached
     try:
         payload = json.dumps(
             model_to_dict(model), sort_keys=True, separators=(",", ":")
@@ -64,4 +100,6 @@ def model_digest(model) -> str:
     h = hashlib.sha256()
     h.update(_MODEL_TAG)
     h.update(payload)
-    return h.hexdigest()
+    digest = h.hexdigest()
+    _memo_put(_model_memo, model, digest)
+    return digest

@@ -23,6 +23,7 @@ from repro.obfuscade.obfuscator import ProtectedModel
 from repro.obfuscade.quality import QualityGrade, QualityReport, assess_print
 from repro.pipeline.cache import CacheStats
 from repro.pipeline.chain import ProcessChain
+from repro.pipeline.parallel import ParallelSweep
 from repro.printer.job import PrintJob
 from repro.printer.orientation import PrintOrientation
 
@@ -90,6 +91,16 @@ class CounterfeiterSimulator:
     chain:
         The staged engine to run on.  Defaults to ``job``'s chain (or a
         fresh one), so all grid cells share one stage cache.
+    jobs:
+        Worker process count.  ``1`` (default) searches serially on
+        ``chain``; ``> 1`` fans the grid cells out through a
+        :class:`~repro.pipeline.ParallelSweep` whose workers share
+        stage artifacts via an on-disk cache.  Results are identical
+        either way (the engine is deterministic and the raster kernel
+        bit-exact); only the wall-clock changes.
+    cache_dir:
+        Shared disk-cache directory for parallel searches; a temporary
+        directory is used when omitted.
     """
 
     def __init__(
@@ -98,14 +109,22 @@ class CounterfeiterSimulator:
         resolutions: Optional[Sequence[StlResolution]] = None,
         orientations: Optional[Sequence[PrintOrientation]] = None,
         chain: Optional[ProcessChain] = None,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
     ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
         self.job = job or PrintJob()
         self.chain = chain if chain is not None else self.job.chain
         self.resolutions = list(resolutions or (COARSE, FINE, custom_resolution()))
         self.orientations = list(orientations or (PrintOrientation.XY, PrintOrientation.XZ))
+        self.jobs = jobs
+        self.cache_dir = cache_dir
 
     def attack(self, protected: ProtectedModel) -> AttackResult:
         """Print the stolen model under every setting combination."""
+        if self.jobs > 1:
+            return self._attack_parallel(protected)
         before = self.chain.stats.snapshot()
         result = AttackResult()
         for resolution in self.resolutions:
@@ -121,6 +140,32 @@ class CounterfeiterSimulator:
                     )
                 )
         result.cache_stats = _stats_delta(before, self.chain.stats.snapshot())
+        return result
+
+    def _attack_parallel(self, protected: ProtectedModel) -> AttackResult:
+        """The same grid search, fanned out across worker processes."""
+        sweep = ParallelSweep(
+            machine=self.chain.machine,
+            settings=self.chain.base_settings,
+            raster_cell_mm=self.chain.simulator.raster_cell_mm,
+            jobs=self.jobs,
+            cache_dir=self.cache_dir,
+            plate_margin_mm=self.chain.plate_margin_mm,
+        )
+        report = sweep.run(
+            protected.model, self.resolutions, self.orientations, assess=assess_print
+        )
+        result = AttackResult(cache_stats=report.stats)
+        grid = [(r, o) for r in self.resolutions for o in self.orientations]
+        for (resolution, orientation), cell in zip(grid, report.cells):
+            result.attempts.append(
+                AttackAttempt(
+                    resolution=cell.resolution,
+                    orientation=cell.orientation,
+                    report=cell.assessment,
+                    matches_key=protected.key.matches(resolution, orientation),
+                )
+            )
         return result
 
 

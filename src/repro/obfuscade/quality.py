@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.mechanics.constitutive import build_curve
 from repro.mechanics.material import ABS_FDM, MaterialModel
 from repro.mechanics.specimen import specimen_from_print
 from repro.mechanics.tensile import TensileTestRig
@@ -79,8 +80,6 @@ def assess_print(
         e = specimen.effective_young_modulus_gpa
         uts = specimen.effective_uts_mpa
         eps = specimen.effective_failure_strain
-        from repro.mechanics.constitutive import build_curve
-
         tough = build_curve(props, e, uts, eps).toughness_kj_m3
         tough_ref = build_curve(props).toughness_kj_m3
     else:
@@ -91,8 +90,6 @@ def assess_print(
             result.failure_strain,
             result.toughness_kj_m3,
         )
-        from repro.mechanics.constitutive import build_curve
-
         tough_ref = build_curve(props).toughness_kj_m3
 
     artifact = outcome.artifact

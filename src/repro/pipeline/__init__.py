@@ -12,15 +12,27 @@ as ``from repro.pipeline import ProcessChain``.
 
 from repro.pipeline.cache import CacheStats, StageCache, StageStats, digest_parts
 from repro.pipeline.chain import ChainContext, ProcessChain
+from repro.pipeline.disk import DiskStageCache
+from repro.pipeline.parallel import (
+    ParallelSweep,
+    SweepCellResult,
+    SweepReport,
+    outcome_fingerprint,
+)
 from repro.pipeline.stage import Stage, StageExecution
 
 __all__ = [
     "CacheStats",
     "ChainContext",
+    "DiskStageCache",
+    "ParallelSweep",
     "ProcessChain",
     "Stage",
     "StageCache",
     "StageExecution",
     "StageStats",
+    "SweepCellResult",
+    "SweepReport",
     "digest_parts",
+    "outcome_fingerprint",
 ]

@@ -128,6 +128,33 @@ class CacheStats:
             OrderedDict((k, v.copy()) for k, v in self.stages.items())
         )
 
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Sum another table's counters into this one (in place).
+
+        Used to combine the per-worker statistics of a parallel sweep
+        into one report; returns ``self`` for chaining.
+        """
+        for name, stats in other.stages.items():
+            mine = self.stage(name)
+            mine.hits += stats.hits
+            mine.misses += stats.misses
+            mine.run_s += stats.run_s
+            mine.saved_s += stats.saved_s
+        return self
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-serializable per-stage counters (for machine-readable
+        benchmark reports)."""
+        return {
+            name: {
+                "hits": s.hits,
+                "misses": s.misses,
+                "run_s": s.run_s,
+                "saved_s": s.saved_s,
+            }
+            for name, s in self.stages.items()
+        }
+
     def render(self) -> List[str]:
         """Human-readable per-stage table (for ``--stats`` output)."""
         lines = [
@@ -184,13 +211,22 @@ class StageCache:
         self.stats = CacheStats()
 
     def get_or_run(
-        self, stage_name: str, key: str, fn: Callable[[], Any]
+        self,
+        stage_name: str,
+        key: str,
+        fn: Callable[[], Any],
+        pack: Optional[Callable[[Any], Any]] = None,
+        unpack: Optional[Callable[[Any], Any]] = None,
     ) -> Tuple[Any, bool]:
         """Return ``(artifact, was_hit)`` for one stage execution.
 
         On a miss, ``fn`` runs and its wall time is charged to the
         stage; on a hit the stage's mean miss time is credited to
         ``saved_s`` as the estimate of compute avoided.
+
+        ``pack``/``unpack`` (see :class:`~repro.pipeline.stage.Stage`)
+        encode the artifact for storage and restore it on hits; the
+        freshly computed value is always returned as-is.
         """
         stats = self.stats.stage(stage_name)
         if self.enabled and key in self._entries:
@@ -198,14 +234,15 @@ class StageCache:
             stats.hits += 1
             if stats.misses:
                 stats.saved_s += stats.run_s / stats.misses
-            return self._entries[key], True
+            stored = self._entries[key]
+            return (unpack(stored) if unpack is not None else stored), True
 
         start = time.perf_counter()
         value = fn()
         stats.run_s += time.perf_counter() - start
         stats.misses += 1
         if self.enabled:
-            self._entries[key] = value
+            self._entries[key] = pack(value) if pack is not None else value
             if self.max_entries is not None:
                 while len(self._entries) > self.max_entries:
                     self._entries.popitem(last=False)

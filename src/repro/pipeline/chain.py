@@ -48,8 +48,10 @@ from repro.mesh.content_hash import model_digest
 from repro.mesh.validate import validate_mesh
 from repro.pipeline.cache import CacheStats, StageCache, digest_parts
 from repro.pipeline.stage import Stage, StageExecution
+from repro.printer.artifact import pack_artifact, unpack_artifact
 from repro.printer.deposition import DepositionSimulator
 from repro.printer.firmware import PrinterFirmware
+from repro.printer.job import PrintOutcome
 from repro.printer.machines import DIMENSION_ELITE, MachineProfile
 from repro.printer.orientation import PrintOrientation, place_on_plate
 from repro.slicer.coincident import resolve_coincident_faces
@@ -259,6 +261,8 @@ class ProcessChain:
                     ctx.resolution.name,
                     ctx.orientation,
                 ),
+                pack=pack_artifact,
+                unpack=unpack_artifact,
             ),
         )
 
@@ -283,8 +287,6 @@ class ProcessChain:
         ``validate`` flag additionally runs the manifold-geometry
         review stage and attaches its report to the outcome.
         """
-        from repro.printer.job import PrintOutcome
-
         ctx = ChainContext(
             chain=self,
             model=model,
@@ -305,7 +307,11 @@ class ProcessChain:
             )
             start = time.perf_counter()
             value, hit = self.cache.get_or_run(
-                stage.name, digest, lambda stage=stage: stage.run(ctx)
+                stage.name,
+                digest,
+                lambda stage=stage: stage.run(ctx),
+                pack=stage.pack,
+                unpack=stage.unpack,
             )
             log.append(
                 StageExecution(stage.name, digest, hit, time.perf_counter() - start)

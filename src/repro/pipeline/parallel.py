@@ -1,0 +1,245 @@
+"""Process-parallel settings sweeps over the staged chain.
+
+A settings grid search - the defender's key search and the
+counterfeiter's brute force alike - is embarrassingly parallel across
+grid cells, but the cells share work: tessellation and coincident-face
+resolution depend only on the resolution, not the orientation.
+:class:`ParallelSweep` fans the cells out to a
+:class:`~concurrent.futures.ProcessPoolExecutor` while the workers
+share stage artifacts through one on-disk
+:class:`~repro.pipeline.disk.DiskStageCache`, so cross-cell reuse
+survives the process boundary.
+
+Determinism: cells are dispatched and collected in grid order
+(``executor.map`` preserves input order), every stage is pure, and the
+raster kernel is bit-identical to the scalar path - so a parallel sweep
+produces exactly the artifacts of the serial sweep, which
+:func:`outcome_fingerprint` makes checkable as a single content hash
+per cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cad.resolution import StlResolution
+from repro.pipeline.cache import CacheStats, StageCache
+from repro.pipeline.chain import PLATE_MARGIN_MM, ProcessChain
+from repro.pipeline.disk import DiskStageCache
+from repro.printer.machines import DIMENSION_ELITE, MachineProfile
+from repro.printer.orientation import PrintOrientation
+from repro.slicer.settings import SlicerSettings
+
+
+def outcome_fingerprint(outcome) -> str:
+    """Stable content hash of everything a chain run produced.
+
+    Covers the deposited voxel grids (model, support, weak, voids), the
+    G-code text and the firmware counters - enough that two runs with
+    equal fingerprints produced the same physical print.  Arrays are
+    hashed as canonical little-endian buffers (shape included), like
+    :func:`repro.mesh.content_hash.mesh_digest`.
+    """
+    h = hashlib.sha256()
+    artifact = outcome.artifact
+    for grid in (artifact.model, artifact.support, artifact.weak, artifact.voids):
+        a = np.ascontiguousarray(grid, dtype="<u1")
+        h.update(np.array(a.shape, dtype="<i8").tobytes())
+        h.update(a.tobytes())
+    h.update(np.asarray(
+        [artifact.cell_mm, artifact.layer_height_mm], dtype="<f8"
+    ).tobytes())
+    h.update("\n".join(outcome.gcode.lines).encode())
+    h.update(np.asarray(
+        [outcome.firmware.executed_moves, outcome.firmware.total_extrusion_e],
+        dtype="<f8",
+    ).tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepCellResult:
+    """One grid cell's outcome, reduced to what crosses processes."""
+
+    resolution: str
+    orientation: str
+    #: Content hash of the produced artifacts (`outcome_fingerprint`).
+    fingerprint: str
+    #: Result of the ``assess`` callable, when one was given.
+    assessment: Any
+    #: Per-stage execution records of the run that served this cell.
+    stage_log: Tuple = ()
+
+
+@dataclass
+class SweepReport:
+    """A whole sweep: per-cell results plus merged cache statistics."""
+
+    cells: List[SweepCellResult] = field(default_factory=list)
+    stats: CacheStats = field(default_factory=CacheStats)
+    jobs: int = 1
+    wall_s: float = 0.0
+
+
+def _run_cell(payload) -> Tuple[SweepCellResult, CacheStats]:
+    """Worker entry: run one grid cell against the shared disk cache."""
+    (
+        model,
+        resolution,
+        orientation,
+        machine,
+        settings,
+        raster_cell_mm,
+        plate_margin_mm,
+        cache_dir,
+        analyze_seam,
+        assess,
+    ) = payload
+    chain = ProcessChain(
+        machine=machine,
+        settings=settings,
+        raster_cell_mm=raster_cell_mm,
+        cache=DiskStageCache(cache_dir),
+        plate_margin_mm=plate_margin_mm,
+    )
+    outcome = chain.run(model, resolution, orientation, analyze_seam=analyze_seam)
+    cell = SweepCellResult(
+        resolution=resolution.name,
+        orientation=orientation.value,
+        fingerprint=outcome_fingerprint(outcome),
+        assessment=assess(outcome) if assess is not None else None,
+        stage_log=outcome.stage_log,
+    )
+    return cell, chain.stats.snapshot()
+
+
+class ParallelSweep:
+    """Grid sweep executor: serial in-process, or fanned out to workers.
+
+    Parameters
+    ----------
+    machine / settings / raster_cell_mm / plate_margin_mm:
+        Chain configuration, as for :class:`~repro.pipeline.ProcessChain`.
+    jobs:
+        Worker process count; ``1`` (default) runs serially in-process
+        on a single shared chain.
+    cache_dir:
+        Directory for the shared :class:`DiskStageCache`.  Required to
+        share artifacts *across* sweeps; when omitted, a parallel sweep
+        uses a throwaway temporary directory for the duration of the
+        run and a serial sweep uses a plain in-memory cache.
+    """
+
+    def __init__(
+        self,
+        machine: MachineProfile = DIMENSION_ELITE,
+        settings: Optional[SlicerSettings] = None,
+        raster_cell_mm: Optional[float] = None,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        plate_margin_mm: float = PLATE_MARGIN_MM,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.machine = machine
+        self.settings = settings
+        self.raster_cell_mm = raster_cell_mm
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.plate_margin_mm = plate_margin_mm
+
+    def run(
+        self,
+        model,
+        resolutions: Sequence[StlResolution],
+        orientations: Sequence[PrintOrientation],
+        assess: Optional[Callable[[Any], Any]] = None,
+        analyze_seam: bool = True,
+    ) -> SweepReport:
+        """Run every (resolution x orientation) cell; results in grid order.
+
+        ``assess`` (a picklable callable, e.g.
+        :func:`repro.obfuscade.quality.assess_print`) is applied to each
+        cell's :class:`~repro.printer.job.PrintOutcome` where it runs,
+        so only its - typically small - result crosses the process
+        boundary, not the voxel grids.
+        """
+        grid = [(r, o) for r in resolutions for o in orientations]
+        if not grid:
+            return SweepReport(jobs=self.jobs)
+        start = time.perf_counter()
+        if self.jobs == 1:
+            report = self._run_serial(model, grid, assess, analyze_seam)
+        else:
+            report = self._run_parallel(model, grid, assess, analyze_seam)
+        report.wall_s = time.perf_counter() - start
+        return report
+
+    def _run_serial(self, model, grid, assess, analyze_seam) -> SweepReport:
+        cache = (
+            DiskStageCache(self.cache_dir) if self.cache_dir else StageCache()
+        )
+        chain = ProcessChain(
+            machine=self.machine,
+            settings=self.settings,
+            raster_cell_mm=self.raster_cell_mm,
+            cache=cache,
+            plate_margin_mm=self.plate_margin_mm,
+        )
+        cells = []
+        for resolution, orientation in grid:
+            outcome = chain.run(
+                model, resolution, orientation, analyze_seam=analyze_seam
+            )
+            cells.append(
+                SweepCellResult(
+                    resolution=resolution.name,
+                    orientation=orientation.value,
+                    fingerprint=outcome_fingerprint(outcome),
+                    assessment=assess(outcome) if assess is not None else None,
+                    stage_log=outcome.stage_log,
+                )
+            )
+        return SweepReport(cells=cells, stats=chain.stats.snapshot(), jobs=1)
+
+    def _run_parallel(self, model, grid, assess, analyze_seam) -> SweepReport:
+        tmp = None
+        cache_dir = self.cache_dir
+        if cache_dir is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-sweep-cache-")
+            cache_dir = tmp.name
+        try:
+            payloads = [
+                (
+                    model,
+                    resolution,
+                    orientation,
+                    self.machine,
+                    self.settings,
+                    self.raster_cell_mm,
+                    self.plate_margin_mm,
+                    cache_dir,
+                    analyze_seam,
+                    assess,
+                )
+                for resolution, orientation in grid
+            ]
+            workers = min(self.jobs, len(grid))
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                outputs = list(executor.map(_run_cell, payloads))
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+        stats = CacheStats()
+        for _, cell_stats in outputs:
+            stats.merge(cell_stats)
+        return SweepReport(
+            cells=[cell for cell, _ in outputs], stats=stats, jobs=self.jobs
+        )

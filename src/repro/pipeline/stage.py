@@ -15,7 +15,7 @@ recomputed, no matter which run asks for it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -38,12 +38,22 @@ class Stage:
         Function from the chain context to a tree of primitives: the
         stage *parameters* (resolution, orientation, slicer settings,
         machine, ...) that select among otherwise-identical inputs.
+    pack / unpack:
+        Optional codec applied at the cache boundary: ``pack`` encodes
+        the artifact into a compact form for storage, ``unpack``
+        restores it on a hit.  ``unpack(pack(x))`` must reproduce
+        ``x`` exactly.  Used by stages whose artifacts are large but
+        compressible (the deposit stage bit-packs its boolean voxel
+        grids eightfold), keeping a shared sweep cache from bloating
+        resident memory.
     """
 
     name: str
     inputs: Tuple[str, ...]
     run: Callable[[Any], Any]
     key: Callable[[Any], tuple]
+    pack: Optional[Callable[[Any], Any]] = None
+    unpack: Optional[Callable[[Any], Any]] = None
 
 
 @dataclass(frozen=True)

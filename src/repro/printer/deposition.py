@@ -11,7 +11,7 @@ behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 from scipy import ndimage
@@ -19,7 +19,7 @@ from scipy import ndimage
 from repro.mesh.trimesh import TriangleMesh
 from repro.printer.artifact import PrintedArtifact
 from repro.printer.machines import MachineProfile
-from repro.slicer.preview import rasterize_contours
+from repro.slicer.raster import rasterize_stack
 from repro.slicer.seams import SeamReport
 from repro.slicer.settings import SlicerSettings
 from repro.slicer.slicer import slice_mesh
@@ -76,10 +76,12 @@ class DepositionSimulator:
         hi = bounds.hi[:2] + 2 * cell
         nx = int(np.ceil((hi[0] - lo[0]) / cell))
         ny = int(np.ceil((hi[1] - lo[1]) / cell))
-        nz = len(slices.layers)
-        raw = np.zeros((nz, ny, nx), dtype=bool)
-        for iz, layer in enumerate(slices.layers):
-            raw[iz] = rasterize_contours(layer.contours, lo, nx, ny, cell)
+        # One batched edge-crossing pass rasterizes the whole stack
+        # (see repro.slicer.raster); bit-identical to looping
+        # rasterize_contours over the layers.
+        raw = rasterize_stack(
+            [layer.contours for layer in slices.layers], lo, nx, ny, cell
+        )
 
         model, weak, voids = self._apply_bead_merge(raw, cell)
         support = (
@@ -107,22 +109,105 @@ class DepositionSimulator:
         tolerance bridges gaps narrower than the tolerance (squished
         beads fuse); the bridged cells are *weak*.  Whatever internal
         gap remains open after closing is a *void* (an unfused seam).
+
+        Identical layers (an extruded part rasterizes to one repeated
+        cross-section) are morphed once and broadcast back, and the
+        closing/fill themselves run as whole-stack boolean shift
+        kernels (:func:`_cross_closing`, :func:`_fill_holes_stack`)
+        that are exact replacements for per-layer
+        ``ndimage.binary_closing`` / ``binary_fill_holes`` with the
+        4-connected structure - asserted in the deposition tests.
         """
         iterations = max(int(round(self.settings.merge_gap_mm / (2.0 * cell))), 1)
-        structure = ndimage.generate_binary_structure(2, 1)
-        model = np.zeros_like(raw)
-        weak = np.zeros_like(raw)
-        voids = np.zeros_like(raw)
-        for iz in range(raw.shape[0]):
-            layer = raw[iz]
-            if not layer.any():
-                continue
-            closed = ndimage.binary_closing(
-                layer, structure=structure, iterations=iterations
-            )
-            bridged = closed & ~layer
-            model[iz] = closed
-            weak[iz] = bridged
-            enclosed = ndimage.binary_fill_holes(closed) & ~closed
-            voids[iz] = enclosed
+        if raw.size == 0 or not raw.any():
+            return raw.copy(), np.zeros_like(raw), np.zeros_like(raw)
+        first, inverse = _unique_layers(raw)
+        unique = np.ascontiguousarray(raw[first])
+        closed_unique = _cross_closing(unique, iterations)
+        voids_unique = _fill_holes_stack(closed_unique) & ~closed_unique
+        model = closed_unique[inverse]
+        weak = model & ~raw
+        voids = voids_unique[inverse]
         return model, weak, voids
+
+
+def _unique_layers(stack: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Indices of first-occurrence layers plus the layer -> unique map."""
+    seen: Dict[bytes, int] = {}
+    first = []
+    inverse = np.empty(stack.shape[0], dtype=np.intp)
+    for iz in range(stack.shape[0]):
+        key = stack[iz].tobytes()
+        idx = seen.setdefault(key, len(first))
+        if idx == len(first):
+            first.append(iz)
+        inverse[iz] = idx
+    return np.asarray(first, dtype=np.intp), inverse
+
+
+def _cross_dilate(a: np.ndarray) -> np.ndarray:
+    """One 4-connected dilation of every layer (border value 0)."""
+    out = a.copy()
+    out[:, 1:, :] |= a[:, :-1, :]
+    out[:, :-1, :] |= a[:, 1:, :]
+    out[:, :, 1:] |= a[:, :, :-1]
+    out[:, :, :-1] |= a[:, :, 1:]
+    return out
+
+
+def _cross_erode(a: np.ndarray) -> np.ndarray:
+    """One 4-connected erosion of every layer (border value 0)."""
+    out = a.copy()
+    out[:, 1:, :] &= a[:, :-1, :]
+    out[:, :-1, :] &= a[:, 1:, :]
+    out[:, :, 1:] &= a[:, :, :-1]
+    out[:, :, :-1] &= a[:, :, 1:]
+    out[:, 0, :] = False
+    out[:, -1, :] = False
+    out[:, :, 0] = False
+    out[:, :, -1] = False
+    return out
+
+
+def _cross_closing(stack: np.ndarray, iterations: int) -> np.ndarray:
+    """``iterations``-fold binary closing of each layer, as shift ops.
+
+    Equivalent to ``ndimage.binary_closing(layer, <4-connected cross>,
+    iterations)`` per layer: iterated cross dilation then erosion, with
+    the array border treated as background throughout.  Pure boolean
+    slice arithmetic - an order of magnitude faster than the generic
+    structuring-element walker on big stacks.
+    """
+    out = stack
+    for _ in range(iterations):
+        out = _cross_dilate(out)
+    for _ in range(iterations):
+        out = _cross_erode(out)
+    return out
+
+
+#: 3D structure connecting only within a layer: 4-neighbourhood in
+#: (y, x), nothing across z.
+_IN_LAYER_STRUCTURE = np.zeros((3, 3, 3), dtype=bool)
+_IN_LAYER_STRUCTURE[1] = ndimage.generate_binary_structure(2, 1)
+
+
+def _fill_holes_stack(stack: np.ndarray) -> np.ndarray:
+    """Per-layer ``binary_fill_holes``, via one labelling of the stack.
+
+    A hole is a background component that cannot reach its layer's
+    border.  One ``ndimage.label`` call with a z-disconnected structure
+    finds all in-layer background components at once; components whose
+    label appears on a layer edge are outside, everything else fills.
+    """
+    background, n_labels = ndimage.label(~stack, structure=_IN_LAYER_STRUCTURE)
+    outside = np.zeros(n_labels + 1, dtype=bool)
+    for edge in (
+        background[:, 0, :],
+        background[:, -1, :],
+        background[:, :, 0],
+        background[:, :, -1],
+    ):
+        outside[np.unique(edge)] = True
+    outside[0] = True  # label 0 is the foreground itself
+    return stack | ~outside[background]

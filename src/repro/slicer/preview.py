@@ -11,7 +11,9 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
+from scipy import ndimage
 
+from repro.slicer.raster import rasterize_frame
 from repro.slicer.settings import SlicerSettings
 from repro.slicer.slicer import Layer
 from repro.slicer.toolpath import region_spans
@@ -32,8 +34,6 @@ class LayerPreview:
 
     def n_regions(self) -> int:
         """Count 4-connected filled regions (a fused layer has one)."""
-        from scipy import ndimage
-
         _, n = ndimage.label(self.grid)
         return int(n)
 
@@ -43,8 +43,6 @@ class LayerPreview:
         A discontinuity (split gap) shows up as empty cells enclosed by
         material; a clean layer has none.
         """
-        from scipy import ndimage
-
         filled = ndimage.binary_fill_holes(self.grid)
         return int(np.count_nonzero(filled & ~self.grid))
 
@@ -63,8 +61,17 @@ def rasterize_contours(
     """Even-odd rasterization of contours onto a fixed (ny, nx) frame.
 
     Cell ``[iy, ix]`` covers ``lo + (ix..ix+1, iy..iy+1) * cell``; a cell
-    is filled when its centre is interior.
+    is filled when its centre is interior.  Runs on the batched kernel
+    of :mod:`repro.slicer.raster`; bit-identical to
+    :func:`rasterize_contours_reference`.
     """
+    return rasterize_frame(contours, lo, nx, ny, cell)
+
+
+def rasterize_contours_reference(
+    contours, lo: np.ndarray, nx: int, ny: int, cell: float
+) -> np.ndarray:
+    """Scalar per-scanline rasterizer, kept as the kernel's test oracle."""
     grid = np.zeros((ny, nx), dtype=bool)
     if not contours:
         return grid

@@ -20,6 +20,7 @@ from typing import List, Optional
 import numpy as np
 from scipy.spatial import cKDTree
 
+from repro.geometry.transform import Transform
 from repro.mesh.trimesh import TriangleMesh
 from repro.slicer.settings import SlicerSettings
 from repro.slicer.slicer import Layer, layer_heights, slice_mesh
@@ -159,8 +160,6 @@ def analyze_split_seam(
     the build-orientation transform (model -> machine coordinates);
     identity means x-y printing.
     """
-    from repro.geometry.transform import Transform
-
     settings = settings or SlicerSettings()
     orientation = orientation or Transform.identity()
 

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.geometry.plane import Plane
+from repro.geometry.plane import EPS, Plane
 from repro.geometry.polygon import Polygon2
 from repro.slicer.settings import SlicerSettings
 from repro.mesh.trimesh import TriangleMesh
@@ -102,34 +102,87 @@ def slice_mesh(
 
     layers: List[Layer] = []
     for z in np.sort(np.asarray(z_values, dtype=float)):
-        plane = Plane.horizontal(float(z))
         candidates = order[(tri_zmin[order] <= z) & (tri_zmax[order] >= z)]
-        segments: List[Tuple[np.ndarray, np.ndarray]] = []
-        for ti in candidates:
-            hit = plane.intersect_triangle(tris[ti])
-            if hit is None:
-                continue
-            a, b = hit
-            segments.append((a[:2].copy(), b[:2].copy()))
+        segments = _plane_segments(tris[candidates], float(z))
         contours, open_paths = chain_segments(segments)
         layers.append(Layer(z=float(z), contours=contours, open_paths=open_paths))
     return SliceResult(layers=layers, settings=settings)
+
+
+def _plane_segments(
+    tris: np.ndarray, z: float
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """All triangle intersection segments with the plane at height ``z``.
+
+    Vectorized equivalent of calling
+    :meth:`~repro.geometry.plane.Plane.intersect_triangle` on each
+    triangle of ``tris`` (shape ``(n, 3, 3)``) in order: the same
+    formulas run on the same float64 values, so the emitted 2D segments
+    are bit-identical to the scalar loop's.
+    """
+    if len(tris) == 0:
+        return []
+    d = tris[:, :, 2] - z  # signed distance to a horizontal plane
+    on = np.abs(d) < EPS
+    pts = np.empty_like(tris)
+    valid = np.empty((len(tris), 3), dtype=bool)
+    for i in range(3):
+        j = (i + 1) % 3
+        di, dj = d[:, i], d[:, j]
+        # Edge i->j contributes vertex i when it lies on the plane, or
+        # the crossing point when the endpoints straddle it; an edge
+        # whose far vertex is on the plane contributes nothing (that
+        # vertex is captured by its own outgoing edge).
+        cross = ~on[:, i] & ~on[:, j] & ((di > 0) != (dj > 0))
+        t = di / np.where(cross, di - dj, 1.0)
+        crossing = tris[:, i] + t[:, None] * (tris[:, j] - tris[:, i])
+        pts[:, i] = np.where(on[:, i, None], tris[:, i], crossing)
+        valid[:, i] = on[:, i] | cross
+    # Order-preserving dedup of the up-to-three candidate points (a
+    # vertex on the plane appears once per incident crossing edge).
+    d01 = np.linalg.norm(pts[:, 1] - pts[:, 0], axis=1)
+    d02 = np.linalg.norm(pts[:, 2] - pts[:, 0], axis=1)
+    d12 = np.linalg.norm(pts[:, 2] - pts[:, 1], axis=1)
+    keep0 = valid[:, 0]
+    keep1 = valid[:, 1] & ~(keep0 & (d01 < EPS))
+    keep2 = valid[:, 2] & ~(keep0 & (d02 < EPS)) & ~(keep1 & (d12 < EPS))
+    keep = np.stack([keep0, keep1, keep2], axis=1)
+    # Exactly two distinct points make a segment; coplanar triangles
+    # yield none (their area belongs to the layers above and below).
+    two = (keep.sum(axis=1) == 2) & ~on.all(axis=1)
+    rows = np.nonzero(two)[0]
+    kept = keep[rows]
+    first = kept.argmax(axis=1)
+    last = 2 - kept[:, ::-1].argmax(axis=1)
+    a2 = pts[rows, first, :2]
+    b2 = pts[rows, last, :2]
+    return [(a2[k], b2[k]) for k in range(len(rows))]
 
 
 def chain_segments(
     segments: List[Tuple[np.ndarray, np.ndarray]]
 ) -> Tuple[List[Polygon2], List[np.ndarray]]:
     """Chain 2D segments into closed contours and open polylines."""
+    if not segments:
+        return [], []
+
     # Snap endpoints onto a grid so shared vertices hash identically.
     def key(p: np.ndarray) -> Tuple[int, int]:
         return (int(round(p[0] / _CHAIN_TOL)), int(round(p[1] / _CHAIN_TOL)))
 
+    # Batch the per-endpoint snapping and sliver detection: np.round
+    # applies the same round-half-even rule as the scalar key().
+    seg_arr = np.asarray(segments, dtype=float)  # (n, 2, 2)
+    lengths = np.linalg.norm(seg_arr[:, 1] - seg_arr[:, 0], axis=1)
+    seg_keys = np.round(seg_arr / _CHAIN_TOL).astype(np.int64).tolist()
+
     endpoint_map: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
-    for si, (a, b) in enumerate(segments):
-        if np.linalg.norm(b - a) < _CHAIN_TOL:
+    for si in range(len(segments)):
+        if lengths[si] < _CHAIN_TOL:
             continue  # zero-length sliver
-        endpoint_map.setdefault(key(a), []).append((si, 0))
-        endpoint_map.setdefault(key(b), []).append((si, 1))
+        a_key, b_key = seg_keys[si]
+        endpoint_map.setdefault(tuple(a_key), []).append((si, 0))
+        endpoint_map.setdefault(tuple(b_key), []).append((si, 1))
 
     used = [False] * len(segments)
     contours: List[Polygon2] = []
@@ -139,7 +192,7 @@ def chain_segments(
         if used[start]:
             continue
         a, b = segments[start]
-        if np.linalg.norm(b - a) < _CHAIN_TOL:
+        if lengths[start] < _CHAIN_TOL:
             used[start] = True
             continue
         used[start] = True

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.geometry.polygon import Polygon2
+from repro.slicer.raster import scanline_spans_batch
 from repro.slicer.settings import SlicerSettings
 from repro.slicer.slicer import Layer, SliceResult
 
@@ -73,7 +74,12 @@ class ToolpathLayer:
 
 
 def region_spans(contours: Sequence[Polygon2], y: float) -> List[tuple]:
-    """Even-odd interior x-spans of a set of contours at height ``y``."""
+    """Even-odd interior x-spans of a set of contours at height ``y``.
+
+    Scalar single-scanline implementation; the hot paths batch all
+    scanlines through :func:`repro.slicer.raster.scanline_spans_batch`
+    instead, and the tests hold the two bit-identical.
+    """
     crossings: List[float] = []
     for poly in contours:
         p = poly.points
@@ -155,16 +161,25 @@ def _raster_infill(
     his = np.array([c.bounds.hi for c in contours])
     y0, y1 = float(los[:, 1].min()), float(his[:, 1].max())
     margin = settings.bead_width_mm / 2.0
-    paths: List[Path] = []
+    # Accumulate scanline heights exactly as the legacy loop did
+    # (repeated addition, not arange * spacing) so the batched kernel
+    # sees bit-identical y values, then intersect them all at once.
+    ys: List[float] = []
     y = y0 + margin
-    flip = False
     while y <= y1 - margin + 1e-12:
-        for x_in, x_out in region_spans(contours, y):
+        ys.append(y)
+        y += spacing
+    paths: List[Path] = []
+    for i, spans in enumerate(scanline_spans_batch(contours, ys)):
+        flip = bool(i % 2)
+        for x_in, x_out in spans:
             a, b = x_in + margin, x_out - margin
             if b - a < settings.bead_width_mm / 4.0:
                 continue
-            pts = np.array([[a, y], [b, y]]) if not flip else np.array([[b, y], [a, y]])
+            pts = (
+                np.array([[a, ys[i]], [b, ys[i]]])
+                if not flip
+                else np.array([[b, ys[i]], [a, ys[i]]])
+            )
             paths.append(Path(points=pts @ unrot.T, role=PathRole.INFILL))
-        flip = not flip
-        y += spacing
     return paths

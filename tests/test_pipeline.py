@@ -100,11 +100,17 @@ class TestLegacyEquivalence:
         assert np.array_equal(a.support, b.support)
 
     def test_printjob_delegates_to_chain(self, protected):
-        """The wrapper and the engine return identical outcomes."""
+        """The wrapper and the engine return identical outcomes.
+
+        The deposit stage is stored bit-packed, so a hit materializes a
+        fresh (equal, not identical) artifact; unpacked stages still
+        share the cached object.
+        """
         job = PrintJob()
         via_job = job.print_model(protected.model, COARSE, PrintOrientation.XZ)
         via_chain = job.chain.run(protected.model, COARSE, PrintOrientation.XZ)
-        assert via_job.artifact is via_chain.artifact  # same cached artifact
+        assert np.array_equal(via_job.artifact.model, via_chain.artifact.model)
+        assert np.array_equal(via_job.artifact.voids, via_chain.artifact.voids)
         assert via_job.gcode is via_chain.gcode
 
     def test_warm_cache_returns_identical_artifacts(self, protected):
@@ -112,7 +118,11 @@ class TestLegacyEquivalence:
         cold = chain.run(protected.model, COARSE, PrintOrientation.XY)
         warm = chain.run(protected.model, COARSE, PrintOrientation.XY)
         assert all(s.cache_hit for s in warm.stage_log)
-        assert warm.artifact is cold.artifact
+        for grid in ("model", "support", "weak", "voids"):
+            assert np.array_equal(
+                getattr(warm.artifact, grid), getattr(cold.artifact, grid)
+            )
+        assert warm.artifact.seam is cold.artifact.seam
 
     def test_disabled_cache_never_hits(self, protected):
         chain = ProcessChain(cache=StageCache(enabled=False))
