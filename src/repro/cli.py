@@ -117,9 +117,44 @@ def build_parser() -> argparse.ArgumentParser:
         "artifacts across sweep invocations); temporary when omitted",
     )
     p.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="retries per grid cell for transient failures (I/O errors, "
+        "timeouts), with exponential backoff",
+    )
+    p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per grid cell; a cell over budget fails "
+        "with CellTimeout (and is retried if --max-retries allows)",
+    )
+    p.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="complete the sweep around failed cells and report them, "
+        "instead of aborting at the first failure",
+    )
+    p.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="checkpoint file recording completed cells (defaults to "
+        "<cache-dir>/sweep-journal.jsonl when --cache-dir is given)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already recorded in the journal (crash recovery); "
+        "requires --journal or --cache-dir",
+    )
+    p.add_argument(
         "--stats",
         action="store_true",
-        help="print per-stage timings and cache hit rates",
+        help="print per-stage timings, cache hit rates, and cache "
+        "integrity/store failure counters",
     )
 
     p = sub.add_parser("reverse", help="reconstruct geometry from G-code")
@@ -246,9 +281,11 @@ def _cmd_attack(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    import os
+
     from repro.obfuscade.attack import CounterfeiterSimulator
     from repro.obfuscade.obfuscator import Obfuscator
-    from repro.pipeline import ProcessChain
+    from repro.pipeline import ProcessChain, RetryPolicy, SweepAborted
 
     try:
         resolutions = [
@@ -271,10 +308,28 @@ def _cmd_sweep(args) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.max_retries < 0:
+        print("--max-retries must be >= 0", file=sys.stderr)
+        return 2
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        print("--cell-timeout must be positive", file=sys.stderr)
+        return 2
+
+    cache_dir = args.cache_dir
+    journal = args.journal
+    if journal is None and cache_dir is not None:
+        journal = os.path.join(cache_dir, "sweep-journal.jsonl")
+    if args.resume and journal is None:
+        print("--resume requires --journal or --cache-dir", file=sys.stderr)
+        return 2
+    retry = (
+        RetryPolicy(max_attempts=args.max_retries + 1, backoff_s=0.1)
+        if args.max_retries
+        else None
+    )
 
     protected = Obfuscator(seed=args.seed).protect_tensile_bar()
     print(f"sweeping: {protected.describe()}")
-    cache_dir = args.cache_dir
     if cache_dir is not None and args.jobs == 1:
         from repro.pipeline import DiskStageCache
 
@@ -289,19 +344,39 @@ def _cmd_sweep(args) -> int:
         chain=chain,
         jobs=args.jobs,
         cache_dir=cache_dir,
+        retry=retry,
+        cell_timeout_s=args.cell_timeout,
+        keep_going=args.keep_going,
+        journal_path=journal,
+        resume=args.resume,
     )
-    result = sim.attack(protected)
+    try:
+        result = sim.attack(protected)
+    except SweepAborted as exc:
+        print(f"sweep aborted: {exc}", file=sys.stderr)
+        print("(re-run with --keep-going to complete around failed cells)",
+              file=sys.stderr)
+        return 3
+    n_cells = len(resolutions) * len(orientations)
     print(f"grid: {len(resolutions)} resolutions x {len(orientations)} "
-          f"orientations = {result.n_attempts} cells"
+          f"orientations = {n_cells} cells"
           + (f"  (jobs={args.jobs})" if args.jobs > 1 else ""))
     for resolution, orientation, grade, score, matches in result.summary_rows():
         marker = " <-- key" if matches else ""
         print(f"  {resolution:8s} {orientation:5s} {grade:20s} {score:5.2f}{marker}")
+    for err in result.failed:
+        where = f" in stage {err.stage!r}" if err.stage else ""
+        print(f"  {err.resolution:8s} {err.orientation:5s} FAILED "
+              f"[{err.error_type}]{where} after {err.attempts} attempt(s)")
     print(f"genuine only under the key: {result.key_only_success}")
-    if args.stats and result.cache_stats is not None:
+    if args.stats:
         print()
-        for line in result.cache_stats.render():
-            print(line)
+        if result.cache_stats is not None:
+            for line in result.cache_stats.render():
+                print(line)
+        print(f"failed cells: {result.n_failed}")
+    if result.failed:
+        return 1
     return 0 if result.key_only_success else 1
 
 

@@ -1,0 +1,51 @@
+"""Fault injection for chaos-testing the process chain.
+
+Table 1 of the paper enumerates, stage by stage, how AM process-chain
+files get corrupted, tampered with or sabotaged; dr0wned shows the
+attack working end to end.  This package turns those rows into
+*injectable* faults so the pipeline's recovery paths can be proven to
+fire rather than assumed to: a :class:`FaultPlan` arms failures at
+named hook sites (stage execution, cache reads/writes, worker
+startup), and the chaos test suite asserts that sweeps survive them
+with correct results.
+
+Hook sites currently wired into the pipeline:
+
+====================  ========================================  =================
+site                  where it is called                        useful modes
+====================  ========================================  =================
+``stage.<name>``      before a stage computes (cache miss only) raise-oserror, delay
+``stage.tessellate.output``  on the fresh tessellation          nan-vertices
+``cache.load.<stage>``  before a disk-cache entry is read       corrupt-file, truncate-file
+``cache.store.<stage>``  while a disk-cache entry is written    raise-oserror
+``worker``            at sweep-worker cell startup              kill-worker, delay
+====================  ========================================  =================
+"""
+
+from repro.faults.injector import (
+    KILL_EXIT_CODE,
+    PLAN_ENV,
+    SWITCH_ENV,
+    active_plan,
+    fire,
+    install,
+    mutate_export,
+    tamper_file,
+    uninstall,
+)
+from repro.faults.plan import MODES, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "KILL_EXIT_CODE",
+    "MODES",
+    "PLAN_ENV",
+    "SWITCH_ENV",
+    "active_plan",
+    "fire",
+    "install",
+    "mutate_export",
+    "tamper_file",
+    "uninstall",
+]

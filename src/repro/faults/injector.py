@@ -1,0 +1,173 @@
+"""The fault injector: hook points for chaos testing the pipeline.
+
+Production code calls the hooks below at its trust boundaries - stage
+execution, cache reads/writes, worker startup.  With no plan armed
+every hook is a no-op costing one attribute load and a ``None`` check,
+so the hooks stay in place permanently (they are the instrumentation
+seam, not test scaffolding).
+
+Arming happens either programmatically::
+
+    from repro import faults
+    faults.install(FaultPlan((FaultSpec("worker", "kill-worker"),),
+                             scratch=tmpdir))
+    try:
+        ...  # run the sweep; exactly one worker dies
+    finally:
+        faults.uninstall()
+
+or through the environment (``OBFUSCADE_FAULT_PLAN`` carrying the
+plan's JSON), which is how pool workers inherit the parent's plan.
+The master switch ``OBFUSCADE_FAULTS=0`` disables everything no matter
+what is armed - the escape hatch for bisecting a chaos CI failure.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from fnmatch import fnmatch
+from typing import Dict, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, FaultSpec
+
+PLAN_ENV = "OBFUSCADE_FAULT_PLAN"
+SWITCH_ENV = "OBFUSCADE_FAULTS"
+
+#: Exit code of a deliberately killed worker (distinctive in waitpid).
+KILL_EXIT_CODE = 86
+
+_plan: Optional[FaultPlan] = None
+_plan_env_raw: Optional[str] = None
+#: Per-process fire counters, keyed by (plan json, spec index).
+_local_spend: Dict[Tuple[str, int], int] = {}
+
+
+def install(plan: FaultPlan) -> None:
+    """Arm ``plan`` in this process and export it to child processes."""
+    global _plan
+    _plan = plan
+    os.environ[PLAN_ENV] = plan.to_json()
+
+
+def uninstall() -> None:
+    """Disarm any plan (local and exported)."""
+    global _plan, _plan_env_raw
+    _plan = None
+    _plan_env_raw = None
+    os.environ.pop(PLAN_ENV, None)
+    _local_spend.clear()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The armed plan, if any: locally installed or inherited via env."""
+    global _plan, _plan_env_raw
+    if os.environ.get(SWITCH_ENV, "").strip() == "0":
+        return None
+    if _plan is not None:
+        return _plan
+    raw = os.environ.get(PLAN_ENV)
+    if not raw:
+        return None
+    if raw != _plan_env_raw:
+        _plan = FaultPlan.from_json(raw)
+        _plan_env_raw = raw
+    return _plan
+
+
+def _claim(plan: FaultPlan, index: int, spec: FaultSpec) -> bool:
+    """Try to spend one unit of a spec's fire budget; True if granted."""
+    if spec.times == 0:
+        return True
+    if plan.scratch:
+        # Cross-process budget: token files claimed atomically, so N
+        # racing workers fire the fault exactly ``times`` times total.
+        os.makedirs(plan.scratch, exist_ok=True)
+        for k in range(spec.times):
+            token = os.path.join(plan.scratch, f"fault-{index}-{k}")
+            try:
+                fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+    key = (plan.to_json(), index)
+    spent = _local_spend.get(key, 0)
+    if spent >= spec.times:
+        return False
+    _local_spend[key] = spent + 1
+    return True
+
+
+def _matching(site: str, context: str):
+    plan = active_plan()
+    if plan is None:
+        return
+    for index, spec in enumerate(plan.specs):
+        if not fnmatch(site, spec.site):
+            continue
+        if spec.match is not None and spec.match not in context:
+            continue
+        if _claim(plan, index, spec):
+            yield spec
+
+
+def fire(site: str, context: str = "") -> None:
+    """Run side-effecting faults armed for ``site``.
+
+    ``raise-oserror`` raises, ``delay`` sleeps, ``kill-worker`` exits
+    the process immediately (no cleanup - that is the point).
+    """
+    for spec in _matching(site, context):
+        if spec.mode == "raise-oserror":
+            raise OSError(f"injected transient I/O fault at {site}")
+        elif spec.mode == "delay":
+            time.sleep(spec.arg if spec.arg is not None else 0.5)
+        elif spec.mode == "kill-worker":
+            os._exit(KILL_EXIT_CODE)
+
+
+def mutate_export(site: str, export):
+    """Poison a tessellation export armed for ``site`` (``nan-vertices``).
+
+    Overwrites one vertex of the export mesh (triangle ``arg``, default
+    0) with NaN in place - exactly the sabotage a finite-geometry gate
+    must catch before the mesh reaches the slicer.
+    """
+    import numpy as np
+
+    for spec in _matching(site, ""):
+        if spec.mode != "nan-vertices":
+            continue
+        mesh = export.mesh
+        if mesh.n_faces == 0:
+            continue
+        tri = int(spec.arg) if spec.arg is not None else 0
+        tri = min(max(tri, 0), mesh.n_faces - 1)
+        mesh.vertices[mesh.faces[tri, 0]] = np.nan
+    return export
+
+
+def tamper_file(site: str, path) -> None:
+    """Corrupt or truncate the file at ``path`` if armed for ``site``.
+
+    Simulates the dr0wned-style attacker (or plain bit rot) hitting a
+    cache entry between write and read.  Missing files are ignored -
+    there is nothing to tamper with yet.
+    """
+    for spec in _matching(site, str(path)):
+        if not os.path.exists(path):
+            continue
+        if spec.mode == "truncate-file":
+            size = os.path.getsize(path)
+            with open(path, "r+b") as fh:
+                fh.truncate(size // 2)
+        elif spec.mode == "corrupt-file":
+            with open(path, "r+b") as fh:
+                data = bytearray(fh.read())
+                if data:
+                    mid = len(data) // 2
+                    data[mid] ^= 0xFF
+                    fh.seek(0)
+                    fh.write(bytes(data))

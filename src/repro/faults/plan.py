@@ -1,0 +1,100 @@
+"""Declarative fault plans: what to break, where, and how often.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries, each
+naming an injection *site* (a dotted hook name such as
+``stage.tessellate`` or ``cache.load.deposit``), a failure *mode*, and
+a budget of how many times it may fire.  Plans serialize to JSON so a
+parent process can arm them for its pool workers through the
+``OBFUSCADE_FAULT_PLAN`` environment variable, and budgets can be
+backed by a shared scratch directory so "fire exactly once" holds
+across the whole worker fleet, not once per process.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Failure modes the injector knows how to perform.
+MODES = (
+    "raise-oserror",  # raise a transient OSError at the site
+    "delay",          # sleep ``arg`` seconds at the site
+    "kill-worker",    # os._exit the current process (worker death)
+    "nan-vertices",   # poison a tessellation with NaN vertices
+    "corrupt-file",   # flip bytes of the file offered at the site
+    "truncate-file",  # truncate the file offered at the site
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: where, what, how often.
+
+    Attributes
+    ----------
+    site:
+        Hook name to match; ``fnmatch`` globs allowed, so
+        ``"stage.*"`` breaks every stage and ``"cache.load.deposit"``
+        only the deposit tier's reads.
+    mode:
+        One of :data:`MODES`.
+    times:
+        Fire budget (``0`` = unlimited).  With a plan-level scratch
+        directory the budget is global across processes; otherwise it
+        is per process.
+    arg:
+        Mode parameter: seconds for ``delay``, triangle index for
+        ``nan-vertices``.
+    match:
+        Optional substring the hook's context string must contain
+        (e.g. ``"Coarse/x-z"`` to kill only that cell's worker).
+    """
+
+    site: str
+    mode: str
+    times: int = 1
+    arg: Optional[float] = None
+    match: Optional[str] = None
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}; known: {MODES}")
+        if self.times < 0:
+            raise ValueError("times must be >= 0 (0 means unlimited)")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A set of armed faults, shareable across processes as JSON."""
+
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+    #: Directory for cross-process fire-budget tokens; when ``None``
+    #: each process accounts budgets independently.
+    scratch: Optional[str] = None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "scratch": self.scratch,
+                "specs": [
+                    {
+                        "site": s.site,
+                        "mode": s.mode,
+                        "times": s.times,
+                        "arg": s.arg,
+                        "match": s.match,
+                    }
+                    for s in self.specs
+                ],
+            },
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(payload: str) -> "FaultPlan":
+        data = json.loads(payload)
+        return FaultPlan(
+            specs=tuple(FaultSpec(**spec) for spec in data.get("specs", ())),
+            scratch=data.get("scratch"),
+        )

@@ -88,7 +88,14 @@ def predicted_file_size(n_triangles: int, binary: bool = True) -> int:
 
 
 def load_stl_bytes(data: bytes, weld_tol: float = 1e-6) -> TriangleMesh:
-    """Parse STL bytes (auto-detecting ASCII vs binary)."""
+    """Parse STL bytes (auto-detecting ASCII vs binary).
+
+    Rejects non-finite (NaN/Inf) vertex coordinates with a
+    :class:`~repro.pipeline.resilience.MeshValidationError` naming the
+    first offending triangle: both encodings can carry them (IEEE 754
+    specials in binary, literal ``nan`` tokens in ASCII), and a mesh
+    that is not even made of numbers must not reach the slicer.
+    """
     if _looks_ascii(data):
         return _parse_ascii(data.decode("ascii", errors="replace"), weld_tol)
     return _parse_binary(data, weld_tol)
@@ -118,6 +125,22 @@ def _looks_ascii(data: bytes) -> bool:
     return len(data) != expected
 
 
+def _require_finite_soup(tris: np.ndarray) -> None:
+    """Reject triangle soups with NaN/Inf coordinates (pre-weld, so the
+    reported index matches the file's facet order)."""
+    if len(tris) == 0:
+        return
+    bad = ~np.all(np.isfinite(tris.reshape(len(tris), -1)), axis=1)
+    if bad.any():
+        from repro.pipeline.resilience import MeshValidationError
+
+        raise MeshValidationError(
+            f"STL contains non-finite (NaN/Inf) vertex coordinates in "
+            f"{int(np.count_nonzero(bad))} facets",
+            triangle_index=int(np.nonzero(bad)[0][0]),
+        )
+
+
 def _parse_binary(data: bytes, weld_tol: float) -> TriangleMesh:
     if len(data) < _BINARY_HEADER_BYTES + 4:
         raise ValueError("truncated binary STL (missing header)")
@@ -136,6 +159,7 @@ def _parse_binary(data: bytes, weld_tol: float) -> TriangleMesh:
         tris[i, 1] = values[6:9]
         tris[i, 2] = values[9:12]
         offset += _BINARY_TRIANGLE_BYTES
+    _require_finite_soup(tris)
     return TriangleMesh.from_triangle_soup(tris, weld_tol)
 
 
@@ -155,4 +179,5 @@ def _parse_ascii(text: str, weld_tol: float) -> TriangleMesh:
             vertices.append(current)
             current = []
     tris = np.array(vertices, dtype=float) if vertices else np.zeros((0, 3, 3))
+    _require_finite_soup(tris)
     return TriangleMesh.from_triangle_soup(tris, weld_tol)

@@ -33,12 +33,55 @@ class GeometryReport:
     n_components: int
     euler_characteristic: int
     is_watertight: bool
+    n_nonfinite_vertices: int = 0
     issues: List[str] = field(default_factory=list)
 
     @property
     def is_clean(self) -> bool:
         """True when no geometry errors were found."""
         return not self.issues
+
+
+def nonfinite_triangle_index(mesh: TriangleMesh) -> int:
+    """Index of the first triangle touching a NaN/Inf vertex, or ``-1``.
+
+    Stray non-finite vertices referenced by no face also count (the
+    mesh is still unusable); for those the returned index is ``-1``
+    even though the mesh is non-finite, so callers must check vertex
+    finiteness separately - use :func:`require_finite_mesh` for the
+    combined gate.
+    """
+    if mesh.n_faces == 0:
+        return -1
+    bad_vertices = ~np.all(np.isfinite(mesh.vertices), axis=1)
+    if not bad_vertices.any():
+        return -1
+    bad_faces = bad_vertices[mesh.faces].any(axis=1)
+    hits = np.nonzero(bad_faces)[0]
+    return int(hits[0]) if len(hits) else -1
+
+
+def require_finite_mesh(mesh: TriangleMesh, what: str = "mesh") -> TriangleMesh:
+    """Reject NaN/Inf vertices with a typed, localised error.
+
+    Table 1's STL-stage review assumes meshes are at least *numbers*;
+    a non-finite vertex (CAD bug, file corruption, injected sabotage)
+    silently poisons every downstream stage - slice planes at NaN
+    heights, empty rasters, wrong deposits.  Raises
+    :class:`~repro.pipeline.resilience.MeshValidationError` carrying
+    the first offending triangle index; returns ``mesh`` unchanged
+    when clean, so the call composes as a gate.
+    """
+    if np.all(np.isfinite(mesh.vertices)):
+        return mesh
+    from repro.pipeline.resilience import MeshValidationError
+
+    n_bad = int(np.count_nonzero(~np.all(np.isfinite(mesh.vertices), axis=1)))
+    tri = nonfinite_triangle_index(mesh)
+    raise MeshValidationError(
+        f"{what} has {n_bad} non-finite (NaN/Inf) vertices",
+        triangle_index=tri if tri >= 0 else None,
+    )
 
 
 def validate_mesh(mesh: TriangleMesh, area_tol: float = 1e-12) -> GeometryReport:
@@ -50,8 +93,13 @@ def validate_mesh(mesh: TriangleMesh, area_tol: float = 1e-12) -> GeometryReport
     sorted_faces = np.sort(mesh.faces, axis=1)
     n_dup = len(sorted_faces) - len(np.unique(sorted_faces, axis=0)) if len(sorted_faces) else 0
     components = mesh.connected_components()
+    n_nonfinite = int(
+        np.count_nonzero(~np.all(np.isfinite(mesh.vertices), axis=1))
+    )
 
     issues: List[str] = []
+    if n_nonfinite:
+        issues.append(f"{n_nonfinite} non-finite (NaN/Inf) vertices")
     if boundary:
         issues.append(f"{len(boundary)} boundary edges (mesh is not closed)")
     if nonmanifold:
@@ -73,6 +121,7 @@ def validate_mesh(mesh: TriangleMesh, area_tol: float = 1e-12) -> GeometryReport
         n_components=len(components),
         euler_characteristic=mesh.euler_characteristic,
         is_watertight=mesh.is_watertight,
+        n_nonfinite_vertices=n_nonfinite,
         issues=issues,
     )
 

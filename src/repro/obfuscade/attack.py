@@ -11,6 +11,13 @@ The grid search runs on the staged process-chain engine
 invariant across the grid is done once: tessellation and coincident-face
 resolution depend only on the resolution, not the orientation, so a
 3 resolutions x 3 orientations search performs 3 tessellations, not 9.
+
+Resilience (ISSUE 3): a grid search is a long-running batch job, and a
+single degenerate cell must not void the other N-1 attempts.  All the
+sweep executor's recovery machinery - per-cell retry with backoff,
+wall-clock budgets, worker-death resubmission, checkpoint/resume - is
+exposed here, and failed cells surface as structured entries in
+:attr:`AttackResult.failed` rather than as an aborted search.
 """
 
 from __future__ import annotations
@@ -23,7 +30,17 @@ from repro.obfuscade.obfuscator import ProtectedModel
 from repro.obfuscade.quality import QualityGrade, QualityReport, assess_print
 from repro.pipeline.cache import CacheStats
 from repro.pipeline.chain import ProcessChain
-from repro.pipeline.parallel import ParallelSweep
+from repro.pipeline.parallel import (
+    ParallelSweep,
+    SweepAborted,
+    SweepCellError,
+    execute_cell,
+)
+from repro.pipeline.resilience import (
+    NO_RETRY,
+    PipelineConfigError,
+    RetryPolicy,
+)
 from repro.printer.job import PrintJob
 from repro.printer.orientation import PrintOrientation
 
@@ -46,10 +63,17 @@ class AttackResult:
     #: Per-stage cache counters of the search (hits, misses, timings),
     #: captured over exactly this grid search.
     cache_stats: Optional[CacheStats] = None
+    #: Grid cells that exhausted their recovery budget; the attempts
+    #: above cover the rest of the grid.
+    failed: List[SweepCellError] = field(default_factory=list)
 
     @property
     def n_attempts(self) -> int:
         return len(self.attempts)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failed)
 
     @property
     def successful(self) -> List[AttackAttempt]:
@@ -101,6 +125,17 @@ class CounterfeiterSimulator:
     cache_dir:
         Shared disk-cache directory for parallel searches; a temporary
         directory is used when omitted.
+    retry / cell_timeout_s / keep_going:
+        Per-cell resilience, as for :class:`ParallelSweep`:
+        transient-failure retry policy, wall-clock budget, and whether
+        a cell that exhausts both becomes an entry in
+        :attr:`AttackResult.failed` (``True``, default) or aborts the
+        search (``False``, raising
+        :class:`~repro.pipeline.parallel.SweepAborted`).
+    journal_path / resume:
+        Checkpoint file for crash-resumable searches; ``resume`` skips
+        cells whose journal record is intact.  Searches with a journal
+        always run through the sweep executor, whatever ``jobs`` is.
     """
 
     def __init__(
@@ -111,39 +146,60 @@ class CounterfeiterSimulator:
         chain: Optional[ProcessChain] = None,
         jobs: int = 1,
         cache_dir: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        cell_timeout_s: Optional[float] = None,
+        keep_going: bool = True,
+        journal_path: Optional[str] = None,
+        resume: bool = False,
     ):
         if jobs < 1:
-            raise ValueError("jobs must be >= 1")
+            raise PipelineConfigError("jobs must be >= 1")
         self.job = job or PrintJob()
         self.chain = chain if chain is not None else self.job.chain
         self.resolutions = list(resolutions or (COARSE, FINE, custom_resolution()))
         self.orientations = list(orientations or (PrintOrientation.XY, PrintOrientation.XZ))
         self.jobs = jobs
         self.cache_dir = cache_dir
+        self.retry = retry if retry is not None else NO_RETRY
+        self.cell_timeout_s = cell_timeout_s
+        self.keep_going = keep_going
+        self.journal_path = journal_path
+        self.resume = resume
 
     def attack(self, protected: ProtectedModel) -> AttackResult:
         """Print the stolen model under every setting combination."""
-        if self.jobs > 1:
-            return self._attack_parallel(protected)
+        if self.jobs > 1 or self.journal_path is not None or self.resume:
+            return self._attack_sweep(protected)
+        return self._attack_serial(protected)
+
+    def _attack_serial(self, protected: ProtectedModel) -> AttackResult:
+        """The in-process search on the shared chain, cell-isolated."""
         before = self.chain.stats.snapshot()
         result = AttackResult()
         for resolution in self.resolutions:
             for orientation in self.orientations:
-                outcome = self.chain.run(protected.model, resolution, orientation)
-                report = assess_print(outcome)
+                cell, error = execute_cell(
+                    self.chain, protected.model, resolution, orientation,
+                    assess_print, True, self.retry, self.cell_timeout_s,
+                )
+                if error is not None:
+                    if not self.keep_going:
+                        raise SweepAborted(error)
+                    result.failed.append(error)
+                    continue
                 result.attempts.append(
                     AttackAttempt(
                         resolution=resolution.name,
                         orientation=orientation.value,
-                        report=report,
+                        report=cell.assessment,
                         matches_key=protected.key.matches(resolution, orientation),
                     )
                 )
         result.cache_stats = _stats_delta(before, self.chain.stats.snapshot())
         return result
 
-    def _attack_parallel(self, protected: ProtectedModel) -> AttackResult:
-        """The same grid search, fanned out across worker processes."""
+    def _attack_sweep(self, protected: ProtectedModel) -> AttackResult:
+        """The same grid search through the fault-tolerant sweep executor."""
         sweep = ParallelSweep(
             machine=self.chain.machine,
             settings=self.chain.base_settings,
@@ -151,13 +207,26 @@ class CounterfeiterSimulator:
             jobs=self.jobs,
             cache_dir=self.cache_dir,
             plate_margin_mm=self.chain.plate_margin_mm,
+            retry=self.retry,
+            cell_timeout_s=self.cell_timeout_s,
+            keep_going=self.keep_going,
+            journal_path=self.journal_path,
+            resume=self.resume,
         )
         report = sweep.run(
             protected.model, self.resolutions, self.orientations, assess=assess_print
         )
-        result = AttackResult(cache_stats=report.stats)
-        grid = [(r, o) for r in self.resolutions for o in self.orientations]
-        for (resolution, orientation), cell in zip(grid, report.cells):
+        result = AttackResult(cache_stats=report.stats, failed=list(report.errors))
+        # Align by cell name, not position: failed cells leave holes in
+        # the grid, so positional zipping would mislabel everything
+        # after the first failure.
+        grid = {
+            (r.name, o.value): (r, o)
+            for r in self.resolutions
+            for o in self.orientations
+        }
+        for cell in report.cells:
+            resolution, orientation = grid[(cell.resolution, cell.orientation)]
             result.attempts.append(
                 AttackAttempt(
                     resolution=cell.resolution,
@@ -179,4 +248,6 @@ def _stats_delta(before: CacheStats, after: CacheStats) -> CacheStats:
         entry.misses = stats.misses - (prior.misses if prior else 0)
         entry.run_s = stats.run_s - (prior.run_s if prior else 0.0)
         entry.saved_s = stats.saved_s - (prior.saved_s if prior else 0.0)
+    delta.integrity_failures = after.integrity_failures - before.integrity_failures
+    delta.store_failures = after.store_failures - before.store_failures
     return delta

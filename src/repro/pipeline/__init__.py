@@ -13,26 +13,56 @@ as ``from repro.pipeline import ProcessChain``.
 from repro.pipeline.cache import CacheStats, StageCache, StageStats, digest_parts
 from repro.pipeline.chain import ChainContext, ProcessChain
 from repro.pipeline.disk import DiskStageCache
+from repro.pipeline.journal import SweepJournal
 from repro.pipeline.parallel import (
     ParallelSweep,
+    SweepAborted,
+    SweepCellError,
     SweepCellResult,
     SweepReport,
+    cell_error_from_exception,
     outcome_fingerprint,
+)
+from repro.pipeline.resilience import (
+    NO_RETRY,
+    TRANSIENT_ERRORS,
+    CacheIntegrityError,
+    CellTimeout,
+    MeshValidationError,
+    PipelineConfigError,
+    PipelineError,
+    RetryPolicy,
+    StageError,
+    time_limit,
 )
 from repro.pipeline.stage import Stage, StageExecution
 
 __all__ = [
+    "CacheIntegrityError",
     "CacheStats",
+    "CellTimeout",
     "ChainContext",
     "DiskStageCache",
+    "MeshValidationError",
+    "NO_RETRY",
     "ParallelSweep",
+    "PipelineConfigError",
+    "PipelineError",
     "ProcessChain",
+    "RetryPolicy",
     "Stage",
     "StageCache",
+    "StageError",
     "StageExecution",
     "StageStats",
+    "SweepAborted",
+    "SweepCellError",
     "SweepCellResult",
+    "SweepJournal",
     "SweepReport",
+    "TRANSIENT_ERRORS",
+    "cell_error_from_exception",
     "digest_parts",
     "outcome_fingerprint",
+    "time_limit",
 ]

@@ -23,6 +23,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.pipeline.resilience import PipelineConfigError
+
 
 def digest_parts(*parts: Any) -> str:
     """SHA-256 hex digest of an arbitrary tree of primitive values.
@@ -98,9 +100,20 @@ class StageStats:
 
 @dataclass
 class CacheStats:
-    """Per-stage counters, in stage execution order."""
+    """Per-stage counters, in stage execution order.
+
+    Besides the per-stage hit/miss/timing table, two cache-level
+    counters make storage-layer degradation observable (ISSUE 3):
+    ``integrity_failures`` counts on-disk entries that failed their
+    digest or deserialization check and were quarantined;
+    ``store_failures`` counts writes that could not be persisted (full
+    disk, unpicklable artifact) and silently degraded to memory-only
+    caching.
+    """
 
     stages: "OrderedDict[str, StageStats]" = field(default_factory=OrderedDict)
+    integrity_failures: int = 0
+    store_failures: int = 0
 
     def stage(self, name: str) -> StageStats:
         if name not in self.stages:
@@ -125,7 +138,9 @@ class CacheStats:
 
     def snapshot(self) -> "CacheStats":
         return CacheStats(
-            OrderedDict((k, v.copy()) for k, v in self.stages.items())
+            OrderedDict((k, v.copy()) for k, v in self.stages.items()),
+            integrity_failures=self.integrity_failures,
+            store_failures=self.store_failures,
         )
 
     def merge(self, other: "CacheStats") -> "CacheStats":
@@ -140,12 +155,14 @@ class CacheStats:
             mine.misses += stats.misses
             mine.run_s += stats.run_s
             mine.saved_s += stats.saved_s
+        self.integrity_failures += other.integrity_failures
+        self.store_failures += other.store_failures
         return self
 
     def to_dict(self) -> Dict[str, Dict[str, float]]:
         """JSON-serializable per-stage counters (for machine-readable
         benchmark reports)."""
-        return {
+        table: Dict[str, Dict[str, float]] = {
             name: {
                 "hits": s.hits,
                 "misses": s.misses,
@@ -154,6 +171,12 @@ class CacheStats:
             }
             for name, s in self.stages.items()
         }
+        if self.integrity_failures or self.store_failures:
+            table["_cache"] = {
+                "integrity_failures": self.integrity_failures,
+                "store_failures": self.store_failures,
+            }
+        return table
 
     def render(self) -> List[str]:
         """Human-readable per-stage table (for ``--stats`` output)."""
@@ -172,6 +195,16 @@ class CacheStats:
             f"{(self.total_hits / max(1, self.total_hits + self.total_misses)):>8.0%} "
             f"{self.total_run_s:>11.3f} {self.total_saved_s:>9.3f}"
         )
+        if self.integrity_failures:
+            lines.append(
+                f"cache integrity failures (quarantined + recomputed): "
+                f"{self.integrity_failures}"
+            )
+        if self.store_failures:
+            lines.append(
+                f"cache store failures (degraded to memory-only): "
+                f"{self.store_failures}"
+            )
         return lines
 
 
@@ -191,7 +224,7 @@ class StageCache:
 
     def __init__(self, enabled: bool = True, max_entries: Optional[int] = None):
         if max_entries is not None and max_entries <= 0:
-            raise ValueError("max_entries must be positive or None")
+            raise PipelineConfigError("max_entries must be positive or None")
         self.enabled = enabled
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, Any]" = OrderedDict()

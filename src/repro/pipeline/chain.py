@@ -40,13 +40,15 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.cad.body import ExtrudedBody
 from repro.cad.features import SplineSplitFeature
 from repro.cad.model import CadModel
 from repro.cad.resolution import StlResolution
 from repro.mesh.content_hash import model_digest
-from repro.mesh.validate import validate_mesh
+from repro.mesh.validate import require_finite_mesh, validate_mesh
 from repro.pipeline.cache import CacheStats, StageCache, digest_parts
+from repro.pipeline.resilience import CellTimeout, StageError
 from repro.pipeline.stage import Stage, StageExecution
 from repro.printer.artifact import pack_artifact, unpack_artifact
 from repro.printer.deposition import DepositionSimulator
@@ -126,7 +128,15 @@ def _split_body_meshes(model: CadModel, export):
 
 
 def _run_tessellate(ctx: ChainContext):
-    return ctx.model.export_stl(ctx.resolution)
+    export = ctx.model.export_stl(ctx.resolution)
+    export = faults.mutate_export("stage.tessellate.output", export)
+    # Gate non-finite geometry at the source: a NaN/Inf vertex (CAD bug
+    # or dr0wned-style sabotage) must fail loudly here, not propagate
+    # into the slicer as silently wrong toolpaths.
+    require_finite_mesh(
+        export.mesh, what=f"tessellation of {ctx.model.name!r}"
+    )
+    return export
 
 
 def _run_validate(ctx: ChainContext):
@@ -305,14 +315,32 @@ class ProcessChain:
                 tuple(ctx.digests[name] for name in stage.inputs),
                 stage.key(ctx),
             )
+            context = f"{resolution.name}/{orientation.value}"
+
+            def _compute(stage=stage, context=context):
+                faults.fire(stage.fault_site, context=context)
+                return stage.run(ctx)
+
             start = time.perf_counter()
-            value, hit = self.cache.get_or_run(
-                stage.name,
-                digest,
-                lambda stage=stage: stage.run(ctx),
-                pack=stage.pack,
-                unpack=stage.unpack,
-            )
+            try:
+                value, hit = self.cache.get_or_run(
+                    stage.name,
+                    digest,
+                    _compute,
+                    pack=stage.pack,
+                    unpack=stage.unpack,
+                )
+            except CellTimeout:
+                # A wall-clock budget expiring mid-stage is a property
+                # of the *cell*, not of this stage's inputs: let the
+                # sweep executor attribute it.
+                raise
+            except StageError:
+                raise
+            except Exception as exc:
+                # Typed failure with chain coordinates (ISSUE 3): which
+                # stage died, computing which content address.
+                raise StageError(stage.name, digest, exc) from exc
             log.append(
                 StageExecution(stage.name, digest, hit, time.perf_counter() - start)
             )

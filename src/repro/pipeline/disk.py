@@ -9,6 +9,18 @@ artifacts live at ``<root>/<stage>/<digest>.pkl``, written atomically
 digest can only ever publish identical bytes-for-the-same-key files -
 last writer wins and no reader sees a partial pickle.
 
+The disk tier is also **tamper evident** (ISSUE 3, Table 1's STL-stage
+"verify file hashes" mitigation applied to our own supply chain): every
+payload carries a SHA-256 sidecar (``<digest>.pkl.sha256``, written
+*before* the payload so a visible payload always has its digest on
+disk).  ``_load`` verifies the payload bytes against the sidecar before
+unpickling; an entry that fails verification - truncated, bit-flipped,
+or missing its sidecar - is moved to ``<root>/quarantine/`` and counted
+in :attr:`CacheStats.integrity_failures`, never served and never left
+in place to poison the next reader.  Store failures (full disk,
+unpicklable artifact) likewise degrade to memory-only caching but are
+now counted in :attr:`CacheStats.store_failures` instead of vanishing.
+
 Lookups go memory first, then disk (populating memory), then compute.
 Both tiers count as cache *hits* in the stage counters; disk hits are
 additionally tallied per stage in :attr:`disk_hits` so sweeps can
@@ -24,11 +36,17 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro import faults
 from repro.pipeline.cache import StageCache
+from repro.pipeline.resilience import CacheIntegrityError
+from repro.supplychain.integrity import file_digest
+
+#: Name of the quarantine directory under the cache root.
+QUARANTINE_DIR = "quarantine"
 
 
 class DiskStageCache(StageCache):
-    """A :class:`StageCache` backed by content-addressed files.
+    """A :class:`StageCache` backed by content-addressed, hash-verified files.
 
     Parameters
     ----------
@@ -56,29 +74,111 @@ class DiskStageCache(StageCache):
     def _path(self, stage_name: str, key: str) -> Path:
         return self.root / stage_name / f"{key}.pkl"
 
+    def _digest_path(self, stage_name: str, key: str) -> Path:
+        return self.root / stage_name / f"{key}.pkl.sha256"
+
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / QUARANTINE_DIR
+
+    def quarantined(self) -> Tuple[Path, ...]:
+        """Quarantined payload files, oldest first."""
+        if not self.quarantine_root.is_dir():
+            return ()
+        entries = [
+            p for p in self.quarantine_root.iterdir() if p.suffix == ".pkl"
+        ]
+        return tuple(sorted(entries, key=lambda p: p.stat().st_mtime))
+
+    # -- disk tier -----------------------------------------------------------
+
     def _load(self, stage_name: str, key: str) -> Tuple[Any, bool]:
         path = self._path(stage_name, key)
+        faults.tamper_file(f"cache.load.{stage_name}", path)
         try:
             with open(path, "rb") as fh:
-                return pickle.load(fh), True
-        except (OSError, pickle.UnpicklingError, EOFError):
+                data = fh.read()
+        except OSError:
             return None, False
+        try:
+            self._verify(stage_name, key, data)
+            return pickle.loads(data), True
+        except (CacheIntegrityError, pickle.UnpicklingError, EOFError,
+                AttributeError, IndexError, ImportError):
+            # A tampered, truncated or undecodable entry must neither
+            # be served nor left in place to re-fail every future
+            # lookup: quarantine it and recompute.
+            self._quarantine(stage_name, key)
+            self.stats.integrity_failures += 1
+            return None, False
+
+    def _verify(self, stage_name: str, key: str, data: bytes) -> None:
+        digest_path = self._digest_path(stage_name, key)
+        try:
+            expected = digest_path.read_text().strip()
+        except OSError as exc:
+            raise CacheIntegrityError(
+                str(self._path(stage_name, key)), "digest sidecar missing"
+            ) from exc
+        actual = file_digest(data)
+        if actual != expected:
+            raise CacheIntegrityError(
+                str(self._path(stage_name, key)),
+                f"sha256 mismatch (expected {expected[:12]}..., "
+                f"got {actual[:12]}...)",
+            )
+
+    def _quarantine(self, stage_name: str, key: str) -> None:
+        self.quarantine_root.mkdir(parents=True, exist_ok=True)
+        for source in (
+            self._path(stage_name, key),
+            self._digest_path(stage_name, key),
+        ):
+            target = self.quarantine_root / f"{stage_name}-{source.name}"
+            try:
+                os.replace(source, target)
+            except OSError:
+                # Cross-device or racing quarantine: removal is enough -
+                # the entry must just not be re-read.
+                try:
+                    os.unlink(source)
+                except OSError:
+                    pass
 
     def _store(self, stage_name: str, key: str, value: Any) -> None:
         path = self._path(stage_name, key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            faults.fire(f"cache.store.{stage_name}")
+            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            # Digest sidecar lands first: any reader that can see the
+            # payload can verify it (a payload without its sidecar is
+            # treated as tampering).
+            self._write_atomic(
+                self._digest_path(stage_name, key),
+                (file_digest(data) + "\n").encode(),
+            )
+            self._write_atomic(path, data)
+        except (OSError, pickle.PicklingError, TypeError, AttributeError):
+            # An artifact that cannot be persisted (or a full disk)
+            # degrades to memory-only caching rather than failing the
+            # run - but observably (ISSUE 3: no silent swallowing).
+            self.stats.store_failures += 1
+
+    def _write_atomic(self, path: Path, data: bytes) -> None:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(data)
             os.replace(tmp, path)
-        except (OSError, pickle.PicklingError, TypeError, AttributeError):
-            # An artifact that cannot be persisted (or a full disk)
-            # degrades to memory-only caching rather than failing the run.
+        except OSError:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            raise
+
+    # -- lookup --------------------------------------------------------------
 
     def get_or_run(
         self,

@@ -1,0 +1,79 @@
+"""Append-only checkpoint journal for crash-resumable sweeps.
+
+A large grid search that dies at cell 97 of 100 - worker crash, power
+loss, OOM kill - should not recompute the 96 finished cells.  The
+sweep executor appends one record per completed cell to a journal file;
+``sweep --resume`` replays the journal and skips every cell whose
+record is present and intact.
+
+The journal is *tamper evident* in the same spirit as the disk cache:
+each line is a JSON object carrying the cell key, a base64 pickle of
+the result, and a SHA-256 digest of that payload.  On load, lines that
+fail to parse or whose digest does not match are skipped - a truncated
+tail (the crash happened mid-append) or a tampered record costs one
+recompute, never a poisoned result.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.supplychain.integrity import file_digest
+
+
+class SweepJournal:
+    """One sweep's completed-cell record file (JSON lines)."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def append(self, key: str, result: Any) -> None:
+        """Record ``result`` (any picklable object) as completed for ``key``.
+
+        Appends are line-buffered and self-framed; a crash mid-write
+        loses at most the line being written.
+        """
+        payload = base64.b64encode(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii")
+        line = json.dumps(
+            {"key": key, "sha256": file_digest(payload.encode()), "result": payload}
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as fh:
+            fh.write(line + "\n")
+
+    def load(self) -> Dict[str, Any]:
+        """Replay the journal into ``{key: result}``.
+
+        Later records win (a key re-run after a failed resume replaces
+        its earlier record).  Undecodable or digest-mismatched lines
+        are dropped silently - they are exactly the crash/tamper damage
+        the journal exists to absorb.
+        """
+        entries: Dict[str, Any] = {}
+        if not self.exists():
+            return entries
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    payload = record["result"]
+                    if file_digest(payload.encode()) != record["sha256"]:
+                        continue
+                    entries[record["key"]] = pickle.loads(
+                        base64.b64decode(payload)
+                    )
+                except Exception:
+                    continue
+        return entries

@@ -10,12 +10,28 @@ share stage artifacts through one on-disk
 :class:`~repro.pipeline.disk.DiskStageCache`, so cross-cell reuse
 survives the process boundary.
 
-Determinism: cells are dispatched and collected in grid order
-(``executor.map`` preserves input order), every stage is pure, and the
-raster kernel is bit-identical to the scalar path - so a parallel sweep
-produces exactly the artifacts of the serial sweep, which
-:func:`outcome_fingerprint` makes checkable as a single content hash
-per cell.
+Determinism: cells are reported in grid order, every stage is pure,
+and the raster kernel is bit-identical to the scalar path - so a
+parallel sweep produces exactly the artifacts of the serial sweep,
+which :func:`outcome_fingerprint` makes checkable as a single content
+hash per cell.
+
+Fault tolerance (ISSUE 3): a sweep is only as strong as its weakest
+cell unless failures are *isolated*.  Here:
+
+* every cell runs under a :class:`~repro.pipeline.resilience.RetryPolicy`
+  (transient failures retried with backoff) and an optional wall-clock
+  budget (:func:`~repro.pipeline.resilience.time_limit`);
+* a cell that still fails becomes a structured :class:`SweepCellError`
+  in :attr:`SweepReport.errors` instead of aborting the run
+  (``keep_going=False`` restores abort-on-first-failure, as
+  :class:`SweepAborted`);
+* a worker death (:class:`~concurrent.futures.process.BrokenProcessPool`)
+  triggers a bounded number of pool rebuilds with resubmission of the
+  lost cells, then graceful degradation to serial execution;
+* completed cells are checkpointed to a
+  :class:`~repro.pipeline.journal.SweepJournal` so a crashed sweep can
+  ``resume`` without recomputing finished cells.
 """
 
 from __future__ import annotations
@@ -23,19 +39,41 @@ from __future__ import annotations
 import hashlib
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.cad.resolution import StlResolution
-from repro.pipeline.cache import CacheStats, StageCache
-from repro.pipeline.chain import PLATE_MARGIN_MM, ProcessChain
+from repro.mesh.content_hash import model_digest
+from repro.pipeline.cache import CacheStats, StageCache, digest_parts
+from repro.pipeline.chain import (
+    PLATE_MARGIN_MM,
+    ProcessChain,
+    _machine_key,
+    _resolution_key,
+    _settings_key,
+)
 from repro.pipeline.disk import DiskStageCache
+from repro.pipeline.journal import SweepJournal
+from repro.pipeline.resilience import (
+    NO_RETRY,
+    PipelineConfigError,
+    PipelineError,
+    RetryPolicy,
+    StageError,
+    time_limit,
+)
 from repro.printer.machines import DIMENSION_ELITE, MachineProfile
 from repro.printer.orientation import PrintOrientation
 from repro.slicer.settings import SlicerSettings
+
+#: Pool rebuilds attempted after worker deaths before degrading to
+#: serial execution of the remaining cells.
+MAX_POOL_REBUILDS = 2
 
 
 def outcome_fingerprint(outcome) -> str:
@@ -76,6 +114,39 @@ class SweepCellResult:
     assessment: Any
     #: Per-stage execution records of the run that served this cell.
     stage_log: Tuple = ()
+    #: Attempts the retry policy spent on this cell (1 = first try).
+    attempts: int = 1
+    #: True when the cell was replayed from a resume journal.
+    resumed: bool = False
+
+
+@dataclass(frozen=True)
+class SweepCellError:
+    """One grid cell's failure, structured for reports and logs."""
+
+    resolution: str
+    orientation: str
+    #: Exception class name (``StageError``, ``CellTimeout``, ...).
+    error_type: str
+    message: str
+    #: Failing chain stage, when the failure localises to one.
+    stage: Optional[str] = None
+    #: Attempts spent before giving up.
+    attempts: int = 1
+    #: Whether the final failure was of a transient class (i.e. a
+    #: bigger retry budget might have saved the cell).
+    transient: bool = False
+
+
+class SweepAborted(PipelineError):
+    """A ``keep_going=False`` sweep stopped at its first failed cell."""
+
+    def __init__(self, error: SweepCellError):
+        self.error = error
+        super().__init__(
+            f"sweep aborted at cell {error.resolution}/{error.orientation}: "
+            f"[{error.error_type}] {error.message}"
+        )
 
 
 @dataclass
@@ -83,12 +154,87 @@ class SweepReport:
     """A whole sweep: per-cell results plus merged cache statistics."""
 
     cells: List[SweepCellResult] = field(default_factory=list)
+    #: Structured failures of cells that exhausted their recovery
+    #: budget; the sweep completed around them.
+    errors: List[SweepCellError] = field(default_factory=list)
     stats: CacheStats = field(default_factory=CacheStats)
     jobs: int = 1
     wall_s: float = 0.0
+    #: Cells replayed from the resume journal instead of recomputed.
+    resumed: int = 0
+    #: Process pools rebuilt after worker deaths.
+    pool_rebuilds: int = 0
+    #: True when pool rebuilds were exhausted and the remaining cells
+    #: ran serially in-process.
+    degraded_to_serial: bool = False
+
+    @property
+    def failed_cells(self) -> List[Tuple[str, str]]:
+        """(resolution, orientation) names of the cells that failed."""
+        return [(e.resolution, e.orientation) for e in self.errors]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
 
 
-def _run_cell(payload) -> Tuple[SweepCellResult, CacheStats]:
+def cell_error_from_exception(
+    resolution: str,
+    orientation: str,
+    exc: BaseException,
+    retry: RetryPolicy = NO_RETRY,
+) -> SweepCellError:
+    """Reduce an exception to the structured form a report carries."""
+    return SweepCellError(
+        resolution=resolution,
+        orientation=orientation,
+        error_type=type(exc).__name__,
+        message=str(exc),
+        stage=exc.stage if isinstance(exc, StageError) else None,
+        attempts=getattr(exc, "attempts", 1),
+        transient=retry.is_transient(exc),
+    )
+
+
+def execute_cell(
+    chain: ProcessChain,
+    model,
+    resolution: StlResolution,
+    orientation: PrintOrientation,
+    assess,
+    analyze_seam: bool,
+    retry: RetryPolicy,
+    cell_timeout_s: Optional[float],
+) -> Tuple[Optional[SweepCellResult], Optional[SweepCellError]]:
+    """Run one grid cell with retry + wall-clock budget; never raises."""
+    context = f"{resolution.name}/{orientation.value}"
+
+    def attempt():
+        with time_limit(cell_timeout_s, what=f"cell {context}"):
+            return chain.run(
+                model, resolution, orientation, analyze_seam=analyze_seam
+            )
+
+    try:
+        outcome, attempts = retry.call(attempt)
+    except Exception as exc:
+        return None, cell_error_from_exception(
+            resolution.name, orientation.value, exc, retry
+        )
+    cell = SweepCellResult(
+        resolution=resolution.name,
+        orientation=orientation.value,
+        fingerprint=outcome_fingerprint(outcome),
+        assessment=assess(outcome) if assess is not None else None,
+        stage_log=outcome.stage_log,
+        attempts=attempts,
+    )
+    return cell, None
+
+
+def _run_cell(payload) -> Tuple[
+    Optional[SweepCellResult], Optional[SweepCellError], CacheStats
+]:
     """Worker entry: run one grid cell against the shared disk cache."""
     (
         model,
@@ -101,7 +247,10 @@ def _run_cell(payload) -> Tuple[SweepCellResult, CacheStats]:
         cache_dir,
         analyze_seam,
         assess,
+        retry,
+        cell_timeout_s,
     ) = payload
+    faults.fire("worker", context=f"{resolution.name}/{orientation.value}")
     chain = ProcessChain(
         machine=machine,
         settings=settings,
@@ -109,15 +258,11 @@ def _run_cell(payload) -> Tuple[SweepCellResult, CacheStats]:
         cache=DiskStageCache(cache_dir),
         plate_margin_mm=plate_margin_mm,
     )
-    outcome = chain.run(model, resolution, orientation, analyze_seam=analyze_seam)
-    cell = SweepCellResult(
-        resolution=resolution.name,
-        orientation=orientation.value,
-        fingerprint=outcome_fingerprint(outcome),
-        assessment=assess(outcome) if assess is not None else None,
-        stage_log=outcome.stage_log,
+    cell, error = execute_cell(
+        chain, model, resolution, orientation, assess, analyze_seam,
+        retry, cell_timeout_s,
     )
-    return cell, chain.stats.snapshot()
+    return cell, error, chain.stats.snapshot()
 
 
 class ParallelSweep:
@@ -135,6 +280,27 @@ class ParallelSweep:
         share artifacts *across* sweeps; when omitted, a parallel sweep
         uses a throwaway temporary directory for the duration of the
         run and a serial sweep uses a plain in-memory cache.
+    retry:
+        :class:`RetryPolicy` applied to every cell.  The default never
+        retries; pass e.g. ``RetryPolicy(max_attempts=3, backoff_s=0.1)``
+        to absorb transient I/O failures.
+    cell_timeout_s:
+        Per-cell wall-clock budget; a cell over budget fails with
+        :class:`~repro.pipeline.resilience.CellTimeout` (best effort -
+        see :func:`~repro.pipeline.resilience.time_limit`).
+    keep_going:
+        ``True`` (default): failed cells become
+        :attr:`SweepReport.errors` and the sweep completes.  ``False``:
+        the first exhausted cell raises :class:`SweepAborted`.
+    journal_path:
+        Checkpoint file; every completed cell is appended so a crashed
+        sweep can be resumed.
+    resume:
+        Replay ``journal_path`` before running: cells with an intact
+        journal record are served from it instead of recomputed.
+    max_pool_rebuilds:
+        Worker-pool rebuilds after :class:`BrokenProcessPool` before
+        the remaining cells degrade to serial in-process execution.
     """
 
     def __init__(
@@ -145,15 +311,33 @@ class ParallelSweep:
         jobs: int = 1,
         cache_dir: Optional[str] = None,
         plate_margin_mm: float = PLATE_MARGIN_MM,
+        retry: Optional[RetryPolicy] = None,
+        cell_timeout_s: Optional[float] = None,
+        keep_going: bool = True,
+        journal_path: Optional[str] = None,
+        resume: bool = False,
+        max_pool_rebuilds: int = MAX_POOL_REBUILDS,
     ):
         if jobs < 1:
-            raise ValueError("jobs must be >= 1")
+            raise PipelineConfigError("jobs must be >= 1")
+        if cell_timeout_s is not None and cell_timeout_s <= 0:
+            raise PipelineConfigError("cell_timeout_s must be positive or None")
+        if max_pool_rebuilds < 0:
+            raise PipelineConfigError("max_pool_rebuilds must be >= 0")
+        if resume and journal_path is None:
+            raise PipelineConfigError("resume requires a journal_path")
         self.machine = machine
         self.settings = settings
         self.raster_cell_mm = raster_cell_mm
         self.jobs = jobs
         self.cache_dir = cache_dir
         self.plate_margin_mm = plate_margin_mm
+        self.retry = retry if retry is not None else NO_RETRY
+        self.cell_timeout_s = cell_timeout_s
+        self.keep_going = keep_going
+        self.journal_path = journal_path
+        self.resume = resume
+        self.max_pool_rebuilds = max_pool_rebuilds
 
     def run(
         self,
@@ -175,14 +359,76 @@ class ParallelSweep:
         if not grid:
             return SweepReport(jobs=self.jobs)
         start = time.perf_counter()
+        journal = (
+            SweepJournal(self.journal_path) if self.journal_path else None
+        )
+        keys = [self._cell_key(model, r, o, assess, analyze_seam) for r, o in grid]
+        replayed = self._replay(journal, keys) if self.resume else {}
         if self.jobs == 1:
-            report = self._run_serial(model, grid, assess, analyze_seam)
+            report = self._run_serial(
+                model, grid, keys, replayed, assess, analyze_seam, journal
+            )
         else:
-            report = self._run_parallel(model, grid, assess, analyze_seam)
+            report = self._run_parallel(
+                model, grid, keys, replayed, assess, analyze_seam, journal
+            )
         report.wall_s = time.perf_counter() - start
+        if report.errors and not self.keep_going:
+            raise SweepAborted(report.errors[0])
         return report
 
-    def _run_serial(self, model, grid, assess, analyze_seam) -> SweepReport:
+    # -- journal -------------------------------------------------------------
+
+    def _cell_key(
+        self, model, resolution, orientation, assess, analyze_seam
+    ) -> str:
+        """Content address of one cell: everything that determines it."""
+        assess_key = (
+            None
+            if assess is None
+            else f"{getattr(assess, '__module__', '?')}."
+                 f"{getattr(assess, '__qualname__', repr(assess))}"
+        )
+        return digest_parts(
+            "sweep-cell",
+            model_digest(model),
+            _resolution_key(resolution),
+            orientation.value,
+            _machine_key(self.machine),
+            _settings_key(self.settings) if self.settings is not None else None,
+            self.raster_cell_mm,
+            self.plate_margin_mm,
+            analyze_seam,
+            assess_key,
+        )
+
+    def _replay(
+        self, journal: Optional[SweepJournal], keys: List[str]
+    ) -> Dict[int, SweepCellResult]:
+        """Cells served straight from the journal, by grid index."""
+        if journal is None:
+            return {}
+        entries = journal.load()
+        replayed: Dict[int, SweepCellResult] = {}
+        for index, key in enumerate(keys):
+            stored = entries.get(key)
+            if isinstance(stored, SweepCellResult):
+                replayed[index] = SweepCellResult(
+                    resolution=stored.resolution,
+                    orientation=stored.orientation,
+                    fingerprint=stored.fingerprint,
+                    assessment=stored.assessment,
+                    stage_log=stored.stage_log,
+                    attempts=stored.attempts,
+                    resumed=True,
+                )
+        return replayed
+
+    # -- serial --------------------------------------------------------------
+
+    def _run_serial(
+        self, model, grid, keys, replayed, assess, analyze_seam, journal
+    ) -> SweepReport:
         cache = (
             DiskStageCache(self.cache_dir) if self.cache_dir else StageCache()
         )
@@ -193,53 +439,143 @@ class ParallelSweep:
             cache=cache,
             plate_margin_mm=self.plate_margin_mm,
         )
-        cells = []
-        for resolution, orientation in grid:
-            outcome = chain.run(
-                model, resolution, orientation, analyze_seam=analyze_seam
+        report = SweepReport(jobs=1, resumed=len(replayed))
+        for index, (resolution, orientation) in enumerate(grid):
+            if index in replayed:
+                report.cells.append(replayed[index])
+                continue
+            cell, error = execute_cell(
+                chain, model, resolution, orientation, assess, analyze_seam,
+                self.retry, self.cell_timeout_s,
             )
-            cells.append(
-                SweepCellResult(
-                    resolution=resolution.name,
-                    orientation=orientation.value,
-                    fingerprint=outcome_fingerprint(outcome),
-                    assessment=assess(outcome) if assess is not None else None,
-                    stage_log=outcome.stage_log,
-                )
-            )
-        return SweepReport(cells=cells, stats=chain.stats.snapshot(), jobs=1)
+            if error is not None:
+                report.errors.append(error)
+                if not self.keep_going:
+                    break
+                continue
+            report.cells.append(cell)
+            if journal is not None:
+                journal.append(keys[index], cell)
+        report.stats = chain.stats.snapshot()
+        return report
 
-    def _run_parallel(self, model, grid, assess, analyze_seam) -> SweepReport:
+    # -- parallel ------------------------------------------------------------
+
+    def _run_parallel(
+        self, model, grid, keys, replayed, assess, analyze_seam, journal
+    ) -> SweepReport:
         tmp = None
         cache_dir = self.cache_dir
         if cache_dir is None:
             tmp = tempfile.TemporaryDirectory(prefix="repro-sweep-cache-")
             cache_dir = tmp.name
         try:
-            payloads = [
-                (
-                    model,
-                    resolution,
-                    orientation,
-                    self.machine,
-                    self.settings,
-                    self.raster_cell_mm,
-                    self.plate_margin_mm,
-                    cache_dir,
-                    analyze_seam,
-                    assess,
-                )
-                for resolution, orientation in grid
-            ]
-            workers = min(self.jobs, len(grid))
-            with ProcessPoolExecutor(max_workers=workers) as executor:
-                outputs = list(executor.map(_run_cell, payloads))
+            return self._run_pool(
+                model, grid, keys, replayed, assess, analyze_seam,
+                journal, cache_dir,
+            )
         finally:
             if tmp is not None:
                 tmp.cleanup()
+
+    def _payload(self, model, resolution, orientation, assess, analyze_seam,
+                 cache_dir):
+        return (
+            model,
+            resolution,
+            orientation,
+            self.machine,
+            self.settings,
+            self.raster_cell_mm,
+            self.plate_margin_mm,
+            cache_dir,
+            analyze_seam,
+            assess,
+            self.retry,
+            self.cell_timeout_s,
+        )
+
+    def _run_pool(
+        self, model, grid, keys, replayed, assess, analyze_seam, journal,
+        cache_dir,
+    ) -> SweepReport:
+        payloads = {
+            index: self._payload(
+                model, resolution, orientation, assess, analyze_seam, cache_dir
+            )
+            for index, (resolution, orientation) in enumerate(grid)
+            if index not in replayed
+        }
+        results: Dict[int, SweepCellResult] = dict(replayed)
+        errors: Dict[int, SweepCellError] = {}
         stats = CacheStats()
-        for _, cell_stats in outputs:
-            stats.merge(cell_stats)
+        pending = sorted(payloads)
+        rebuilds = 0
+        degraded = False
+
+        while pending:
+            try:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as executor:
+                    futures = {
+                        executor.submit(_run_cell, payloads[index]): index
+                        for index in pending
+                    }
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        cell, error, cell_stats = future.result()
+                        stats.merge(cell_stats)
+                        if error is not None:
+                            errors[index] = error
+                        else:
+                            results[index] = cell
+                            if journal is not None:
+                                journal.append(keys[index], cell)
+                        pending.remove(index)
+                break
+            except BrokenProcessPool:
+                # One or more workers died mid-cell (dr0wned-style
+                # sabotage, OOM kill, segfault).  The finished cells'
+                # results are kept; the lost ones are resubmitted to a
+                # fresh pool - a bounded number of times, after which
+                # the remaining cells degrade to serial execution.
+                rebuilds += 1
+                if rebuilds > self.max_pool_rebuilds:
+                    degraded = True
+                    break
+
+        if pending and degraded:
+            # Graceful degradation: finish the stragglers in-process on
+            # the shared disk cache, so completed upstream work is
+            # still reused.
+            chain = ProcessChain(
+                machine=self.machine,
+                settings=self.settings,
+                raster_cell_mm=self.raster_cell_mm,
+                cache=DiskStageCache(cache_dir),
+                plate_margin_mm=self.plate_margin_mm,
+            )
+            for index in list(pending):
+                resolution, orientation = grid[index]
+                cell, error = execute_cell(
+                    chain, model, resolution, orientation, assess,
+                    analyze_seam, self.retry, self.cell_timeout_s,
+                )
+                if error is not None:
+                    errors[index] = error
+                else:
+                    results[index] = cell
+                    if journal is not None:
+                        journal.append(keys[index], cell)
+                pending.remove(index)
+            stats.merge(chain.stats.snapshot())
+
         return SweepReport(
-            cells=[cell for cell, _ in outputs], stats=stats, jobs=self.jobs
+            cells=[results[i] for i in sorted(results)],
+            errors=[errors[i] for i in sorted(errors)],
+            stats=stats,
+            jobs=self.jobs,
+            resumed=len(replayed),
+            pool_rebuilds=rebuilds if not degraded else self.max_pool_rebuilds,
+            degraded_to_serial=degraded,
         )

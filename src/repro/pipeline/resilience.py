@@ -1,0 +1,219 @@
+"""Resilience primitives for the process-chain pipeline.
+
+The paper's Table 1 treats every stage of the AM process chain as a
+place where files get corrupted, tampered with or sabotaged; dr0wned
+(Belikovetsky et al.) demonstrates exactly that kind of mid-chain file
+manipulation.  A production sweep service therefore has to assume that
+individual grid cells *will* fail - a degenerate mesh, a killed worker,
+a poisoned cache entry - and keep the rest of the run alive.
+
+This module holds the building blocks the rest of the pipeline uses to
+do that:
+
+* a typed exception hierarchy rooted at :class:`PipelineError`, so
+  callers can distinguish "this cell is broken" (:class:`StageError`,
+  :class:`MeshValidationError`) from "this attempt was unlucky"
+  (:class:`CellTimeout`, transient ``OSError``) from "the cache lied"
+  (:class:`CacheIntegrityError`);
+* :class:`RetryPolicy` - bounded retries with exponential backoff,
+  applied only to *transient* error classes (retrying a degenerate
+  mesh would just fail identically N times);
+* :func:`time_limit` - a best-effort per-cell wall-clock budget based
+  on ``SIGALRM`` (the worker processes of a
+  :class:`~concurrent.futures.ProcessPoolExecutor` run tasks on their
+  main thread, so the alarm works there too).
+
+No imports from the rest of ``repro`` live here: every layer (mesh
+loaders, cache, chain, sweep executor, CLI) can depend on this module
+without creating cycles.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+
+class PipelineError(Exception):
+    """Base class of every failure the pipeline raises deliberately."""
+
+
+class PipelineConfigError(PipelineError, ValueError):
+    """Invalid pipeline configuration (bad job count, bad cache bound).
+
+    Also a :class:`ValueError` so pre-existing callers that caught the
+    bare ``ValueError`` these paths used to raise keep working.
+    """
+
+
+class StageError(PipelineError):
+    """A process-chain stage failed while computing its artifact.
+
+    Wraps the original exception (available as ``__cause__``) with the
+    stage name and the content address it was computing, so a sweep
+    report can say *where in the chain* a cell died.
+    """
+
+    def __init__(self, stage: str, digest: str, cause: BaseException):
+        self.stage = stage
+        self.digest = digest
+        super().__init__(
+            f"stage {stage!r} failed ({type(cause).__name__}: {cause}) "
+            f"[digest {digest[:12]}...]"
+        )
+
+
+class CellTimeout(PipelineError):
+    """A sweep cell exceeded its wall-clock budget."""
+
+    def __init__(self, seconds: float, what: str = "cell"):
+        self.seconds = seconds
+        super().__init__(f"{what} exceeded its {seconds:g}s wall-clock budget")
+
+
+class CacheIntegrityError(PipelineError):
+    """An on-disk cache entry failed its digest / deserialization check.
+
+    Raised (and then handled) inside :class:`~repro.pipeline.disk.DiskStageCache`:
+    a tampered or truncated entry is quarantined and recomputed, never
+    served, so consumers normally only ever see the *count* of these in
+    the cache statistics.
+    """
+
+    def __init__(self, path: str, reason: str):
+        self.path = path
+        self.reason = reason
+        super().__init__(f"cache entry {path} failed integrity check: {reason}")
+
+
+class MeshValidationError(PipelineError):
+    """A mesh violates a hard geometric precondition (e.g. NaN vertices).
+
+    ``triangle_index`` points at the first offending triangle when the
+    check can localise the defect, mirroring how Table 1's STL-stage
+    "review manifold geometry errors" mitigation would report it.
+    """
+
+    def __init__(self, reason: str, triangle_index: Optional[int] = None):
+        self.triangle_index = triangle_index
+        if triangle_index is not None:
+            reason = f"{reason} (first offending triangle: {triangle_index})"
+        super().__init__(reason)
+
+
+#: Error classes worth retrying: environmental hiccups that a fresh
+#: attempt can plausibly dodge.  Deterministic failures (a degenerate
+#: mesh, a bad parameter) are deliberately *not* here - retrying them
+#: reproduces the same failure at full compute cost.
+TRANSIENT_ERRORS: Tuple[Type[BaseException], ...] = (
+    OSError,
+    CellTimeout,
+)
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient failures.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first one; ``1`` disables retry.
+    backoff_s:
+        Sleep before the second attempt; doubles (``backoff_factor``)
+        for each further attempt.  Zero keeps tests fast.
+    retry_on:
+        Exception classes considered transient.  Anything else
+        propagates immediately.
+    """
+
+    max_attempts: int = 1
+    backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+    retry_on: Tuple[Type[BaseException], ...] = TRANSIENT_ERRORS
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise PipelineConfigError("max_attempts must be >= 1")
+        if self.backoff_s < 0:
+            raise PipelineConfigError("backoff_s must be >= 0")
+
+    def is_transient(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is worth another attempt at all.
+
+        A :class:`StageError` is judged by its cause: the wrapper only
+        adds chain coordinates, it does not change the failure class.
+        """
+        if isinstance(exc, StageError) and exc.__cause__ is not None:
+            exc = exc.__cause__
+        return isinstance(exc, self.retry_on)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return self.backoff_s * (self.backoff_factor ** max(0, attempt - 1))
+
+    def call(self, fn: Callable[[], T]) -> Tuple[T, int]:
+        """Run ``fn`` under this policy; returns ``(result, attempts)``.
+
+        Re-raises the last exception when attempts are exhausted or the
+        failure is not transient; the exception is annotated with an
+        ``attempts`` attribute so error reports can say how hard the
+        policy tried.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn(), attempt
+            except Exception as exc:
+                if attempt >= self.max_attempts or not self.is_transient(exc):
+                    try:
+                        exc.attempts = attempt
+                    except AttributeError:
+                        pass
+                    raise
+                pause = self.delay(attempt)
+                if pause > 0:
+                    time.sleep(pause)
+
+
+#: A policy that never retries - the drop-in default everywhere.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+def _alarms_usable() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def time_limit(seconds: Optional[float], what: str = "cell"):
+    """Raise :class:`CellTimeout` if the body runs longer than ``seconds``.
+
+    Best effort: implemented with ``SIGALRM``/``setitimer``, so it only
+    arms on POSIX main threads (which includes process-pool workers -
+    they execute tasks on their main thread).  Elsewhere, or with
+    ``seconds`` of ``None``/``0``, the body runs unbudgeted.
+    """
+    if not seconds or seconds <= 0 or not _alarms_usable():
+        yield False
+        return
+
+    def _on_alarm(signum, frame):
+        raise CellTimeout(seconds, what=what)
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

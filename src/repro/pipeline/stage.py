@@ -55,6 +55,16 @@ class Stage:
     pack: Optional[Callable[[Any], Any]] = None
     unpack: Optional[Callable[[Any], Any]] = None
 
+    @property
+    def fault_site(self) -> str:
+        """Injection-hook name of this stage's compute boundary.
+
+        The engine calls :func:`repro.faults.fire` with this site
+        before every cache-miss execution, so chaos tests can target
+        ``stage.tessellate``, ``stage.*``, etc.
+        """
+        return f"stage.{self.name}"
+
 
 @dataclass(frozen=True)
 class StageExecution:

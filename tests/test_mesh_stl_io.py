@@ -112,3 +112,54 @@ class TestPredictedSize:
 
     def test_zero_triangles(self):
         assert predicted_file_size(0) == 84
+
+
+class TestNonFiniteRejection:
+    """ISSUE 3 satellite: loaders refuse NaN/Inf geometry with a typed,
+    localised error instead of letting it poison the chain."""
+
+    def test_binary_nan_vertex_raises_with_facet_index(self, tetra):
+        from repro.pipeline.resilience import MeshValidationError
+
+        data = bytearray(stl_binary_bytes(tetra))
+        # Facet records are 50 bytes: 12B normal, then vertex floats.
+        offset = 84 + 50 * 2 + 12
+        data[offset:offset + 4] = struct.pack("<f", float("nan"))
+        with pytest.raises(MeshValidationError) as info:
+            load_stl_bytes(bytes(data))
+        assert info.value.triangle_index == 2
+        assert "non-finite" in str(info.value)
+
+    def test_binary_inf_vertex_raises(self, tetra):
+        from repro.pipeline.resilience import MeshValidationError
+
+        data = bytearray(stl_binary_bytes(tetra))
+        data[84 + 12:84 + 16] = struct.pack("<f", float("inf"))
+        with pytest.raises(MeshValidationError) as info:
+            load_stl_bytes(bytes(data))
+        assert info.value.triangle_index == 0
+
+    def test_ascii_nan_vertex_raises(self):
+        from repro.pipeline.resilience import MeshValidationError
+
+        bad = "\n".join([
+            "solid x",
+            "facet normal 0 0 1", "outer loop",
+            "vertex 0 0 0", "vertex 1 0 0", "vertex 0 1 0",
+            "endloop", "endfacet",
+            "facet normal 0 0 1", "outer loop",
+            "vertex nan 0 0", "vertex 1 0 0", "vertex 0 1 1",
+            "endloop", "endfacet",
+            "endsolid x",
+        ])
+        with pytest.raises(MeshValidationError) as info:
+            load_stl_bytes(bad.encode())
+        assert info.value.triangle_index == 1
+
+    def test_mesh_validation_error_is_pipeline_error(self):
+        from repro.pipeline.resilience import MeshValidationError, PipelineError
+
+        assert issubclass(MeshValidationError, PipelineError)
+        # Not a ValueError: callers must not confuse "bad geometry"
+        # with "bad STL framing" (truncation stays a ValueError).
+        assert not issubclass(MeshValidationError, ValueError)

@@ -107,3 +107,47 @@ class TestTessellationGaps:
         gaps = find_tessellation_gaps(TriangleMesh.empty(), TriangleMesh.empty())
         assert gaps == []
         assert max_gap(gaps) == 0.0
+
+
+class TestFiniteGeometryGate:
+    """ISSUE 3 satellite: the non-finite vertex gate and its reporting."""
+
+    def _poisoned(self, tetra, face_index=1):
+        verts = tetra.vertices.copy()
+        verts[tetra.faces[face_index, 0]] = np.nan
+        return TriangleMesh(verts, tetra.faces.copy())
+
+    def test_require_finite_passes_clean_mesh_through(self, tetra):
+        from repro.mesh.validate import require_finite_mesh
+
+        assert require_finite_mesh(tetra) is tetra
+
+    def test_require_finite_raises_with_triangle_index(self, tetra):
+        from repro.mesh.validate import require_finite_mesh
+        from repro.pipeline.resilience import MeshValidationError
+
+        bad = self._poisoned(tetra, face_index=1)
+        with pytest.raises(MeshValidationError) as info:
+            require_finite_mesh(bad, what="tessellation of 'bar'")
+        # Vertex 0 of face 1 is shared: the *first* face touching it
+        # is what gets reported.
+        from repro.mesh.validate import nonfinite_triangle_index
+
+        assert info.value.triangle_index == nonfinite_triangle_index(bad)
+        assert "tessellation of 'bar'" in str(info.value)
+
+    def test_nonfinite_triangle_index(self, tetra):
+        from repro.mesh.validate import nonfinite_triangle_index
+
+        assert nonfinite_triangle_index(tetra) == -1
+        bad = self._poisoned(tetra)
+        index = nonfinite_triangle_index(bad)
+        assert 0 <= index < bad.n_faces
+        assert not np.isfinite(bad.vertices[bad.faces[index]]).all()
+
+    def test_validate_mesh_reports_nonfinite(self, tetra):
+        report = validate_mesh(self._poisoned(tetra))
+        assert not report.is_clean
+        assert report.n_nonfinite_vertices == 1
+        assert any("non-finite" in issue for issue in report.issues)
+        assert validate_mesh(tetra).n_nonfinite_vertices == 0

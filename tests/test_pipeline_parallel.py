@@ -172,8 +172,13 @@ class TestDiskStageCache:
         for i in range(5):
             cache.get_or_run("stage", f"k{i}", lambda i=i: i)
         files = list((tmp_path / "stage").iterdir())
-        assert len(files) == 5
-        assert all(f.suffix == ".pkl" for f in files)
+        payloads = [f for f in files if f.suffix == ".pkl"]
+        sidecars = [f for f in files if f.name.endswith(".pkl.sha256")]
+        assert len(payloads) == 5
+        # Every payload is published with its digest sidecar; nothing
+        # else (no temp files) is left behind.
+        assert {p.name + ".sha256" for p in payloads} == {s.name for s in sidecars}
+        assert len(files) == 10
 
     def test_corrupt_entry_recomputes(self, tmp_path):
         cache = DiskStageCache(tmp_path)

@@ -1,0 +1,165 @@
+"""Checkpoint/resume: a crashed sweep must not recompute finished cells.
+
+ISSUE 3 tentpole part 4: the sweep executor journals every completed
+cell; ``resume`` replays intact records and recomputes only the rest.
+The replayed cells must be indistinguishable (fingerprints,
+assessments, grid order) from recomputed ones.
+"""
+
+import pytest
+
+from repro.cad import COARSE
+from repro.obfuscade.attack import CounterfeiterSimulator
+from repro.obfuscade.obfuscator import Obfuscator
+from repro.obfuscade.quality import assess_print
+from repro.pipeline import ParallelSweep, PipelineConfigError, SweepJournal
+from repro.printer.orientation import PrintOrientation
+
+GRID_RESOLUTIONS = (COARSE,)
+GRID_ORIENTATIONS = (PrintOrientation.XY, PrintOrientation.XZ)
+
+
+@pytest.fixture(scope="module")
+def protected():
+    return Obfuscator(seed=7).protect_tensile_bar()
+
+
+@pytest.fixture(scope="module")
+def journaled_run(protected, tmp_path_factory):
+    """One serial sweep that wrote a journal; reused by every test."""
+    journal = tmp_path_factory.mktemp("journal") / "sweep.jsonl"
+    report = ParallelSweep(jobs=1, journal_path=str(journal)).run(
+        protected.model, GRID_RESOLUTIONS, GRID_ORIENTATIONS,
+        assess=assess_print,
+    )
+    assert report.ok
+    return report, journal
+
+
+class TestSweepResume:
+    def test_journal_written_per_completed_cell(self, journaled_run):
+        report, journal = journaled_run
+        assert journal.is_file()
+        entries = SweepJournal(journal).load()
+        assert len(entries) == len(report.cells)
+        fingerprints = {c.fingerprint for c in report.cells}
+        assert {c.fingerprint for c in entries.values()} == fingerprints
+
+    def test_resume_replays_without_recomputing(self, protected, journaled_run):
+        report, journal = journaled_run
+        resumed = ParallelSweep(
+            jobs=1, journal_path=str(journal), resume=True
+        ).run(
+            protected.model, GRID_RESOLUTIONS, GRID_ORIENTATIONS,
+            assess=assess_print,
+        )
+        assert resumed.resumed == len(report.cells)
+        # Nothing ran: the chain never computed a single stage.
+        assert resumed.stats.total_misses == 0
+        assert resumed.stats.total_hits == 0
+        assert [c.fingerprint for c in resumed.cells] == [
+            c.fingerprint for c in report.cells
+        ]
+        assert all(c.resumed for c in resumed.cells)
+        for ours, theirs in zip(resumed.cells, report.cells):
+            assert ours.assessment.grade is theirs.assessment.grade
+            assert ours.assessment.score == theirs.assessment.score
+
+    def test_partial_journal_recomputes_the_rest(
+        self, protected, journaled_run, tmp_path
+    ):
+        report, journal = journaled_run
+        partial = tmp_path / "partial.jsonl"
+        # Keep only the first record: the crash happened at cell 2.
+        first_line = journal.read_text().splitlines()[0]
+        partial.write_text(first_line + "\n")
+
+        resumed = ParallelSweep(
+            jobs=1, journal_path=str(partial), resume=True
+        ).run(
+            protected.model, GRID_RESOLUTIONS, GRID_ORIENTATIONS,
+            assess=assess_print,
+        )
+        assert resumed.resumed == 1
+        assert resumed.stats.total_misses > 0
+        assert [c.fingerprint for c in resumed.cells] == [
+            c.fingerprint for c in report.cells
+        ]
+        assert [c.resumed for c in resumed.cells] == [True, False]
+        # The recomputed cell was re-journaled: a second resume is total.
+        assert len(SweepJournal(partial).load()) == 2
+
+    def test_tampered_journal_record_recomputed(
+        self, protected, journaled_run, tmp_path
+    ):
+        """A flipped byte in a record costs one recompute, never a
+        poisoned replay."""
+        report, journal = journaled_run
+        tampered = tmp_path / "tampered.jsonl"
+        lines = journal.read_text().splitlines()
+        lines[0] = lines[0].replace(
+            lines[0][len(lines[0]) // 2], "A", 1
+        )
+        tampered.write_text("\n".join(lines) + "\n")
+
+        resumed = ParallelSweep(
+            jobs=1, journal_path=str(tampered), resume=True
+        ).run(
+            protected.model, GRID_RESOLUTIONS, GRID_ORIENTATIONS,
+            assess=assess_print,
+        )
+        assert resumed.resumed <= 1
+        assert [c.fingerprint for c in resumed.cells] == [
+            c.fingerprint for c in report.cells
+        ]
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(PipelineConfigError):
+            ParallelSweep(jobs=1, resume=True)
+        with pytest.raises(ValueError):
+            CounterfeiterSimulator(jobs=0)
+
+    def test_journal_ignores_foreign_configuration(
+        self, protected, journaled_run
+    ):
+        """Cell keys content-address model + chain configuration: a
+        journal written under different settings resumes nothing."""
+        _, journal = journaled_run
+        resumed = ParallelSweep(
+            jobs=1, journal_path=str(journal), resume=True,
+            plate_margin_mm=7.5,
+        ).run(
+            protected.model, GRID_RESOLUTIONS, (PrintOrientation.XY,),
+            assess=assess_print,
+        )
+        assert resumed.resumed == 0
+        assert resumed.stats.total_misses > 0
+
+
+class TestResumeCli:
+    def test_sweep_resume_matches_first_run(self, capsys, tmp_path):
+        from repro.cli import main
+
+        cache = str(tmp_path / "cache")
+        argv = [
+            "sweep", "--seed", "7",
+            "--resolutions", "coarse", "--orientations", "x-y,x-z",
+            "--cache-dir", cache,
+        ]
+        rc_first = main(argv)
+        first_out = capsys.readouterr().out
+        rc_resumed = main([*argv, "--resume"])
+        resumed_out = capsys.readouterr().out
+
+        assert rc_resumed == rc_first
+        assert (tmp_path / "cache" / "sweep-journal.jsonl").is_file()
+        rows = lambda out: [
+            line for line in out.splitlines() if line.startswith("  ")
+        ]
+        assert rows(resumed_out) == rows(first_out)
+
+    def test_resume_requires_journal_or_cache_dir(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--resume"]) == 2
+        assert "--resume requires" in capsys.readouterr().err
