@@ -93,6 +93,8 @@ def run():
         "rounds": ROUNDS,
         "warm_stats": warm.cache_stats,
         "hot_stats": hot.cache_stats,
+        "warm_report": warm.report,
+        "hot_report": hot.report,
     }
 
 
@@ -101,6 +103,23 @@ def test_pipeline_cache_speedup(benchmark, report):
 
     warm_speedup = r["cold_s"] / r["warm_s"]
     hot_speedup = r["cold_s"] / max(r["hot_s"], 1e-9)
+
+    # The run-manifest builder (ISSUE 4) doubles as the bench's
+    # machine-readable accounting: its counters/timings blocks are
+    # derived from the same SweepReport the search produced, so the
+    # JSON consumers get the stable manifest schema for free.
+    from repro.observability.manifest import sweep_manifest, validate_manifest
+
+    manifests = {
+        mode: sweep_manifest(
+            r[f"{mode}_report"],
+            model_name="tensile-bar",
+            config={"mode": mode, "smoke": SMOKE},
+        )
+        for mode in ("warm", "hot")
+    }
+    for mode, doc in manifests.items():
+        assert validate_manifest(doc) == [], mode
     lines = [
         f"grid: {len(RESOLUTIONS)} resolutions x {len(ORIENTATIONS)} orientations"
         f" (best of {r['rounds']} rounds{', smoke' if SMOKE else ''})",
@@ -128,6 +147,10 @@ def test_pipeline_cache_speedup(benchmark, report):
             "hot_speedup": hot_speedup,
             "warm_stages": r["warm_stats"].to_dict(),
             "hot_stages": r["hot_stats"].to_dict(),
+            "warm_counters": manifests["warm"]["counters"],
+            "hot_counters": manifests["hot"]["counters"],
+            "warm_timings": manifests["warm"]["timings"],
+            "hot_timings": manifests["hot"]["timings"],
         },
         json_name="BENCH_pipeline.json",
     )

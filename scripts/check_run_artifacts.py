@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Validate the artifacts of a traced sweep: trace JSONL + run manifest.
+
+CI runs a small traced sweep and then this script, which fails the job
+unless
+
+- every trace row passes the span schema check,
+- the manifest passes the manifest schema check,
+- the span-derived per-stage cache totals agree exactly (hits/misses)
+  and approximately (run_s) with the manifest's ``stages`` block,
+- every cell fingerprint in the manifest also appears on a
+  ``sweep.cell`` span in the trace,
+- with ``--jobs > 1``, the merged trace carries spans from at least two
+  distinct processes (proof the worker spans were shipped back).
+
+Stdlib + repro only; run as::
+
+    PYTHONPATH=src python scripts/check_run_artifacts.py \
+        --trace t.jsonl --manifest sweep-manifest.json --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.observability import export, manifest as manifest_mod
+
+
+def check(trace_path: str, manifest_path: str, jobs: int) -> list:
+    problems = []
+
+    rows = export.read_jsonl(trace_path)
+    if not rows:
+        problems.append(f"trace {trace_path} contains no spans")
+    for i, row in enumerate(rows):
+        for problem in export.validate_span_row(row):
+            problems.append(f"trace row {i} ({row.get('name')!r}): {problem}")
+
+    doc = manifest_mod.read_manifest(manifest_path)
+    for problem in manifest_mod.validate_manifest(doc):
+        problems.append(f"manifest: {problem}")
+
+    # Span-derived per-stage totals must agree with the stats counters
+    # the manifest recorded - the trace and the stats observe the same
+    # cache.get code path, so any drift is an instrumentation bug.
+    totals = export.stage_totals(rows)
+    stages = doc.get("stages", {})
+    for stage, span_side in sorted(totals.items()):
+        stat_side = stages.get(stage)
+        if stat_side is None:
+            problems.append(f"stage {stage!r} traced but absent from manifest")
+            continue
+        for key in ("hits", "misses"):
+            if span_side[key] != stat_side.get(key):
+                problems.append(
+                    f"stage {stage!r} {key}: trace says {span_side[key]}, "
+                    f"manifest says {stat_side.get(key)}"
+                )
+        if abs(span_side["run_s"] - stat_side.get("run_s", 0.0)) > 0.25:
+            problems.append(
+                f"stage {stage!r} run_s: trace says {span_side['run_s']:.3f}, "
+                f"manifest says {stat_side.get('run_s', 0.0):.3f}"
+            )
+    for stage, stat_side in stages.items():
+        if stage == "_cache":
+            continue
+        if stage not in totals and (stat_side["hits"] or stat_side["misses"]):
+            problems.append(f"stage {stage!r} in manifest but never traced")
+
+    # Every final fingerprint must be witnessed by a sweep.cell span.
+    span_fps = {
+        row.get("attrs", {}).get("fingerprint")
+        for row in rows
+        if row.get("name") == "sweep.cell"
+    }
+    for cell, fp in sorted(doc.get("fingerprints", {}).items()):
+        if fp not in span_fps:
+            problems.append(
+                f"fingerprint of cell {cell!r} not witnessed by any "
+                f"sweep.cell span"
+            )
+
+    counters = doc.get("counters", {})
+    computed = counters.get("cells_ok", 0) - counters.get("cells_resumed", 0)
+    if jobs > 1 and computed > 0:
+        # A fully-resumed run replays everything in the parent process
+        # and legitimately traces one pid; any actually computed cell
+        # must have left worker spans in the merged trace.
+        pids = {row.get("pid") for row in rows}
+        if len(pids) < 2:
+            problems.append(
+                f"--jobs {jobs} but the trace carries spans from only "
+                f"{len(pids)} process(es) - worker spans were not merged"
+            )
+
+    if counters.get("cells_ok", 0) + counters.get("cells_failed", 0) == 0:
+        problems.append("manifest records zero cells - nothing ran")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", required=True, help="JSONL trace path")
+    parser.add_argument("--manifest", required=True, help="run manifest path")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker count the sweep ran with (enables the multi-pid check)",
+    )
+    args = parser.parse_args(argv)
+    problems = check(args.trace, args.manifest, args.jobs)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(f"OK: trace {args.trace} and manifest {args.manifest} are "
+          f"consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

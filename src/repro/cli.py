@@ -54,6 +54,62 @@ _ORIENTATIONS = {o.value: o for o in PrintOrientation}
 _MACHINES = {"fdm": DIMENSION_ELITE, "polyjet": OBJET30_PRO}
 
 
+def _add_observability_args(p: argparse.ArgumentParser) -> None:
+    """The tracing/metrics flags shared by the chain-running commands."""
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL span trace of the run to FILE (one span per "
+        "line; worker-process spans are merged in)",
+    )
+    p.add_argument(
+        "--trace-chrome",
+        default=None,
+        metavar="FILE",
+        help="also write the trace as Chrome trace_event JSON, loadable "
+        "in chrome://tracing or Perfetto",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect counters and latency histograms during the run and "
+        "print a summary afterwards",
+    )
+
+
+def _install_observability(args):
+    """Arm a process-wide tracer when any tracing output was requested."""
+    if not (args.trace or args.trace_chrome or args.metrics):
+        return None
+    from repro import observability as obs
+
+    metrics = obs.MetricsRegistry() if args.metrics else None
+    return obs.install(obs.Tracer(metrics=metrics))
+
+
+def _finish_observability(args, tracer):
+    """Disarm the tracer and export the requested trace files.
+
+    Returns the drained span rows (dicts) so callers can feed them to
+    the run manifest.  Safe to call with ``tracer is None``.
+    """
+    if tracer is None:
+        return None
+    from repro import observability as obs
+    from repro.observability import export
+
+    obs.uninstall()
+    spans = [s.to_dict() for s in tracer.drain()]
+    if args.trace:
+        export.write_jsonl(spans, args.trace)
+        print(f"trace: {len(spans)} spans -> {args.trace}")
+    if args.trace_chrome:
+        export.write_chrome_trace(spans, args.trace_chrome)
+        print(f"trace: chrome trace_event -> {args.trace_chrome}")
+    return spans
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-obfuscade",
@@ -86,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--stats", action="store_true", help="print per-stage cache statistics"
     )
+    _add_observability_args(p)
 
     p = sub.add_parser(
         "sweep", help="settings-space sweep on the staged process-chain engine"
@@ -153,8 +210,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--stats",
         action="store_true",
-        help="print per-stage timings, cache hit rates, and cache "
-        "integrity/store failure counters",
+        help="print per-stage timings, cache hit rates, cache "
+        "integrity/store failure counters, and the run-manifest path",
+    )
+    _add_observability_args(p)
+    p.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write a JSON run manifest to PATH (defaults to "
+        "sweep-manifest.json beside the journal when one is in use, "
+        "or <trace>.manifest.json when only --trace is given)",
     )
 
     p = sub.add_parser("reverse", help="reconstruct geometry from G-code")
@@ -268,7 +334,11 @@ def _cmd_attack(args) -> int:
 
     protected = Obfuscator(seed=args.seed).protect_tensile_bar()
     print(f"attacking: {protected.describe()}")
-    result = CounterfeiterSimulator().attack(protected)
+    tracer = _install_observability(args)
+    try:
+        result = CounterfeiterSimulator().attack(protected)
+    finally:
+        _finish_observability(args, tracer)
     for resolution, orientation, grade, score, matches in result.summary_rows():
         marker = " <-- key" if matches else ""
         print(f"  {resolution:8s} {orientation:5s} {grade:20s} {score:5.2f}{marker}")
@@ -276,6 +346,10 @@ def _cmd_attack(args) -> int:
     if args.stats and result.cache_stats is not None:
         print()
         for line in result.cache_stats.render():
+            print(line)
+    if args.metrics and tracer is not None and tracer.metrics is not None:
+        print()
+        for line in tracer.metrics.render():
             print(line)
     return 0 if result.key_only_success else 1
 
@@ -350,6 +424,7 @@ def _cmd_sweep(args) -> int:
         journal_path=journal,
         resume=args.resume,
     )
+    tracer = _install_observability(args)
     try:
         result = sim.attack(protected)
     except SweepAborted as exc:
@@ -357,6 +432,8 @@ def _cmd_sweep(args) -> int:
         print("(re-run with --keep-going to complete around failed cells)",
               file=sys.stderr)
         return 3
+    finally:
+        spans = _finish_observability(args, tracer)
     n_cells = len(resolutions) * len(orientations)
     print(f"grid: {len(resolutions)} resolutions x {len(orientations)} "
           f"orientations = {n_cells} cells"
@@ -369,12 +446,57 @@ def _cmd_sweep(args) -> int:
         print(f"  {err.resolution:8s} {err.orientation:5s} FAILED "
               f"[{err.error_type}]{where} after {err.attempts} attempt(s)")
     print(f"genuine only under the key: {result.key_only_success}")
+
+    manifest_path = args.manifest
+    if manifest_path is None and journal is not None:
+        manifest_path = os.path.join(
+            os.path.dirname(journal) or ".", "sweep-manifest.json"
+        )
+    if manifest_path is None and args.trace is not None:
+        manifest_path = args.trace + ".manifest.json"
+    if manifest_path is not None and result.report is not None:
+        from repro.mesh.content_hash import model_digest
+        from repro.observability import manifest as manifest_mod
+
+        doc = manifest_mod.sweep_manifest(
+            result.report,
+            model_name=protected.model.name,
+            model_digest=model_digest(protected.model),
+            config={
+                "command": "sweep",
+                "seed": args.seed,
+                "machine": args.machine,
+                "resolutions": [r.name for r in resolutions],
+                "orientations": [o.value for o in orientations],
+                "jobs": args.jobs,
+                "cache_dir": cache_dir,
+                "max_retries": args.max_retries,
+                "cell_timeout_s": args.cell_timeout,
+                "keep_going": args.keep_going,
+                "resume": args.resume,
+            },
+            trace_path=args.trace,
+            trace_spans=len(spans) if spans is not None else None,
+            journal_path=journal,
+            metrics=tracer.metrics if tracer is not None else None,
+        )
+        manifest_mod.write_manifest(doc, manifest_path)
+        print(f"run manifest: {manifest_path}")
+
     if args.stats:
         print()
         if result.cache_stats is not None:
             for line in result.cache_stats.render():
                 print(line)
         print(f"failed cells: {result.n_failed}")
+        if result.report is not None:
+            print(f"journal rejected/dropped: "
+                  f"{result.report.journal_rejected}/"
+                  f"{result.report.journal_dropped}")
+    if args.metrics and tracer is not None and tracer.metrics is not None:
+        print()
+        for line in tracer.metrics.render():
+            print(line)
     if result.failed:
         return 1
     return 0 if result.key_only_success else 1

@@ -29,6 +29,7 @@ import time
 from fnmatch import fnmatch
 from typing import Dict, Optional, Tuple
 
+from repro import observability as obs
 from repro.faults.plan import FaultPlan, FaultSpec
 
 PLAN_ENV = "OBFUSCADE_FAULT_PLAN"
@@ -120,6 +121,10 @@ def fire(site: str, context: str = "") -> None:
     the process immediately (no cleanup - that is the point).
     """
     for spec in _matching(site, context):
+        # Mark the active span before acting: a trace must show the
+        # injection even when the fault kills the process right after.
+        obs.event("fault", site=site, mode=spec.mode, context=context)
+        obs.inc("faults.fired")
         if spec.mode == "raise-oserror":
             raise OSError(f"injected transient I/O fault at {site}")
         elif spec.mode == "delay":
@@ -140,6 +145,8 @@ def mutate_export(site: str, export):
     for spec in _matching(site, ""):
         if spec.mode != "nan-vertices":
             continue
+        obs.event("fault", site=site, mode=spec.mode)
+        obs.inc("faults.fired")
         mesh = export.mesh
         if mesh.n_faces == 0:
             continue
@@ -159,6 +166,8 @@ def tamper_file(site: str, path) -> None:
     for spec in _matching(site, str(path)):
         if not os.path.exists(path):
             continue
+        obs.event("fault", site=site, mode=spec.mode, path=str(path))
+        obs.inc("faults.fired")
         if spec.mode == "truncate-file":
             size = os.path.getsize(path)
             with open(path, "r+b") as fh:

@@ -22,6 +22,7 @@ exposed here, and failed cells surface as structured entries in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -34,6 +35,7 @@ from repro.pipeline.parallel import (
     ParallelSweep,
     SweepAborted,
     SweepCellError,
+    SweepReport,
     execute_cell,
 )
 from repro.pipeline.resilience import (
@@ -66,6 +68,10 @@ class AttackResult:
     #: Grid cells that exhausted their recovery budget; the attempts
     #: above cover the rest of the grid.
     failed: List[SweepCellError] = field(default_factory=list)
+    #: The underlying sweep report (cells with fingerprints, merged
+    #: stats, wall time) - the substrate for per-run manifests
+    #: (:func:`repro.observability.manifest.sweep_manifest`).
+    report: Optional[SweepReport] = None
 
     @property
     def n_attempts(self) -> int:
@@ -174,8 +180,10 @@ class CounterfeiterSimulator:
 
     def _attack_serial(self, protected: ProtectedModel) -> AttackResult:
         """The in-process search on the shared chain, cell-isolated."""
+        start = time.perf_counter()
         before = self.chain.stats.snapshot()
         result = AttackResult()
+        sweep_report = SweepReport(jobs=1)
         for resolution in self.resolutions:
             for orientation in self.orientations:
                 cell, error = execute_cell(
@@ -186,7 +194,9 @@ class CounterfeiterSimulator:
                     if not self.keep_going:
                         raise SweepAborted(error)
                     result.failed.append(error)
+                    sweep_report.errors.append(error)
                     continue
+                sweep_report.cells.append(cell)
                 result.attempts.append(
                     AttackAttempt(
                         resolution=resolution.name,
@@ -196,6 +206,9 @@ class CounterfeiterSimulator:
                     )
                 )
         result.cache_stats = _stats_delta(before, self.chain.stats.snapshot())
+        sweep_report.stats = result.cache_stats
+        sweep_report.wall_s = time.perf_counter() - start
+        result.report = sweep_report
         return result
 
     def _attack_sweep(self, protected: ProtectedModel) -> AttackResult:
@@ -216,7 +229,9 @@ class CounterfeiterSimulator:
         report = sweep.run(
             protected.model, self.resolutions, self.orientations, assess=assess_print
         )
-        result = AttackResult(cache_stats=report.stats, failed=list(report.errors))
+        result = AttackResult(
+            cache_stats=report.stats, failed=list(report.errors), report=report
+        )
         # Align by cell name, not position: failed cells leave holes in
         # the grid, so positional zipping would mislabel everything
         # after the first failure.

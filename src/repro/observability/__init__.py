@@ -1,0 +1,135 @@
+"""End-to-end observability for the process chain (ISSUE 4 tentpole).
+
+Table 1 of the paper demands per-stage visibility over the AM process
+chain; the detection literature instruments the physical chain with
+power traces (Moore et al.) and audio signatures (Belikovetsky et al.).
+This package is the software chain's equivalent: structured
+:class:`Span` tracing, a :class:`MetricsRegistry`, trace exporters
+(JSONL + Chrome ``trace_event``) and per-run manifests.
+
+Emission is decoupled from collection through a module-level installed
+tracer: pipeline code calls the free functions below (:func:`span`,
+:func:`annotate`, :func:`event`, :func:`inc`, :func:`observe`), which
+are no-ops costing one global load when nothing is installed - the
+hooks stay in place permanently, exactly like the fault injector's.
+
+Usage::
+
+    from repro import observability as obs
+    from repro.observability import MetricsRegistry, Tracer, export
+
+    metrics = MetricsRegistry()
+    obs.install(Tracer(metrics=metrics))
+    try:
+        ...  # run sweeps; spans and metrics accumulate
+    finally:
+        tracer = obs.uninstall()
+    export.write_jsonl(tracer.drain(), "trace.jsonl")
+
+This package imports nothing from the rest of ``repro`` (it is a leaf
+like :mod:`repro.pipeline.resilience`), so every layer - cache, chain,
+sweep executor, fault injector, CLI - can emit without import cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Optional
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.span import SPAN_FIELDS, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SPAN_FIELDS",
+    "Span",
+    "Tracer",
+    "annotate",
+    "enabled",
+    "event",
+    "get_metrics",
+    "get_tracer",
+    "inc",
+    "install",
+    "observe",
+    "span",
+    "uninstall",
+]
+
+_tracer: Optional[Tracer] = None
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Make ``tracer`` the process-wide span/metrics sink."""
+    global _tracer
+    _tracer = tracer
+    return tracer
+
+
+def uninstall() -> Optional[Tracer]:
+    """Remove and return the installed tracer (if any)."""
+    global _tracer
+    tracer, _tracer = _tracer, None
+    return tracer
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _tracer
+
+
+def get_metrics() -> Optional[MetricsRegistry]:
+    return _tracer.metrics if _tracer is not None else None
+
+
+def enabled() -> bool:
+    """Whether a tracer is installed (workers check this to decide
+    whether to ship spans back)."""
+    return _tracer is not None
+
+
+@contextmanager
+def span(name: str, **attrs: Any):
+    """Open a span on the installed tracer; yields ``None`` when no
+    tracer is installed (the body still runs, untraced)."""
+    tracer = _tracer
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, **attrs) as s:
+        yield s
+
+
+def annotate(**attrs: Any) -> None:
+    """Merge attributes into the innermost active span, if any."""
+    tracer = _tracer
+    if tracer is not None:
+        tracer.annotate(**attrs)
+
+
+def event(name: str, **fields: Any) -> None:
+    """Attach a point-in-time event to the innermost active span."""
+    tracer = _tracer
+    if tracer is not None:
+        tracer.event(name, **fields)
+
+
+def inc(name: str, n: int = 1) -> None:
+    """Bump a counter on the installed metrics registry, if any."""
+    tracer = _tracer
+    if tracer is not None and tracer.metrics is not None:
+        tracer.metrics.inc(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram sample on the installed registry, if any."""
+    tracer = _tracer
+    if tracer is not None and tracer.metrics is not None:
+        tracer.metrics.observe(name, value)

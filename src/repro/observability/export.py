@@ -1,0 +1,145 @@
+"""Trace exporters: JSONL span rows and Chrome ``trace_event`` JSON.
+
+The JSONL form (one :data:`~repro.observability.span.SPAN_FIELDS` row
+per line) is the interchange format: append-friendly, greppable, and
+what the CI schema check validates.  The Chrome converter turns the
+same spans into a ``traceEvents`` file loadable in ``chrome://tracing``
+/ Perfetto for flame-graph viewing, with one lane per process - worker
+spans shipped back by a parallel sweep land in their own rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from repro.observability.span import Span
+
+
+def _rows(spans: Iterable[Union[Span, Dict[str, Any]]]) -> List[Dict[str, Any]]:
+    rows = [s.to_dict() if isinstance(s, Span) else dict(s) for s in spans]
+    rows.sort(key=lambda r: (r.get("start_s", 0.0), r.get("span_id", "")))
+    return rows
+
+
+def _write_atomic(path: Union[str, os.PathLike], text: str) -> Path:
+    """Publish ``text`` at ``path`` via temp file + ``os.replace``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def write_jsonl(
+    spans: Iterable[Union[Span, Dict[str, Any]]], path: Union[str, os.PathLike]
+) -> Path:
+    """Write one JSON object per span, atomically; returns the path."""
+    rows = _rows(spans)
+    text = "".join(json.dumps(row, sort_keys=True) + "\n" for row in rows)
+    return _write_atomic(path, text)
+
+
+def read_jsonl(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
+    """Load a JSONL trace back into span rows (blank lines skipped)."""
+    rows: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def chrome_trace(
+    spans: Iterable[Union[Span, Dict[str, Any]]]
+) -> Dict[str, Any]:
+    """Convert spans to the Chrome ``trace_event`` format.
+
+    Complete events (``ph: "X"``) with microsecond timestamps relative
+    to the earliest span, one ``pid`` lane per originating process.
+    """
+    rows = _rows(spans)
+    base = min((r.get("start_s", 0.0) for r in rows), default=0.0)
+    events = []
+    for row in rows:
+        args = dict(row.get("attrs") or {})
+        if row.get("events"):
+            args["events"] = row["events"]
+        events.append({
+            "name": row["name"],
+            "ph": "X",
+            "ts": (row.get("start_s", 0.0) - base) * 1e6,
+            "dur": row.get("duration_s", 0.0) * 1e6,
+            "pid": row.get("pid", 0),
+            "tid": row.get("pid", 0),
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    spans: Iterable[Union[Span, Dict[str, Any]]], path: Union[str, os.PathLike]
+) -> Path:
+    return _write_atomic(path, json.dumps(chrome_trace(spans)))
+
+
+def stage_totals(
+    spans: Iterable[Union[Span, Dict[str, Any]]]
+) -> Dict[str, Dict[str, float]]:
+    """Per-stage cache counters derived purely from ``cache.get`` spans.
+
+    Returns ``{stage: {hits, misses, run_s}}`` - the span-side view of
+    :meth:`repro.pipeline.cache.CacheStats.to_dict`, used by tests and
+    the CI schema check to prove the trace and the stats agree.
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+    for row in _rows(spans):
+        if row["name"] != "cache.get":
+            continue
+        attrs = row.get("attrs") or {}
+        stage = attrs.get("stage", "?")
+        entry = totals.setdefault(
+            stage, {"hits": 0, "misses": 0, "run_s": 0.0}
+        )
+        if attrs.get("hit"):
+            entry["hits"] += 1
+        else:
+            entry["misses"] += 1
+            entry["run_s"] += float(attrs.get("run_s", 0.0))
+    return totals
+
+
+def validate_span_row(row: Dict[str, Any]) -> List[str]:
+    """Schema-check one JSONL trace row; returns a list of problems."""
+    problems: List[str] = []
+    for field_name, kind in (
+        ("name", str), ("span_id", str), ("pid", int),
+        ("start_s", (int, float)), ("duration_s", (int, float)),
+        ("attrs", dict), ("events", list),
+    ):
+        if field_name not in row:
+            problems.append(f"missing field {field_name!r}")
+        elif not isinstance(row[field_name], kind):
+            problems.append(
+                f"field {field_name!r} has type "
+                f"{type(row[field_name]).__name__}"
+            )
+    if "parent_id" in row and row["parent_id"] is not None \
+            and not isinstance(row["parent_id"], str):
+        problems.append("field 'parent_id' must be a string or null")
+    if isinstance(row.get("duration_s"), (int, float)) and row["duration_s"] < 0:
+        problems.append("negative duration_s")
+    return problems

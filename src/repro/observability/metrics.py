@@ -1,0 +1,186 @@
+"""Counters, gauges and histograms with percentile summaries.
+
+A deliberately small metrics kernel: no external dependencies, no
+background threads, no exposition server - just named counters, gauges
+and sample-keeping histograms a run can render as text (``--metrics``)
+or embed in its manifest.  Histograms keep raw samples (a pipeline run
+produces at most a few thousand spans) and summarize with nearest-rank
+percentiles, which is exact and avoids binning-policy arguments.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, List, Optional
+
+_PERCENTILES = (50, 90, 99)
+
+
+class Counter:
+    """A monotonically increasing named total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins named value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A sample-keeping distribution with percentile summaries."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self):
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile of the observed samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def summary(self) -> Dict[str, float]:
+        if not self.samples:
+            return {"count": 0}
+        out: Dict[str, float] = {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.total / self.count,
+            "min": min(self.samples),
+            "max": max(self.samples),
+        }
+        for pct in _PERCENTILES:
+            out[f"p{pct}"] = self.percentile(pct)
+        return out
+
+
+class MetricsRegistry:
+    """Thread-safe home of every named counter/gauge/histogram.
+
+    Names are free-form dotted strings (``cache.hits``,
+    ``sweep.cell.s``); instruments are created on first use so emitting
+    code never has to pre-register anything.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors ------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self.counters:
+                self.counters[name] = Counter()
+            return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self.gauges:
+                self.gauges[name] = Gauge()
+            return self.gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self.histograms:
+                self.histograms[name] = Histogram()
+            return self.histograms[name]
+
+    # -- convenience emission ------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- aggregation / export ------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Sum another registry into this one (counters add, gauges take
+        the other's value, histograms concatenate samples)."""
+        for name, counter in other.counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other.gauges.items():
+            if gauge.value is not None:
+                self.gauge(name).set(gauge.value)
+        for name, histogram in other.histograms.items():
+            self.histogram(name).samples.extend(histogram.samples)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot (manifest ``metrics`` block)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {
+                k: g.value for k, g in sorted(self.gauges.items())
+                if g.value is not None
+            },
+            "histograms": {
+                k: h.summary() for k, h in sorted(self.histograms.items())
+            },
+        }
+
+    def render(self) -> List[str]:
+        """Human-readable summary (the ``--metrics`` output)."""
+        lines: List[str] = []
+        if self.counters:
+            lines.append("counters:")
+            for name, counter in sorted(self.counters.items()):
+                lines.append(f"  {name:32s} {counter.value}")
+        if self.gauges:
+            lines.append("gauges:")
+            for name, gauge in sorted(self.gauges.items()):
+                if gauge.value is not None:
+                    lines.append(f"  {name:32s} {gauge.value:g}")
+        if self.histograms:
+            lines.append(
+                f"  {'histogram':30s} {'count':>6s} {'total':>9s} {'mean':>9s} "
+                f"{'p50':>9s} {'p90':>9s} {'p99':>9s} {'max':>9s}"
+            )
+            for name, histogram in sorted(self.histograms.items()):
+                s = histogram.summary()
+                if not s["count"]:
+                    continue
+                lines.append(
+                    f"  {name:30s} {s['count']:>6d} {s['total']:>9.3f} "
+                    f"{s['mean']:>9.4f} {s['p50']:>9.4f} {s['p90']:>9.4f} "
+                    f"{s['p99']:>9.4f} {s['max']:>9.4f}"
+                )
+        if not lines:
+            lines.append("(no metrics recorded)")
+        return lines

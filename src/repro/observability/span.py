@@ -1,0 +1,217 @@
+"""Structured spans and the tracer that collects them.
+
+A :class:`Span` is one timed operation of the process chain - a chain
+run, a stage execution, a cache lookup, a retry attempt, a sweep cell -
+with a name, wall-clock start, duration, free-form attributes and a
+list of point-in-time events (fault injections, timeouts).  Spans nest:
+the tracer keeps a per-thread stack, so a stage span started inside a
+chain-run span records that run as its parent, and an exported trace
+reconstructs the whole tree.
+
+Spans are designed to cross process boundaries: a sweep worker runs its
+cells under its own :class:`Tracer`, serializes the finished spans with
+:meth:`Span.to_dict`, ships them back with the cell result, and the
+parent merges them via :meth:`Tracer.adopt`.  Every span carries its
+``pid``, so a merged trace keeps per-process lanes (and a Chrome
+``trace_event`` export renders them as such).
+
+This module deliberately imports nothing from the rest of ``repro``:
+like :mod:`repro.pipeline.resilience` it is a leaf, so every layer
+(cache, chain, sweep executor, fault injector, CLI) can emit spans
+without creating import cycles.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Fields every exported span row carries (the JSONL trace schema).
+SPAN_FIELDS = ("name", "span_id", "parent_id", "pid", "start_s", "duration_s",
+               "attrs", "events")
+
+
+@dataclass
+class Span:
+    """One timed, attributed operation.
+
+    ``start_s`` is wall-clock epoch time (``time.time``) so spans from
+    different processes land on one timeline; ``duration_s`` is
+    measured with ``time.perf_counter`` so it is monotonic.
+    """
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    pid: int
+    start_s: float
+    duration_s: float = 0.0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+            "events": list(self.events),
+        }
+
+    @classmethod
+    def from_dict(cls, row: Dict[str, Any]) -> "Span":
+        return cls(
+            name=row["name"],
+            span_id=row["span_id"],
+            parent_id=row.get("parent_id"),
+            pid=row.get("pid", 0),
+            start_s=row.get("start_s", 0.0),
+            duration_s=row.get("duration_s", 0.0),
+            attrs=dict(row.get("attrs") or {}),
+            events=list(row.get("events") or []),
+        )
+
+
+class Tracer:
+    """Collects finished spans; optionally feeds a metrics registry.
+
+    Thread-safe: the active-span stack is thread-local and the finished
+    list is guarded, so the sweep executor's result-collection loop and
+    any helper threads can share one tracer.
+    """
+
+    def __init__(self, metrics=None):
+        self.metrics = metrics
+        self.finished: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> str:
+        return f"{os.getpid():x}-{next(self._ids):x}"
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any):
+        """Open a span named ``name``; yields it for further annotation.
+
+        The span closes when the block exits; an escaping exception is
+        recorded as ``outcome: error`` with the exception class name,
+        then re-raised.
+        """
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id(),
+            parent_id=parent,
+            pid=os.getpid(),
+            start_s=time.time(),
+            attrs=dict(attrs),
+        )
+        stack.append(span)
+        tick = time.perf_counter()
+        try:
+            yield span
+        except BaseException as exc:
+            span.attrs.setdefault("outcome", "error")
+            span.attrs.setdefault("error_type", type(exc).__name__)
+            raise
+        finally:
+            span.duration_s = time.perf_counter() - tick
+            stack.pop()
+            self._finish(span)
+
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def annotate(self, **attrs: Any) -> None:
+        """Merge ``attrs`` into the innermost active span (no-op if none)."""
+        span = self.current()
+        if span is not None:
+            span.attrs.update(attrs)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Attach a point-in-time event to the innermost active span."""
+        span = self.current()
+        if span is not None:
+            span.events.append({"event": name, "at_s": time.time(), **fields})
+
+    # -- collection ----------------------------------------------------------
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self.finished.append(span)
+        if self.metrics is not None:
+            record_span_metrics(self.metrics, span)
+
+    def adopt(self, rows: Iterable[Dict[str, Any]]) -> int:
+        """Merge spans shipped from another process (as dict rows).
+
+        Returns the number of spans adopted.  Adopted spans flow into
+        the metrics registry exactly as locally emitted ones do, so a
+        parallel sweep's counters cover the whole worker fleet.
+        """
+        count = 0
+        for row in rows:
+            span = row if isinstance(row, Span) else Span.from_dict(row)
+            with self._lock:
+                self.finished.append(span)
+            if self.metrics is not None:
+                record_span_metrics(self.metrics, span)
+            count += 1
+        return count
+
+    def drain(self) -> List[Span]:
+        """Return all finished spans (start-ordered) and clear the buffer."""
+        with self._lock:
+            spans, self.finished = self.finished, []
+        spans.sort(key=lambda s: (s.start_s, s.span_id))
+        return spans
+
+
+def record_span_metrics(metrics, span: Span) -> None:
+    """Fold one finished span into a metrics registry.
+
+    Every span feeds a ``<name>.s`` duration histogram; the well-known
+    pipeline spans additionally bump their counters so ``--metrics``
+    summaries match ``--stats`` without a second accounting path.
+    """
+    metrics.observe(f"{span.name}.s", span.duration_s)
+    if span.name == "cache.get":
+        if span.attrs.get("hit"):
+            metrics.inc("cache.hits")
+            if span.attrs.get("tier") == "disk":
+                metrics.inc("cache.disk_hits")
+        else:
+            metrics.inc("cache.misses")
+    elif span.name == "cache.store":
+        metrics.inc("cache.stores" if span.attrs.get("ok") else "cache.store_failures")
+    elif span.name == "sweep.cell":
+        metrics.inc("sweep.cells")
+        if span.attrs.get("outcome") == "error":
+            metrics.inc("sweep.cell_errors")
+        attempts = span.attrs.get("attempts", 1)
+        if isinstance(attempts, int) and attempts > 1:
+            metrics.inc("sweep.retries", attempts - 1)
+    elif span.name == "time_limit" and span.attrs.get("timed_out"):
+        metrics.inc("timeouts")
+    for event in span.events:
+        if event.get("event") == "fault":
+            metrics.inc("faults.fired")

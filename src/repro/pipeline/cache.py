@@ -23,6 +23,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro import observability as obs
 from repro.pipeline.resilience import PipelineConfigError
 
 
@@ -161,7 +162,13 @@ class CacheStats:
 
     def to_dict(self) -> Dict[str, Dict[str, float]]:
         """JSON-serializable per-stage counters (for machine-readable
-        benchmark reports)."""
+        benchmark reports and run manifests).
+
+        The ``_cache`` block is always present (ISSUE 4 bugfix): it
+        used to be omitted when both failure counters were zero, which
+        gave ``BENCH_pipeline.json`` consumers an unstable schema -
+        "counter is zero" and "counter is missing" are different facts.
+        """
         table: Dict[str, Dict[str, float]] = {
             name: {
                 "hits": s.hits,
@@ -171,11 +178,10 @@ class CacheStats:
             }
             for name, s in self.stages.items()
         }
-        if self.integrity_failures or self.store_failures:
-            table["_cache"] = {
-                "integrity_failures": self.integrity_failures,
-                "store_failures": self.store_failures,
-            }
+        table["_cache"] = {
+            "integrity_failures": self.integrity_failures,
+            "store_failures": self.store_failures,
+        }
         return table
 
     def render(self) -> List[str]:
@@ -262,21 +268,25 @@ class StageCache:
         freshly computed value is always returned as-is.
         """
         stats = self.stats.stage(stage_name)
-        if self.enabled and key in self._entries:
-            self._entries.move_to_end(key)
-            stats.hits += 1
-            if stats.misses:
-                stats.saved_s += stats.run_s / stats.misses
-            stored = self._entries[key]
-            return (unpack(stored) if unpack is not None else stored), True
+        with obs.span("cache.get", stage=stage_name, key=key[:12]):
+            if self.enabled and key in self._entries:
+                self._entries.move_to_end(key)
+                stats.hits += 1
+                if stats.misses:
+                    stats.saved_s += stats.run_s / stats.misses
+                obs.annotate(hit=True, tier="memory")
+                stored = self._entries[key]
+                return (unpack(stored) if unpack is not None else stored), True
 
-        start = time.perf_counter()
-        value = fn()
-        stats.run_s += time.perf_counter() - start
-        stats.misses += 1
-        if self.enabled:
-            self._entries[key] = pack(value) if pack is not None else value
-            if self.max_entries is not None:
-                while len(self._entries) > self.max_entries:
-                    self._entries.popitem(last=False)
-        return value, False
+            start = time.perf_counter()
+            value = fn()
+            elapsed = time.perf_counter() - start
+            stats.run_s += elapsed
+            stats.misses += 1
+            obs.annotate(hit=False, tier="compute", run_s=elapsed)
+            if self.enabled:
+                self._entries[key] = pack(value) if pack is not None else value
+                if self.max_entries is not None:
+                    while len(self._entries) > self.max_entries:
+                        self._entries.popitem(last=False)
+            return value, False

@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro import faults
+from repro import observability as obs
 from repro.cad.body import ExtrudedBody
 from repro.cad.features import SplineSplitFeature
 from repro.cad.model import CadModel
@@ -305,47 +306,17 @@ class ProcessChain:
             analyze_seam=analyze_seam,
         )
         ctx.digests["model"] = model_digest(model)
+        cell = f"{resolution.name}/{orientation.value}"
 
-        log: List[StageExecution] = []
-        for stage in self.stages:
-            if stage.name == "validate" and not validate:
-                continue
-            digest = digest_parts(
-                stage.name,
-                tuple(ctx.digests[name] for name in stage.inputs),
-                stage.key(ctx),
-            )
-            context = f"{resolution.name}/{orientation.value}"
-
-            def _compute(stage=stage, context=context):
-                faults.fire(stage.fault_site, context=context)
-                return stage.run(ctx)
-
-            start = time.perf_counter()
-            try:
-                value, hit = self.cache.get_or_run(
-                    stage.name,
-                    digest,
-                    _compute,
-                    pack=stage.pack,
-                    unpack=stage.unpack,
-                )
-            except CellTimeout:
-                # A wall-clock budget expiring mid-stage is a property
-                # of the *cell*, not of this stage's inputs: let the
-                # sweep executor attribute it.
-                raise
-            except StageError:
-                raise
-            except Exception as exc:
-                # Typed failure with chain coordinates (ISSUE 3): which
-                # stage died, computing which content address.
-                raise StageError(stage.name, digest, exc) from exc
-            log.append(
-                StageExecution(stage.name, digest, hit, time.perf_counter() - start)
-            )
-            ctx.artifacts[stage.name] = value
-            ctx.digests[stage.name] = digest
+        with obs.span(
+            "chain.run",
+            model=model.name,
+            model_digest=ctx.digests["model"][:12],
+            resolution=resolution.name,
+            orientation=orientation.value,
+            cell=cell,
+        ):
+            log = self._run_stages(ctx, cell, validate)
 
         return PrintOutcome(
             artifact=ctx.artifact("deposit"),
@@ -359,3 +330,55 @@ class ProcessChain:
             geometry=ctx.artifacts.get("validate"),
             stage_log=tuple(log),
         )
+
+    def _run_stages(
+        self, ctx: ChainContext, cell: str, validate: bool
+    ) -> List[StageExecution]:
+        """Execute the stage graph for one run, with per-stage spans."""
+        log: List[StageExecution] = []
+        for stage in self.stages:
+            if stage.name == "validate" and not validate:
+                continue
+            digest = digest_parts(
+                stage.name,
+                tuple(ctx.digests[name] for name in stage.inputs),
+                stage.key(ctx),
+            )
+
+            def _compute(stage=stage, cell=cell):
+                faults.fire(stage.fault_site, context=cell)
+                return stage.run(ctx)
+
+            start = time.perf_counter()
+            with obs.span(
+                f"stage.{stage.name}",
+                stage=stage.name,
+                digest=digest[:12],
+                cell=cell,
+            ):
+                try:
+                    value, hit = self.cache.get_or_run(
+                        stage.name,
+                        digest,
+                        _compute,
+                        pack=stage.pack,
+                        unpack=stage.unpack,
+                    )
+                except CellTimeout:
+                    # A wall-clock budget expiring mid-stage is a
+                    # property of the *cell*, not of this stage's
+                    # inputs: let the sweep executor attribute it.
+                    raise
+                except StageError:
+                    raise
+                except Exception as exc:
+                    # Typed failure with chain coordinates (ISSUE 3):
+                    # which stage died, computing which content address.
+                    raise StageError(stage.name, digest, exc) from exc
+                obs.annotate(cache_hit=hit)
+            log.append(
+                StageExecution(stage.name, digest, hit, time.perf_counter() - start)
+            )
+            ctx.artifacts[stage.name] = value
+            ctx.digests[stage.name] = digest
+        return log

@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro import faults
+from repro import observability as obs
 from repro.pipeline.cache import StageCache
 from repro.pipeline.resilience import CacheIntegrityError
 from repro.supplychain.integrity import file_digest
@@ -110,6 +111,9 @@ class DiskStageCache(StageCache):
             # lookup: quarantine it and recompute.
             self._quarantine(stage_name, key)
             self.stats.integrity_failures += 1
+            obs.event("cache.integrity_failure", stage=stage_name,
+                      key=key[:12])
+            obs.inc("cache.integrity_failures")
             return None, False
 
     def _verify(self, stage_name: str, key: str, data: bytes) -> None:
@@ -148,22 +152,25 @@ class DiskStageCache(StageCache):
     def _store(self, stage_name: str, key: str, value: Any) -> None:
         path = self._path(stage_name, key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        try:
-            faults.fire(f"cache.store.{stage_name}")
-            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-            # Digest sidecar lands first: any reader that can see the
-            # payload can verify it (a payload without its sidecar is
-            # treated as tampering).
-            self._write_atomic(
-                self._digest_path(stage_name, key),
-                (file_digest(data) + "\n").encode(),
-            )
-            self._write_atomic(path, data)
-        except (OSError, pickle.PicklingError, TypeError, AttributeError):
-            # An artifact that cannot be persisted (or a full disk)
-            # degrades to memory-only caching rather than failing the
-            # run - but observably (ISSUE 3: no silent swallowing).
-            self.stats.store_failures += 1
+        with obs.span("cache.store", stage=stage_name, key=key[:12]):
+            try:
+                faults.fire(f"cache.store.{stage_name}")
+                data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                # Digest sidecar lands first: any reader that can see the
+                # payload can verify it (a payload without its sidecar is
+                # treated as tampering).
+                self._write_atomic(
+                    self._digest_path(stage_name, key),
+                    (file_digest(data) + "\n").encode(),
+                )
+                self._write_atomic(path, data)
+                obs.annotate(ok=True, bytes=len(data))
+            except (OSError, pickle.PicklingError, TypeError, AttributeError):
+                # An artifact that cannot be persisted (or a full disk)
+                # degrades to memory-only caching rather than failing the
+                # run - but observably (ISSUE 3: no silent swallowing).
+                self.stats.store_failures += 1
+                obs.annotate(ok=False)
 
     def _write_atomic(self, path: Path, data: bytes) -> None:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -191,32 +198,41 @@ class DiskStageCache(StageCache):
         """As :meth:`StageCache.get_or_run`; both tiers hold the packed
         form, so packed stages also pickle eightfold smaller."""
         stats = self.stats.stage(stage_name)
-        if self.enabled:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                stats.hits += 1
-                if stats.misses:
-                    stats.saved_s += stats.run_s / stats.misses
-                stored = self._entries[key]
-                return (unpack(stored) if unpack is not None else stored), True
-            stored, found = self._load(stage_name, key)
-            if found:
-                stats.hits += 1
-                self.disk_hits[stage_name] = self.disk_hits.get(stage_name, 0) + 1
-                if stats.misses:
-                    stats.saved_s += stats.run_s / stats.misses
-                self._remember(key, stored)
-                return (unpack(stored) if unpack is not None else stored), True
+        with obs.span("cache.get", stage=stage_name, key=key[:12]):
+            if self.enabled:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    stats.hits += 1
+                    if stats.misses:
+                        stats.saved_s += stats.run_s / stats.misses
+                    obs.annotate(hit=True, tier="memory")
+                    stored = self._entries[key]
+                    return (
+                        unpack(stored) if unpack is not None else stored
+                    ), True
+                stored, found = self._load(stage_name, key)
+                if found:
+                    stats.hits += 1
+                    self.disk_hits[stage_name] = self.disk_hits.get(stage_name, 0) + 1
+                    if stats.misses:
+                        stats.saved_s += stats.run_s / stats.misses
+                    obs.annotate(hit=True, tier="disk")
+                    self._remember(key, stored)
+                    return (
+                        unpack(stored) if unpack is not None else stored
+                    ), True
 
-        start = time.perf_counter()
-        value = fn()
-        stats.run_s += time.perf_counter() - start
-        stats.misses += 1
-        if self.enabled:
-            stored = pack(value) if pack is not None else value
-            self._remember(key, stored)
-            self._store(stage_name, key, stored)
-        return value, False
+            start = time.perf_counter()
+            value = fn()
+            elapsed = time.perf_counter() - start
+            stats.run_s += elapsed
+            stats.misses += 1
+            obs.annotate(hit=False, tier="compute", run_s=elapsed)
+            if self.enabled:
+                stored = pack(value) if pack is not None else value
+                self._remember(key, stored)
+                self._store(stage_name, key, stored)
+            return value, False
 
     def _remember(self, key: str, value: Any) -> None:
         self._entries[key] = value

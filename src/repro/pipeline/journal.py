@@ -6,61 +6,153 @@ sweep executor appends one record per completed cell to a journal file;
 ``sweep --resume`` replays the journal and skips every cell whose
 record is present and intact.
 
-The journal is *tamper evident* in the same spirit as the disk cache:
-each line is a JSON object carrying the cell key, a base64 pickle of
-the result, and a SHA-256 digest of that payload.  On load, lines that
-fail to parse or whose digest does not match are skipped - a truncated
-tail (the crash happened mid-append) or a tampered record costs one
-recompute, never a poisoned result.
+Integrity (ISSUE 4 bugfix): the journal used to "tamper-evidence" each
+record with a SHA-256 *of the payload itself*, which self-certifies -
+an attacker rewrites payload and digest consistently and ``load()``
+would happily ``pickle.loads`` attacker-controlled bytes.  Records are
+now authenticated with **HMAC-SHA256 under a per-run secret** created
+beside the journal (``<journal>.key``, mode ``0600``).  ``load()``
+verifies the MAC over ``(cell key, payload)`` *before* any
+deserialization, so a forged or bit-flipped record is rejected without
+ever being unpickled, and re-keying a record to a different cell fails
+too.  Rejected and undecodable lines are **counted**
+(:attr:`rejected_lines` / :attr:`dropped_lines`), not skipped silently,
+so a resume can report how much journal damage it absorbed.
+
+Threat model: this defeats tampering by anyone without read access to
+the key sidecar (bit rot, truncation, a journal file swapped in from
+elsewhere, dr0wned-style mid-chain file manipulation of the journal
+alone).  An attacker who can read the secret can forge records - the
+secret lives beside the cache on purpose, as a per-run containment
+boundary, not a long-term credential.
+
+Durability (ISSUE 4 bugfix): ``append`` used to claim "line-buffered"
+writes while opening with default block buffering and never syncing -
+a crash could lose every record since the last implicit flush.  Each
+append now flushes and ``os.fsync``\\ s, so a completed cell's record
+survives anything short of storage-device failure; a crash mid-append
+loses at most the record being written (its MAC will not verify).
 """
 
 from __future__ import annotations
 
 import base64
+import hmac
 import json
+import os
 import pickle
+from hashlib import sha256
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
-from repro.supplychain.integrity import file_digest
+from repro import observability as obs
+
+#: Bytes of entropy in a freshly generated per-run journal secret.
+SECRET_BYTES = 32
 
 
 class SweepJournal:
-    """One sweep's completed-cell record file (JSON lines)."""
+    """One sweep's completed-cell record file (JSON lines).
 
-    def __init__(self, path: Union[str, Path]):
+    Attributes
+    ----------
+    rejected_lines:
+        Records whose HMAC failed verification during the last
+        :meth:`load` (tampered, truncated mid-append, or written under
+        a different secret).  Never deserialized.
+    dropped_lines:
+        Lines the last :meth:`load` could not even parse as journal
+        records (garbage, partial JSON).
+    """
+
+    def __init__(self, path: Union[str, Path], secret: Optional[bytes] = None):
         self.path = Path(path)
+        self._secret = secret
+        self.rejected_lines = 0
+        self.dropped_lines = 0
+
+    @property
+    def key_path(self) -> Path:
+        """The per-run secret sidecar, beside the journal."""
+        return self.path.with_name(self.path.name + ".key")
 
     def exists(self) -> bool:
         return self.path.is_file()
 
+    # -- secret management ---------------------------------------------------
+
+    def _load_secret(self, create: bool) -> Optional[bytes]:
+        if self._secret is not None:
+            return self._secret
+        try:
+            self._secret = bytes.fromhex(self.key_path.read_text().strip())
+            return self._secret
+        except (OSError, ValueError):
+            pass
+        if not create:
+            return None
+        self.key_path.parent.mkdir(parents=True, exist_ok=True)
+        secret = os.urandom(SECRET_BYTES)
+        try:
+            # O_EXCL so two racing writers settle on one secret: the
+            # loser re-reads whatever the winner published.
+            fd = os.open(
+                self.key_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o600
+            )
+            with os.fdopen(fd, "w") as fh:
+                fh.write(secret.hex() + "\n")
+            self._secret = secret
+        except FileExistsError:
+            self._secret = bytes.fromhex(self.key_path.read_text().strip())
+        return self._secret
+
+    def _mac(self, secret: bytes, key: str, payload: str) -> str:
+        message = key.encode() + b"\x00" + payload.encode()
+        return hmac.new(secret, message, sha256).hexdigest()
+
+    # -- append / load -------------------------------------------------------
+
     def append(self, key: str, result: Any) -> None:
         """Record ``result`` (any picklable object) as completed for ``key``.
 
-        Appends are line-buffered and self-framed; a crash mid-write
-        loses at most the line being written.
+        Each record is flushed and fsynced before ``append`` returns:
+        a completed cell's checkpoint survives a crash immediately
+        after, and a crash mid-append costs only the record being
+        written (its MAC will not verify on load).
         """
+        secret = self._load_secret(create=True)
         payload = base64.b64encode(
             pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         ).decode("ascii")
         line = json.dumps(
-            {"key": key, "sha256": file_digest(payload.encode()), "result": payload}
+            {
+                "key": key,
+                "hmac": self._mac(secret, key, payload),
+                "result": payload,
+            }
         )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a") as fh:
             fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        obs.inc("journal.appends")
 
     def load(self) -> Dict[str, Any]:
         """Replay the journal into ``{key: result}``.
 
         Later records win (a key re-run after a failed resume replaces
-        its earlier record).  Undecodable or digest-mismatched lines
-        are dropped silently - they are exactly the crash/tamper damage
-        the journal exists to absorb.
+        its earlier record).  Every record's HMAC is verified *before*
+        its payload is deserialized; failures are tallied in
+        :attr:`rejected_lines` / :attr:`dropped_lines` so callers can
+        surface how much damage the journal absorbed.
         """
+        self.rejected_lines = 0
+        self.dropped_lines = 0
         entries: Dict[str, Any] = {}
         if not self.exists():
             return entries
+        secret = self._load_secret(create=False)
         with open(self.path) as fh:
             for line in fh:
                 line = line.strip()
@@ -68,12 +160,25 @@ class SweepJournal:
                     continue
                 try:
                     record = json.loads(line)
+                    key = record["key"]
                     payload = record["result"]
-                    if file_digest(payload.encode()) != record["sha256"]:
-                        continue
-                    entries[record["key"]] = pickle.loads(
-                        base64.b64decode(payload)
-                    )
+                    mac = record["hmac"]
+                    if not isinstance(payload, str) or not isinstance(mac, str):
+                        raise TypeError("malformed record")
                 except Exception:
+                    self.dropped_lines += 1
                     continue
+                # Authentication gates deserialization: a record that
+                # fails (or cannot be) verified is never unpickled.
+                if secret is None or not hmac.compare_digest(
+                    self._mac(secret, key, payload), mac
+                ):
+                    self.rejected_lines += 1
+                    continue
+                try:
+                    entries[key] = pickle.loads(base64.b64decode(payload))
+                except Exception:
+                    self.rejected_lines += 1
+        obs.inc("journal.rejected", self.rejected_lines)
+        obs.inc("journal.dropped", self.dropped_lines)
         return entries

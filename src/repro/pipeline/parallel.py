@@ -47,6 +47,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import faults
+from repro import observability as obs
 from repro.cad.resolution import StlResolution
 from repro.mesh.content_hash import model_digest
 from repro.pipeline.cache import CacheStats, StageCache, digest_parts
@@ -167,6 +168,11 @@ class SweepReport:
     #: True when pool rebuilds were exhausted and the remaining cells
     #: ran serially in-process.
     degraded_to_serial: bool = False
+    #: Journal records rejected during resume (failed HMAC verification;
+    #: tampered, truncated, or written under a different secret).
+    journal_rejected: int = 0
+    #: Journal lines that could not even be parsed during resume.
+    journal_dropped: int = 0
 
     @property
     def failed_cells(self) -> List[Tuple[str, str]]:
@@ -215,27 +221,47 @@ def execute_cell(
                 model, resolution, orientation, analyze_seam=analyze_seam
             )
 
-    try:
-        outcome, attempts = retry.call(attempt)
-    except Exception as exc:
-        return None, cell_error_from_exception(
-            resolution.name, orientation.value, exc, retry
-        )
-    cell = SweepCellResult(
+    with obs.span(
+        "sweep.cell",
+        cell=context,
         resolution=resolution.name,
         orientation=orientation.value,
-        fingerprint=outcome_fingerprint(outcome),
-        assessment=assess(outcome) if assess is not None else None,
-        stage_log=outcome.stage_log,
-        attempts=attempts,
-    )
+    ):
+        try:
+            outcome, attempts = retry.call(attempt)
+        except Exception as exc:
+            obs.annotate(
+                outcome="error",
+                error_type=type(exc).__name__,
+                attempts=getattr(exc, "attempts", 1),
+            )
+            return None, cell_error_from_exception(
+                resolution.name, orientation.value, exc, retry
+            )
+        cell = SweepCellResult(
+            resolution=resolution.name,
+            orientation=orientation.value,
+            fingerprint=outcome_fingerprint(outcome),
+            assessment=assess(outcome) if assess is not None else None,
+            stage_log=outcome.stage_log,
+            attempts=attempts,
+        )
+        obs.annotate(
+            outcome="ok", attempts=attempts, fingerprint=cell.fingerprint
+        )
     return cell, None
 
 
 def _run_cell(payload) -> Tuple[
-    Optional[SweepCellResult], Optional[SweepCellError], CacheStats
+    Optional[SweepCellResult], Optional[SweepCellError], CacheStats, List[dict]
 ]:
-    """Worker entry: run one grid cell against the shared disk cache."""
+    """Worker entry: run one grid cell against the shared disk cache.
+
+    When the parent sweep is traced (``trace`` in the payload), the
+    worker runs the cell under its own tracer and ships the finished
+    spans back as plain dict rows alongside the result, so the parent
+    can merge every process's spans into one trace.
+    """
     (
         model,
         resolution,
@@ -249,20 +275,28 @@ def _run_cell(payload) -> Tuple[
         assess,
         retry,
         cell_timeout_s,
+        trace,
     ) = payload
-    faults.fire("worker", context=f"{resolution.name}/{orientation.value}")
-    chain = ProcessChain(
-        machine=machine,
-        settings=settings,
-        raster_cell_mm=raster_cell_mm,
-        cache=DiskStageCache(cache_dir),
-        plate_margin_mm=plate_margin_mm,
-    )
-    cell, error = execute_cell(
-        chain, model, resolution, orientation, assess, analyze_seam,
-        retry, cell_timeout_s,
-    )
-    return cell, error, chain.stats.snapshot()
+    tracer = obs.install(obs.Tracer()) if trace else None
+    try:
+        faults.fire("worker", context=f"{resolution.name}/{orientation.value}")
+        chain = ProcessChain(
+            machine=machine,
+            settings=settings,
+            raster_cell_mm=raster_cell_mm,
+            cache=DiskStageCache(cache_dir),
+            plate_margin_mm=plate_margin_mm,
+        )
+        cell, error = execute_cell(
+            chain, model, resolution, orientation, assess, analyze_seam,
+            retry, cell_timeout_s,
+        )
+        stats = chain.stats.snapshot()
+    finally:
+        if tracer is not None:
+            obs.uninstall()
+    spans = [s.to_dict() for s in tracer.drain()] if tracer is not None else []
+    return cell, error, stats, spans
 
 
 class ParallelSweep:
@@ -362,17 +396,35 @@ class ParallelSweep:
         journal = (
             SweepJournal(self.journal_path) if self.journal_path else None
         )
-        keys = [self._cell_key(model, r, o, assess, analyze_seam) for r, o in grid]
-        replayed = self._replay(journal, keys) if self.resume else {}
-        if self.jobs == 1:
-            report = self._run_serial(
-                model, grid, keys, replayed, assess, analyze_seam, journal
+        with obs.span(
+            "sweep.run", jobs=self.jobs, grid=len(grid), resume=self.resume
+        ):
+            keys = [
+                self._cell_key(model, r, o, assess, analyze_seam)
+                for r, o in grid
+            ]
+            replayed = self._replay(journal, keys) if self.resume else {}
+            if self.jobs == 1:
+                report = self._run_serial(
+                    model, grid, keys, replayed, assess, analyze_seam, journal
+                )
+            else:
+                report = self._run_parallel(
+                    model, grid, keys, replayed, assess, analyze_seam, journal
+                )
+            report.wall_s = time.perf_counter() - start
+            if journal is not None and self.resume:
+                report.journal_rejected = journal.rejected_lines
+                report.journal_dropped = journal.dropped_lines
+            obs.annotate(
+                cells_ok=len(report.cells),
+                cells_failed=len(report.errors),
+                resumed=report.resumed,
+                pool_rebuilds=report.pool_rebuilds,
+                degraded_to_serial=report.degraded_to_serial,
+                journal_rejected=report.journal_rejected,
+                wall_s=report.wall_s,
             )
-        else:
-            report = self._run_parallel(
-                model, grid, keys, replayed, assess, analyze_seam, journal
-            )
-        report.wall_s = time.perf_counter() - start
         if report.errors and not self.keep_going:
             raise SweepAborted(report.errors[0])
         return report
@@ -422,6 +474,21 @@ class ParallelSweep:
                     attempts=stored.attempts,
                     resumed=True,
                 )
+                # A trace must witness every cell of the run, replayed
+                # ones included - resumed cells otherwise vanish from
+                # the audit trail.
+                with obs.span(
+                    "sweep.cell",
+                    cell=f"{stored.resolution}/{stored.orientation}",
+                    resolution=stored.resolution,
+                    orientation=stored.orientation,
+                ):
+                    obs.annotate(
+                        outcome="resumed",
+                        resumed=True,
+                        attempts=stored.attempts,
+                        fingerprint=stored.fingerprint,
+                    )
         return replayed
 
     # -- serial --------------------------------------------------------------
@@ -493,6 +560,7 @@ class ParallelSweep:
             assess,
             self.retry,
             self.cell_timeout_s,
+            obs.enabled(),
         )
 
     def _run_pool(
@@ -523,8 +591,12 @@ class ParallelSweep:
                     }
                     for future in as_completed(futures):
                         index = futures[future]
-                        cell, error, cell_stats = future.result()
+                        cell, error, cell_stats, spans = future.result()
                         stats.merge(cell_stats)
+                        if spans:
+                            tracer = obs.get_tracer()
+                            if tracer is not None:
+                                tracer.adopt(spans)
                         if error is not None:
                             errors[index] = error
                         else:

@@ -23,9 +23,10 @@ do that:
   :class:`~concurrent.futures.ProcessPoolExecutor` run tasks on their
   main thread, so the alarm works there too).
 
-No imports from the rest of ``repro`` live here: every layer (mesh
-loaders, cache, chain, sweep executor, CLI) can depend on this module
-without creating cycles.
+Apart from :mod:`repro.observability` (itself a leaf), no imports from
+the rest of ``repro`` live here: every layer (mesh loaders, cache,
+chain, sweep executor, CLI) can depend on this module without creating
+cycles.
 """
 
 from __future__ import annotations
@@ -36,6 +37,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro import observability as obs
 
 
 class PipelineError(Exception):
@@ -170,7 +173,11 @@ class RetryPolicy:
         while True:
             attempt += 1
             try:
-                return fn(), attempt
+                with obs.span(
+                    "retry.attempt", attempt=attempt,
+                    max_attempts=self.max_attempts,
+                ):
+                    return fn(), attempt
             except Exception as exc:
                 if attempt >= self.max_attempts or not self.is_transient(exc):
                     try:
@@ -178,6 +185,7 @@ class RetryPolicy:
                     except AttributeError:
                         pass
                     raise
+                obs.inc("retry.retries")
                 pause = self.delay(attempt)
                 if pause > 0:
                     time.sleep(pause)
@@ -202,18 +210,42 @@ def time_limit(seconds: Optional[float], what: str = "cell"):
     arms on POSIX main threads (which includes process-pool workers -
     they execute tasks on their main thread).  Elsewhere, or with
     ``seconds`` of ``None``/``0``, the body runs unbudgeted.
+
+    Contexts nest: entering an inner ``time_limit`` masks the outer
+    timer for the inner body's duration, and on exit the outer timer is
+    re-armed with its *remaining* budget (elapsed time subtracted), so
+    an enclosing budget is never silently cancelled (ISSUE 4 bugfix -
+    teardown used to disarm with ``setitimer(ITIMER_REAL, 0.0)``,
+    clobbering any enclosing timer).  An outer budget that expired
+    while masked fires immediately after the inner context exits.
     """
     if not seconds or seconds <= 0 or not _alarms_usable():
         yield False
         return
 
     def _on_alarm(signum, frame):
+        obs.event("timeout", what=what, seconds=seconds)
         raise CellTimeout(seconds, what=what)
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield True
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+    with obs.span("time_limit", seconds=seconds, what=what):
+        previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+        outer_delay, outer_interval = signal.setitimer(
+            signal.ITIMER_REAL, seconds
+        )
+        started = time.monotonic()
+        try:
+            yield True
+        except CellTimeout:
+            obs.annotate(timed_out=True)
+            raise
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+            if outer_delay > 0.0:
+                # Restore the enclosing timer minus the time this
+                # context consumed; a budget that ran out while masked
+                # is re-armed with an epsilon so it fires at once.
+                remaining = outer_delay - (time.monotonic() - started)
+                signal.setitimer(
+                    signal.ITIMER_REAL, max(remaining, 1e-6), outer_interval
+                )

@@ -1,0 +1,112 @@
+"""CacheStats aggregation: merge, render, and the stable to_dict schema.
+
+ISSUE 4 satellites: the worker-merge totals of a parallel sweep, the
+zero-run render table, and the regression that ``to_dict`` used to omit
+the ``_cache`` block when both failure counters were zero.
+"""
+
+from repro.pipeline.cache import CacheStats, StageStats
+
+
+def _stats(**stages):
+    stats = CacheStats()
+    for name, (hits, misses, run_s, saved_s) in stages.items():
+        entry = stats.stage(name)
+        entry.hits, entry.misses = hits, misses
+        entry.run_s, entry.saved_s = run_s, saved_s
+    return stats
+
+
+class TestMerge:
+    def test_worker_merge_sums_every_counter(self):
+        """Merging two workers' tables gives fleet-wide totals."""
+        a = _stats(slice=(2, 1, 1.0, 0.5), deposit=(0, 3, 6.0, 0.0))
+        a.integrity_failures = 1
+        b = _stats(slice=(1, 2, 2.0, 0.25), gcode=(4, 0, 0.0, 1.0))
+        b.store_failures = 2
+
+        merged = a.merge(b)
+        assert merged is a  # in place, chainable
+        assert a.stage("slice").hits == 3
+        assert a.stage("slice").misses == 3
+        assert a.stage("slice").run_s == 3.0
+        assert a.stage("slice").saved_s == 0.75
+        # Stages seen by only one worker survive untouched.
+        assert a.stage("deposit").misses == 3
+        assert a.stage("gcode").hits == 4
+        assert a.integrity_failures == 1
+        assert a.store_failures == 2
+        assert a.total_hits == 7
+        assert a.total_misses == 6
+
+    def test_merge_empty_is_identity(self):
+        a = _stats(slice=(2, 1, 1.0, 0.5))
+        before = a.to_dict()
+        assert a.merge(CacheStats()).to_dict() == before
+
+    def test_snapshot_is_independent(self):
+        a = _stats(slice=(1, 1, 1.0, 0.0))
+        snap = a.snapshot()
+        a.stage("slice").hits += 10
+        a.integrity_failures += 1
+        assert snap.stage("slice").hits == 1
+        assert snap.integrity_failures == 0
+
+
+class TestRender:
+    def test_zero_run_table_renders_without_dividing(self):
+        """A sweep that resumed everything ran nothing; the table must
+        render (0% hit rate, zero totals) instead of dividing by zero."""
+        lines = CacheStats().render()
+        assert lines[0].startswith("stage")
+        total = lines[-1]
+        assert total.startswith("total")
+        assert "0%" in total
+
+    def test_zero_count_stage_row_renders(self):
+        stats = _stats(slice=(0, 0, 0.0, 0.0))
+        row = stats.render()[1]
+        assert row.startswith("slice")
+        assert "0%" in row
+
+    def test_failure_lines_only_when_nonzero(self):
+        clean = "\n".join(_stats(s=(1, 1, 0.1, 0.1)).render())
+        assert "integrity failures" not in clean
+        dirty = _stats(s=(1, 1, 0.1, 0.1))
+        dirty.integrity_failures = 2
+        dirty.store_failures = 1
+        rendered = "\n".join(dirty.render())
+        assert "integrity failures (quarantined + recomputed): 2" in rendered
+        assert "store failures (degraded to memory-only): 1" in rendered
+
+
+class TestToDict:
+    def test_cache_block_present_when_counters_zero(self):
+        """Regression (ISSUE 4 satellite): the ``_cache`` block used to
+        be omitted when both failure counters were zero, giving
+        BENCH_pipeline.json consumers an unstable schema."""
+        payload = CacheStats().to_dict()
+        assert payload["_cache"] == {
+            "integrity_failures": 0,
+            "store_failures": 0,
+        }
+
+    def test_cache_block_carries_counters(self):
+        stats = CacheStats(integrity_failures=3, store_failures=1)
+        assert stats.to_dict()["_cache"] == {
+            "integrity_failures": 3,
+            "store_failures": 1,
+        }
+
+    def test_stage_rows_roundtrip_values(self):
+        stats = _stats(slice=(2, 1, 1.5, 0.5))
+        payload = stats.to_dict()
+        assert payload["slice"] == {
+            "hits": 2, "misses": 1, "run_s": 1.5, "saved_s": 0.5,
+        }
+
+    def test_stage_stats_derived_properties(self):
+        entry = StageStats(hits=3, misses=1, run_s=2.0)
+        assert entry.runs == 4
+        assert entry.hit_rate == 0.75
+        assert StageStats().hit_rate == 0.0

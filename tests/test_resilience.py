@@ -155,6 +155,44 @@ class TestTimeLimit:
             with time_limit(budget) as armed:
                 assert armed is False
 
+    def test_nested_inner_timeout_names_the_inner_budget(self):
+        """Regression (ISSUE 4): the inner budget fires and is
+        attributed to the inner scope, not the outer one."""
+        with pytest.raises(CellTimeout) as info:
+            with time_limit(30.0, what="outer"):
+                with time_limit(0.1, what="inner"):
+                    time.sleep(5.0)
+        assert "inner" in str(info.value)
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_nested_exit_restores_outer_timer(self):
+        """Regression (ISSUE 4 satellite): the inner ``time_limit``
+        used to disarm the itimer outright on exit, silently voiding
+        the outer wall-clock budget.  The outer timer must be re-armed
+        with its remaining allowance and still fire."""
+        with pytest.raises(CellTimeout) as info:
+            with time_limit(0.4, what="outer"):
+                with time_limit(30.0, what="inner"):
+                    time.sleep(0.05)  # well under both budgets
+                # Inner exited; outer must still be ticking.
+                delay, _ = signal.getitimer(signal.ITIMER_REAL)
+                assert 0.0 < delay <= 0.4
+                time.sleep(5.0)  # blows the outer budget
+        assert "outer" in str(info.value)
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_nested_outer_expiry_fires_on_inner_exit(self):
+        """An outer budget that expires while the inner timer holds
+        SIGALRM is delivered (near-)immediately after the inner scope
+        exits, not lost."""
+        with pytest.raises(CellTimeout) as info:
+            with time_limit(0.05, what="outer"):
+                with time_limit(30.0, what="inner"):
+                    time.sleep(0.2)  # outer expires while masked
+                time.sleep(5.0)  # must never get this far
+        assert "outer" in str(info.value)
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
 
 class TestDiskCacheIntegrity:
     """The tamper-evident disk tier: verify, quarantine, recompute."""
@@ -301,3 +339,64 @@ class TestSweepJournal:
         with open(path, "a") as fh:
             fh.write("not json at all\n\n{\"key\": \"k2\"}\n")
         assert journal.load() == {"k1": "real"}
+
+    def test_damage_is_counted_not_silent(self, tmp_path):
+        """ISSUE 4 satellite: rejected and undecodable lines are
+        tallied so a resume can report how much damage it absorbed."""
+        import json
+
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.append("k1", "real")
+        record = json.loads(path.read_text())
+        forged = dict(record, key="k2")  # re-keyed, MAC now wrong
+        with open(path, "a") as fh:
+            fh.write(json.dumps(forged) + "\n")
+            fh.write("garbage line\n")
+        assert journal.load() == {"k1": "real"}
+        assert journal.rejected_lines == 1
+        assert journal.dropped_lines == 1
+        # Counters reset per load, not accumulated across loads.
+        journal.load()
+        assert journal.rejected_lines == 1
+
+    def test_forged_record_never_unpickled(self, tmp_path):
+        """The core ISSUE 4 journal fix: the old format self-certified
+        (sha256 of the payload itself), so an attacker-rewritten record
+        reached ``pickle.loads``.  A record without a valid HMAC under
+        the per-run secret must be rejected *before* deserialization."""
+        import base64
+        import json
+        import pickle
+        from hashlib import sha256
+
+        fired = []
+
+        class Payload:
+            def __reduce__(self):
+                return (fired.append, ("unpickled!",))
+
+        path = tmp_path / "j.jsonl"
+        payload = base64.b64encode(pickle.dumps(Payload())).decode()
+        # The pre-fix "tamper evidence": a digest anyone can recompute.
+        path.write_text(json.dumps({
+            "key": "k1",
+            "hmac": sha256(payload.encode()).hexdigest(),
+            "result": payload,
+        }) + "\n")
+        journal = SweepJournal(path)
+        journal.append("k2", "legit")  # creates the run's real secret
+        assert journal.load() == {"k2": "legit"}
+        assert journal.rejected_lines == 1
+        assert fired == []  # the forged payload was never deserialized
+
+    def test_secret_sidecar_is_private_and_stable(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.append("k1", "v")
+        key_path = journal.key_path
+        assert key_path.is_file()
+        assert (key_path.stat().st_mode & 0o777) == 0o600
+        # A second journal object reuses the same secret.
+        journal.append("k2", "w")
+        assert SweepJournal(path).load() == {"k1": "v", "k2": "w"}

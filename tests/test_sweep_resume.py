@@ -19,6 +19,13 @@ GRID_RESOLUTIONS = (COARSE,)
 GRID_ORIENTATIONS = (PrintOrientation.XY, PrintOrientation.XZ)
 
 
+def _copy_key_sidecar(source, dest):
+    """Move a journal's per-run HMAC key alongside a copied journal."""
+    SweepJournal(dest).key_path.write_text(
+        SweepJournal(source).key_path.read_text()
+    )
+
+
 @pytest.fixture(scope="module")
 def protected():
     return Obfuscator(seed=7).protect_tensile_bar()
@@ -71,8 +78,11 @@ class TestSweepResume:
         report, journal = journaled_run
         partial = tmp_path / "partial.jsonl"
         # Keep only the first record: the crash happened at cell 2.
+        # Records are HMAC'd under a per-run secret, so the key sidecar
+        # travels with the journal (as it would after a real crash).
         first_line = journal.read_text().splitlines()[0]
         partial.write_text(first_line + "\n")
+        _copy_key_sidecar(journal, partial)
 
         resumed = ParallelSweep(
             jobs=1, journal_path=str(partial), resume=True
@@ -101,6 +111,7 @@ class TestSweepResume:
             lines[0][len(lines[0]) // 2], "A", 1
         )
         tampered.write_text("\n".join(lines) + "\n")
+        _copy_key_sidecar(journal, tampered)
 
         resumed = ParallelSweep(
             jobs=1, journal_path=str(tampered), resume=True
@@ -112,6 +123,22 @@ class TestSweepResume:
         assert [c.fingerprint for c in resumed.cells] == [
             c.fingerprint for c in report.cells
         ]
+        # The rejection is accounted for, not silently skipped.
+        assert resumed.journal_rejected + resumed.journal_dropped >= 1
+
+    def test_journal_without_key_rejects_everything(
+        self, protected, journaled_run, tmp_path
+    ):
+        """A journal separated from its key sidecar replays nothing:
+        without the per-run secret no record can be authenticated, and
+        none is ever unpickled."""
+        report, journal = journaled_run
+        orphan = tmp_path / "orphan.jsonl"
+        orphan.write_text(journal.read_text())
+
+        j = SweepJournal(orphan)
+        assert j.load() == {}
+        assert j.rejected_lines == len(report.cells)
 
     def test_resume_requires_journal(self):
         with pytest.raises(PipelineConfigError):
