@@ -5,10 +5,21 @@ vertices along the shared spline.  Forcing both bodies to share one
 vertex-placement strategy removes the mismatch - and with it the
 x-y defect signal - demonstrating the mechanism is tessellation
 independence, not the split itself.
+
+A second ablation targets the *scheduler's* sharing: a cold sweep over
+the same model with and without stage-granular node dedup.  With dedup
+the merged execution graph schedules orientation-independent stages
+once per resolution fleet-wide; without it (the legacy cell-granular
+plan) every cell gets its own node and only the shared cache prevents
+recompute.  Artifacts must be bit-identical either way - the dedup is
+purely a scheduling property.
 """
+
+import time
 
 from repro.cad import (
     COARSE,
+    StlResolution,
     BaseExtrudeFeature,
     CadModel,
     SplineSplitFeature,
@@ -16,7 +27,15 @@ from repro.cad import (
     tensile_bar_profile,
 )
 from repro.mesh.validate import find_tessellation_gaps, max_gap
+from repro.pipeline import ParallelSweep
+from repro.printer import PrintOrientation
 from repro.slicer import SlicerSettings, analyze_split_seam
+
+SWEEP_RESOLUTIONS = (
+    COARSE,
+    StlResolution(name="Mid", angle_deg=20.0, deviation_fraction=0.0012),
+)
+SWEEP_ORIENTATIONS = (PrintOrientation.XY, PrintOrientation.XZ)
 
 
 def build(shared: bool):
@@ -47,8 +66,30 @@ def run(split_bar_unused=None):
     return rows
 
 
+def run_scheduler_ablation():
+    """Cold sweep wall-clock with and without stage-granular dedup."""
+    model = build(False)
+    rows = []
+    for dedupe in (True, False):
+        start = time.perf_counter()
+        sweep_report = ParallelSweep(dedupe=dedupe).run(
+            model, SWEEP_RESOLUTIONS, SWEEP_ORIENTATIONS
+        )
+        rows.append(
+            {
+                "dedupe": dedupe,
+                "wall_s": time.perf_counter() - start,
+                "fingerprints": [c.fingerprint for c in sweep_report.cells],
+                "scheduler": sweep_report.scheduler,
+                "stats": sweep_report.stats,
+            }
+        )
+    return rows
+
+
 def test_ablation_shared_tessellation(benchmark, report):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    sched_rows = run_scheduler_ablation()
 
     lines = [
         f"{'tessellation':14s} {'max gap (mm)':>13s} {'bonded':>8s} "
@@ -59,6 +100,20 @@ def test_ablation_shared_tessellation(benchmark, report):
             f"{r['tessellation']:14s} {r['max_gap_mm']:>13.4f} "
             f"{r['bonded_fraction']:>8.2f} {str(r['prints_defect_xy']):>12s}"
         )
+    lines.append("")
+    lines.append(
+        f"cold {len(SWEEP_RESOLUTIONS)}x{len(SWEEP_ORIENTATIONS)} sweep, "
+        "stage-granular scheduler:"
+    )
+    for r in sched_rows:
+        mode = "dedup on " if r["dedupe"] else "dedup off"
+        totals = r["scheduler"]
+        lines.append(
+            f"  {mode}: {r['wall_s']:6.2f} s  "
+            f"(scheduled {totals.total_scheduled}, "
+            f"deduped {totals.total_deduped}, "
+            f"executed {totals.total_executed})"
+        )
     report("Ablation shared tessellation", lines)
 
     independent, shared = rows
@@ -68,3 +123,20 @@ def test_ablation_shared_tessellation(benchmark, report):
     # Shared meshing: the gap collapses and the defect disappears.
     assert shared["max_gap_mm"] < 1e-6
     assert not shared["prints_defect_xy"]
+
+    with_dedupe, without_dedupe = sched_rows
+    # Scheduling granularity never changes the artifacts...
+    assert with_dedupe["fingerprints"] == without_dedupe["fingerprints"]
+    # ...but with dedup the shared stages execute once per resolution
+    # fleet-wide, while the ablation executes one node per cell and
+    # leans on the cache (legacy accounting: misses per resolution,
+    # hits for the rest).
+    n_cells = len(SWEEP_RESOLUTIONS) * len(SWEEP_ORIENTATIONS)
+    tess = with_dedupe["scheduler"].stages["tessellate"]
+    assert tess.scheduled == tess.executed == len(SWEEP_RESOLUTIONS)
+    assert tess.deduped == n_cells - len(SWEEP_RESOLUTIONS)
+    ablated = without_dedupe["scheduler"].stages["tessellate"]
+    assert ablated.scheduled == ablated.executed == n_cells
+    assert without_dedupe["stats"].stages["tessellate"].hits == (
+        n_cells - len(SWEEP_RESOLUTIONS)
+    )

@@ -29,7 +29,8 @@ import time
 from repro.cad import COARSE, StlResolution
 from repro.obfuscade.attack import CounterfeiterSimulator
 from repro.obfuscade.obfuscator import Obfuscator
-from repro.pipeline import ProcessChain, StageCache
+from repro.obfuscade.quality import assess_print
+from repro.pipeline import ParallelSweep, ProcessChain, StageCache
 from repro.printer import PrintOrientation
 
 SMOKE = os.environ.get("OBFUSCADE_BENCH_SMOKE", "") not in ("", "0")
@@ -64,11 +65,22 @@ def _search(protected, chain):
     return time.perf_counter() - start, result
 
 
+def _scheduler_sweep(protected, dedupe):
+    """One cold sweep through the stage-granular graph scheduler."""
+    sweep = ParallelSweep(dedupe=dedupe)
+    start = time.perf_counter()
+    report = sweep.run(
+        protected.model, RESOLUTIONS, ORIENTATIONS, assess=assess_print
+    )
+    return time.perf_counter() - start, report
+
+
 def run():
     protected = Obfuscator(seed=7).protect_tensile_bar()
 
     cold_times, warm_times, hot_times = [], [], []
-    cold = warm = hot = None
+    sched_times, nodedupe_times = [], []
+    cold = warm = hot = sched = nodedupe = None
     for _ in range(ROUNDS):
         gc.collect()
         cold_s, cold = _search(protected, ProcessChain(cache=StageCache(enabled=False)))
@@ -86,15 +98,41 @@ def run():
         # Caching must not change a single verdict.
         assert warm.summary_rows() == cold.summary_rows() == hot.summary_rows()
 
+        # The stage-granular scheduler, cold, with and without
+        # fleet-wide node dedup (the dedupe=False ablation replans the
+        # legacy one-node-per-cell schedule; the shared cache still
+        # deduplicates the compute, so only scheduling differs).
+        gc.collect()
+        sched_s, sched = _scheduler_sweep(protected, dedupe=True)
+        sched_times.append(sched_s)
+
+        gc.collect()
+        nodedupe_s, nodedupe = _scheduler_sweep(protected, dedupe=False)
+        nodedupe_times.append(nodedupe_s)
+
+        # Scheduling granularity must not change a single artifact.
+        assert (
+            [c.fingerprint for c in sched.cells]
+            == [c.fingerprint for c in nodedupe.cells]
+        )
+        assert (
+            [(c.assessment.grade, c.assessment.score) for c in sched.cells]
+            == [(a.report.grade, a.report.score) for a in warm.attempts]
+        )
+
     return {
         "cold_s": min(cold_times),
         "warm_s": min(warm_times),
         "hot_s": min(hot_times),
+        "sched_s": min(sched_times),
+        "nodedupe_s": min(nodedupe_times),
         "rounds": ROUNDS,
         "warm_stats": warm.cache_stats,
         "hot_stats": hot.cache_stats,
         "warm_report": warm.report,
         "hot_report": hot.report,
+        "sched_report": sched,
+        "nodedupe_report": nodedupe,
     }
 
 
@@ -120,15 +158,22 @@ def test_pipeline_cache_speedup(benchmark, report):
     }
     for mode, doc in manifests.items():
         assert validate_manifest(doc) == [], mode
+    sched = r["sched_report"]
+    nodedupe = r["nodedupe_report"]
     lines = [
         f"grid: {len(RESOLUTIONS)} resolutions x {len(ORIENTATIONS)} orientations"
         f" (best of {r['rounds']} rounds{', smoke' if SMOKE else ''})",
         f"cold (no cache)     : {r['cold_s']:8.2f} s",
         f"warm (shared cache) : {r['warm_s']:8.2f} s   speedup {warm_speedup:5.2f}x",
         f"hot  (repeat search): {r['hot_s']:8.2f} s   speedup {hot_speedup:5.2f}x",
+        f"graph scheduler     : {r['sched_s']:8.2f} s   (cold, stage-granular dedup)",
+        f"graph, no dedup     : {r['nodedupe_s']:8.2f} s   (cold, one node per cell)",
         "",
         "warm search per-stage counters:",
         *r["warm_stats"].render(),
+        "",
+        "scheduler node counters (dedupe on):",
+        *sched.scheduler.render(),
     ]
     report(
         "pipeline cache speedup",
@@ -151,6 +196,10 @@ def test_pipeline_cache_speedup(benchmark, report):
             "hot_counters": manifests["hot"]["counters"],
             "warm_timings": manifests["warm"]["timings"],
             "hot_timings": manifests["hot"]["timings"],
+            "scheduler_dedupe_s": r["sched_s"],
+            "scheduler_nodedupe_s": r["nodedupe_s"],
+            "scheduler_dedupe": sched.scheduler.to_dict(),
+            "scheduler_nodedupe": nodedupe.scheduler.to_dict(),
         },
         json_name="BENCH_pipeline.json",
     )
@@ -163,6 +212,23 @@ def test_pipeline_cache_speedup(benchmark, report):
     # A populated cache answers the whole search from hits.
     assert r["hot_stats"].total_misses == 0
     assert r["hot_s"] < r["cold_s"]
+    # Stage-granular scheduling: shared stages executed once per
+    # resolution fleet-wide (not merely served from cache races).
+    sched_stages = sched.scheduler.stages
+    n_cells = len(RESOLUTIONS) * len(ORIENTATIONS)
+    for stage in ("tessellate", "resolve"):
+        assert sched_stages[stage].requested == n_cells
+        assert sched_stages[stage].scheduled == len(RESOLUTIONS)
+        assert sched_stages[stage].executed == len(RESOLUTIONS)
+    # The ablation plans one node per cell; the shared cache still
+    # deduplicates the compute, reproducing the legacy accounting.
+    ablation = nodedupe.scheduler.stages["tessellate"]
+    assert ablation.scheduled == n_cells and ablation.deduped == 0
+    assert nodedupe.stats.stages["tessellate"].misses == len(RESOLUTIONS)
+    assert (
+        nodedupe.stats.stages["tessellate"].hits
+        == n_cells - len(RESOLUTIONS)
+    )
     if not SMOKE:
         # Sharing a cache across the sweep must never cost wall time:
         # warm does a strict subset of cold's compute.

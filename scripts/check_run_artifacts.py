@@ -11,12 +11,20 @@ unless
 - every cell fingerprint in the manifest also appears on a
   ``sweep.cell`` span in the trace,
 - with ``--jobs > 1``, the merged trace carries spans from at least two
-  distinct processes (proof the worker spans were shipped back).
+  distinct processes (proof the worker spans were shipped back),
+- with ``--baseline-manifest``, the per-cell fingerprints equal the
+  baseline run's exactly (the scheduler-equivalence gate: a parallel
+  stage-granular sweep must be bit-identical to the serial one),
+- with ``--expect-scheduled STAGE=N``, the manifest's ``scheduler``
+  block shows exactly ``N`` scheduled *and* executed nodes for that
+  stage (proof the dedup is scheduled exactness, not cache-hit luck).
 
 Stdlib + repro only; run as::
 
     PYTHONPATH=src python scripts/check_run_artifacts.py \
-        --trace t.jsonl --manifest sweep-manifest.json --jobs 2
+        --trace t.jsonl --manifest sweep-manifest.json --jobs 2 \
+        --baseline-manifest serial-manifest.json \
+        --expect-scheduled tessellate=2 --expect-scheduled resolve=2
 """
 
 from __future__ import annotations
@@ -27,7 +35,58 @@ import sys
 from repro.observability import export, manifest as manifest_mod
 
 
-def check(trace_path: str, manifest_path: str, jobs: int) -> list:
+def check_baseline(doc: dict, baseline_path: str) -> list:
+    """Fingerprint equality against another run's manifest."""
+    problems = []
+    baseline = manifest_mod.read_manifest(baseline_path)
+    ours = doc.get("fingerprints", {})
+    theirs = baseline.get("fingerprints", {})
+    if not theirs:
+        problems.append(
+            f"baseline manifest {baseline_path} records no fingerprints"
+        )
+    for cell in sorted(set(ours) | set(theirs)):
+        mine, other = ours.get(cell), theirs.get(cell)
+        if mine != other:
+            problems.append(
+                f"cell {cell!r} fingerprint diverges from baseline: "
+                f"{mine} != {other}"
+            )
+    return problems
+
+
+def check_scheduled(doc: dict, expectations: list) -> list:
+    """``scheduler`` block shows exactly N scheduled+executed nodes."""
+    problems = []
+    scheduler = doc.get("scheduler")
+    if not isinstance(scheduler, dict):
+        problems.append(
+            "--expect-scheduled given but the manifest has no "
+            "'scheduler' block"
+        )
+        return problems
+    stages = scheduler.get("stages", {})
+    for stage, expected in expectations:
+        entry = stages.get(stage)
+        if entry is None:
+            problems.append(f"scheduler block has no stage {stage!r}")
+            continue
+        for key in ("scheduled", "executed"):
+            if entry.get(key) != expected:
+                problems.append(
+                    f"scheduler {stage!r} {key}: expected {expected}, "
+                    f"manifest says {entry.get(key)}"
+                )
+    return problems
+
+
+def check(
+    trace_path: str,
+    manifest_path: str,
+    jobs: int,
+    baseline_manifest: str = None,
+    expect_scheduled: list = (),
+) -> list:
     problems = []
 
     rows = export.read_jsonl(trace_path)
@@ -96,7 +155,21 @@ def check(trace_path: str, manifest_path: str, jobs: int) -> list:
 
     if counters.get("cells_ok", 0) + counters.get("cells_failed", 0) == 0:
         problems.append("manifest records zero cells - nothing ran")
+
+    if baseline_manifest is not None:
+        problems.extend(check_baseline(doc, baseline_manifest))
+    if expect_scheduled:
+        problems.extend(check_scheduled(doc, expect_scheduled))
     return problems
+
+
+def _parse_expectation(text: str):
+    stage, sep, count = text.partition("=")
+    if not sep or not stage or not count.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected STAGE=N (e.g. tessellate=3), got {text!r}"
+        )
+    return stage, int(count)
 
 
 def main(argv=None) -> int:
@@ -107,8 +180,23 @@ def main(argv=None) -> int:
         "--jobs", type=int, default=1,
         help="worker count the sweep ran with (enables the multi-pid check)",
     )
+    parser.add_argument(
+        "--baseline-manifest", default=None,
+        help="manifest of an equivalent run whose per-cell fingerprints "
+        "this run must reproduce exactly",
+    )
+    parser.add_argument(
+        "--expect-scheduled", action="append", default=[],
+        type=_parse_expectation, metavar="STAGE=N",
+        help="assert the scheduler block shows exactly N scheduled and "
+        "executed nodes for STAGE (repeatable)",
+    )
     args = parser.parse_args(argv)
-    problems = check(args.trace, args.manifest, args.jobs)
+    problems = check(
+        args.trace, args.manifest, args.jobs,
+        baseline_manifest=args.baseline_manifest,
+        expect_scheduled=args.expect_scheduled,
+    )
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)

@@ -78,6 +78,187 @@ def _add_observability_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _sweep_executor_parent() -> argparse.ArgumentParser:
+    """Parent parser: the sweep-executor flags shared by ``sweep`` and
+    ``attack`` (one definition, one help text, one validation path)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; >1 fans the merged stage graph out over "
+        "a shared on-disk stage cache (identical results, lower "
+        "wall-clock)",
+    )
+    parent.add_argument(
+        "--cache-dir",
+        default=None,
+        help="shared stage-cache directory for --jobs (and for reusing "
+        "artifacts across invocations); temporary when omitted",
+    )
+    parent.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="retries per scheduled node for transient failures (I/O "
+        "errors, timeouts), with exponential backoff",
+    )
+    parent.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per scheduled node; a node over budget "
+        "fails its cell with CellTimeout (and is retried if "
+        "--max-retries allows)",
+    )
+    parent.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="complete the grid around failed cells and report them, "
+        "instead of aborting at the first failure",
+    )
+    parent.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="checkpoint file recording completed cells (defaults to "
+        "<cache-dir>/sweep-journal.jsonl when --cache-dir is given)",
+    )
+    parent.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already recorded in the journal (crash "
+        "recovery); requires --journal or --cache-dir",
+    )
+    parent.add_argument(
+        "--no-dedupe",
+        action="store_true",
+        help="plan one node per cell per stage instead of scheduling "
+        "shared upstream stages once fleet-wide (scheduler ablation "
+        "baseline; results are identical)",
+    )
+    parent.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-stage timings, cache hit rates, scheduler "
+        "dedup counters, and cache integrity/store failure counters",
+    )
+    _add_observability_args(parent)
+    parent.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write a JSON run manifest to PATH (defaults to "
+        "sweep-manifest.json beside the journal when one is in use, "
+        "or <trace>.manifest.json when only --trace is given)",
+    )
+    return parent
+
+
+def _validate_executor_args(args):
+    """Validate the shared sweep-executor flags.
+
+    Returns ``(cache_dir, journal, retry)`` or ``None`` after printing
+    a usage error (the caller exits 2).
+    """
+    import os
+
+    from repro.pipeline import RetryPolicy
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return None
+    if args.max_retries < 0:
+        print("--max-retries must be >= 0", file=sys.stderr)
+        return None
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        print("--cell-timeout must be positive", file=sys.stderr)
+        return None
+    cache_dir = args.cache_dir
+    journal = args.journal
+    if journal is None and cache_dir is not None:
+        journal = os.path.join(cache_dir, "sweep-journal.jsonl")
+    if args.resume and journal is None:
+        print("--resume requires --journal or --cache-dir", file=sys.stderr)
+        return None
+    retry = (
+        RetryPolicy(max_attempts=args.max_retries + 1, backoff_s=0.1)
+        if args.max_retries
+        else None
+    )
+    return cache_dir, journal, retry
+
+
+def _write_sweep_manifest(
+    args, command, result, protected, resolutions, orientations, journal,
+    spans, tracer, extra_config=None,
+):
+    """Resolve the manifest path and write the run manifest, if any."""
+    import os
+
+    manifest_path = args.manifest
+    if manifest_path is None and journal is not None:
+        manifest_path = os.path.join(
+            os.path.dirname(journal) or ".", "sweep-manifest.json"
+        )
+    if manifest_path is None and args.trace is not None:
+        manifest_path = args.trace + ".manifest.json"
+    if manifest_path is None or result.report is None:
+        return
+    from repro.mesh.content_hash import model_digest
+    from repro.observability import manifest as manifest_mod
+
+    config = {
+        "command": command,
+        "seed": args.seed,
+        "resolutions": [r.name for r in resolutions],
+        "orientations": [o.value for o in orientations],
+        "jobs": args.jobs,
+        "cache_dir": args.cache_dir,
+        "max_retries": args.max_retries,
+        "cell_timeout_s": args.cell_timeout,
+        "keep_going": args.keep_going,
+        "resume": args.resume,
+        "dedupe": not args.no_dedupe,
+    }
+    config.update(extra_config or {})
+    doc = manifest_mod.sweep_manifest(
+        result.report,
+        model_name=protected.model.name,
+        model_digest=model_digest(protected.model),
+        config=config,
+        trace_path=args.trace,
+        trace_spans=len(spans) if spans is not None else None,
+        journal_path=journal,
+        metrics=tracer.metrics if tracer is not None else None,
+    )
+    manifest_mod.write_manifest(doc, manifest_path)
+    print(f"run manifest: {manifest_path}")
+
+
+def _print_executor_stats(args, result, tracer) -> None:
+    """The shared ``--stats`` / ``--metrics`` epilogue."""
+    if args.stats:
+        print()
+        if result.cache_stats is not None:
+            for line in result.cache_stats.render():
+                print(line)
+        report = result.report
+        if report is not None and report.scheduler is not None:
+            print()
+            for line in report.scheduler.render():
+                print(line)
+        print(f"failed cells: {result.n_failed}")
+        if report is not None:
+            print(f"journal rejected/dropped: "
+                  f"{report.journal_rejected}/{report.journal_dropped}")
+    if args.metrics and tracer is not None and tracer.metrics is not None:
+        print()
+        for line in tracer.metrics.render():
+            print(line)
+
+
 def _install_observability(args):
     """Arm a process-wide tracer when any tracing output was requested."""
     if not (args.trace or args.trace_chrome or args.metrics):
@@ -137,15 +318,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("inspect", help="manifold-geometry review of an STL")
     p.add_argument("stl", help="input STL path")
 
-    p = sub.add_parser("attack", help="counterfeiter grid-search demo")
-    p.add_argument("--seed", type=int, default=7)
-    p.add_argument(
-        "--stats", action="store_true", help="print per-stage cache statistics"
+    executor_parent = _sweep_executor_parent()
+    p = sub.add_parser(
+        "attack",
+        help="counterfeiter grid-search demo",
+        parents=[executor_parent],
     )
-    _add_observability_args(p)
+    p.add_argument("--seed", type=int, default=7)
 
     p = sub.add_parser(
-        "sweep", help="settings-space sweep on the staged process-chain engine"
+        "sweep",
+        help="settings-space sweep on the staged process-chain engine",
+        parents=[executor_parent],
     )
     p.add_argument("--seed", type=int, default=7)
     p.add_argument(
@@ -160,68 +344,6 @@ def build_parser() -> argparse.ArgumentParser:
         "like x-y and is key-equivalent in practice)",
     )
     p.add_argument("--machine", choices=sorted(_MACHINES), default="fdm")
-    p.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes; >1 fans grid cells out over a shared "
-        "on-disk stage cache (identical results, lower wall-clock)",
-    )
-    p.add_argument(
-        "--cache-dir",
-        default=None,
-        help="shared stage-cache directory for --jobs (and for reusing "
-        "artifacts across sweep invocations); temporary when omitted",
-    )
-    p.add_argument(
-        "--max-retries",
-        type=int,
-        default=0,
-        help="retries per grid cell for transient failures (I/O errors, "
-        "timeouts), with exponential backoff",
-    )
-    p.add_argument(
-        "--cell-timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="wall-clock budget per grid cell; a cell over budget fails "
-        "with CellTimeout (and is retried if --max-retries allows)",
-    )
-    p.add_argument(
-        "--keep-going",
-        action="store_true",
-        help="complete the sweep around failed cells and report them, "
-        "instead of aborting at the first failure",
-    )
-    p.add_argument(
-        "--journal",
-        default=None,
-        metavar="PATH",
-        help="checkpoint file recording completed cells (defaults to "
-        "<cache-dir>/sweep-journal.jsonl when --cache-dir is given)",
-    )
-    p.add_argument(
-        "--resume",
-        action="store_true",
-        help="skip cells already recorded in the journal (crash recovery); "
-        "requires --journal or --cache-dir",
-    )
-    p.add_argument(
-        "--stats",
-        action="store_true",
-        help="print per-stage timings, cache hit rates, cache "
-        "integrity/store failure counters, and the run-manifest path",
-    )
-    _add_observability_args(p)
-    p.add_argument(
-        "--manifest",
-        default=None,
-        metavar="PATH",
-        help="write a JSON run manifest to PATH (defaults to "
-        "sweep-manifest.json beside the journal when one is in use, "
-        "or <trace>.manifest.json when only --trace is given)",
-    )
 
     p = sub.add_parser("reverse", help="reconstruct geometry from G-code")
     p.add_argument("gcode", help="input G-code path")
@@ -331,35 +453,57 @@ def _cmd_inspect(args) -> int:
 def _cmd_attack(args) -> int:
     from repro.obfuscade.attack import CounterfeiterSimulator
     from repro.obfuscade.obfuscator import Obfuscator
+    from repro.pipeline import SweepAborted
+
+    validated = _validate_executor_args(args)
+    if validated is None:
+        return 2
+    cache_dir, journal, retry = validated
 
     protected = Obfuscator(seed=args.seed).protect_tensile_bar()
     print(f"attacking: {protected.describe()}")
+    sim = CounterfeiterSimulator(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        retry=retry,
+        cell_timeout_s=args.cell_timeout,
+        keep_going=args.keep_going,
+        journal_path=journal,
+        resume=args.resume,
+        dedupe=not args.no_dedupe,
+    )
     tracer = _install_observability(args)
     try:
-        result = CounterfeiterSimulator().attack(protected)
+        result = sim.attack(protected)
+    except SweepAborted as exc:
+        print(f"attack aborted: {exc}", file=sys.stderr)
+        print("(re-run with --keep-going to complete around failed cells)",
+              file=sys.stderr)
+        return 3
     finally:
-        _finish_observability(args, tracer)
+        spans = _finish_observability(args, tracer)
     for resolution, orientation, grade, score, matches in result.summary_rows():
         marker = " <-- key" if matches else ""
         print(f"  {resolution:8s} {orientation:5s} {grade:20s} {score:5.2f}{marker}")
+    for err in result.failed:
+        where = f" in stage {err.stage!r}" if err.stage else ""
+        print(f"  {err.resolution:8s} {err.orientation:5s} FAILED "
+              f"[{err.error_type}]{where} after {err.attempts} attempt(s)")
     print(f"genuine only under the key: {result.key_only_success}")
-    if args.stats and result.cache_stats is not None:
-        print()
-        for line in result.cache_stats.render():
-            print(line)
-    if args.metrics and tracer is not None and tracer.metrics is not None:
-        print()
-        for line in tracer.metrics.render():
-            print(line)
+    _write_sweep_manifest(
+        args, "attack", result, protected, sim.resolutions,
+        sim.orientations, journal, spans, tracer,
+    )
+    _print_executor_stats(args, result, tracer)
+    if result.failed:
+        return 1
     return 0 if result.key_only_success else 1
 
 
 def _cmd_sweep(args) -> int:
-    import os
-
     from repro.obfuscade.attack import CounterfeiterSimulator
     from repro.obfuscade.obfuscator import Obfuscator
-    from repro.pipeline import ProcessChain, RetryPolicy, SweepAborted
+    from repro.pipeline import ProcessChain, SweepAborted
 
     try:
         resolutions = [
@@ -379,28 +523,10 @@ def _cmd_sweep(args) -> int:
         print("sweep needs at least one resolution and one orientation",
               file=sys.stderr)
         return 2
-    if args.jobs < 1:
-        print("--jobs must be >= 1", file=sys.stderr)
+    validated = _validate_executor_args(args)
+    if validated is None:
         return 2
-    if args.max_retries < 0:
-        print("--max-retries must be >= 0", file=sys.stderr)
-        return 2
-    if args.cell_timeout is not None and args.cell_timeout <= 0:
-        print("--cell-timeout must be positive", file=sys.stderr)
-        return 2
-
-    cache_dir = args.cache_dir
-    journal = args.journal
-    if journal is None and cache_dir is not None:
-        journal = os.path.join(cache_dir, "sweep-journal.jsonl")
-    if args.resume and journal is None:
-        print("--resume requires --journal or --cache-dir", file=sys.stderr)
-        return 2
-    retry = (
-        RetryPolicy(max_attempts=args.max_retries + 1, backoff_s=0.1)
-        if args.max_retries
-        else None
-    )
+    cache_dir, journal, retry = validated
 
     protected = Obfuscator(seed=args.seed).protect_tensile_bar()
     print(f"sweeping: {protected.describe()}")
@@ -423,6 +549,7 @@ def _cmd_sweep(args) -> int:
         keep_going=args.keep_going,
         journal_path=journal,
         resume=args.resume,
+        dedupe=not args.no_dedupe,
     )
     tracer = _install_observability(args)
     try:
@@ -446,57 +573,11 @@ def _cmd_sweep(args) -> int:
         print(f"  {err.resolution:8s} {err.orientation:5s} FAILED "
               f"[{err.error_type}]{where} after {err.attempts} attempt(s)")
     print(f"genuine only under the key: {result.key_only_success}")
-
-    manifest_path = args.manifest
-    if manifest_path is None and journal is not None:
-        manifest_path = os.path.join(
-            os.path.dirname(journal) or ".", "sweep-manifest.json"
-        )
-    if manifest_path is None and args.trace is not None:
-        manifest_path = args.trace + ".manifest.json"
-    if manifest_path is not None and result.report is not None:
-        from repro.mesh.content_hash import model_digest
-        from repro.observability import manifest as manifest_mod
-
-        doc = manifest_mod.sweep_manifest(
-            result.report,
-            model_name=protected.model.name,
-            model_digest=model_digest(protected.model),
-            config={
-                "command": "sweep",
-                "seed": args.seed,
-                "machine": args.machine,
-                "resolutions": [r.name for r in resolutions],
-                "orientations": [o.value for o in orientations],
-                "jobs": args.jobs,
-                "cache_dir": cache_dir,
-                "max_retries": args.max_retries,
-                "cell_timeout_s": args.cell_timeout,
-                "keep_going": args.keep_going,
-                "resume": args.resume,
-            },
-            trace_path=args.trace,
-            trace_spans=len(spans) if spans is not None else None,
-            journal_path=journal,
-            metrics=tracer.metrics if tracer is not None else None,
-        )
-        manifest_mod.write_manifest(doc, manifest_path)
-        print(f"run manifest: {manifest_path}")
-
-    if args.stats:
-        print()
-        if result.cache_stats is not None:
-            for line in result.cache_stats.render():
-                print(line)
-        print(f"failed cells: {result.n_failed}")
-        if result.report is not None:
-            print(f"journal rejected/dropped: "
-                  f"{result.report.journal_rejected}/"
-                  f"{result.report.journal_dropped}")
-    if args.metrics and tracer is not None and tracer.metrics is not None:
-        print()
-        for line in tracer.metrics.render():
-            print(line)
+    _write_sweep_manifest(
+        args, "sweep", result, protected, resolutions, orientations,
+        journal, spans, tracer, extra_config={"machine": args.machine},
+    )
+    _print_executor_stats(args, result, tracer)
     if result.failed:
         return 1
     return 0 if result.key_only_success else 1

@@ -29,7 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.cad.resolution import COARSE, FINE, StlResolution, custom_resolution
 from repro.obfuscade.obfuscator import ProtectedModel
 from repro.obfuscade.quality import QualityGrade, QualityReport, assess_print
-from repro.pipeline.cache import CacheStats
+from repro.pipeline.cache import CacheStats, stats_delta
 from repro.pipeline.chain import ProcessChain
 from repro.pipeline.parallel import (
     ParallelSweep,
@@ -157,6 +157,7 @@ class CounterfeiterSimulator:
         keep_going: bool = True,
         journal_path: Optional[str] = None,
         resume: bool = False,
+        dedupe: bool = True,
     ):
         if jobs < 1:
             raise PipelineConfigError("jobs must be >= 1")
@@ -171,10 +172,18 @@ class CounterfeiterSimulator:
         self.keep_going = keep_going
         self.journal_path = journal_path
         self.resume = resume
+        self.dedupe = dedupe
 
     def attack(self, protected: ProtectedModel) -> AttackResult:
         """Print the stolen model under every setting combination."""
-        if self.jobs > 1 or self.journal_path is not None or self.resume:
+        if (
+            self.jobs > 1
+            or self.journal_path is not None
+            or self.resume
+            or not self.dedupe
+        ):
+            # The dedupe=False ablation is a scheduler property, so it
+            # always routes through the sweep executor.
             return self._attack_sweep(protected)
         return self._attack_serial(protected)
 
@@ -205,7 +214,7 @@ class CounterfeiterSimulator:
                         matches_key=protected.key.matches(resolution, orientation),
                     )
                 )
-        result.cache_stats = _stats_delta(before, self.chain.stats.snapshot())
+        result.cache_stats = stats_delta(before, self.chain.stats.snapshot())
         sweep_report.stats = result.cache_stats
         sweep_report.wall_s = time.perf_counter() - start
         result.report = sweep_report
@@ -225,6 +234,7 @@ class CounterfeiterSimulator:
             keep_going=self.keep_going,
             journal_path=self.journal_path,
             resume=self.resume,
+            dedupe=self.dedupe,
         )
         report = sweep.run(
             protected.model, self.resolutions, self.orientations, assess=assess_print
@@ -251,18 +261,3 @@ class CounterfeiterSimulator:
                 )
             )
         return result
-
-
-def _stats_delta(before: CacheStats, after: CacheStats) -> CacheStats:
-    """Counters accumulated between two snapshots of a shared cache."""
-    delta = CacheStats()
-    for name, stats in after.stages.items():
-        prior = before.stages.get(name)
-        entry = delta.stage(name)
-        entry.hits = stats.hits - (prior.hits if prior else 0)
-        entry.misses = stats.misses - (prior.misses if prior else 0)
-        entry.run_s = stats.run_s - (prior.run_s if prior else 0.0)
-        entry.saved_s = stats.saved_s - (prior.saved_s if prior else 0.0)
-    delta.integrity_failures = after.integrity_failures - before.integrity_failures
-    delta.store_failures = after.store_failures - before.store_failures
-    return delta

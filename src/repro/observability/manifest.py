@@ -136,6 +136,13 @@ def sweep_manifest(
             for c in report.cells
         },
     }
+    scheduler = getattr(report, "scheduler", None)
+    if scheduler is not None:
+        # Fleet-wide node-scheduling counters of the stage-granular
+        # scheduler: proof of how many per-cell stage requests were
+        # deduplicated into shared nodes (and that each scheduled node
+        # executed exactly once, failures aside).
+        manifest["scheduler"] = scheduler.to_dict()
     if trace_path is not None:
         manifest["trace"] = {
             "path": str(trace_path),
@@ -204,4 +211,19 @@ def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
                 problems.append(f"counters missing {key!r}")
     if not isinstance(manifest.get("fingerprints"), dict):
         problems.append("'fingerprints' must be a dict")
+    scheduler = manifest.get("scheduler")
+    if scheduler is not None:
+        # Optional block (runs through the stage-granular scheduler).
+        if not isinstance(scheduler, dict):
+            problems.append("'scheduler' must be a dict")
+        else:
+            for key in ("dedupe", "stages", "totals"):
+                if key not in scheduler:
+                    problems.append(f"scheduler missing {key!r}")
+            for name, entry in (scheduler.get("stages") or {}).items():
+                for key in ("requested", "scheduled", "deduped", "executed"):
+                    if key not in entry:
+                        problems.append(
+                            f"scheduler.stages[{name!r}] missing {key!r}"
+                        )
     return problems

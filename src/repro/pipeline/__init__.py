@@ -2,7 +2,12 @@
 
 The substrate behind :class:`~repro.printer.job.PrintJob`, the
 counterfeiter grid search and the ``sweep`` CLI: the paper's Fig. 1
-chain decomposed into pure, individually cached stages.
+chain decomposed into pure, individually cached stages, declared as a
+typed :class:`StageGraph` (artifact contracts, explicit dependencies)
+and executed - for sweeps - by the stage-granular
+:class:`GraphScheduler`, which merges all grid cells into one
+:class:`ExecutionGraph` so shared upstream nodes run exactly once
+fleet-wide.
 
 Note the name collision with :class:`repro.supplychain.chain.ProcessChain`
 (the Fig. 1 *risk ledger* walkthrough): that class narrates the chain
@@ -10,9 +15,21 @@ for the security analysis; this package *executes* it.  Import this one
 as ``from repro.pipeline import ProcessChain``.
 """
 
-from repro.pipeline.cache import CacheStats, StageCache, StageStats, digest_parts
-from repro.pipeline.chain import ChainContext, ProcessChain
+from repro.pipeline.cache import (
+    CacheStats,
+    StageCache,
+    StageStats,
+    digest_parts,
+    stats_delta,
+)
+from repro.pipeline.chain import ChainArtifacts, ChainContext, ProcessChain
 from repro.pipeline.disk import DiskStageCache
+from repro.pipeline.graph import (
+    ExecutionGraph,
+    SchedulerStats,
+    StageGraph,
+    StageGraphError,
+)
 from repro.pipeline.journal import SweepJournal
 from repro.pipeline.parallel import (
     ParallelSweep,
@@ -35,14 +52,20 @@ from repro.pipeline.resilience import (
     StageError,
     time_limit,
 )
-from repro.pipeline.stage import Stage, StageExecution
+from repro.pipeline.scheduler import ChainConfig, GraphScheduler
+from repro.pipeline.stage import ArtifactContract, Stage, StageExecution
 
 __all__ = [
+    "ArtifactContract",
     "CacheIntegrityError",
     "CacheStats",
     "CellTimeout",
+    "ChainArtifacts",
+    "ChainConfig",
     "ChainContext",
     "DiskStageCache",
+    "ExecutionGraph",
+    "GraphScheduler",
     "MeshValidationError",
     "NO_RETRY",
     "ParallelSweep",
@@ -50,10 +73,13 @@ __all__ = [
     "PipelineError",
     "ProcessChain",
     "RetryPolicy",
+    "SchedulerStats",
     "Stage",
     "StageCache",
     "StageError",
     "StageExecution",
+    "StageGraph",
+    "StageGraphError",
     "StageStats",
     "SweepAborted",
     "SweepCellError",
@@ -64,5 +90,6 @@ __all__ = [
     "cell_error_from_exception",
     "digest_parts",
     "outcome_fingerprint",
+    "stats_delta",
     "time_limit",
 ]

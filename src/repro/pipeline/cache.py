@@ -249,6 +249,28 @@ class StageCache:
     def reset_stats(self) -> None:
         self.stats = CacheStats()
 
+    def fetch(
+        self,
+        stage_name: str,
+        key: str,
+        unpack: Optional[Callable[[Any], Any]] = None,
+    ) -> Tuple[Any, bool]:
+        """Uncounted lookup: ``(artifact, found)`` without accounting.
+
+        Used by the stage-granular scheduler to *materialize* a node's
+        upstream inputs, as opposed to *executing* the node itself.  A
+        fetch deliberately touches neither the hit/miss counters nor a
+        ``cache.get`` span: the per-stage stats keep meaning "stage
+        executions", so span-derived totals and report counters agree
+        exactly (the ISSUE 4 invariant) no matter how many times an
+        artifact is re-read as somebody's input.
+        """
+        if self.enabled and key in self._entries:
+            self._entries.move_to_end(key)
+            stored = self._entries[key]
+            return (unpack(stored) if unpack is not None else stored), True
+        return None, False
+
     def get_or_run(
         self,
         stage_name: str,
@@ -290,3 +312,23 @@ class StageCache:
                     while len(self._entries) > self.max_entries:
                         self._entries.popitem(last=False)
             return value, False
+
+
+def stats_delta(before: CacheStats, after: CacheStats) -> CacheStats:
+    """Counters accumulated between two snapshots of a shared cache.
+
+    Lets a consumer that shares a long-lived cache (the counterfeiter
+    simulator, a scheduler worker running many node tasks on one disk
+    cache) report exactly the work of *its* run.
+    """
+    delta = CacheStats()
+    for name, stats in after.stages.items():
+        prior = before.stages.get(name)
+        entry = delta.stage(name)
+        entry.hits = stats.hits - (prior.hits if prior else 0)
+        entry.misses = stats.misses - (prior.misses if prior else 0)
+        entry.run_s = stats.run_s - (prior.run_s if prior else 0.0)
+        entry.saved_s = stats.saved_s - (prior.saved_s if prior else 0.0)
+    delta.integrity_failures = after.integrity_failures - before.integrity_failures
+    delta.store_failures = after.store_failures - before.store_failures
+    return delta

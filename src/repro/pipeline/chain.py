@@ -34,7 +34,6 @@ tessellations, three resolves, and nine of everything downstream of
 from __future__ import annotations
 
 import dataclasses
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -44,28 +43,72 @@ from repro import faults
 from repro import observability as obs
 from repro.cad.body import ExtrudedBody
 from repro.cad.features import SplineSplitFeature
-from repro.cad.model import CadModel
+from repro.cad.model import CadModel, StlExport
 from repro.cad.resolution import StlResolution
 from repro.mesh.content_hash import model_digest
-from repro.mesh.validate import require_finite_mesh, validate_mesh
-from repro.pipeline.cache import CacheStats, StageCache, digest_parts
-from repro.pipeline.resilience import CellTimeout, StageError
-from repro.pipeline.stage import Stage, StageExecution
-from repro.printer.artifact import pack_artifact, unpack_artifact
+from repro.mesh.trimesh import TriangleMesh
+from repro.mesh.validate import (
+    GeometryReport,
+    require_finite_mesh,
+    validate_mesh,
+)
+from repro.pipeline.cache import CacheStats, StageCache
+from repro.pipeline.graph import StageGraph, run_stage
+from repro.pipeline.stage import ArtifactContract, Stage, StageExecution
+from repro.printer.artifact import (
+    PrintedArtifact,
+    pack_artifact,
+    unpack_artifact,
+)
 from repro.printer.deposition import DepositionSimulator
-from repro.printer.firmware import PrinterFirmware
+from repro.printer.firmware import FirmwareResult, PrinterFirmware
 from repro.printer.job import PrintOutcome
 from repro.printer.machines import DIMENSION_ELITE, MachineProfile
 from repro.printer.orientation import PrintOrientation, place_on_plate
 from repro.slicer.coincident import resolve_coincident_faces
-from repro.slicer.gcode import generate_gcode
-from repro.slicer.seams import analyze_split_seam
+from repro.slicer.gcode import GCodeProgram, generate_gcode
+from repro.slicer.seams import SeamReport, analyze_split_seam
 from repro.slicer.settings import SlicerSettings
-from repro.slicer.slicer import slice_mesh
+from repro.slicer.slicer import SliceResult, slice_mesh
 from repro.slicer.toolpath import generate_toolpaths
 
 #: Clearance between the part and the plate origin, mm (legacy PrintJob).
 PLATE_MARGIN_MM = 10.0
+
+
+@dataclass
+class ChainArtifacts:
+    """Typed artifact store of one chain run.
+
+    Replaces the stringly-keyed ``Dict[str, Any]`` the context used to
+    carry: every stage's artifact is a named, typed field, so a typo'd
+    stage name or a mis-typed artifact fails at the store, not three
+    stages downstream.  ``None`` means "not produced (yet)" - except
+    for :attr:`seam`, whose producing stage legitimately emits ``None``
+    for models without a split feature.
+    """
+
+    tessellate: Optional[StlExport] = None
+    validate: Optional[GeometryReport] = None
+    seam: Optional[SeamReport] = None
+    resolve: Optional[TriangleMesh] = None
+    orient: Optional[TriangleMesh] = None
+    slice: Optional[SliceResult] = None
+    #: ``List[ToolpathLayer]`` - the slicer's per-layer path lists.
+    toolpath: Optional[list] = None
+    gcode: Optional[GCodeProgram] = None
+    firmware: Optional[FirmwareResult] = None
+    deposit: Optional[PrintedArtifact] = None
+
+    def get(self, name: str) -> Any:
+        if name not in self.__dataclass_fields__:
+            raise KeyError(f"unknown chain artifact {name!r}")
+        return getattr(self, name)
+
+    def set(self, name: str, value: Any) -> None:
+        if name not in self.__dataclass_fields__:
+            raise KeyError(f"unknown chain artifact {name!r}")
+        setattr(self, name, value)
 
 
 @dataclass
@@ -77,11 +120,11 @@ class ChainContext:
     resolution: StlResolution
     orientation: PrintOrientation
     analyze_seam: bool
-    artifacts: Dict[str, Any] = field(default_factory=dict)
+    artifacts: ChainArtifacts = field(default_factory=ChainArtifacts)
     digests: Dict[str, str] = field(default_factory=dict)
 
     def artifact(self, name: str) -> Any:
-        return self.artifacts[name]
+        return self.artifacts.get(name)
 
 
 def _resolution_key(resolution: StlResolution) -> tuple:
@@ -228,42 +271,101 @@ class ProcessChain:
         self.settings = self.simulator.settings
         self.plate_margin_mm = plate_margin_mm
         self.cache = cache if cache is not None else StageCache()
-        self.stages: Tuple[Stage, ...] = self._build_stages()
+        #: The validated stage graph; construction rejects cycles,
+        #: dangling dependencies and artifact-contract mismatches.
+        self.graph: StageGraph = self._build_graph()
+        self.stages: Tuple[Stage, ...] = self.graph.stages
 
     # -- graph ---------------------------------------------------------------
 
-    def _build_stages(self) -> Tuple[Stage, ...]:
+    def _build_graph(self) -> StageGraph:
         settings_key = _settings_key(self.settings)
         machine_key = _machine_key(self.machine)
         margin = self.plate_margin_mm
-        return (
+        export_c = ArtifactContract((StlExport,))
+        mesh_c = ArtifactContract((TriangleMesh,))
+        seam_c = ArtifactContract((SeamReport,), optional=True)
+        slices_c = ArtifactContract((SliceResult,))
+        paths_c = ArtifactContract((list,))
+        return StageGraph((
             Stage(
                 "tessellate",
                 ("model",),
                 _run_tessellate,
                 lambda ctx: _resolution_key(ctx.resolution),
+                produces=export_c,
             ),
-            Stage("validate", ("tessellate",), _run_validate, lambda ctx: ()),
+            Stage(
+                "validate",
+                ("tessellate",),
+                _run_validate,
+                lambda ctx: (),
+                produces=ArtifactContract((GeometryReport,)),
+                expects={"tessellate": export_c},
+            ),
             Stage(
                 "seam",
                 ("tessellate",),
                 _run_seam,
                 lambda ctx: (ctx.orientation, ctx.analyze_seam, settings_key),
+                produces=seam_c,
+                expects={"tessellate": export_c},
             ),
-            Stage("resolve", ("tessellate",), _run_resolve, lambda ctx: ()),
+            Stage(
+                "resolve",
+                ("tessellate",),
+                _run_resolve,
+                lambda ctx: (),
+                produces=mesh_c,
+                expects={"tessellate": export_c},
+            ),
             Stage(
                 "orient",
                 ("resolve",),
                 _run_orient,
                 lambda ctx: (ctx.orientation, margin),
+                produces=mesh_c,
+                expects={"resolve": mesh_c},
             ),
-            Stage("slice", ("orient",), _run_slice, lambda ctx: settings_key),
-            Stage("toolpath", ("slice",), _run_toolpath, lambda ctx: settings_key),
-            Stage("gcode", ("toolpath",), _run_gcode, lambda ctx: ()),
-            Stage("firmware", ("gcode",), _run_firmware, lambda ctx: machine_key),
+            Stage(
+                "slice",
+                ("orient",),
+                _run_slice,
+                lambda ctx: settings_key,
+                produces=slices_c,
+                expects={"orient": mesh_c},
+            ),
+            Stage(
+                "toolpath",
+                ("slice",),
+                _run_toolpath,
+                lambda ctx: settings_key,
+                produces=paths_c,
+                expects={"slice": slices_c},
+            ),
+            Stage(
+                "gcode",
+                ("toolpath",),
+                _run_gcode,
+                lambda ctx: (),
+                produces=ArtifactContract((GCodeProgram,)),
+                expects={"toolpath": paths_c},
+            ),
+            Stage(
+                "firmware",
+                ("gcode",),
+                _run_firmware,
+                lambda ctx: machine_key,
+                produces=ArtifactContract((FirmwareResult,)),
+                expects={"gcode": ArtifactContract((GCodeProgram,))},
+            ),
             Stage(
                 "deposit",
-                ("slice", "seam"),
+                # ``orient`` is a real input (the deposition reads its
+                # bounds); declaring it keeps the content address honest
+                # instead of relying on ``slice`` to transitively cover
+                # it.
+                ("slice", "seam", "orient"),
                 _run_deposit,
                 lambda ctx: (
                     machine_key,
@@ -274,8 +376,14 @@ class ProcessChain:
                 ),
                 pack=pack_artifact,
                 unpack=unpack_artifact,
+                produces=ArtifactContract((PrintedArtifact,)),
+                expects={
+                    "slice": slices_c,
+                    "seam": seam_c,
+                    "orient": mesh_c,
+                },
             ),
-        )
+        ))
 
     # -- execution -----------------------------------------------------------
 
@@ -327,58 +435,28 @@ class ProcessChain:
             seam=ctx.artifact("seam"),
             orientation=orientation,
             resolution=resolution,
-            geometry=ctx.artifacts.get("validate"),
+            geometry=ctx.artifacts.validate,
             stage_log=tuple(log),
         )
 
     def _run_stages(
         self, ctx: ChainContext, cell: str, validate: bool
     ) -> List[StageExecution]:
-        """Execute the stage graph for one run, with per-stage spans."""
+        """Execute the stage graph for one run, in topological order.
+
+        Every node goes through the single execution boundary
+        (:func:`repro.pipeline.graph.run_stage`): fault site, trace
+        span, cache lookup, contract check, typed error wrapping.
+        """
         log: List[StageExecution] = []
-        for stage in self.stages:
+        for stage in self.graph.order:
             if stage.name == "validate" and not validate:
                 continue
-            digest = digest_parts(
-                stage.name,
-                tuple(ctx.digests[name] for name in stage.inputs),
-                stage.key(ctx),
+            digest = self.graph.node_digest(stage, ctx, ctx.digests)
+            value, hit, seconds = run_stage(
+                self.cache, stage, digest, ctx, cell, graph=self.graph
             )
-
-            def _compute(stage=stage, cell=cell):
-                faults.fire(stage.fault_site, context=cell)
-                return stage.run(ctx)
-
-            start = time.perf_counter()
-            with obs.span(
-                f"stage.{stage.name}",
-                stage=stage.name,
-                digest=digest[:12],
-                cell=cell,
-            ):
-                try:
-                    value, hit = self.cache.get_or_run(
-                        stage.name,
-                        digest,
-                        _compute,
-                        pack=stage.pack,
-                        unpack=stage.unpack,
-                    )
-                except CellTimeout:
-                    # A wall-clock budget expiring mid-stage is a
-                    # property of the *cell*, not of this stage's
-                    # inputs: let the sweep executor attribute it.
-                    raise
-                except StageError:
-                    raise
-                except Exception as exc:
-                    # Typed failure with chain coordinates (ISSUE 3):
-                    # which stage died, computing which content address.
-                    raise StageError(stage.name, digest, exc) from exc
-                obs.annotate(cache_hit=hit)
-            log.append(
-                StageExecution(stage.name, digest, hit, time.perf_counter() - start)
-            )
-            ctx.artifacts[stage.name] = value
+            log.append(StageExecution(stage.name, digest, hit, seconds))
+            ctx.artifacts.set(stage.name, value)
             ctx.digests[stage.name] = digest
         return log

@@ -187,6 +187,30 @@ class DiskStageCache(StageCache):
 
     # -- lookup --------------------------------------------------------------
 
+    def fetch(
+        self,
+        stage_name: str,
+        key: str,
+        unpack: Optional[Callable[[Any], Any]] = None,
+    ) -> Tuple[Any, bool]:
+        """As :meth:`StageCache.fetch`, falling back to the (verified)
+        disk tier.  Input materialization stays outside the hit/miss
+        counters and outside ``cache.get`` spans - it emits its own
+        ``cache.fetch`` span instead - but a tampered entry found on the
+        way is still quarantined and counted in ``integrity_failures``.
+        """
+        value, found = super().fetch(stage_name, key, unpack=unpack)
+        if found or not self.enabled:
+            return value, found
+        with obs.span("cache.fetch", stage=stage_name, key=key[:12]):
+            stored, found = self._load(stage_name, key)
+            if not found:
+                obs.annotate(hit=False)
+                return None, False
+            self._remember(key, stored)
+            obs.annotate(hit=True)
+            return (unpack(stored) if unpack is not None else stored), True
+
     def get_or_run(
         self,
         stage_name: str,

@@ -1,0 +1,447 @@
+"""The typed stage graph and the single node-execution boundary.
+
+The paper's Fig. 1 process chain is a DAG of stages, each a place where
+files get produced, cached, tampered with or sabotaged (Table 1).  The
+engine used to hard-wire one linear chain and scatter its cross-cutting
+concerns - fault injection, span tracing, cache get/store, typed error
+wrapping - across call sites in ``chain.py`` and ``parallel.py``.  This
+module makes the graph first-class:
+
+:class:`StageGraph`
+    A validated, declarative description of the chain: stage inputs
+    form the edges, and construction rejects duplicate names, dangling
+    dependencies, cycles, and producer/consumer artifact-contract
+    mismatches (:class:`~repro.pipeline.stage.ArtifactContract`).  The
+    validation happens once, when a :class:`~repro.pipeline.chain.ProcessChain`
+    is built - not at run N of a sweep.
+
+:func:`run_stage`
+    The one boundary through which every graph-node execution goes,
+    serial chain runs and scheduler workers alike.  It interposes, in
+    order: the stage's fault-injection site, the ``stage.<name>`` trace
+    span, the content-addressed cache lookup, the artifact-contract
+    check on fresh computes, and the :class:`StageError` wrapping that
+    gives failures chain coordinates.  These interposition points are
+    exactly where Table 1's per-stage mitigations (hash verification,
+    geometry review, anomaly detection) would attach in a production
+    deployment - see DESIGN.md §3.5.
+
+:class:`ExecutionGraph`
+    N x M sweep cells merged into one deduplicated node set: a node is
+    identified by ``(stage name, content digest)``, so work whose
+    upstream world and parameters agree across cells - tessellate and
+    resolve depend only on the resolution - appears exactly once
+    fleet-wide.  Per-stage requested/scheduled/deduped/executed
+    counters (:class:`SchedulerStats`) prove the dedup in run manifests
+    instead of leaving it to cache-hit luck.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import faults
+from repro import observability as obs
+from repro.pipeline.cache import digest_parts
+from repro.pipeline.resilience import CellTimeout, PipelineConfigError, StageError
+from repro.pipeline.stage import ArtifactContract, Stage
+
+#: Name of the implicit root artifact every chain hangs off.
+MODEL_ROOT = "model"
+
+
+class StageGraphError(PipelineConfigError):
+    """A stage graph that cannot be executed: duplicate or dangling
+    stage names, a dependency cycle, or an artifact-contract mismatch
+    between a producer and one of its consumers.  Raised at graph
+    construction time, never mid-sweep."""
+
+
+class StageGraph:
+    """A validated DAG of :class:`~repro.pipeline.stage.Stage` objects.
+
+    Parameters
+    ----------
+    stages:
+        The stage declarations.  Declaration order is preserved
+        wherever the topological order leaves a choice, so the engine's
+        execution order (and therefore its stats-table order) is
+        stable.
+    roots:
+        Names of artifacts provided by the caller rather than produced
+        by a stage (the CAD ``"model"``).
+
+    Attributes
+    ----------
+    stages:
+        The declared stages, in declaration order.
+    order:
+        The stages in topological execution order.
+    by_name:
+        Stage lookup by name.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        roots: Tuple[str, ...] = (MODEL_ROOT,),
+    ):
+        self.stages: Tuple[Stage, ...] = tuple(stages)
+        self.roots: Tuple[str, ...] = tuple(roots)
+        self.by_name: Dict[str, Stage] = {}
+        for stage in self.stages:
+            if stage.name in self.roots:
+                raise StageGraphError(
+                    f"stage {stage.name!r} shadows a root artifact"
+                )
+            if stage.name in self.by_name:
+                raise StageGraphError(f"duplicate stage name {stage.name!r}")
+            self.by_name[stage.name] = stage
+        self._check_dangling()
+        self._check_contracts()
+        self.order: Tuple[Stage, ...] = self._topological_order()
+        self._consumers: Dict[str, Tuple[str, ...]] = {
+            name: tuple(
+                s.name for s in self.stages if name in s.inputs
+            )
+            for name in self.by_name
+        }
+
+    # -- validation ----------------------------------------------------------
+
+    def _check_dangling(self) -> None:
+        for stage in self.stages:
+            for name in stage.inputs:
+                if name not in self.by_name and name not in self.roots:
+                    raise StageGraphError(
+                        f"stage {stage.name!r} depends on {name!r}, which "
+                        "is neither a stage nor a root artifact"
+                    )
+            for name in stage.expects:
+                if name not in stage.inputs:
+                    raise StageGraphError(
+                        f"stage {stage.name!r} declares a contract for "
+                        f"{name!r}, which is not one of its inputs"
+                    )
+
+    def _check_contracts(self) -> None:
+        for consumer in self.stages:
+            for name, expected in consumer.expects.items():
+                producer = self.by_name.get(name)
+                if producer is None or producer.produces is None:
+                    continue  # root input, or producer declares nothing
+                if not expected.accepts(producer.produces):
+                    raise StageGraphError(
+                        f"artifact contract mismatch on edge "
+                        f"{name!r} -> {consumer.name!r}: producer emits "
+                        f"{producer.produces.describe()}, consumer "
+                        f"expects {expected.describe()}"
+                    )
+
+    def _topological_order(self) -> Tuple[Stage, ...]:
+        placed = set(self.roots)
+        remaining = list(self.stages)
+        order: List[Stage] = []
+        while remaining:
+            for stage in remaining:
+                if all(name in placed for name in stage.inputs):
+                    order.append(stage)
+                    placed.add(stage.name)
+                    remaining.remove(stage)
+                    break
+            else:
+                cycle = ", ".join(repr(s.name) for s in remaining)
+                raise StageGraphError(
+                    f"dependency cycle among stages: {cycle}"
+                )
+        return tuple(order)
+
+    # -- queries -------------------------------------------------------------
+
+    def consumers(self, name: str) -> Tuple[str, ...]:
+        """Names of the stages that consume ``name``'s artifact."""
+        return self._consumers.get(name, ())
+
+    def check_output(self, stage: Stage, value: Any) -> None:
+        """Enforce ``stage.produces`` on a freshly computed artifact."""
+        contract = stage.produces
+        if contract is None or contract.admits(value):
+            return
+        got = "None" if value is None else type(value).__name__
+        raise StageGraphError(
+            f"stage {stage.name!r} produced {got}, violating its "
+            f"contract {contract.describe()}"
+        )
+
+    def node_digest(
+        self, stage: Stage, ctx: Any, digests: Dict[str, str]
+    ) -> str:
+        """Content address of one stage execution: the stage name, its
+        inputs' digests (chaining all the way up to the model's content
+        hash) and its parameter key."""
+        return digest_parts(
+            stage.name,
+            tuple(digests[name] for name in stage.inputs),
+            stage.key(ctx),
+        )
+
+
+def run_stage(
+    cache,
+    stage: Stage,
+    digest: str,
+    ctx: Any,
+    cell: str,
+    graph: Optional[StageGraph] = None,
+) -> Tuple[Any, bool, float]:
+    """Execute one graph node; returns ``(artifact, cache_hit, seconds)``.
+
+    The single node-execution boundary (ISSUE 6 tentpole): fault
+    injection, span tracing, cache get/store, artifact-contract
+    enforcement and typed error wrapping all live here, so the serial
+    chain and the sweep scheduler cannot drift apart in what a "stage
+    execution" means.  Exactly one ``cache.get`` span and one stage
+    hit-or-miss is accounted per call - the invariant the observability
+    layer's span-derived totals rely on.
+    """
+
+    def _compute():
+        faults.fire(stage.fault_site, context=cell)
+        value = stage.run(ctx)
+        if graph is not None:
+            graph.check_output(stage, value)
+        return value
+
+    start = time.perf_counter()
+    with obs.span(
+        f"stage.{stage.name}", stage=stage.name, digest=digest[:12], cell=cell
+    ):
+        try:
+            value, hit = cache.get_or_run(
+                stage.name, digest, _compute,
+                pack=stage.pack, unpack=stage.unpack,
+            )
+        except CellTimeout:
+            # A wall-clock budget expiring mid-stage is a property of
+            # the *cell*, not of this stage's inputs: let the sweep
+            # executor attribute it.
+            raise
+        except StageError:
+            raise
+        except Exception as exc:
+            # Typed failure with chain coordinates (ISSUE 3): which
+            # stage died, computing which content address.
+            raise StageError(stage.name, digest, exc) from exc
+        obs.annotate(cache_hit=hit)
+    return value, hit, time.perf_counter() - start
+
+
+# -- scheduler counters -------------------------------------------------------
+
+
+@dataclass
+class NodeCounters:
+    """Per-stage node accounting of one merged sweep graph."""
+
+    #: Stage executions the cells asked for (one per cell per stage).
+    requested: int = 0
+    #: Distinct graph nodes actually placed in the schedule.
+    scheduled: int = 0
+    #: Requests folded into an already-scheduled node.
+    deduped: int = 0
+    #: Nodes the scheduler ran to completion (fleet-wide; a node
+    #: re-executed after a failure split counts again).
+    executed: int = 0
+
+
+@dataclass
+class SchedulerStats:
+    """Fleet-wide scheduling counters, in stage execution order.
+
+    The proof obligation of the stage-granular scheduler: a cold
+    3-resolution x 3-orientation sweep must show
+    ``tessellate.scheduled == 3`` (and 3 executions), not nine requests
+    that happened to hit a racing cache.
+    """
+
+    stages: "OrderedDict[str, NodeCounters]" = field(
+        default_factory=OrderedDict
+    )
+    #: Whether node merging was enabled (the ablation knob).
+    dedupe: bool = True
+
+    def stage(self, name: str) -> NodeCounters:
+        if name not in self.stages:
+            self.stages[name] = NodeCounters()
+        return self.stages[name]
+
+    @property
+    def total_requested(self) -> int:
+        return sum(c.requested for c in self.stages.values())
+
+    @property
+    def total_scheduled(self) -> int:
+        return sum(c.scheduled for c in self.stages.values())
+
+    @property
+    def total_deduped(self) -> int:
+        return sum(c.deduped for c in self.stages.values())
+
+    @property
+    def total_executed(self) -> int:
+        return sum(c.executed for c in self.stages.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form for manifests and benchmark reports."""
+        return {
+            "dedupe": self.dedupe,
+            "stages": {
+                name: {
+                    "requested": c.requested,
+                    "scheduled": c.scheduled,
+                    "deduped": c.deduped,
+                    "executed": c.executed,
+                }
+                for name, c in self.stages.items()
+            },
+            "totals": {
+                "requested": self.total_requested,
+                "scheduled": self.total_scheduled,
+                "deduped": self.total_deduped,
+                "executed": self.total_executed,
+            },
+        }
+
+    def render(self) -> List[str]:
+        """Human-readable table for ``--stats`` output."""
+        lines = [
+            f"{'scheduler':12s} {'requested':>9s} {'scheduled':>9s} "
+            f"{'deduped':>8s} {'executed':>8s}"
+        ]
+        for name, c in self.stages.items():
+            lines.append(
+                f"{name:12s} {c.requested:>9d} {c.scheduled:>9d} "
+                f"{c.deduped:>8d} {c.executed:>8d}"
+            )
+        lines.append(
+            f"{'total':12s} {self.total_requested:>9d} "
+            f"{self.total_scheduled:>9d} {self.total_deduped:>8d} "
+            f"{self.total_executed:>8d}"
+        )
+        return lines
+
+
+# -- merged sweep graph -------------------------------------------------------
+
+
+class GraphNode:
+    """One schedulable unit of a merged sweep graph.
+
+    Identity is ``(stage name, content digest)`` - two cells whose
+    upstream world and stage parameters agree share the node.  ``cells``
+    lists the grid indices still waiting on it (the scheduler removes a
+    cell on failure attribution); ``deps`` are the keys of the upstream
+    nodes, and every dependant's ``cells`` is always a subset of each of
+    its dependencies' (a cell that wants a node wants its inputs too).
+    """
+
+    __slots__ = ("stage", "digest", "key", "priority", "deps", "cells")
+
+    def __init__(
+        self,
+        stage: Stage,
+        digest: str,
+        key: Tuple,
+        priority: Tuple[int, int],
+        deps: Tuple[Tuple, ...],
+    ):
+        self.stage = stage
+        self.digest = digest
+        self.key = key
+        self.priority = priority
+        self.deps = deps
+        self.cells: List[int] = []
+
+
+class ExecutionGraph:
+    """N x M sweep cells merged into one deduplicated node graph.
+
+    Parameters
+    ----------
+    graph:
+        The validated :class:`StageGraph` the cells run on.
+    dedupe:
+        ``True`` (default) merges same-digest nodes fleet-wide;
+        ``False`` keeps one node per (cell, stage) - the ablation
+        baseline reproducing the legacy cell-granular fan-out.
+    """
+
+    def __init__(self, graph: StageGraph, dedupe: bool = True):
+        self.graph = graph
+        self.dedupe = dedupe
+        self.nodes: "OrderedDict[Tuple, GraphNode]" = OrderedDict()
+        #: Full digest map per cell ({root/stage name -> digest}),
+        #: shipped to workers so they can materialize upstream inputs.
+        self.cell_digests: Dict[int, Dict[str, str]] = {}
+        #: Per-cell view of the graph: stage name -> shared node.
+        self.cell_nodes: Dict[int, Dict[str, GraphNode]] = {}
+        self.counters = SchedulerStats(dedupe=dedupe)
+
+    def add_cell(
+        self,
+        index: int,
+        ctx: Any,
+        root_digests: Dict[str, str],
+        exclude: Tuple[str, ...] = (),
+    ) -> None:
+        """Expand one grid cell into (shared) graph nodes.
+
+        ``exclude`` names stages to leave out entirely (the opt-in
+        ``validate`` stage is not part of a sweep); an excluded stage
+        must not feed a scheduled one.
+        """
+        for name in exclude:
+            for consumer in self.graph.consumers(name):
+                if consumer not in exclude:
+                    raise StageGraphError(
+                        f"cannot exclude stage {name!r}: {consumer!r} "
+                        "depends on it"
+                    )
+        digests = dict(root_digests)
+        mine: Dict[str, GraphNode] = {}
+        for position, stage in enumerate(self.graph.order):
+            if stage.name in exclude:
+                continue
+            digest = self.graph.node_digest(stage, ctx, digests)
+            digests[stage.name] = digest
+            key: Tuple = (
+                (stage.name, digest)
+                if self.dedupe
+                else (stage.name, digest, index)
+            )
+            counters = self.counters.stage(stage.name)
+            counters.requested += 1
+            node = self.nodes.get(key)
+            if node is None:
+                node = GraphNode(
+                    stage=stage,
+                    digest=digest,
+                    key=key,
+                    priority=(position, index),
+                    deps=tuple(
+                        mine[name].key
+                        for name in stage.inputs
+                        if name in mine
+                    ),
+                )
+                self.nodes[key] = node
+                counters.scheduled += 1
+            else:
+                counters.deduped += 1
+            node.cells.append(index)
+            mine[stage.name] = node
+        self.cell_digests[index] = digests
+        self.cell_nodes[index] = mine

@@ -4,11 +4,15 @@ A settings grid search - the defender's key search and the
 counterfeiter's brute force alike - is embarrassingly parallel across
 grid cells, but the cells share work: tessellation and coincident-face
 resolution depend only on the resolution, not the orientation.
-:class:`ParallelSweep` fans the cells out to a
-:class:`~concurrent.futures.ProcessPoolExecutor` while the workers
-share stage artifacts through one on-disk
-:class:`~repro.pipeline.disk.DiskStageCache`, so cross-cell reuse
-survives the process boundary.
+:class:`ParallelSweep` is the sweep facade: it expands the grid, keys
+and journals the cells, and delegates execution to the stage-granular
+:class:`~repro.pipeline.scheduler.GraphScheduler`, which merges all
+cells into one :class:`~repro.pipeline.graph.ExecutionGraph` so shared
+upstream nodes are *scheduled exactly once fleet-wide* (not merely
+deduplicated by cache races) and fans the graph's topological waves out
+to a :class:`~concurrent.futures.ProcessPoolExecutor` whose workers
+share artifacts through one on-disk
+:class:`~repro.pipeline.disk.DiskStageCache`.
 
 Determinism: cells are reported in grid order, every stage is pure,
 and the raster kernel is bit-identical to the scalar path - so a
@@ -19,38 +23,32 @@ hash per cell.
 Fault tolerance (ISSUE 3): a sweep is only as strong as its weakest
 cell unless failures are *isolated*.  Here:
 
-* every cell runs under a :class:`~repro.pipeline.resilience.RetryPolicy`
+* every node runs under a :class:`~repro.pipeline.resilience.RetryPolicy`
   (transient failures retried with backoff) and an optional wall-clock
   budget (:func:`~repro.pipeline.resilience.time_limit`);
 * a cell that still fails becomes a structured :class:`SweepCellError`
   in :attr:`SweepReport.errors` instead of aborting the run
   (``keep_going=False`` restores abort-on-first-failure, as
-  :class:`SweepAborted`);
+  :class:`SweepAborted`); a failed *shared* node charges the first
+  pending consumer cell and re-runs for the survivors;
 * a worker death (:class:`~concurrent.futures.process.BrokenProcessPool`)
   triggers a bounded number of pool rebuilds with resubmission of the
-  lost cells, then graceful degradation to serial execution;
+  lost nodes, then graceful degradation to serial execution;
 * completed cells are checkpointed to a
   :class:`~repro.pipeline.journal.SweepJournal` so a crashed sweep can
-  ``resume`` without recomputing finished cells.
+  ``resume`` without recomputing finished cells - and the scheduler
+  never even *plans* a replayed cell's nodes.
 """
 
 from __future__ import annotations
 
-import hashlib
-import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro import faults
 from repro import observability as obs
 from repro.cad.resolution import StlResolution
 from repro.mesh.content_hash import model_digest
-from repro.pipeline.cache import CacheStats, StageCache, digest_parts
+from repro.pipeline.cache import digest_parts
 from repro.pipeline.chain import (
     PLATE_MARGIN_MM,
     ProcessChain,
@@ -58,16 +56,22 @@ from repro.pipeline.chain import (
     _resolution_key,
     _settings_key,
 )
-from repro.pipeline.disk import DiskStageCache
 from repro.pipeline.journal import SweepJournal
+from repro.pipeline.report import (
+    SweepAborted,
+    SweepCellError,
+    SweepCellResult,
+    SweepReport,
+    cell_error_from_exception,
+    outcome_fingerprint,
+)
 from repro.pipeline.resilience import (
     NO_RETRY,
     PipelineConfigError,
-    PipelineError,
     RetryPolicy,
-    StageError,
     time_limit,
 )
+from repro.pipeline.scheduler import ChainConfig, GraphScheduler
 from repro.printer.machines import DIMENSION_ELITE, MachineProfile
 from repro.printer.orientation import PrintOrientation
 from repro.slicer.settings import SlicerSettings
@@ -76,130 +80,17 @@ from repro.slicer.settings import SlicerSettings
 #: serial execution of the remaining cells.
 MAX_POOL_REBUILDS = 2
 
-
-def outcome_fingerprint(outcome) -> str:
-    """Stable content hash of everything a chain run produced.
-
-    Covers the deposited voxel grids (model, support, weak, voids), the
-    G-code text and the firmware counters - enough that two runs with
-    equal fingerprints produced the same physical print.  Arrays are
-    hashed as canonical little-endian buffers (shape included), like
-    :func:`repro.mesh.content_hash.mesh_digest`.
-    """
-    h = hashlib.sha256()
-    artifact = outcome.artifact
-    for grid in (artifact.model, artifact.support, artifact.weak, artifact.voids):
-        a = np.ascontiguousarray(grid, dtype="<u1")
-        h.update(np.array(a.shape, dtype="<i8").tobytes())
-        h.update(a.tobytes())
-    h.update(np.asarray(
-        [artifact.cell_mm, artifact.layer_height_mm], dtype="<f8"
-    ).tobytes())
-    h.update("\n".join(outcome.gcode.lines).encode())
-    h.update(np.asarray(
-        [outcome.firmware.executed_moves, outcome.firmware.total_extrusion_e],
-        dtype="<f8",
-    ).tobytes())
-    return h.hexdigest()
-
-
-@dataclass(frozen=True)
-class SweepCellResult:
-    """One grid cell's outcome, reduced to what crosses processes."""
-
-    resolution: str
-    orientation: str
-    #: Content hash of the produced artifacts (`outcome_fingerprint`).
-    fingerprint: str
-    #: Result of the ``assess`` callable, when one was given.
-    assessment: Any
-    #: Per-stage execution records of the run that served this cell.
-    stage_log: Tuple = ()
-    #: Attempts the retry policy spent on this cell (1 = first try).
-    attempts: int = 1
-    #: True when the cell was replayed from a resume journal.
-    resumed: bool = False
-
-
-@dataclass(frozen=True)
-class SweepCellError:
-    """One grid cell's failure, structured for reports and logs."""
-
-    resolution: str
-    orientation: str
-    #: Exception class name (``StageError``, ``CellTimeout``, ...).
-    error_type: str
-    message: str
-    #: Failing chain stage, when the failure localises to one.
-    stage: Optional[str] = None
-    #: Attempts spent before giving up.
-    attempts: int = 1
-    #: Whether the final failure was of a transient class (i.e. a
-    #: bigger retry budget might have saved the cell).
-    transient: bool = False
-
-
-class SweepAborted(PipelineError):
-    """A ``keep_going=False`` sweep stopped at its first failed cell."""
-
-    def __init__(self, error: SweepCellError):
-        self.error = error
-        super().__init__(
-            f"sweep aborted at cell {error.resolution}/{error.orientation}: "
-            f"[{error.error_type}] {error.message}"
-        )
-
-
-@dataclass
-class SweepReport:
-    """A whole sweep: per-cell results plus merged cache statistics."""
-
-    cells: List[SweepCellResult] = field(default_factory=list)
-    #: Structured failures of cells that exhausted their recovery
-    #: budget; the sweep completed around them.
-    errors: List[SweepCellError] = field(default_factory=list)
-    stats: CacheStats = field(default_factory=CacheStats)
-    jobs: int = 1
-    wall_s: float = 0.0
-    #: Cells replayed from the resume journal instead of recomputed.
-    resumed: int = 0
-    #: Process pools rebuilt after worker deaths.
-    pool_rebuilds: int = 0
-    #: True when pool rebuilds were exhausted and the remaining cells
-    #: ran serially in-process.
-    degraded_to_serial: bool = False
-    #: Journal records rejected during resume (failed HMAC verification;
-    #: tampered, truncated, or written under a different secret).
-    journal_rejected: int = 0
-    #: Journal lines that could not even be parsed during resume.
-    journal_dropped: int = 0
-
-    @property
-    def failed_cells(self) -> List[Tuple[str, str]]:
-        """(resolution, orientation) names of the cells that failed."""
-        return [(e.resolution, e.orientation) for e in self.errors]
-
-    @property
-    def ok(self) -> bool:
-        return not self.errors
-
-
-def cell_error_from_exception(
-    resolution: str,
-    orientation: str,
-    exc: BaseException,
-    retry: RetryPolicy = NO_RETRY,
-) -> SweepCellError:
-    """Reduce an exception to the structured form a report carries."""
-    return SweepCellError(
-        resolution=resolution,
-        orientation=orientation,
-        error_type=type(exc).__name__,
-        message=str(exc),
-        stage=exc.stage if isinstance(exc, StageError) else None,
-        attempts=getattr(exc, "attempts", 1),
-        transient=retry.is_transient(exc),
-    )
+__all__ = [
+    "MAX_POOL_REBUILDS",
+    "ParallelSweep",
+    "SweepAborted",
+    "SweepCellError",
+    "SweepCellResult",
+    "SweepReport",
+    "cell_error_from_exception",
+    "execute_cell",
+    "outcome_fingerprint",
+]
 
 
 def execute_cell(
@@ -211,8 +102,15 @@ def execute_cell(
     analyze_seam: bool,
     retry: RetryPolicy,
     cell_timeout_s: Optional[float],
-) -> Tuple[Optional[SweepCellResult], Optional[SweepCellError]]:
-    """Run one grid cell with retry + wall-clock budget; never raises."""
+):
+    """Run one grid cell on an existing chain; never raises.
+
+    The whole-cell execution path, kept for consumers that iterate a
+    shared long-lived chain themselves (the counterfeiter simulator's
+    serial attack loop); sweeps go through the stage-granular
+    scheduler instead.  Returns ``(cell, error)`` with exactly one of
+    the two set.
+    """
     context = f"{resolution.name}/{orientation.value}"
 
     def attempt():
@@ -252,53 +150,6 @@ def execute_cell(
     return cell, None
 
 
-def _run_cell(payload) -> Tuple[
-    Optional[SweepCellResult], Optional[SweepCellError], CacheStats, List[dict]
-]:
-    """Worker entry: run one grid cell against the shared disk cache.
-
-    When the parent sweep is traced (``trace`` in the payload), the
-    worker runs the cell under its own tracer and ships the finished
-    spans back as plain dict rows alongside the result, so the parent
-    can merge every process's spans into one trace.
-    """
-    (
-        model,
-        resolution,
-        orientation,
-        machine,
-        settings,
-        raster_cell_mm,
-        plate_margin_mm,
-        cache_dir,
-        analyze_seam,
-        assess,
-        retry,
-        cell_timeout_s,
-        trace,
-    ) = payload
-    tracer = obs.install(obs.Tracer()) if trace else None
-    try:
-        faults.fire("worker", context=f"{resolution.name}/{orientation.value}")
-        chain = ProcessChain(
-            machine=machine,
-            settings=settings,
-            raster_cell_mm=raster_cell_mm,
-            cache=DiskStageCache(cache_dir),
-            plate_margin_mm=plate_margin_mm,
-        )
-        cell, error = execute_cell(
-            chain, model, resolution, orientation, assess, analyze_seam,
-            retry, cell_timeout_s,
-        )
-        stats = chain.stats.snapshot()
-    finally:
-        if tracer is not None:
-            obs.uninstall()
-    spans = [s.to_dict() for s in tracer.drain()] if tracer is not None else []
-    return cell, error, stats, spans
-
-
 class ParallelSweep:
     """Grid sweep executor: serial in-process, or fanned out to workers.
 
@@ -307,21 +158,22 @@ class ParallelSweep:
     machine / settings / raster_cell_mm / plate_margin_mm:
         Chain configuration, as for :class:`~repro.pipeline.ProcessChain`.
     jobs:
-        Worker process count; ``1`` (default) runs serially in-process
-        on a single shared chain.
+        Worker process count; ``1`` (default) runs the merged graph
+        serially in-process.
     cache_dir:
         Directory for the shared :class:`DiskStageCache`.  Required to
         share artifacts *across* sweeps; when omitted, a parallel sweep
         uses a throwaway temporary directory for the duration of the
         run and a serial sweep uses a plain in-memory cache.
     retry:
-        :class:`RetryPolicy` applied to every cell.  The default never
-        retries; pass e.g. ``RetryPolicy(max_attempts=3, backoff_s=0.1)``
-        to absorb transient I/O failures.
+        :class:`RetryPolicy` applied to every scheduled node.  The
+        default never retries; pass e.g.
+        ``RetryPolicy(max_attempts=3, backoff_s=0.1)`` to absorb
+        transient I/O failures.
     cell_timeout_s:
-        Per-cell wall-clock budget; a cell over budget fails with
-        :class:`~repro.pipeline.resilience.CellTimeout` (best effort -
-        see :func:`~repro.pipeline.resilience.time_limit`).
+        Per-node wall-clock budget; a node over budget fails its cell
+        with :class:`~repro.pipeline.resilience.CellTimeout` (best
+        effort - see :func:`~repro.pipeline.resilience.time_limit`).
     keep_going:
         ``True`` (default): failed cells become
         :attr:`SweepReport.errors` and the sweep completes.  ``False``:
@@ -331,10 +183,17 @@ class ParallelSweep:
         sweep can be resumed.
     resume:
         Replay ``journal_path`` before running: cells with an intact
-        journal record are served from it instead of recomputed.
+        journal record are served from it instead of recomputed (their
+        nodes are never planned into the execution graph).
     max_pool_rebuilds:
         Worker-pool rebuilds after :class:`BrokenProcessPool` before
-        the remaining cells degrade to serial in-process execution.
+        the remaining nodes degrade to serial in-process execution.
+    dedupe:
+        ``True`` (default): shared upstream nodes (tessellate, resolve)
+        are scheduled once fleet-wide.  ``False`` plans one node per
+        cell per stage - the legacy cell-granular schedule, kept as an
+        ablation baseline (the shared cache still deduplicates compute,
+        so only scheduling overhead differs).
     """
 
     def __init__(
@@ -351,6 +210,7 @@ class ParallelSweep:
         journal_path: Optional[str] = None,
         resume: bool = False,
         max_pool_rebuilds: int = MAX_POOL_REBUILDS,
+        dedupe: bool = True,
     ):
         if jobs < 1:
             raise PipelineConfigError("jobs must be >= 1")
@@ -372,6 +232,24 @@ class ParallelSweep:
         self.journal_path = journal_path
         self.resume = resume
         self.max_pool_rebuilds = max_pool_rebuilds
+        self.dedupe = dedupe
+
+    def _scheduler(self) -> GraphScheduler:
+        return GraphScheduler(
+            config=ChainConfig(
+                machine=self.machine,
+                settings=self.settings,
+                raster_cell_mm=self.raster_cell_mm,
+                plate_margin_mm=self.plate_margin_mm,
+            ),
+            jobs=self.jobs,
+            cache_dir=self.cache_dir,
+            retry=self.retry,
+            cell_timeout_s=self.cell_timeout_s,
+            keep_going=self.keep_going,
+            max_pool_rebuilds=self.max_pool_rebuilds,
+            dedupe=self.dedupe,
+        )
 
     def run(
         self,
@@ -404,14 +282,9 @@ class ParallelSweep:
                 for r, o in grid
             ]
             replayed = self._replay(journal, keys) if self.resume else {}
-            if self.jobs == 1:
-                report = self._run_serial(
-                    model, grid, keys, replayed, assess, analyze_seam, journal
-                )
-            else:
-                report = self._run_parallel(
-                    model, grid, keys, replayed, assess, analyze_seam, journal
-                )
+            report = self._scheduler().execute(
+                model, grid, keys, replayed, assess, analyze_seam, journal
+            )
             report.wall_s = time.perf_counter() - start
             if journal is not None and self.resume:
                 report.journal_rejected = journal.rejected_lines
@@ -490,164 +363,3 @@ class ParallelSweep:
                         fingerprint=stored.fingerprint,
                     )
         return replayed
-
-    # -- serial --------------------------------------------------------------
-
-    def _run_serial(
-        self, model, grid, keys, replayed, assess, analyze_seam, journal
-    ) -> SweepReport:
-        cache = (
-            DiskStageCache(self.cache_dir) if self.cache_dir else StageCache()
-        )
-        chain = ProcessChain(
-            machine=self.machine,
-            settings=self.settings,
-            raster_cell_mm=self.raster_cell_mm,
-            cache=cache,
-            plate_margin_mm=self.plate_margin_mm,
-        )
-        report = SweepReport(jobs=1, resumed=len(replayed))
-        for index, (resolution, orientation) in enumerate(grid):
-            if index in replayed:
-                report.cells.append(replayed[index])
-                continue
-            cell, error = execute_cell(
-                chain, model, resolution, orientation, assess, analyze_seam,
-                self.retry, self.cell_timeout_s,
-            )
-            if error is not None:
-                report.errors.append(error)
-                if not self.keep_going:
-                    break
-                continue
-            report.cells.append(cell)
-            if journal is not None:
-                journal.append(keys[index], cell)
-        report.stats = chain.stats.snapshot()
-        return report
-
-    # -- parallel ------------------------------------------------------------
-
-    def _run_parallel(
-        self, model, grid, keys, replayed, assess, analyze_seam, journal
-    ) -> SweepReport:
-        tmp = None
-        cache_dir = self.cache_dir
-        if cache_dir is None:
-            tmp = tempfile.TemporaryDirectory(prefix="repro-sweep-cache-")
-            cache_dir = tmp.name
-        try:
-            return self._run_pool(
-                model, grid, keys, replayed, assess, analyze_seam,
-                journal, cache_dir,
-            )
-        finally:
-            if tmp is not None:
-                tmp.cleanup()
-
-    def _payload(self, model, resolution, orientation, assess, analyze_seam,
-                 cache_dir):
-        return (
-            model,
-            resolution,
-            orientation,
-            self.machine,
-            self.settings,
-            self.raster_cell_mm,
-            self.plate_margin_mm,
-            cache_dir,
-            analyze_seam,
-            assess,
-            self.retry,
-            self.cell_timeout_s,
-            obs.enabled(),
-        )
-
-    def _run_pool(
-        self, model, grid, keys, replayed, assess, analyze_seam, journal,
-        cache_dir,
-    ) -> SweepReport:
-        payloads = {
-            index: self._payload(
-                model, resolution, orientation, assess, analyze_seam, cache_dir
-            )
-            for index, (resolution, orientation) in enumerate(grid)
-            if index not in replayed
-        }
-        results: Dict[int, SweepCellResult] = dict(replayed)
-        errors: Dict[int, SweepCellError] = {}
-        stats = CacheStats()
-        pending = sorted(payloads)
-        rebuilds = 0
-        degraded = False
-
-        while pending:
-            try:
-                workers = min(self.jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as executor:
-                    futures = {
-                        executor.submit(_run_cell, payloads[index]): index
-                        for index in pending
-                    }
-                    for future in as_completed(futures):
-                        index = futures[future]
-                        cell, error, cell_stats, spans = future.result()
-                        stats.merge(cell_stats)
-                        if spans:
-                            tracer = obs.get_tracer()
-                            if tracer is not None:
-                                tracer.adopt(spans)
-                        if error is not None:
-                            errors[index] = error
-                        else:
-                            results[index] = cell
-                            if journal is not None:
-                                journal.append(keys[index], cell)
-                        pending.remove(index)
-                break
-            except BrokenProcessPool:
-                # One or more workers died mid-cell (dr0wned-style
-                # sabotage, OOM kill, segfault).  The finished cells'
-                # results are kept; the lost ones are resubmitted to a
-                # fresh pool - a bounded number of times, after which
-                # the remaining cells degrade to serial execution.
-                rebuilds += 1
-                if rebuilds > self.max_pool_rebuilds:
-                    degraded = True
-                    break
-
-        if pending and degraded:
-            # Graceful degradation: finish the stragglers in-process on
-            # the shared disk cache, so completed upstream work is
-            # still reused.
-            chain = ProcessChain(
-                machine=self.machine,
-                settings=self.settings,
-                raster_cell_mm=self.raster_cell_mm,
-                cache=DiskStageCache(cache_dir),
-                plate_margin_mm=self.plate_margin_mm,
-            )
-            for index in list(pending):
-                resolution, orientation = grid[index]
-                cell, error = execute_cell(
-                    chain, model, resolution, orientation, assess,
-                    analyze_seam, self.retry, self.cell_timeout_s,
-                )
-                if error is not None:
-                    errors[index] = error
-                else:
-                    results[index] = cell
-                    if journal is not None:
-                        journal.append(keys[index], cell)
-                pending.remove(index)
-            stats.merge(chain.stats.snapshot())
-
-        return SweepReport(
-            cells=[results[i] for i in sorted(results)],
-            errors=[errors[i] for i in sorted(errors)],
-            stats=stats,
-            jobs=self.jobs,
-            resumed=len(replayed),
-            pool_rebuilds=rebuilds if not degraded else self.max_pool_rebuilds,
-            degraded_to_serial=degraded,
-        )

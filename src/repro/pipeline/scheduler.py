@@ -1,0 +1,778 @@
+"""Stage-granular, dependency-aware execution of one merged sweep graph.
+
+The legacy executor fanned a sweep out at whole-cell granularity: every
+worker re-ran the full chain for its cell and deduplication of
+orientation-independent work (tessellate, resolve) was left to cache
+races on the shared disk store.  :class:`GraphScheduler` instead merges
+all N x M cells into one :class:`~repro.pipeline.graph.ExecutionGraph`
+and schedules *graph nodes*: shared upstream nodes run exactly once
+fleet-wide, their results fan out to the orientation-specific
+subgraphs, and readiness is propagated in topological waves across the
+process pool.
+
+One code path runs everywhere (ISSUE 6 satellite): the serial sweep,
+the worker processes and the degraded-to-serial tail all execute nodes
+through :func:`execute_node` / :func:`execute_finalize`, which in turn
+go through the single node-execution boundary
+(:func:`repro.pipeline.graph.run_stage`).
+
+Accounting invariants, relied on by the observability layer:
+
+* every node execution performs exactly one counted cache lookup (one
+  ``cache.get`` span, one hit-or-miss), so per-stage totals equal the
+  number of node executions in both serial and parallel runs;
+* *input materialization* uses the uncounted
+  :meth:`~repro.pipeline.cache.StageCache.fetch` API - an artifact
+  being re-read as someone's input is not a stage execution.  Should a
+  fetch miss (an upstream store failed), the input is recomputed
+  through the boundary and therefore counted consistently on both
+  ledgers.
+
+Failure attribution: a failed shared node charges the *first* pending
+consumer cell (lowest grid index - the cell the legacy executor would
+have computed it with), cancels that cell's remaining nodes, and
+re-queues the node for the surviving cells, preserving the legacy
+property that one poisoned cell never voids the rest of the grid.
+"""
+
+from __future__ import annotations
+
+import heapq
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import faults
+from repro import observability as obs
+from repro.mesh.content_hash import model_digest
+from repro.pipeline.cache import CacheStats, StageCache, stats_delta
+from repro.pipeline.chain import ChainContext, ProcessChain
+from repro.pipeline.disk import DiskStageCache
+from repro.pipeline.graph import ExecutionGraph, run_stage
+from repro.pipeline.report import (
+    SweepCellResult,
+    SweepReport,
+    cell_error_from_exception,
+    outcome_fingerprint,
+)
+from repro.pipeline.resilience import NO_RETRY, RetryPolicy, time_limit
+from repro.pipeline.stage import StageExecution
+from repro.printer.job import PrintOutcome
+
+#: Stages whose artifacts assemble a cell's
+#: :class:`~repro.printer.job.PrintOutcome`; transitively they cover
+#: the whole per-cell subgraph, so a cell's finalize step depends on
+#: exactly these nodes.
+OUTCOME_STAGES = ("tessellate", "seam", "slice", "gcode", "firmware", "deposit")
+
+#: Stages excluded from sweeps (``validate`` is opt-in, single-run only).
+SWEEP_EXCLUDED = ("validate",)
+
+
+@dataclass(frozen=True)
+class ChainConfig:
+    """Picklable chain configuration, rebuilt in every worker."""
+
+    machine: Any
+    settings: Any
+    raster_cell_mm: Optional[float]
+    plate_margin_mm: float
+
+    def build(self, cache) -> ProcessChain:
+        return ProcessChain(
+            machine=self.machine,
+            settings=self.settings,
+            raster_cell_mm=self.raster_cell_mm,
+            cache=cache,
+            plate_margin_mm=self.plate_margin_mm,
+        )
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """What one node execution reports back to the scheduler."""
+
+    stage: str
+    digest: str
+    cache_hit: bool
+    seconds: float
+    attempts: int = 1
+
+
+class _Materializer:
+    """Bring a node's upstream artifacts into its cell context.
+
+    Normal path: an uncounted cache :meth:`fetch` (the artifact was
+    produced by an already-completed node).  Fallback: recompute the
+    missing input through the node-execution boundary - counted as a
+    regular execution, which keeps span-derived and report statistics
+    in exact agreement even when an upstream store failed.
+    """
+
+    def __init__(self, chain, cache, ctx, digests, cell):
+        self.chain = chain
+        self.cache = cache
+        self.ctx = ctx
+        self.digests = digests
+        self.cell = cell
+        self._have: set = set()
+
+    def ensure(self, name: str) -> None:
+        if name in self._have or name not in self.chain.graph.by_name:
+            return  # root artifacts (the model) live on the context
+        stage = self.chain.graph.by_name[name]
+        digest = self.digests[name]
+        value, found = self.cache.fetch(name, digest, unpack=stage.unpack)
+        if not found:
+            for dep in stage.inputs:
+                self.ensure(dep)
+            value, _, _ = run_stage(
+                self.cache, stage, digest, self.ctx, self.cell,
+                graph=self.chain.graph,
+            )
+        self.ctx.artifacts.set(name, value)
+        self._have.add(name)
+
+
+def execute_node(
+    chain: ProcessChain,
+    cache,
+    stage_name: str,
+    digest: str,
+    ctx: ChainContext,
+    digests: Dict[str, str],
+    cell: str,
+    retry: RetryPolicy,
+    timeout_s: Optional[float],
+) -> NodeRecord:
+    """Run one graph node (materialize inputs, execute, record).
+
+    Retry and the wall-clock budget wrap the whole attempt, inputs
+    included; raises after the policy is exhausted.
+    """
+    stage = chain.graph.by_name[stage_name]
+    materializer = _Materializer(chain, cache, ctx, digests, cell)
+
+    def attempt():
+        with time_limit(timeout_s, what=f"cell {cell}"):
+            for name in stage.inputs:
+                materializer.ensure(name)
+            return run_stage(
+                cache, stage, digest, ctx, cell, graph=chain.graph
+            )
+
+    (value, hit, seconds), attempts = retry.call(attempt)
+    ctx.artifacts.set(stage_name, value)
+    materializer._have.add(stage_name)
+    return NodeRecord(stage_name, digest, hit, seconds, attempts)
+
+
+def execute_finalize(
+    chain: ProcessChain,
+    cache,
+    ctx: ChainContext,
+    digests: Dict[str, str],
+    cell: str,
+    assess: Optional[Callable[[Any], Any]],
+    retry: RetryPolicy,
+    timeout_s: Optional[float],
+    attempts_hint: int = 1,
+) -> Tuple[str, Any, int]:
+    """Assemble, fingerprint and assess one finished cell.
+
+    The per-cell ``sweep.cell`` trace span is emitted here - finalize
+    runs where the cell's verdict is produced (a worker in parallel
+    mode, the parent serially), exactly like the legacy cell executor.
+    Deliberately uncached and unaccounted: assembling an outcome from
+    cached artifacts is not a stage execution, so a warm sweep still
+    reports zero misses and a fully-replayed resume reports zero of
+    everything.  Returns ``(fingerprint, assessment, attempts)``;
+    raises on failure.
+    """
+    resolution = ctx.resolution
+    orientation = ctx.orientation
+
+    def attempt():
+        with time_limit(timeout_s, what=f"cell {cell}"):
+            materializer = _Materializer(chain, cache, ctx, digests, cell)
+            for name in OUTCOME_STAGES:
+                materializer.ensure(name)
+            outcome = PrintOutcome(
+                artifact=ctx.artifacts.deposit,
+                export=ctx.artifacts.tessellate,
+                slices=ctx.artifacts.slice,
+                gcode=ctx.artifacts.gcode,
+                firmware=ctx.artifacts.firmware,
+                seam=ctx.artifacts.seam,
+                orientation=orientation,
+                resolution=resolution,
+            )
+            fingerprint = outcome_fingerprint(outcome)
+            assessment = assess(outcome) if assess is not None else None
+            return fingerprint, assessment
+
+    with obs.span(
+        "sweep.cell",
+        cell=cell,
+        resolution=resolution.name,
+        orientation=orientation.value,
+    ):
+        try:
+            (fingerprint, assessment), attempts = retry.call(attempt)
+        except Exception as exc:
+            obs.annotate(
+                outcome="error",
+                error_type=type(exc).__name__,
+                attempts=max(getattr(exc, "attempts", 1), attempts_hint),
+            )
+            raise
+        attempts = max(attempts, attempts_hint)
+        obs.annotate(
+            outcome="ok", attempts=attempts, fingerprint=fingerprint
+        )
+    return fingerprint, assessment, attempts
+
+
+# -- worker side --------------------------------------------------------------
+
+#: One shared disk cache per cache directory, reused across the many
+#: node tasks a worker process executes (the memory tier then serves
+#: repeat input fetches without touching disk).
+_WORKER_CACHES: Dict[str, DiskStageCache] = {}
+
+
+def _worker_cache(cache_dir: str) -> DiskStageCache:
+    cache = _WORKER_CACHES.get(cache_dir)
+    if cache is None:
+        cache = DiskStageCache(cache_dir)
+        _WORKER_CACHES[cache_dir] = cache
+    return cache
+
+
+def _run_node_task(payload) -> Tuple[Any, Any, CacheStats, List[dict]]:
+    """Worker entry: execute one graph node (or cell finalize).
+
+    Ships back ``(result, error, stats_delta, spans)``; errors travel
+    as structured :class:`~repro.pipeline.report.SweepCellError` rows
+    (exceptions with custom constructors do not survive pickling), with
+    the cell attribution left to the parent for shared nodes.
+    """
+    (
+        config,
+        cache_dir,
+        kind,
+        stage_name,
+        digest,
+        resolution,
+        orientation,
+        analyze_seam,
+        model,
+        digests,
+        retry,
+        timeout_s,
+        trace,
+        assess,
+        attempts_hint,
+    ) = payload
+    cell = f"{resolution.name}/{orientation.value}"
+    tracer = obs.install(obs.Tracer()) if trace else None
+    result = None
+    error = None
+    try:
+        cache = _worker_cache(cache_dir)
+        chain = config.build(cache)
+        before = cache.stats.snapshot()
+        try:
+            faults.fire("worker", context=cell)
+            ctx = ChainContext(
+                chain=chain,
+                model=model,
+                resolution=resolution,
+                orientation=orientation,
+                analyze_seam=analyze_seam,
+            )
+            ctx.digests.update(digests)
+            if kind == "node":
+                result = execute_node(
+                    chain, cache, stage_name, digest, ctx, digests, cell,
+                    retry, timeout_s,
+                )
+            else:
+                result = execute_finalize(
+                    chain, cache, ctx, digests, cell, assess, retry,
+                    timeout_s, attempts_hint,
+                )
+        except Exception as exc:
+            error = cell_error_from_exception(
+                resolution.name, orientation.value, exc, retry
+            )
+        stats = stats_delta(before, cache.stats.snapshot())
+    finally:
+        if tracer is not None:
+            obs.uninstall()
+    spans = [s.to_dict() for s in tracer.drain()] if tracer is not None else []
+    return result, error, stats, spans
+
+
+# -- the scheduler ------------------------------------------------------------
+
+
+class GraphScheduler:
+    """Executes one merged sweep graph, serially or across a pool.
+
+    The single sweep code path (ISSUE 6): :class:`~repro.pipeline.parallel.ParallelSweep`
+    delegates both its serial and its parallel mode here, as does the
+    degraded tail after pool-rebuild exhaustion - they differ only in
+    where node tasks run.
+    """
+
+    def __init__(
+        self,
+        config: ChainConfig,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        retry: RetryPolicy = NO_RETRY,
+        cell_timeout_s: Optional[float] = None,
+        keep_going: bool = True,
+        max_pool_rebuilds: int = 2,
+        dedupe: bool = True,
+    ):
+        self.config = config
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.retry = retry
+        self.cell_timeout_s = cell_timeout_s
+        self.keep_going = keep_going
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.dedupe = dedupe
+
+    def execute(
+        self,
+        model,
+        grid: Sequence[Tuple[Any, Any]],
+        keys: Sequence[str],
+        replayed: Dict[int, SweepCellResult],
+        assess,
+        analyze_seam: bool,
+        journal,
+    ) -> SweepReport:
+        """Run every non-replayed grid cell; results in grid order."""
+        tmp = None
+        cache_dir = self.cache_dir
+        if self.jobs > 1 and cache_dir is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-sweep-cache-")
+            cache_dir = tmp.name
+        try:
+            return self._execute(
+                model, grid, keys, replayed, assess, analyze_seam,
+                journal, cache_dir,
+            )
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+
+    # -- graph construction --------------------------------------------------
+
+    def _plan(self, chain, model, grid, replayed, analyze_seam):
+        """Expand the non-replayed cells into one merged graph."""
+        digest = model_digest(model)
+        graph = ExecutionGraph(chain.graph, dedupe=self.dedupe)
+        contexts: Dict[int, ChainContext] = {}
+        for index, (resolution, orientation) in enumerate(grid):
+            if index in replayed:
+                continue
+            ctx = ChainContext(
+                chain=chain,
+                model=model,
+                resolution=resolution,
+                orientation=orientation,
+                analyze_seam=analyze_seam,
+            )
+            ctx.digests["model"] = digest
+            graph.add_cell(
+                index, ctx, {"model": digest}, exclude=SWEEP_EXCLUDED
+            )
+            contexts[index] = ctx
+        return graph, contexts
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute(
+        self, model, grid, keys, replayed, assess, analyze_seam, journal,
+        cache_dir,
+    ) -> SweepReport:
+        serial = self.jobs == 1
+        if serial:
+            cache = DiskStageCache(cache_dir) if cache_dir else StageCache()
+        else:
+            cache = StageCache()  # planning only; workers own the real one
+        chain = self.config.build(cache)
+        exe, contexts = self._plan(
+            chain, model, grid, replayed, analyze_seam
+        )
+
+        # Scheduling state.  Entries are ("node", key) or
+        # ("final", index); an entry becomes ready when its unmet
+        # dependency count reaches zero.
+        FINAL_PRIORITY = len(chain.graph.order)
+        missing: Dict[Tuple, int] = {}
+        dependents: Dict[Tuple, List[Tuple]] = {}
+        ready: List[Tuple] = []  # heap of (priority, seq, entry)
+        seq = 0
+        dead: set = set()
+        records: Dict[Tuple, NodeRecord] = {}
+        computed_by: Dict[Tuple, int] = {}
+        results: Dict[int, SweepCellResult] = dict(replayed)
+        errors: Dict[int, Any] = {}
+        cell_attempts: Dict[int, int] = {}
+        stats = CacheStats()
+        state = {"abort": False, "rebuilds": 0, "degraded": False}
+
+        def push(entry: Tuple) -> None:
+            nonlocal seq
+            if entry[0] == "node":
+                priority = exe.nodes[entry[1]].priority
+            else:
+                priority = (FINAL_PRIORITY, entry[1])
+            heapq.heappush(ready, (priority, seq, entry))
+            seq += 1
+
+        def pop() -> Optional[Tuple]:
+            while ready:
+                _, _, entry = heapq.heappop(ready)
+                if entry not in dead:
+                    return entry
+            return None
+
+        for key, node in exe.nodes.items():
+            entry = ("node", key)
+            missing[entry] = len(node.deps)
+            for dep in node.deps:
+                dependents.setdefault(dep, []).append(entry)
+            if not node.deps:
+                push(entry)
+        for index in contexts:
+            entry = ("final", index)
+            deps = {exe.cell_nodes[index][name].key for name in OUTCOME_STAGES}
+            missing[entry] = len(deps)
+            for dep in deps:
+                dependents.setdefault(dep, []).append(entry)
+
+        def cell_label(index: int) -> str:
+            resolution, orientation = grid[index]
+            return f"{resolution.name}/{orientation.value}"
+
+        def cancel_cell(victim: int) -> None:
+            """Drop a failed cell's claim on every pending node."""
+            dead.add(("final", victim))
+            for node in exe.cell_nodes[victim].values():
+                if victim in node.cells:
+                    node.cells.remove(victim)
+                if not node.cells and node.key not in records:
+                    dead.add(("node", node.key))
+
+        def node_done(key: Tuple, record: NodeRecord) -> None:
+            node = exe.nodes[key]
+            records[key] = record
+            if node.cells:
+                computed_by[key] = node.cells[0]
+                if record.attempts > 1:
+                    first = min(node.cells)
+                    cell_attempts[first] = max(
+                        cell_attempts.get(first, 1), record.attempts
+                    )
+            exe.counters.stage(node.stage.name).executed += 1
+            for entry in dependents.get(key, ()):
+                if entry in dead:
+                    continue
+                missing[entry] -= 1
+                if missing[entry] == 0:
+                    push(entry)
+
+        def node_failed(key: Tuple, error) -> None:
+            """Charge the first pending consumer; keep the rest alive."""
+            node = exe.nodes[key]
+            if not node.cells:
+                return  # every consumer was cancelled meanwhile
+            victim = min(node.cells)
+            resolution, orientation = grid[victim]
+            attributed = replace(
+                error,
+                resolution=resolution.name,
+                orientation=orientation.value,
+                attempts=max(error.attempts, cell_attempts.get(victim, 1)),
+            )
+            errors[victim] = attributed
+            # The audit trail must witness the failed cell even though
+            # its finalize step never runs.
+            with obs.span(
+                "sweep.cell",
+                cell=cell_label(victim),
+                resolution=resolution.name,
+                orientation=orientation.value,
+            ):
+                obs.annotate(
+                    outcome="error",
+                    error_type=attributed.error_type,
+                    attempts=attributed.attempts,
+                )
+            cancel_cell(victim)
+            if not self.keep_going:
+                state["abort"] = True
+                return
+            if node.cells:
+                # Surviving cells still need the node; its fault budget
+                # was spent on the victim's attempt, so re-queue it.
+                push(("node", key))
+
+        def stage_log_for(index: int) -> Tuple[StageExecution, ...]:
+            log = []
+            for stage in chain.graph.order:
+                node = exe.cell_nodes[index].get(stage.name)
+                if node is None:
+                    continue
+                record = records.get(node.key)
+                if record is None:
+                    continue
+                mine = computed_by.get(node.key) == index
+                log.append(StageExecution(
+                    stage.name,
+                    node.digest,
+                    record.cache_hit if mine else True,
+                    record.seconds if mine else 0.0,
+                ))
+            return tuple(log)
+
+        def finalize_done(index, fingerprint, assessment, attempts) -> None:
+            resolution, orientation = grid[index]
+            cell = SweepCellResult(
+                resolution=resolution.name,
+                orientation=orientation.value,
+                fingerprint=fingerprint,
+                assessment=assessment,
+                stage_log=stage_log_for(index),
+                attempts=max(attempts, cell_attempts.get(index, 1)),
+            )
+            results[index] = cell
+            if journal is not None:
+                journal.append(keys[index], cell)
+
+        def absorb(entry, result, error) -> None:
+            if entry[0] == "node":
+                if error is not None:
+                    node_failed(entry[1], error)
+                else:
+                    node_done(entry[1], result)
+            else:
+                index = entry[1]
+                if error is not None:
+                    errors[index] = replace(
+                        error,
+                        attempts=max(
+                            error.attempts, cell_attempts.get(index, 1)
+                        ),
+                    )
+                    if not self.keep_going:
+                        state["abort"] = True
+                else:
+                    finalize_done(index, *result)
+
+        def run_entry_inline(entry, chain, cache) -> None:
+            """Execute one entry in this process (serial mode and the
+            degraded tail share this path with the workers' logic)."""
+            if entry[0] == "node":
+                node = exe.nodes[entry[1]]
+                index = node.cells[0]
+                ctx = contexts[index]
+                try:
+                    record = execute_node(
+                        chain, cache, node.stage.name, node.digest, ctx,
+                        exe.cell_digests[index], cell_label(index),
+                        self.retry, self.cell_timeout_s,
+                    )
+                except Exception as exc:
+                    resolution, orientation = grid[index]
+                    absorb(entry, None, cell_error_from_exception(
+                        resolution.name, orientation.value, exc, self.retry
+                    ))
+                    return
+                absorb(entry, record, None)
+            else:
+                index = entry[1]
+                ctx = contexts[index]
+                try:
+                    result = execute_finalize(
+                        chain, cache, ctx, exe.cell_digests[index],
+                        cell_label(index), assess, self.retry,
+                        self.cell_timeout_s, cell_attempts.get(index, 1),
+                    )
+                except Exception as exc:
+                    resolution, orientation = grid[index]
+                    absorb(entry, None, cell_error_from_exception(
+                        resolution.name, orientation.value, exc, self.retry
+                    ))
+                    return
+                absorb(entry, result, None)
+
+        def run_serially(chain, cache) -> None:
+            while not state["abort"]:
+                entry = pop()
+                if entry is None:
+                    break
+                run_entry_inline(entry, chain, cache)
+
+        with obs.span(
+            "graph.run",
+            jobs=self.jobs,
+            cells=len(contexts),
+            nodes=len(exe.nodes),
+            dedupe=self.dedupe,
+        ):
+            if serial:
+                run_serially(chain, cache)
+                stats = cache.stats.snapshot()
+            else:
+                self._run_pool(
+                    exe, grid, cache_dir, analyze_seam, model, assess,
+                    stats, state, pop, push, absorb, cell_attempts,
+                )
+                if state["degraded"]:
+                    tail_cache = DiskStageCache(cache_dir)
+                    tail_chain = self.config.build(tail_cache)
+                    # The parent-side contexts were planning-only; the
+                    # tail materializes artifacts from the shared disk
+                    # cache exactly like a worker would.
+                    run_serially(tail_chain, tail_cache)
+                    stats.merge(tail_cache.stats.snapshot())
+            obs.annotate(
+                scheduled=exe.counters.total_scheduled,
+                deduped=exe.counters.total_deduped,
+                executed=exe.counters.total_executed,
+            )
+
+        return SweepReport(
+            cells=[results[i] for i in sorted(results)],
+            errors=[errors[i] for i in sorted(errors)],
+            stats=stats,
+            jobs=self.jobs,
+            resumed=len(replayed),
+            pool_rebuilds=(
+                state["rebuilds"]
+                if not state["degraded"]
+                else self.max_pool_rebuilds
+            ),
+            degraded_to_serial=state["degraded"],
+            scheduler=exe.counters,
+        )
+
+    # -- pool dispatch -------------------------------------------------------
+
+    def _payload(
+        self, exe, grid, cache_dir, analyze_seam, model, assess, entry,
+        cell_attempts_hint, trace,
+    ):
+        if entry[0] == "node":
+            node = exe.nodes[entry[1]]
+            index = node.cells[0]
+            kind, stage_name, digest = "node", node.stage.name, node.digest
+            payload_assess = None
+        else:
+            index = entry[1]
+            kind, stage_name, digest = "final", None, None
+            payload_assess = assess
+        resolution, orientation = grid[index]
+        return (
+            self.config,
+            cache_dir,
+            kind,
+            stage_name,
+            digest,
+            resolution,
+            orientation,
+            analyze_seam,
+            model,
+            exe.cell_digests[index],
+            self.retry,
+            self.cell_timeout_s,
+            trace,
+            payload_assess,
+            cell_attempts_hint,
+        )
+
+    def _run_pool(
+        self, exe, grid, cache_dir, analyze_seam, model, assess, stats,
+        state, pop, push, absorb, cell_attempts,
+    ) -> None:
+        trace = obs.enabled()
+        tracer = obs.get_tracer()
+
+        def hint(entry) -> int:
+            # Finalize payloads carry the max attempts this cell's
+            # nodes spent, so the worker's sweep.cell span reports the
+            # cell's true total.
+            if entry[0] != "final":
+                return 1
+            return cell_attempts.get(entry[1], 1)
+
+        def adopt(spans):
+            if spans and tracer is not None:
+                tracer.adopt(spans)
+
+        while not state["abort"]:
+            inflight: Dict[Any, Tuple] = {}
+            try:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    while not state["abort"]:
+                        while True:
+                            entry = pop()
+                            if entry is None:
+                                break
+                            payload = self._payload(
+                                exe, grid, cache_dir, analyze_seam, model,
+                                assess, entry, hint(entry), trace,
+                            )
+                            try:
+                                future = pool.submit(_run_node_task, payload)
+                            except BrokenProcessPool:
+                                push(entry)
+                                raise
+                            inflight[future] = entry
+                        if not inflight:
+                            break
+                        done, _ = wait(
+                            list(inflight), return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            entry = inflight[future]
+                            result, error, delta, spans = future.result()
+                            del inflight[future]
+                            stats.merge(delta)
+                            adopt(spans)
+                            absorb(entry, result, error)
+                return  # clean completion (or abort)
+            except BrokenProcessPool:
+                # One or more workers died mid-node (dr0wned-style
+                # sabotage, OOM kill, segfault).  Harvest what finished,
+                # requeue the lost entries, and rebuild the pool a
+                # bounded number of times before degrading to serial.
+                state["rebuilds"] += 1
+                for future, entry in list(inflight.items()):
+                    harvested = False
+                    if future.done() and not future.cancelled():
+                        try:
+                            result, error, delta, spans = future.result()
+                        except BaseException:
+                            pass
+                        else:
+                            stats.merge(delta)
+                            adopt(spans)
+                            absorb(entry, result, error)
+                            harvested = True
+                    if not harvested:
+                        push(entry)
+                if state["rebuilds"] > self.max_pool_rebuilds:
+                    state["degraded"] = True
+                    return

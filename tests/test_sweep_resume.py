@@ -99,6 +99,39 @@ class TestSweepResume:
         # The recomputed cell was re-journaled: a second resume is total.
         assert len(SweepJournal(partial).load()) == 2
 
+    def test_multi_worker_resume_skips_replayed_cells_nodes(
+        self, protected, journaled_run, tmp_path
+    ):
+        """Resume across a worker pool: replayed cells are never
+        expanded into the merged execution graph, so the scheduler
+        plans (and counts) only the missing cells' nodes."""
+        report, journal = journaled_run
+        partial = tmp_path / "partial.jsonl"
+        first_line = journal.read_text().splitlines()[0]
+        partial.write_text(first_line + "\n")
+        _copy_key_sidecar(journal, partial)
+
+        resumed = ParallelSweep(
+            jobs=2,
+            cache_dir=str(tmp_path / "cache"),
+            journal_path=str(partial),
+            resume=True,
+        ).run(
+            protected.model, GRID_RESOLUTIONS, GRID_ORIENTATIONS,
+            assess=assess_print,
+        )
+        assert resumed.resumed == 1
+        assert [c.fingerprint for c in resumed.cells] == [
+            c.fingerprint for c in report.cells
+        ]
+        assert [c.resumed for c in resumed.cells] == [True, False]
+        # Only the missing cell was planned: one tessellate request,
+        # no dedup partner (the replayed cell never reached the graph).
+        tess = resumed.scheduler.stages["tessellate"]
+        assert tess.requested == 1
+        assert tess.scheduled == tess.executed == 1
+        assert tess.deduped == 0
+
     def test_tampered_journal_record_recomputed(
         self, protected, journaled_run, tmp_path
     ):
