@@ -17,14 +17,21 @@ unless
   stage-granular sweep must be bit-identical to the serial one),
 - with ``--expect-scheduled STAGE=N``, the manifest's ``scheduler``
   block shows exactly ``N`` scheduled *and* executed nodes for that
-  stage (proof the dedup is scheduled exactness, not cache-hit luck).
+  stage (proof the dedup is scheduled exactness, not cache-hit luck),
+- with ``--expect-transport KEY>=N`` (also ``<=``, ``==``), the
+  manifest's ``transport`` block satisfies the comparison - e.g.
+  ``handle_tasks>=1`` proves the workers ran handle-passing, and
+  ``max_task_bytes<=65536`` gates the zero-copy data plane's core
+  claim that no voxel grid ever crosses the worker pipe.
 
 Stdlib + repro only; run as::
 
     PYTHONPATH=src python scripts/check_run_artifacts.py \
         --trace t.jsonl --manifest sweep-manifest.json --jobs 2 \
         --baseline-manifest serial-manifest.json \
-        --expect-scheduled tessellate=2 --expect-scheduled resolve=2
+        --expect-scheduled tessellate=2 --expect-scheduled resolve=2 \
+        --expect-transport handle_tasks>=1 \
+        --expect-transport max_task_bytes<=65536
 """
 
 from __future__ import annotations
@@ -80,12 +87,48 @@ def check_scheduled(doc: dict, expectations: list) -> list:
     return problems
 
 
+#: Comparison operators accepted by ``--expect-transport``, longest
+#: first so ``>=`` is tried before ``>`` would (wrongly) match.
+_TRANSPORT_OPS = (
+    (">=", lambda a, b: a >= b),
+    ("<=", lambda a, b: a <= b),
+    ("==", lambda a, b: a == b),
+)
+
+
+def check_transport(doc: dict, expectations: list) -> list:
+    """``transport`` block satisfies every ``KEY(>=|<=|==)N`` gate."""
+    problems = []
+    transport = doc.get("transport")
+    if not isinstance(transport, dict):
+        problems.append(
+            "--expect-transport given but the manifest has no "
+            "'transport' block (serial run, or transport accounting "
+            "was lost)"
+        )
+        return problems
+    for key, op, expected, compare in expectations:
+        actual = transport.get(key)
+        if not isinstance(actual, (int, float)):
+            problems.append(
+                f"transport has no numeric counter {key!r} "
+                f"(keys: {sorted(transport)})"
+            )
+            continue
+        if not compare(actual, expected):
+            problems.append(
+                f"transport {key} is {actual}, expected {key} {op} {expected}"
+            )
+    return problems
+
+
 def check(
     trace_path: str,
     manifest_path: str,
     jobs: int,
     baseline_manifest: str = None,
     expect_scheduled: list = (),
+    expect_transport: list = (),
 ) -> list:
     problems = []
 
@@ -160,6 +203,8 @@ def check(
         problems.extend(check_baseline(doc, baseline_manifest))
     if expect_scheduled:
         problems.extend(check_scheduled(doc, expect_scheduled))
+    if expect_transport:
+        problems.extend(check_transport(doc, expect_transport))
     return problems
 
 
@@ -170,6 +215,17 @@ def _parse_expectation(text: str):
             f"expected STAGE=N (e.g. tessellate=3), got {text!r}"
         )
     return stage, int(count)
+
+
+def _parse_transport_expectation(text: str):
+    for op, compare in _TRANSPORT_OPS:
+        key, sep, count = text.partition(op)
+        if sep and key and count.isdigit():
+            return key, op, int(count), compare
+    raise argparse.ArgumentTypeError(
+        f"expected KEY>=N, KEY<=N or KEY==N "
+        f"(e.g. handle_tasks>=1), got {text!r}"
+    )
 
 
 def main(argv=None) -> int:
@@ -191,11 +247,18 @@ def main(argv=None) -> int:
         help="assert the scheduler block shows exactly N scheduled and "
         "executed nodes for STAGE (repeatable)",
     )
+    parser.add_argument(
+        "--expect-transport", action="append", default=[],
+        type=_parse_transport_expectation, metavar="KEY(>=|<=|==)N",
+        help="assert a transport-block counter satisfies the comparison, "
+        "e.g. handle_tasks>=1 or max_task_bytes<=65536 (repeatable)",
+    )
     args = parser.parse_args(argv)
     problems = check(
         args.trace, args.manifest, args.jobs,
         baseline_manifest=args.baseline_manifest,
         expect_scheduled=args.expect_scheduled,
+        expect_transport=args.expect_transport,
     )
     if problems:
         for problem in problems:

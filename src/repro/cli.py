@@ -139,10 +139,19 @@ def _sweep_executor_parent() -> argparse.ArgumentParser:
         "baseline; results are identical)",
     )
     parent.add_argument(
+        "--shm",
+        action="store_true",
+        help="share cache .npy segments between workers through POSIX "
+        "shared memory (one physical mapping per machine instead of "
+        "one per process; segments are digest-verified on attach and "
+        "reaped on pool rebuilds and at run end)",
+    )
+    parent.add_argument(
         "--stats",
         action="store_true",
         help="print per-stage timings, cache hit rates, scheduler "
-        "dedup counters, and cache integrity/store failure counters",
+        "dedup counters, transport bytes, and cache integrity/store "
+        "failure counters",
     )
     _add_observability_args(parent)
     parent.add_argument(
@@ -187,6 +196,12 @@ def _validate_executor_args(args):
         if args.max_retries
         else None
     )
+    if getattr(args, "shm", False):
+        # Workers inherit the environment, so flipping the switch here
+        # enables the tier in the whole pool.
+        from repro.pipeline import shm as shm_tier
+
+        os.environ[shm_tier.SHM_ENV] = "1"
     return cache_dir, journal, retry
 
 
@@ -221,6 +236,7 @@ def _write_sweep_manifest(
         "keep_going": args.keep_going,
         "resume": args.resume,
         "dedupe": not args.no_dedupe,
+        "shm": bool(getattr(args, "shm", False)),
     }
     config.update(extra_config or {})
     doc = manifest_mod.sweep_manifest(
@@ -248,6 +264,9 @@ def _print_executor_stats(args, result, tracer) -> None:
         if report is not None and report.scheduler is not None:
             print()
             for line in report.scheduler.render():
+                print(line)
+        if report is not None and report.transport is not None:
+            for line in report.transport.render():
                 print(line)
         print(f"failed cells: {result.n_failed}")
         if report is not None:

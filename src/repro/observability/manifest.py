@@ -136,6 +136,16 @@ def sweep_manifest(
             for c in report.cells
         },
     }
+    transport = getattr(report, "transport", None)
+    if transport is not None:
+        # Worker-pipe byte ledger of the zero-copy data plane: with
+        # handle-passing, payloads stay small no matter how large the
+        # artifacts get, and the CI validator can gate on it
+        # (``check_run_artifacts.py --expect-transport``).
+        manifest["transport"] = dict(transport.to_dict())
+        manifest["transport"]["zero_copy_hits"] = stats.zero_copy_hits
+        manifest["transport"]["mmap_bytes"] = stats.mmap_bytes
+        manifest["transport"]["pickle_bytes"] = stats.pickle_bytes
     scheduler = getattr(report, "scheduler", None)
     if scheduler is not None:
         # Fleet-wide node-scheduling counters of the stage-granular
@@ -211,6 +221,16 @@ def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
                 problems.append(f"counters missing {key!r}")
     if not isinstance(manifest.get("fingerprints"), dict):
         problems.append("'fingerprints' must be a dict")
+    transport = manifest.get("transport")
+    if transport is not None:
+        # Optional block (parallel runs only; serial sweeps have no pipe).
+        if not isinstance(transport, dict):
+            problems.append("'transport' must be a dict")
+        else:
+            for key in ("tasks", "payload_bytes", "result_bytes",
+                        "max_task_bytes", "handle_tasks", "inline_tasks"):
+                if key not in transport:
+                    problems.append(f"transport missing {key!r}")
     scheduler = manifest.get("scheduler")
     if scheduler is not None:
         # Optional block (runs through the stage-granular scheduler).

@@ -23,7 +23,7 @@ from repro.pipeline.cache import (
     stats_delta,
 )
 from repro.pipeline.chain import ChainArtifacts, ChainContext, ProcessChain
-from repro.pipeline.disk import DiskStageCache
+from repro.pipeline.disk import ROOTS_STAGE, DiskStageCache
 from repro.pipeline.graph import (
     ExecutionGraph,
     SchedulerStats,
@@ -37,9 +37,11 @@ from repro.pipeline.parallel import (
     SweepCellError,
     SweepCellResult,
     SweepReport,
+    TransportStats,
     cell_error_from_exception,
     outcome_fingerprint,
 )
+from repro.pipeline.report import finalize_key
 from repro.pipeline.resilience import (
     NO_RETRY,
     TRANSIENT_ERRORS,
@@ -72,6 +74,7 @@ __all__ = [
     "PipelineConfigError",
     "PipelineError",
     "ProcessChain",
+    "ROOTS_STAGE",
     "RetryPolicy",
     "SchedulerStats",
     "Stage",
@@ -87,8 +90,10 @@ __all__ = [
     "SweepJournal",
     "SweepReport",
     "TRANSIENT_ERRORS",
+    "TransportStats",
     "cell_error_from_exception",
     "digest_parts",
+    "finalize_key",
     "outcome_fingerprint",
     "stats_delta",
     "time_limit",

@@ -110,11 +110,21 @@ class CacheStats:
     ``store_failures`` counts writes that could not be persisted (full
     disk, unpicklable artifact) and silently degraded to memory-only
     caching.
+
+    The data-plane counters (ISSUE 7) account how stored bytes actually
+    reached the process: ``zero_copy_hits`` counts disk loads served
+    through the ``.npy``-segment layout (grids memory-mapped, never
+    unpickled), ``mmap_bytes`` the array bytes those mappings cover,
+    and ``pickle_bytes`` the bytes that still went through
+    ``pickle.loads`` (headers, plain-pickle fallback entries).
     """
 
     stages: "OrderedDict[str, StageStats]" = field(default_factory=OrderedDict)
     integrity_failures: int = 0
     store_failures: int = 0
+    zero_copy_hits: int = 0
+    mmap_bytes: int = 0
+    pickle_bytes: int = 0
 
     def stage(self, name: str) -> StageStats:
         if name not in self.stages:
@@ -142,6 +152,9 @@ class CacheStats:
             OrderedDict((k, v.copy()) for k, v in self.stages.items()),
             integrity_failures=self.integrity_failures,
             store_failures=self.store_failures,
+            zero_copy_hits=self.zero_copy_hits,
+            mmap_bytes=self.mmap_bytes,
+            pickle_bytes=self.pickle_bytes,
         )
 
     def merge(self, other: "CacheStats") -> "CacheStats":
@@ -158,6 +171,9 @@ class CacheStats:
             mine.saved_s += stats.saved_s
         self.integrity_failures += other.integrity_failures
         self.store_failures += other.store_failures
+        self.zero_copy_hits += other.zero_copy_hits
+        self.mmap_bytes += other.mmap_bytes
+        self.pickle_bytes += other.pickle_bytes
         return self
 
     def to_dict(self) -> Dict[str, Dict[str, float]]:
@@ -181,6 +197,9 @@ class CacheStats:
         table["_cache"] = {
             "integrity_failures": self.integrity_failures,
             "store_failures": self.store_failures,
+            "zero_copy_hits": self.zero_copy_hits,
+            "mmap_bytes": self.mmap_bytes,
+            "pickle_bytes": self.pickle_bytes,
         }
         return table
 
@@ -211,6 +230,12 @@ class CacheStats:
                 f"cache store failures (degraded to memory-only): "
                 f"{self.store_failures}"
             )
+        if self.zero_copy_hits:
+            lines.append(
+                f"zero-copy disk reads: {self.zero_copy_hits} "
+                f"({self.mmap_bytes} B mmapped, "
+                f"{self.pickle_bytes} B unpickled)"
+            )
         return lines
 
 
@@ -228,12 +253,22 @@ class StageCache:
         which is right for one sweep's working set.
     """
 
+    #: Decoded-value working set kept per cache: repeated hits on a
+    #: packed entry return the *same* decoded object instead of paying
+    #: ``unpack`` again (safe because stages must not mutate cached
+    #: artifacts - documented on :class:`~repro.pipeline.stage.Stage`).
+    DECODED_MAX_ENTRIES = 32
+    #: Bound on memoized derived products (fingerprints, assessments).
+    DERIVED_MAX_ENTRIES = 512
+
     def __init__(self, enabled: bool = True, max_entries: Optional[int] = None):
         if max_entries is not None and max_entries <= 0:
             raise PipelineConfigError("max_entries must be positive or None")
         self.enabled = enabled
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._decoded: "OrderedDict[str, Any]" = OrderedDict()
+        self._derived: "OrderedDict[str, Any]" = OrderedDict()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -245,9 +280,57 @@ class StageCache:
     def clear(self) -> None:
         """Drop all stored artifacts (counters are kept)."""
         self._entries.clear()
+        self._decoded.clear()
+        self._derived.clear()
 
     def reset_stats(self) -> None:
         self.stats = CacheStats()
+
+    # -- decoded / derived memos --------------------------------------------
+
+    def _decode(
+        self, key: str, stored: Any, unpack: Optional[Callable[[Any], Any]]
+    ) -> Any:
+        """Decode a stored entry, memoizing the result per content key.
+
+        Entries without a codec are returned as stored (they *are* the
+        artifact).  Packed entries pay ``unpack`` once; further hits on
+        the same key share the decoded object, which is what lets
+        instance-level memos downstream (fingerprint hash state,
+        surface-disruption area) survive across cache hits.
+        """
+        if unpack is None:
+            return stored
+        value = self._decoded.get(key)
+        if value is not None:
+            self._decoded.move_to_end(key)
+            return value
+        value = unpack(stored)
+        self._remember_decoded(key, value)
+        return value
+
+    def _remember_decoded(self, key: str, value: Any) -> None:
+        self._decoded[key] = value
+        while len(self._decoded) > self.DECODED_MAX_ENTRIES:
+            self._decoded.popitem(last=False)
+
+    def derived_get(self, key: str) -> Any:
+        """Uncounted memo of content-addressed *derived* products
+        (outcome fingerprints, assessments): values that are pure
+        functions of already-digested artifacts, so re-deriving them
+        for an identical content key is pure overhead.  Returns ``None``
+        when absent; never touches the stage counters."""
+        value = self._derived.get(key)
+        if value is not None:
+            self._derived.move_to_end(key)
+        return value
+
+    def derived_put(self, key: str, value: Any) -> None:
+        if not self.enabled:
+            return
+        self._derived[key] = value
+        while len(self._derived) > self.DERIVED_MAX_ENTRIES:
+            self._derived.popitem(last=False)
 
     def fetch(
         self,
@@ -268,7 +351,7 @@ class StageCache:
         if self.enabled and key in self._entries:
             self._entries.move_to_end(key)
             stored = self._entries[key]
-            return (unpack(stored) if unpack is not None else stored), True
+            return self._decode(key, stored, unpack), True
         return None, False
 
     def get_or_run(
@@ -298,7 +381,7 @@ class StageCache:
                     stats.saved_s += stats.run_s / stats.misses
                 obs.annotate(hit=True, tier="memory")
                 stored = self._entries[key]
-                return (unpack(stored) if unpack is not None else stored), True
+                return self._decode(key, stored, unpack), True
 
             start = time.perf_counter()
             value = fn()
@@ -308,6 +391,8 @@ class StageCache:
             obs.annotate(hit=False, tier="compute", run_s=elapsed)
             if self.enabled:
                 self._entries[key] = pack(value) if pack is not None else value
+                if pack is not None:
+                    self._remember_decoded(key, value)
                 if self.max_entries is not None:
                     while len(self._entries) > self.max_entries:
                         self._entries.popitem(last=False)
@@ -331,4 +416,7 @@ def stats_delta(before: CacheStats, after: CacheStats) -> CacheStats:
         entry.saved_s = stats.saved_s - (prior.saved_s if prior else 0.0)
     delta.integrity_failures = after.integrity_failures - before.integrity_failures
     delta.store_failures = after.store_failures - before.store_failures
+    delta.zero_copy_hits = after.zero_copy_hits - before.zero_copy_hits
+    delta.mmap_bytes = after.mmap_bytes - before.mmap_bytes
+    delta.pickle_bytes = after.pickle_bytes - before.pickle_bytes
     return delta

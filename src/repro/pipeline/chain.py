@@ -66,7 +66,12 @@ from repro.printer.job import PrintOutcome
 from repro.printer.machines import DIMENSION_ELITE, MachineProfile
 from repro.printer.orientation import PrintOrientation, place_on_plate
 from repro.slicer.coincident import resolve_coincident_faces
-from repro.slicer.gcode import GCodeProgram, generate_gcode
+from repro.slicer.gcode import (
+    GCodeProgram,
+    generate_gcode,
+    pack_gcode,
+    unpack_gcode,
+)
 from repro.slicer.seams import SeamReport, analyze_split_seam
 from repro.slicer.settings import SlicerSettings
 from repro.slicer.slicer import SliceResult, slice_mesh
@@ -348,6 +353,8 @@ class ProcessChain:
                 ("toolpath",),
                 _run_gcode,
                 lambda ctx: (),
+                pack=pack_gcode,
+                unpack=unpack_gcode,
                 produces=ArtifactContract((GCodeProgram,)),
                 expects={"toolpath": paths_c},
             ),

@@ -9,6 +9,19 @@ artifacts live at ``<root>/<stage>/<digest>.pkl``, written atomically
 digest can only ever publish identical bytes-for-the-same-key files -
 last writer wins and no reader sees a partial pickle.
 
+Values holding large ndarrays use the **NumPy-native payload layout**
+(ISSUE 7, :mod:`repro.pipeline.payload`): the arrays are split out into
+raw ``<digest>.seg<i>.npy`` files beside a small ``<digest>.pkl``
+header, each with its own SHA-256 sidecar computed *while streaming the
+bytes out* (no second hashing pass).  Warm reads then memory-map the
+segments (``np.load(mmap_mode="r")``) instead of copying them through
+``pickle.loads`` - the zero-copy path counted by
+``CacheStats.zero_copy_hits`` / ``mmap_bytes`` / ``pickle_bytes``.
+Values without qualifying arrays keep the legacy single-pickle layout,
+so old cache directories read unchanged and new ones degrade cleanly.
+Segments are published before their header, so a visible header always
+implies visible, verifiable segments.
+
 The disk tier is also **tamper evident** (ISSUE 3, Table 1's STL-stage
 "verify file hashes" mitigation applied to our own supply chain): every
 payload carries a SHA-256 sidecar (``<digest>.pkl.sha256``, written
@@ -38,12 +51,19 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro import faults
 from repro import observability as obs
+from repro.pipeline import payload
+from repro.pipeline import shm as shm_tier
 from repro.pipeline.cache import StageCache
 from repro.pipeline.resilience import CacheIntegrityError
 from repro.supplychain.integrity import file_digest
 
 #: Name of the quarantine directory under the cache root.
 QUARANTINE_DIR = "quarantine"
+
+#: Pseudo-stage directory for shared *root* objects (the CAD model a
+#: sweep fans out over).  Roots are published by the parent and resolved
+#: by digest in workers (handle-passing), never counted as stage runs.
+ROOTS_STAGE = "__roots__"
 
 
 class DiskStageCache(StageCache):
@@ -71,12 +91,23 @@ class DiskStageCache(StageCache):
         self.root.mkdir(parents=True, exist_ok=True)
         #: Per-stage count of hits served from disk (not memory).
         self.disk_hits: Dict[str, int] = {}
+        #: Optional shared-memory segment tier (``OBFUSCADE_SHM=1``):
+        #: the first process to read a segment publishes it; others
+        #: attach the same physical pages instead of re-mapping disk.
+        self._shm = (
+            shm_tier.SharedSegmentStore(self.root / shm_tier.REGISTRY_NAME)
+            if shm_tier.shm_enabled()
+            else None
+        )
 
     def _path(self, stage_name: str, key: str) -> Path:
         return self.root / stage_name / f"{key}.pkl"
 
     def _digest_path(self, stage_name: str, key: str) -> Path:
         return self.root / stage_name / f"{key}.pkl.sha256"
+
+    def _segment_path(self, stage_name: str, key: str, index: int) -> Path:
+        return self.root / stage_name / f"{key}.seg{index}.npy"
 
     @property
     def quarantine_root(self) -> Path:
@@ -103,18 +134,72 @@ class DiskStageCache(StageCache):
             return None, False
         try:
             self._verify(stage_name, key, data)
-            return pickle.loads(data), True
+            obj = pickle.loads(data)
+            if payload.is_segmented_header(obj):
+                value = self._load_segments(stage_name, key, obj)
+                self.stats.zero_copy_hits += 1
+                self.stats.pickle_bytes += len(data)
+                return value, True
+            self.stats.pickle_bytes += len(data)
+            return obj, True
         except (CacheIntegrityError, pickle.UnpicklingError, EOFError,
-                AttributeError, IndexError, ImportError):
+                AttributeError, IndexError, ImportError, KeyError,
+                ValueError, OSError):
             # A tampered, truncated or undecodable entry must neither
             # be served nor left in place to re-fail every future
-            # lookup: quarantine it and recompute.
+            # lookup: quarantine it (header *and* segments) and
+            # recompute.
             self._quarantine(stage_name, key)
             self.stats.integrity_failures += 1
             obs.event("cache.integrity_failure", stage=stage_name,
                       key=key[:12])
             obs.inc("cache.integrity_failures")
             return None, False
+
+    def _load_segments(self, stage_name: str, key: str, header: dict) -> Any:
+        """Verify and memory-map every ``.npy`` segment of a header.
+
+        The grids never pass through ``pickle.loads``: verification
+        streams the file bytes through SHA-256 and the data itself is
+        mapped read-only, so a warm read costs one hash pass over the
+        page cache instead of a hash pass *plus* a heap copy.
+        """
+        arrays = []
+        mapped = 0
+        for index in range(int(header["segments"])):
+            seg = self._segment_path(stage_name, key, index)
+            faults.tamper_file(f"cache.load.{stage_name}", seg)
+            sidecar = Path(f"{seg}.sha256")
+            try:
+                expected = sidecar.read_text().strip()
+            except OSError as exc:
+                raise CacheIntegrityError(
+                    str(seg), "segment digest sidecar missing"
+                ) from exc
+            array = None
+            if self._shm is not None:
+                # Shared tier first: attach verifies block bytes against
+                # the same digest the sidecar carries, so a poisoned
+                # block degrades to the disk path, never gets served.
+                array = self._shm.attach(expected)
+            if array is None:
+                actual = payload.hash_file(seg)
+                if actual != expected:
+                    raise CacheIntegrityError(
+                        str(seg),
+                        f"segment sha256 mismatch "
+                        f"(expected {expected[:12]}..., "
+                        f"got {actual[:12]}...)",
+                    )
+                if self._shm is not None:
+                    array = self._shm.publish(expected, seg.read_bytes())
+                if array is None:
+                    array = payload.load_npy_mmap(seg)
+            mapped += array.nbytes
+            arrays.append(array)
+        self.stats.mmap_bytes += mapped
+        obs.annotate(zero_copy=True, mmap_bytes=mapped)
+        return payload.restore_arrays(header["skeleton"], arrays)
 
     def _verify(self, stage_name: str, key: str, data: bytes) -> None:
         digest_path = self._digest_path(stage_name, key)
@@ -134,10 +219,12 @@ class DiskStageCache(StageCache):
 
     def _quarantine(self, stage_name: str, key: str) -> None:
         self.quarantine_root.mkdir(parents=True, exist_ok=True)
-        for source in (
-            self._path(stage_name, key),
-            self._digest_path(stage_name, key),
-        ):
+        stage_dir = self.root / stage_name
+        # Every file of the entry goes: header, sidecars and any .npy
+        # segments - a partially quarantined entry would re-fail (or
+        # worse, half-serve) on the next lookup.
+        sources = sorted(stage_dir.glob(f"{key}.*")) if stage_dir.is_dir() else []
+        for source in sources:
             target = self.quarantine_root / f"{stage_name}-{source.name}"
             try:
                 os.replace(source, target)
@@ -149,13 +236,31 @@ class DiskStageCache(StageCache):
                 except OSError:
                     pass
 
-    def _store(self, stage_name: str, key: str, value: Any) -> None:
+    def _store(self, stage_name: str, key: str, value: Any) -> bool:
         path = self._path(stage_name, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         with obs.span("cache.store", stage=stage_name, key=key[:12]):
             try:
                 faults.fire(f"cache.store.{stage_name}")
-                data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                skeleton, arrays = payload.extract_arrays(value)
+                if arrays:
+                    # Segments first (each streamed + hashed in one
+                    # pass), the pickled header last: a reader that can
+                    # see the header can see every segment it names.
+                    total = 0
+                    for index, array in enumerate(arrays):
+                        total += self._write_segment(
+                            self._segment_path(stage_name, key, index), array
+                        )
+                    data = pickle.dumps(
+                        payload.make_header(skeleton, len(arrays)),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                else:
+                    total = 0
+                    data = pickle.dumps(
+                        value, protocol=pickle.HIGHEST_PROTOCOL
+                    )
                 # Digest sidecar lands first: any reader that can see the
                 # payload can verify it (a payload without its sidecar is
                 # treated as tampering).
@@ -164,13 +269,38 @@ class DiskStageCache(StageCache):
                     (file_digest(data) + "\n").encode(),
                 )
                 self._write_atomic(path, data)
-                obs.annotate(ok=True, bytes=len(data))
-            except (OSError, pickle.PicklingError, TypeError, AttributeError):
+                obs.annotate(
+                    ok=True, bytes=len(data) + total, segments=len(arrays)
+                )
+                return True
+            except (OSError, pickle.PicklingError, TypeError, AttributeError,
+                    ValueError):
                 # An artifact that cannot be persisted (or a full disk)
                 # degrades to memory-only caching rather than failing the
                 # run - but observably (ISSUE 3: no silent swallowing).
                 self.stats.store_failures += 1
                 obs.annotate(ok=False)
+                return False
+
+    def _write_segment(self, path: Path, array) -> int:
+        """Stream one array to ``path`` in ``.npy`` format, publishing
+        its SHA-256 sidecar (computed during the write) before the
+        segment itself becomes visible.  Returns bytes written."""
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                digest, nbytes = payload.write_npy(fh, array)
+            self._write_atomic(
+                Path(f"{path}.sha256"), (digest + "\n").encode()
+            )
+            os.replace(tmp, path)
+            return nbytes
+        except (OSError, ValueError):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def _write_atomic(self, path: Path, data: bytes) -> None:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -209,7 +339,7 @@ class DiskStageCache(StageCache):
                 return None, False
             self._remember(key, stored)
             obs.annotate(hit=True)
-            return (unpack(stored) if unpack is not None else stored), True
+            return self._decode(key, stored, unpack), True
 
     def get_or_run(
         self,
@@ -231,9 +361,7 @@ class DiskStageCache(StageCache):
                         stats.saved_s += stats.run_s / stats.misses
                     obs.annotate(hit=True, tier="memory")
                     stored = self._entries[key]
-                    return (
-                        unpack(stored) if unpack is not None else stored
-                    ), True
+                    return self._decode(key, stored, unpack), True
                 stored, found = self._load(stage_name, key)
                 if found:
                     stats.hits += 1
@@ -242,9 +370,7 @@ class DiskStageCache(StageCache):
                         stats.saved_s += stats.run_s / stats.misses
                     obs.annotate(hit=True, tier="disk")
                     self._remember(key, stored)
-                    return (
-                        unpack(stored) if unpack is not None else stored
-                    ), True
+                    return self._decode(key, stored, unpack), True
 
             start = time.perf_counter()
             value = fn()
@@ -255,6 +381,8 @@ class DiskStageCache(StageCache):
             if self.enabled:
                 stored = pack(value) if pack is not None else value
                 self._remember(key, stored)
+                if pack is not None:
+                    self._remember_decoded(key, value)
                 self._store(stage_name, key, stored)
             return value, False
 
@@ -263,3 +391,26 @@ class DiskStageCache(StageCache):
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+
+    # -- shared roots (handle-passing) --------------------------------------
+
+    def put_root(self, key: str, value: Any) -> bool:
+        """Publish a shared root object (e.g. the sweep's CAD model)
+        under its content digest so workers can resolve it from the
+        shared cache instead of receiving the full payload over the
+        task pipe.  Returns False when the root could not be persisted
+        (callers then fall back to inline payload-passing).  Uncounted:
+        roots are transport, not stage executions.
+        """
+        if not self.enabled:
+            return False
+        self._remember(key, value)
+        if (self.root / ROOTS_STAGE / f"{key}.pkl").exists():
+            return True
+        return self._store(ROOTS_STAGE, key, value)
+
+    def get_root(self, key: str) -> Any:
+        """Resolve a published root by digest (memory, then verified
+        disk); ``None`` when absent or quarantined."""
+        value, found = self.fetch(ROOTS_STAGE, key)
+        return value if found else None

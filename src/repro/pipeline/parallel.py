@@ -62,7 +62,9 @@ from repro.pipeline.report import (
     SweepCellError,
     SweepCellResult,
     SweepReport,
+    TransportStats,
     cell_error_from_exception,
+    finalize_key,
     outcome_fingerprint,
 )
 from repro.pipeline.resilience import (
@@ -71,7 +73,7 @@ from repro.pipeline.resilience import (
     RetryPolicy,
     time_limit,
 )
-from repro.pipeline.scheduler import ChainConfig, GraphScheduler
+from repro.pipeline.scheduler import OUTCOME_STAGES, ChainConfig, GraphScheduler
 from repro.printer.machines import DIMENSION_ELITE, MachineProfile
 from repro.printer.orientation import PrintOrientation
 from repro.slicer.settings import SlicerSettings
@@ -87,6 +89,7 @@ __all__ = [
     "SweepCellError",
     "SweepCellResult",
     "SweepReport",
+    "TransportStats",
     "cell_error_from_exception",
     "execute_cell",
     "outcome_fingerprint",
@@ -136,11 +139,34 @@ def execute_cell(
             return None, cell_error_from_exception(
                 resolution.name, orientation.value, exc, retry
             )
+        # The fingerprint and assessment are pure derivations of the
+        # outcome-stage artifacts, which the stage log already content-
+        # addresses - memoize them on the chain's cache so a warm
+        # re-run of the same cell skips hashing the voxel grids and
+        # re-assessing entirely (ISSUE 7; uncounted, like any other
+        # derived product).
+        fingerprint = assessment = None
+        memo_key = None
+        cache = chain.cache
+        if cache is not None and cache.enabled:
+            digests = {ex.name: ex.digest for ex in outcome.stage_log}
+            if all(name in digests for name in OUTCOME_STAGES):
+                memo_key = finalize_key(
+                    (digests[name] for name in OUTCOME_STAGES), assess
+                )
+                memo = cache.derived_get(memo_key)
+                if memo is not None:
+                    fingerprint, assessment = memo
+        if fingerprint is None:
+            fingerprint = outcome_fingerprint(outcome)
+            assessment = assess(outcome) if assess is not None else None
+            if memo_key is not None:
+                cache.derived_put(memo_key, (fingerprint, assessment))
         cell = SweepCellResult(
             resolution=resolution.name,
             orientation=orientation.value,
-            fingerprint=outcome_fingerprint(outcome),
-            assessment=assess(outcome) if assess is not None else None,
+            fingerprint=fingerprint,
+            assessment=assessment,
             stage_log=outcome.stage_log,
             attempts=attempts,
         )

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.pipeline.cache import CacheStats
+from repro.pipeline.cache import CacheStats, digest_parts
 from repro.pipeline.graph import SchedulerStats
 from repro.pipeline.resilience import (
     NO_RETRY,
@@ -49,6 +49,84 @@ def outcome_fingerprint(outcome) -> str:
         dtype="<f8",
     ).tobytes())
     return h.hexdigest()
+
+
+def assess_identity(assess) -> Optional[str]:
+    """Stable identity string of an assess callable (cache-key grade)."""
+    if assess is None:
+        return None
+    return (
+        f"{getattr(assess, '__module__', '?')}."
+        f"{getattr(assess, '__qualname__', repr(assess))}"
+    )
+
+
+def finalize_key(stage_digests: Iterable[str], assess) -> str:
+    """Content address of a cell's *derived* products (ISSUE 7).
+
+    A cell's outcome fingerprint and assessment are pure functions of
+    its outcome-stage artifacts - which the digests already address -
+    and of the assess callable's identity.  Keyed this way they can be
+    memoized on the cache (:meth:`StageCache.derived_get`) and skipped
+    entirely on a fully-warm re-run, without touching the stage
+    hit/miss ledger.
+    """
+    return digest_parts("finalize", tuple(stage_digests), assess_identity(assess))
+
+
+@dataclass
+class TransportStats:
+    """Bytes crossing the worker task pipe (handle-passing accounting).
+
+    The zero-copy data plane's pipe-side ledger: with handle-passing,
+    task payloads carry a model *digest* instead of the model and
+    results carry digests + counters instead of artifacts, so
+    ``max_task_bytes`` stays small no matter how large the voxel grids
+    get.  ``handle_tasks`` / ``inline_tasks`` split tasks by whether
+    the shared model travelled as a cache handle or fell back to an
+    inline payload (e.g. the root store failed).
+    """
+
+    tasks: int = 0
+    payload_bytes: int = 0
+    result_bytes: int = 0
+    max_task_bytes: int = 0
+    handle_tasks: int = 0
+    inline_tasks: int = 0
+
+    def record(
+        self, payload_bytes: int, result_bytes: int, handle: bool
+    ) -> None:
+        self.tasks += 1
+        self.payload_bytes += payload_bytes
+        self.result_bytes += result_bytes
+        self.max_task_bytes = max(
+            self.max_task_bytes, payload_bytes, result_bytes
+        )
+        if handle:
+            self.handle_tasks += 1
+        else:
+            self.inline_tasks += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "tasks": self.tasks,
+            "payload_bytes": self.payload_bytes,
+            "result_bytes": self.result_bytes,
+            "max_task_bytes": self.max_task_bytes,
+            "handle_tasks": self.handle_tasks,
+            "inline_tasks": self.inline_tasks,
+        }
+
+    def render(self) -> List[str]:
+        if not self.tasks:
+            return []
+        return [
+            f"transport: {self.tasks} tasks, "
+            f"{self.payload_bytes} B sent, {self.result_bytes} B returned, "
+            f"max task {self.max_task_bytes} B "
+            f"({self.handle_tasks} handle / {self.inline_tasks} inline)"
+        ]
 
 
 @dataclass(frozen=True)
@@ -125,6 +203,9 @@ class SweepReport:
     #: scheduler (requested/scheduled/deduped/executed per stage).
     #: ``None`` for reports produced outside the sweep executor.
     scheduler: Optional[SchedulerStats] = None
+    #: Worker-pipe byte accounting (parallel runs only; ``None`` for
+    #: serial runs, which have no pipe).
+    transport: Optional[TransportStats] = None
 
     @property
     def failed_cells(self) -> List[Tuple[str, str]]:

@@ -38,15 +38,18 @@ property that one poisoned cell never voids the rest of the grid.
 from __future__ import annotations
 
 import heapq
+import pickle
 import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import faults
 from repro import observability as obs
+from repro.pipeline import shm as shm_tier
 from repro.mesh.content_hash import model_digest
 from repro.pipeline.cache import CacheStats, StageCache, stats_delta
 from repro.pipeline.chain import ChainContext, ProcessChain
@@ -55,10 +58,17 @@ from repro.pipeline.graph import ExecutionGraph, run_stage
 from repro.pipeline.report import (
     SweepCellResult,
     SweepReport,
+    TransportStats,
     cell_error_from_exception,
+    finalize_key,
     outcome_fingerprint,
 )
-from repro.pipeline.resilience import NO_RETRY, RetryPolicy, time_limit
+from repro.pipeline.resilience import (
+    NO_RETRY,
+    PipelineError,
+    RetryPolicy,
+    time_limit,
+)
 from repro.pipeline.stage import StageExecution
 from repro.printer.job import PrintOutcome
 
@@ -194,6 +204,9 @@ def execute_finalize(
     """
     resolution = ctx.resolution
     orientation = ctx.orientation
+    memo_key = finalize_key(
+        (digests[name] for name in OUTCOME_STAGES), assess
+    )
 
     def attempt():
         with time_limit(timeout_s, what=f"cell {cell}"):
@@ -212,6 +225,7 @@ def execute_finalize(
             )
             fingerprint = outcome_fingerprint(outcome)
             assessment = assess(outcome) if assess is not None else None
+            cache.derived_put(memo_key, (fingerprint, assessment))
             return fingerprint, assessment
 
     with obs.span(
@@ -220,6 +234,20 @@ def execute_finalize(
         resolution=resolution.name,
         orientation=orientation.value,
     ):
+        # A memoized derivation (same outcome digests, same assess
+        # callable) serves the verdict without re-materializing the
+        # grids or re-hashing them - the all-hits fast path.  The span
+        # still witnesses the cell either way.
+        memo = cache.derived_get(memo_key)
+        if memo is not None:
+            fingerprint, assessment = memo
+            obs.annotate(
+                outcome="ok",
+                attempts=attempts_hint,
+                fingerprint=fingerprint,
+                derived_hit=True,
+            )
+            return fingerprint, assessment, attempts_hint
         try:
             (fingerprint, assessment), attempts = retry.call(attempt)
         except Exception as exc:
@@ -243,6 +271,10 @@ def execute_finalize(
 #: repeat input fetches without touching disk).
 _WORKER_CACHES: Dict[str, DiskStageCache] = {}
 
+#: Per-process memo of resolved root models, keyed by content digest -
+#: a worker deserializes the shared model once, not once per task.
+_MODEL_MEMO: Dict[str, Any] = {}
+
 
 def _worker_cache(cache_dir: str) -> DiskStageCache:
     cache = _WORKER_CACHES.get(cache_dir)
@@ -250,6 +282,29 @@ def _worker_cache(cache_dir: str) -> DiskStageCache:
         cache = DiskStageCache(cache_dir)
         _WORKER_CACHES[cache_dir] = cache
     return cache
+
+
+def _resolve_model(model_ref: Tuple[str, Any], cache) -> Any:
+    """Materialize the task's model from its transport reference.
+
+    ``("inline", model)`` carries the model itself (the legacy
+    payload-passing transport, kept as the fallback when the parent
+    could not publish the root); ``("handle", digest)`` is resolved
+    from the shared disk cache's root store, memoized per process.
+    """
+    kind, value = model_ref
+    if kind == "inline":
+        return value
+    model = _MODEL_MEMO.get(value)
+    if model is None:
+        model = cache.get_root(value)
+        if model is None:
+            raise PipelineError(
+                f"shared model root {value[:12]}... is missing from the "
+                f"cache (store failed or entry was quarantined)"
+            )
+        _MODEL_MEMO[value] = model
+    return model
 
 
 def _run_node_task(payload) -> Tuple[Any, Any, CacheStats, List[dict]]:
@@ -269,7 +324,7 @@ def _run_node_task(payload) -> Tuple[Any, Any, CacheStats, List[dict]]:
         resolution,
         orientation,
         analyze_seam,
-        model,
+        model_ref,
         digests,
         retry,
         timeout_s,
@@ -289,7 +344,7 @@ def _run_node_task(payload) -> Tuple[Any, Any, CacheStats, List[dict]]:
             faults.fire("worker", context=cell)
             ctx = ChainContext(
                 chain=chain,
-                model=model,
+                model=_resolve_model(model_ref, cache),
                 resolution=resolution,
                 orientation=orientation,
                 analyze_seam=analyze_seam,
@@ -371,8 +426,18 @@ class GraphScheduler:
                 journal, cache_dir,
             )
         finally:
+            # Shared-memory segments are machine-global; the run that
+            # published them must take them down (crashed workers
+            # cannot).
+            self._shm_cleanup(cache_dir)
             if tmp is not None:
                 tmp.cleanup()
+
+    def _shm_cleanup(self, cache_dir) -> None:
+        if cache_dir and shm_tier.shm_enabled():
+            shm_tier.cleanup_registry(
+                Path(cache_dir) / shm_tier.REGISTRY_NAME
+            )
 
     # -- graph construction --------------------------------------------------
 
@@ -413,6 +478,19 @@ class GraphScheduler:
         exe, contexts = self._plan(
             chain, model, grid, replayed, analyze_seam
         )
+
+        # Handle-passing transport (ISSUE 7): publish the model into
+        # the shared cache's root store once, then ship only its digest
+        # in every task payload.  Falls back to the legacy inline
+        # payload when the root cannot be persisted.
+        transport: Optional[TransportStats] = None
+        model_ref: Tuple[str, Any] = ("inline", model)
+        if not serial:
+            transport = TransportStats()
+            root_cache = DiskStageCache(cache_dir)
+            digest = model_digest(model)
+            if root_cache.put_root(digest, model):
+                model_ref = ("handle", digest)
 
         # Scheduling state.  Entries are ("node", key) or
         # ("final", index); an entry becomes ready when its unmet
@@ -636,8 +714,9 @@ class GraphScheduler:
                 stats = cache.stats.snapshot()
             else:
                 self._run_pool(
-                    exe, grid, cache_dir, analyze_seam, model, assess,
+                    exe, grid, cache_dir, analyze_seam, model_ref, assess,
                     stats, state, pop, push, absorb, cell_attempts,
+                    transport,
                 )
                 if state["degraded"]:
                     tail_cache = DiskStageCache(cache_dir)
@@ -666,12 +745,13 @@ class GraphScheduler:
             ),
             degraded_to_serial=state["degraded"],
             scheduler=exe.counters,
+            transport=transport,
         )
 
     # -- pool dispatch -------------------------------------------------------
 
     def _payload(
-        self, exe, grid, cache_dir, analyze_seam, model, assess, entry,
+        self, exe, grid, cache_dir, analyze_seam, model_ref, assess, entry,
         cell_attempts_hint, trace,
     ):
         if entry[0] == "node":
@@ -693,7 +773,7 @@ class GraphScheduler:
             resolution,
             orientation,
             analyze_seam,
-            model,
+            model_ref,
             exe.cell_digests[index],
             self.retry,
             self.cell_timeout_s,
@@ -703,11 +783,22 @@ class GraphScheduler:
         )
 
     def _run_pool(
-        self, exe, grid, cache_dir, analyze_seam, model, assess, stats,
-        state, pop, push, absorb, cell_attempts,
+        self, exe, grid, cache_dir, analyze_seam, model_ref, assess, stats,
+        state, pop, push, absorb, cell_attempts, transport,
     ) -> None:
         trace = obs.enabled()
         tracer = obs.get_tracer()
+        handle = model_ref[0] == "handle"
+        sizes: Dict[Any, int] = {}  # future -> pickled payload bytes
+
+        def record_result(future, shipped) -> None:
+            if transport is None:
+                return
+            transport.record(
+                sizes.pop(future, 0),
+                len(pickle.dumps(shipped, protocol=pickle.HIGHEST_PROTOCOL)),
+                handle,
+            )
 
         def hint(entry) -> int:
             # Finalize payloads carry the max attempts this cell's
@@ -731,14 +822,20 @@ class GraphScheduler:
                             if entry is None:
                                 break
                             payload = self._payload(
-                                exe, grid, cache_dir, analyze_seam, model,
-                                assess, entry, hint(entry), trace,
+                                exe, grid, cache_dir, analyze_seam,
+                                model_ref, assess, entry, hint(entry),
+                                trace,
                             )
                             try:
                                 future = pool.submit(_run_node_task, payload)
                             except BrokenProcessPool:
                                 push(entry)
                                 raise
+                            if transport is not None:
+                                sizes[future] = len(pickle.dumps(
+                                    payload,
+                                    protocol=pickle.HIGHEST_PROTOCOL,
+                                ))
                             inflight[future] = entry
                         if not inflight:
                             break
@@ -747,8 +844,10 @@ class GraphScheduler:
                         )
                         for future in done:
                             entry = inflight[future]
-                            result, error, delta, spans = future.result()
+                            shipped = future.result()
+                            result, error, delta, spans = shipped
                             del inflight[future]
+                            record_result(future, shipped)
                             stats.merge(delta)
                             adopt(spans)
                             absorb(entry, result, error)
@@ -763,16 +862,23 @@ class GraphScheduler:
                     harvested = False
                     if future.done() and not future.cancelled():
                         try:
-                            result, error, delta, spans = future.result()
+                            shipped = future.result()
+                            result, error, delta, spans = shipped
                         except BaseException:
                             pass
                         else:
+                            record_result(future, shipped)
                             stats.merge(delta)
                             adopt(spans)
                             absorb(entry, result, error)
                             harvested = True
                     if not harvested:
                         push(entry)
+                sizes.clear()
+                # Dead workers may have published shared-memory blocks
+                # they can no longer clean up; reap them before the
+                # replacement pool republishes what it needs.
+                self._shm_cleanup(cache_dir)
                 if state["rebuilds"] > self.max_pool_rebuilds:
                     state["degraded"] = True
                     return

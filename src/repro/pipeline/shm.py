@@ -1,0 +1,232 @@
+"""Opt-in POSIX shared-memory tier for cache ``.npy`` segments.
+
+With the disk cache's segment layout, a warm artifact read costs one
+hash pass plus a private ``mmap`` per process.  When many workers on
+one machine hammer the same segments, a single *shared* mapping is
+cheaper still: the first process to read a segment publishes its raw
+``.npy`` bytes into a ``multiprocessing.shared_memory`` block named by
+the segment's content digest, and every other process attaches the
+same physical pages - no second disk read, no per-process copy.
+
+The tier is **opt-in** (``OBFUSCADE_SHM=1`` in the environment, or the
+``--shm`` sweep flag which sets it) because System V/POSIX shared
+memory is a machine-global namespace that outlives crashed processes:
+
+* every block a process creates is appended to a registry file next to
+  the cache (``shm-registry.txt``, ``O_APPEND`` so concurrent writers
+  interleave whole lines), and the sweep parent unlinks everything
+  registered on pool rebuilds and at run end
+  (:func:`cleanup_registry`) - a killed worker therefore cannot leak
+  segments past its sweep;
+* attaching *verifies* the block's bytes against the expected content
+  digest (the same digest the disk sidecar carries) and falls back to
+  the disk path on mismatch, so shared memory is never a way around
+  the cache's tamper evidence;
+* Python 3.11's ``SharedMemory`` registers every block with the
+  per-process ``resource_tracker``, which would unlink blocks when
+  *any* attaching process exits; registration is suppressed at
+  construction time (:func:`_open_untracked`) so the registry file is
+  the single owner of their lifetime.  (Suppression beats
+  register-then-unregister: all processes feed one tracker whose name
+  cache is a set, so a second registrant's later unregister would hit
+  a missing key and spew tracebacks from the tracker process.)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import io
+import os
+from multiprocessing import resource_tracker
+from multiprocessing.shared_memory import SharedMemory
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+#: Environment switch: truthy (anything but "" / "0") enables the tier.
+SHM_ENV = "OBFUSCADE_SHM"
+
+#: Registry file name, created under the cache root.
+REGISTRY_NAME = "shm-registry.txt"
+
+
+def shm_enabled() -> bool:
+    return os.environ.get(SHM_ENV, "") not in ("", "0")
+
+
+@contextlib.contextmanager
+def _no_tracking():
+    """Silence resource-tracker traffic (see module docstring).
+
+    Covers both directions: ``register`` (fired by the ``SharedMemory``
+    constructor) and ``unregister`` (fired by ``unlink``) - an
+    unregister for a name the tracker never saw makes the tracker
+    process print a traceback.
+    """
+    register, unregister = resource_tracker.register, resource_tracker.unregister
+    resource_tracker.register = lambda *a, **k: None
+    resource_tracker.unregister = lambda *a, **k: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = register
+        resource_tracker.unregister = unregister
+
+
+def _open_untracked(name: str, create: bool = False, size: int = 0) -> SharedMemory:
+    """Open/create a block without resource-tracker registration."""
+    with _no_tracking():
+        if create:
+            return SharedMemory(name=name, create=True, size=size)
+        return SharedMemory(name=name, create=False)
+
+
+def _npy_view(shm: SharedMemory) -> np.ndarray:
+    """Zero-copy ndarray view over the ``.npy`` bytes of a block."""
+    head = io.BytesIO(bytes(shm.buf[:1024]))
+    version = np.lib.format.read_magic(head)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(head)
+    else:
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(head)
+    return np.ndarray(
+        shape,
+        dtype=dtype,
+        buffer=shm.buf,
+        offset=head.tell(),
+        order="F" if fortran else "C",
+    )
+
+
+class SharedSegmentStore:
+    """Content-addressed shared-memory blocks with registry cleanup.
+
+    Blocks are named ``obf-<digest prefix>`` after the segment file's
+    SHA-256, so the name *is* the integrity claim and concurrent
+    publishers of the same segment can only race to identical bytes.
+    Attached blocks are kept referenced for the process lifetime (a
+    returned array view borrows the mapping).
+    """
+
+    def __init__(self, registry: Path):
+        self.registry = Path(registry)
+        self._blocks: Dict[str, SharedMemory] = {}
+        self._verified: set = set()
+
+    @staticmethod
+    def _block_name(digest: str) -> str:
+        return f"obf-{digest[:32]}"
+
+    def _register(self, public_name: str) -> None:
+        self.registry.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(
+            self.registry, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(fd, (public_name + "\n").encode())
+        finally:
+            os.close(fd)
+
+    def attach(self, digest: str) -> Optional[np.ndarray]:
+        """A verified view of an already-published segment, else None.
+
+        Verification hashes the block's bytes against ``digest`` once
+        per process; a mismatch (half-written publish in flight, or a
+        tampered block) detaches and reports a miss so the caller
+        falls back to the verified disk path.
+        """
+        name = self._block_name(digest)
+        shm = self._blocks.get(name)
+        if shm is None:
+            try:
+                shm = _open_untracked(name)
+            except (FileNotFoundError, OSError, ValueError):
+                return None
+            self._blocks[name] = shm
+        if name not in self._verified:
+            if hashlib.sha256(shm.buf).hexdigest() != digest:
+                del self._blocks[name]
+                shm.close()
+                return None
+            self._verified.add(name)
+        try:
+            return _npy_view(shm)
+        except Exception:
+            self._verified.discard(name)
+            del self._blocks[name]
+            shm.close()
+            return None
+
+    def publish(self, digest: str, data: bytes) -> Optional[np.ndarray]:
+        """Publish a segment's ``.npy`` bytes; returns a view on success.
+
+        If another process already created the block, this attaches it
+        instead (the name is content-addressed, so the bytes can only
+        be the same - still verified).  Returns ``None`` when shared
+        memory is unavailable (exhausted, permission denied).
+        """
+        name = self._block_name(digest)
+        if name in self._blocks:
+            return self.attach(digest)
+        try:
+            shm = _open_untracked(name, create=True, size=len(data))
+        except FileExistsError:
+            return self.attach(digest)
+        except (OSError, ValueError):
+            return None
+        shm.buf[: len(data)] = data
+        self._register(shm.name)
+        self._blocks[name] = shm
+        self._verified.add(name)
+        try:
+            return _npy_view(shm)
+        except Exception:
+            self._verified.discard(name)
+            del self._blocks[name]
+            shm.close()
+            return None
+
+    def close(self) -> None:
+        """Detach every block held by this process (no unlink)."""
+        for shm in self._blocks.values():
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self._blocks.clear()
+        self._verified.clear()
+
+
+def cleanup_registry(registry: Path) -> int:
+    """Unlink every block the registry names; returns how many went.
+
+    Called by the sweep parent on pool rebuilds (dead workers cannot
+    clean up after themselves) and at run end.  Removing a block that
+    live processes still map is safe on POSIX - their mappings persist
+    until they drop them; the name just disappears.
+    """
+    registry = Path(registry)
+    try:
+        names = registry.read_text().split()
+    except OSError:
+        return 0
+    removed = 0
+    for name in dict.fromkeys(names):
+        try:
+            shm = _open_untracked(name)
+        except Exception:
+            continue
+        try:
+            with _no_tracking():
+                shm.unlink()
+            removed += 1
+        except Exception:
+            pass
+        shm.close()
+    try:
+        registry.unlink()
+    except OSError:
+        pass
+    return removed

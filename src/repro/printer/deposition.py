@@ -132,7 +132,31 @@ class DepositionSimulator:
 
 
 def _unique_layers(stack: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Indices of first-occurrence layers plus the layer -> unique map."""
+    """Indices of first-occurrence layers plus the layer -> unique map.
+
+    Vectorized (ISSUE 7 satellite): layers are bit-packed to compact
+    row keys and deduplicated with one ``np.unique`` call instead of a
+    Python loop hashing ``tobytes()`` per layer.  ``np.unique`` returns
+    lexicographically sorted groups, so its outputs are re-ordered to
+    the first-occurrence order the scalar loop
+    (:func:`_unique_layers_loop`, kept as the oracle) produces.
+    """
+    nz = stack.shape[0]
+    keys = np.packbits(
+        np.ascontiguousarray(stack, dtype=bool).reshape(nz, -1), axis=1
+    )
+    _, first_sorted, inverse_sorted = np.unique(
+        keys, axis=0, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first_sorted, kind="stable")
+    first = first_sorted[order]
+    rank = np.empty(order.shape[0], dtype=np.intp)
+    rank[order] = np.arange(order.shape[0], dtype=np.intp)
+    return first.astype(np.intp), rank[inverse_sorted.reshape(-1)]
+
+
+def _unique_layers_loop(stack: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Scalar oracle for :func:`_unique_layers` (per-layer byte keys)."""
     seen: Dict[bytes, int] = {}
     first = []
     inverse = np.empty(stack.shape[0], dtype=np.intp)

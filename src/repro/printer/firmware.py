@@ -6,6 +6,24 @@ the printer stage - actuator limit switches that prevent malicious
 coordinates from damaging the machine, and feedrate clamping - and
 reports exactly what it executed so a verification stage can compare
 tool paths (paper ref. [20]).
+
+Two interpreters share one semantics (ISSUE 7): the scalar
+:meth:`PrinterFirmware.run_moves` loop is the oracle, and
+:meth:`PrinterFirmware.run_table` executes a structured
+:class:`~repro.slicer.gcode.MoveTable` vectorized - limit checks,
+modal feedrate fill, clamp counting and build-time integration as
+whole-array operations.  The vectorized path is bit-identical to the
+oracle on its supported cases and falls back to it otherwise
+(rejected-but-continuing moves, where position must not advance
+per-move).
+
+Feedrate semantics (ISSUE 7 satellite fix): an ``F`` word is **modal**
+- it persists until the next ``F`` word, as on real firmware - and an
+explicit ``F0`` is honored as a zero feedrate (a degenerate,
+effectively stalled move) instead of being misread as "no F word" and
+silently replaced by the machine maximum.  Programs our slicer emits
+carry an explicit nonzero ``F`` on every motion line, so their results
+(and the sweep's outcome fingerprints) are unchanged by this fix.
 """
 
 from __future__ import annotations
@@ -16,7 +34,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.printer.machines import MachineProfile
-from repro.slicer.gcode import GCodeMove, GCodeProgram, parse_gcode
+from repro.slicer.gcode import GCodeMove, GCodeProgram, MoveTable, parse_gcode
 
 
 @dataclass
@@ -54,11 +72,20 @@ class PrinterFirmware:
         self.abort_on_violation = abort_on_violation
 
     def run(self, program: GCodeProgram) -> FirmwareResult:
-        """Execute a program, enforcing limits; returns the result."""
+        """Execute a program, enforcing limits; returns the result.
+
+        Programs carrying a structured move table (everything
+        :func:`~repro.slicer.gcode.generate_gcode` emits) skip the
+        text re-parse and run vectorized; hand-built or parsed-back
+        programs take the scalar path.
+        """
+        if isinstance(program, GCodeProgram) and program.moves is not None:
+            return self.run_table(program.moves)
         moves = parse_gcode(program)
         return self.run_moves(moves)
 
     def run_moves(self, moves: List[GCodeMove]) -> FirmwareResult:
+        """Scalar reference interpreter (the oracle)."""
         vol = self.machine.build_volume_mm
         max_f = self.machine.max_feedrate_mm_min
         x = y = z = 0.0
@@ -69,6 +96,10 @@ class PrinterFirmware:
         violations: List[str] = []
         time_s = 0.0
         aborted = False
+        # Modal feedrate: before any F word the firmware default is the
+        # machine maximum; afterwards the last F word (F0 included)
+        # stays in force until the next one.
+        modal_f = max_f
         for m in moves:
             if aborted:
                 rejected += 1
@@ -83,7 +114,9 @@ class PrinterFirmware:
                 if self.abort_on_violation:
                     aborted = True
                 continue
-            feed = m.feedrate if m.feedrate else max_f
+            if m.feedrate is not None:
+                modal_f = m.feedrate
+            feed = modal_f
             if feed > max_f:
                 feed = max_f
                 clamps += 1
@@ -102,6 +135,76 @@ class PrinterFirmware:
             build_time_s=time_s,
         )
 
+    def run_table(self, table: MoveTable) -> FirmwareResult:
+        """Vectorized interpreter over a columnar move table.
+
+        Bit-identical to :meth:`run_moves` on the clean path and in
+        abort-on-violation mode (where execution truncates at the first
+        violation, so the forward-filled positions of the executed
+        prefix are exact).  The one case vectorization cannot model -
+        ``abort_on_violation=False`` with violations present, where a
+        rejected move must not advance the position for its successors
+        - delegates to the scalar oracle.
+        """
+        n = len(table)
+        if n == 0:
+            return FirmwareResult(executed_moves=0, rejected_moves=0)
+        vol = self.machine.build_volume_mm
+        max_f = self.machine.max_feedrate_mm_min
+        margin = 1e-6
+
+        px = _forward_fill(table.x, 0.0)
+        py = _forward_fill(table.y, 0.0)
+        pz = _forward_fill(table.z, 0.0)
+        bad = (
+            (px < -margin) | (px > vol[0] + margin)
+            | (py < -margin) | (py > vol[1] + margin)
+            | (pz < -margin) | (pz > vol[2] + margin)
+        )
+        violations: List[str] = []
+        if bad.any():
+            first = int(np.argmax(bad))
+            if not self.abort_on_violation:
+                return self.run_moves(table.to_moves())
+            stop = first
+            message = self._check_limits(
+                float(px[first]), float(py[first]), float(pz[first]), vol
+            )
+            assert message is not None
+            violations.append(message)
+        else:
+            stop = n
+
+        # Executed prefix [0, stop): positions, feeds and distances are
+        # exactly the scalar loop's, because every one of these moves
+        # executes (nothing before `stop` is rejected).
+        tx, ty, tz = px[:stop], py[:stop], pz[:stop]
+        prev_x = np.concatenate(([0.0], tx[:-1]))
+        prev_y = np.concatenate(([0.0], ty[:-1]))
+        prev_z = np.concatenate(([0.0], tz[:-1]))
+        dist = np.sqrt(
+            (tx - prev_x) ** 2 + (ty - prev_y) ** 2 + (tz - prev_z) ** 2
+        )
+        feed = _forward_fill(table.feedrate[:stop], max_f)
+        clamps = int(np.count_nonzero(feed > max_f))
+        eff = np.minimum(feed, max_f)
+        per_move_s = dist / np.maximum(eff / 60.0, 1e-9)
+        # np.cumsum accumulates strictly left-to-right, matching the
+        # scalar `time_s +=` chain bit-for-bit (np.sum's pairwise
+        # summation would not).
+        time_s = float(np.cumsum(per_move_s)[-1]) if stop else 0.0
+        e_words = table.e[:stop]
+        e_seen = e_words[~np.isnan(e_words)]
+        e_prev = float(np.maximum.reduce(np.concatenate(([0.0], e_seen))))
+        return FirmwareResult(
+            executed_moves=stop,
+            rejected_moves=n - stop,
+            limit_violations=violations,
+            feedrate_clamps=clamps,
+            total_extrusion_e=e_prev,
+            build_time_s=time_s,
+        )
+
     @staticmethod
     def _check_limits(x: float, y: float, z: float, vol) -> Optional[str]:
         margin = 1e-6
@@ -112,3 +215,17 @@ class PrinterFirmware:
         if not (-margin <= z <= vol[2] + margin):
             return f"Z limit switch: {z:.3f} outside [0, {vol[2]}]"
         return None
+
+
+def _forward_fill(values: np.ndarray, start: float) -> np.ndarray:
+    """Last-set value at each row of a NaN-sparse column.
+
+    Row ``i`` gets ``values[j]`` for the greatest ``j <= i`` with a
+    non-NaN value, else ``start`` - the vectorized twin of the scalar
+    interpreter's "axis word absent keeps the current value" rule.
+    """
+    n = values.shape[0]
+    padded = np.concatenate(([start], values))
+    have = ~np.isnan(padded)
+    idx = np.maximum.accumulate(np.where(have, np.arange(n + 1), 0))
+    return padded[idx][1:]

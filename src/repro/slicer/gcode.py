@@ -5,10 +5,20 @@ The generated dialect is the common FDM subset: ``G21`` (mm), ``G90``
 and ``T0``/``T1`` tool selection for model/support material.  The parser
 reads the same subset back; it is also what the firmware simulator and
 the tool-path reverse-engineering verification (paper ref. [20]) run on.
+
+Besides the text, :func:`generate_gcode` now emits a structured
+:class:`MoveTable` (ISSUE 7): columnar NumPy arrays carrying exactly the
+values the emitted text encodes (every coordinate is round-tripped
+through its ``%.4f``/``%.5f``/``%.0f`` format before entering the
+table), so ``table.to_moves() == parse_gcode(text)`` holds bit-for-bit
+and downstream consumers (the firmware simulator) can run vectorized
+over the table instead of re-parsing the text they just generated.  The
+text stays the leaf artifact of record.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
@@ -38,10 +48,109 @@ class GCodeMove:
 
 
 @dataclass
+class MoveTable:
+    """Columnar (structure-of-arrays) form of a parsed move list.
+
+    ``command`` is 0 for ``G0`` and 1 for ``G1``; unset float words are
+    ``NaN`` (the text form simply omits them).  The table is the
+    firmware simulator's vectorized input; :meth:`to_moves` restores
+    the exact :class:`GCodeMove` list :func:`parse_gcode` would produce
+    from the corresponding text, which is the bit-identity contract
+    tests assert.
+    """
+
+    command: np.ndarray  # uint8: 0 = G0, 1 = G1
+    x: np.ndarray  # float64, NaN = word absent
+    y: np.ndarray
+    z: np.ndarray
+    e: np.ndarray
+    feedrate: np.ndarray
+    tool: np.ndarray  # int8
+
+    def __len__(self) -> int:
+        return int(self.command.shape[0])
+
+    @classmethod
+    def from_moves(cls, moves: List["GCodeMove"]) -> "MoveTable":
+        n = len(moves)
+        nan = math.nan
+        return cls(
+            command=np.fromiter(
+                (0 if m.command == "G0" else 1 for m in moves),
+                dtype=np.uint8, count=n,
+            ),
+            x=np.fromiter(
+                (nan if m.x is None else m.x for m in moves),
+                dtype=np.float64, count=n,
+            ),
+            y=np.fromiter(
+                (nan if m.y is None else m.y for m in moves),
+                dtype=np.float64, count=n,
+            ),
+            z=np.fromiter(
+                (nan if m.z is None else m.z for m in moves),
+                dtype=np.float64, count=n,
+            ),
+            e=np.fromiter(
+                (nan if m.e is None else m.e for m in moves),
+                dtype=np.float64, count=n,
+            ),
+            feedrate=np.fromiter(
+                (nan if m.feedrate is None else m.feedrate for m in moves),
+                dtype=np.float64, count=n,
+            ),
+            tool=np.fromiter((m.tool for m in moves), dtype=np.int8, count=n),
+        )
+
+    def to_moves(self) -> List["GCodeMove"]:
+        """The row form; ``NaN`` columns become ``None`` words."""
+
+        def opt(v: float) -> Optional[float]:
+            return None if math.isnan(v) else float(v)
+
+        return [
+            GCodeMove(
+                command="G0" if self.command[i] == 0 else "G1",
+                x=opt(self.x[i]),
+                y=opt(self.y[i]),
+                z=opt(self.z[i]),
+                e=opt(self.e[i]),
+                feedrate=opt(self.feedrate[i]),
+                tool=int(self.tool[i]),
+            )
+            for i in range(len(self))
+        ]
+
+    def to_columns(self) -> dict:
+        """Plain dict-of-arrays form (the cache codec's packed tree)."""
+        return {
+            "command": self.command,
+            "x": self.x,
+            "y": self.y,
+            "z": self.z,
+            "e": self.e,
+            "feedrate": self.feedrate,
+            "tool": self.tool,
+        }
+
+    @classmethod
+    def from_columns(cls, columns: dict) -> "MoveTable":
+        return cls(**{k: np.asarray(v) for k, v in columns.items()})
+
+
+@dataclass
 class GCodeProgram:
-    """A G-code file: raw text plus the parsed move list."""
+    """A G-code file: raw text plus the parsed move list.
+
+    ``moves`` (when present) is the structured table emitted alongside
+    the text; consumers must treat it as an exact mirror of the text -
+    :func:`generate_gcode` guarantees it, and the cache codec restores
+    it on hits.  A ``None`` table means "parse the text" (programs built
+    by hand or loaded from legacy cache entries).
+    """
 
     lines: List[str] = field(default_factory=list)
+    moves: Optional[MoveTable] = None
 
     @property
     def text(self) -> str:
@@ -71,9 +180,33 @@ def generate_gcode(
     ]
     e = 0.0
     current_tool = 0
+    nan = math.nan
+    # Columnar mirror of the emitted moves.  Every value entering the
+    # table is round-tripped through the *same format* the text uses,
+    # so the table is bit-identical to re-parsing the text.
+    cmd: List[int] = []
+    col_x: List[float] = []
+    col_y: List[float] = []
+    col_z: List[float] = []
+    col_e: List[float] = []
+    col_f: List[float] = []
+    col_t: List[int] = []
+    travel_f = float(f"{travel_feedrate:.0f}")
+    print_f = float(f"{print_feedrate:.0f}")
+
+    def emit(command: int, x=nan, y=nan, z=nan, e_word=nan, feed=nan) -> None:
+        cmd.append(command)
+        col_x.append(x)
+        col_y.append(y)
+        col_z.append(z)
+        col_e.append(e_word)
+        col_f.append(feed)
+        col_t.append(current_tool)
+
     for layer in layers:
         lines.append(f"; layer z={layer.z:.4f}")
         lines.append(f"G0 Z{layer.z:.4f} F{travel_feedrate:.0f}")
+        emit(0, z=float(f"{layer.z:.4f}"), feed=travel_f)
         for path in layer.paths:
             tool = 0 if path.material is ToolMaterial.MODEL else 1
             if tool != current_tool:
@@ -81,6 +214,12 @@ def generate_gcode(
                 current_tool = tool
             pts = path.points
             lines.append(f"G0 X{pts[0, 0]:.4f} Y{pts[0, 1]:.4f} F{travel_feedrate:.0f}")
+            emit(
+                0,
+                x=float(f"{pts[0, 0]:.4f}"),
+                y=float(f"{pts[0, 1]:.4f}"),
+                feed=travel_f,
+            )
             sequence = list(range(1, len(pts)))
             if path.closed:
                 sequence.append(0)
@@ -91,10 +230,46 @@ def generate_gcode(
                 lines.append(
                     f"G1 X{p[0]:.4f} Y{p[1]:.4f} E{e:.5f} F{print_feedrate:.0f}"
                 )
+                emit(
+                    1,
+                    x=float(f"{p[0]:.4f}"),
+                    y=float(f"{p[1]:.4f}"),
+                    e_word=float(f"{e:.5f}"),
+                    feed=print_f,
+                )
                 prev = p
     lines.append("M104 S0 ; cool down")
     lines.append("M140 S0")
-    return GCodeProgram(lines=lines)
+    table = MoveTable(
+        command=np.array(cmd, dtype=np.uint8),
+        x=np.array(col_x, dtype=np.float64),
+        y=np.array(col_y, dtype=np.float64),
+        z=np.array(col_z, dtype=np.float64),
+        e=np.array(col_e, dtype=np.float64),
+        feedrate=np.array(col_f, dtype=np.float64),
+        tool=np.array(col_t, dtype=np.int8),
+    )
+    return GCodeProgram(lines=lines, moves=table)
+
+
+def pack_gcode(program: GCodeProgram) -> dict:
+    """Cache codec: a primitive tree whose move-table columns qualify
+    for the disk cache's ``.npy`` segment layout (mmap-able on warm
+    reads), with the text lines in the pickled header."""
+    return {
+        "lines": list(program.lines),
+        "columns": (
+            None if program.moves is None else program.moves.to_columns()
+        ),
+    }
+
+
+def unpack_gcode(packed: dict) -> GCodeProgram:
+    columns = packed["columns"]
+    return GCodeProgram(
+        lines=list(packed["lines"]),
+        moves=None if columns is None else MoveTable.from_columns(columns),
+    )
 
 
 def parse_gcode(program) -> List[GCodeMove]:

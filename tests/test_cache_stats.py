@@ -89,6 +89,9 @@ class TestToDict:
         assert payload["_cache"] == {
             "integrity_failures": 0,
             "store_failures": 0,
+            "zero_copy_hits": 0,
+            "mmap_bytes": 0,
+            "pickle_bytes": 0,
         }
 
     def test_cache_block_carries_counters(self):
@@ -96,6 +99,9 @@ class TestToDict:
         assert stats.to_dict()["_cache"] == {
             "integrity_failures": 3,
             "store_failures": 1,
+            "zero_copy_hits": 0,
+            "mmap_bytes": 0,
+            "pickle_bytes": 0,
         }
 
     def test_stage_rows_roundtrip_values(self):

@@ -210,6 +210,7 @@ class TestManifest:
         assert doc["fingerprints"]["Coarse/x-y"] == "f" * 16
         assert doc["stages"]["_cache"] == {
             "integrity_failures": 0, "store_failures": 0,
+            "zero_copy_hits": 0, "mmap_bytes": 0, "pickle_bytes": 0,
         }
         assert doc["journal"]["path"] == "/tmp/j.jsonl"
 

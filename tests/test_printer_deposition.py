@@ -110,3 +110,47 @@ class TestSupport:
         cavity = SphereBody((12, 12, 7), 3.0, inward=True).tessellate(TOL)
         artifact = sim.build(TriangleMesh.merged([shell, cavity]))
         assert artifact.support_volume_mm3 == 0.0
+
+
+class TestUniqueLayers:
+    """Vectorized layer dedup vs the scalar oracle (ISSUE 7)."""
+
+    def test_matches_loop_oracle_on_random_stacks(self):
+        from repro.printer.deposition import (
+            _unique_layers,
+            _unique_layers_loop,
+        )
+
+        rng = np.random.default_rng(20260808)
+        for _ in range(25):
+            nz = int(rng.integers(1, 12))
+            ny = int(rng.integers(1, 9))
+            nx = int(rng.integers(1, 9))
+            # Few distinct patterns so duplicates actually occur.
+            pool = rng.random((3, ny, nx)) < 0.4
+            stack = pool[rng.integers(0, 3, size=nz)]
+            first, inverse = _unique_layers(stack)
+            first_ref, inverse_ref = _unique_layers_loop(stack)
+            np.testing.assert_array_equal(first, first_ref)
+            np.testing.assert_array_equal(inverse, inverse_ref)
+            # Reconstruction sanity: indexing uniques by inverse
+            # restores the stack.
+            np.testing.assert_array_equal(stack[first][inverse], stack)
+
+    def test_first_occurrence_order(self):
+        from repro.printer.deposition import _unique_layers
+
+        a = np.zeros((2, 2), dtype=bool)
+        b = np.ones((2, 2), dtype=bool)
+        stack = np.stack([b, a, b, a])
+        first, inverse = _unique_layers(stack)
+        np.testing.assert_array_equal(first, [0, 1])
+        np.testing.assert_array_equal(inverse, [0, 1, 0, 1])
+
+    def test_single_layer(self):
+        from repro.printer.deposition import _unique_layers
+
+        stack = np.ones((1, 3, 3), dtype=bool)
+        first, inverse = _unique_layers(stack)
+        np.testing.assert_array_equal(first, [0])
+        np.testing.assert_array_equal(inverse, [0])

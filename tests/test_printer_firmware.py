@@ -83,3 +83,85 @@ class TestRunMoves:
         moves = parse_gcode("G0 X5 F6000\nG1 X10 E0.2 F2400\n")
         result = PrinterFirmware(DIMENSION_ELITE).run_moves(moves)
         assert result.executed_moves == 2
+
+
+class TestModalFeedrate:
+    def test_f_word_persists_across_moves(self):
+        fw = PrinterFirmware(DIMENSION_ELITE)
+        # 10 mm at F600 (10 mm/s) = 1 s; the second move carries no F
+        # word, so the modal F600 stays in force: another 1 s.
+        result = fw.run(program("G1 X10 F600", "G1 X20"))
+        assert result.build_time_s == pytest.approx(2.0)
+
+    def test_default_before_any_f_word_is_machine_max(self):
+        fw = PrinterFirmware(DIMENSION_ELITE)
+        result = fw.run(program("G0 X100"))
+        expected = 100.0 / (DIMENSION_ELITE.max_feedrate_mm_min / 60.0)
+        assert result.build_time_s == pytest.approx(expected)
+        assert result.feedrate_clamps == 0
+
+    def test_explicit_f0_is_honored_not_replaced_by_max(self):
+        fw = PrinterFirmware(DIMENSION_ELITE)
+        result = fw.run(program("G1 X10 F0"))
+        # A zero feedrate stalls the move (time guarded by the 1e-9
+        # floor), instead of silently running at the machine maximum.
+        assert result.build_time_s > 1e6
+
+    def test_f0_stays_modal(self):
+        fw = PrinterFirmware(DIMENSION_ELITE)
+        stalled = fw.run(program("G1 X10 F0", "G1 X20"))
+        reset = fw.run(program("G1 X10 F0", "G1 X20 F600"))
+        # Without a new F word the stall persists into the second move
+        # (two stalled legs); an F600 on the second move recovers it
+        # (one stalled leg + 10 mm at 10 mm/s = 1 s).
+        one_stall = reset.build_time_s - 1.0
+        assert stalled.build_time_s == pytest.approx(2 * one_stall)
+        assert one_stall > 1e6
+
+
+class TestVectorizedTable:
+    """run_table must be bit-identical to the scalar oracle."""
+
+    CASES = [
+        ("clean", ["G0 X10 Y10 F6000", "G1 X20 Y10 E1 F2400",
+                   "G1 X20 Y20 E2", "G0 Z5"]),
+        ("sparse words", ["G0 X5", "G1 E0.5 F1200", "G1 Y7", "G1 X9 Z2"]),
+        ("clamped", ["G0 X100 F99999", "G1 X0 E1 F99999"]),
+        ("modal and f0", ["G1 X10 F600", "G1 X20", "G1 X30 F0", "G1 X40"]),
+        ("violation aborts", ["G0 X10 F6000", "G0 X9999", "G0 X20",
+                              "G1 X30 E1"]),
+        ("first move violates", ["G0 Y-5 F6000", "G0 X10"]),
+        ("empty", []),
+    ]
+
+    @pytest.mark.parametrize(
+        "text", [c[1] for c in CASES], ids=[c[0] for c in CASES]
+    )
+    @pytest.mark.parametrize("abort", [True, False], ids=["abort", "continue"])
+    def test_matches_scalar_oracle(self, text, abort):
+        from repro.slicer.gcode import MoveTable
+
+        fw = PrinterFirmware(DIMENSION_ELITE, abort_on_violation=abort)
+        moves = parse_gcode(GCodeProgram(lines=list(text)))
+        scalar = fw.run_moves(moves)
+        table = fw.run_table(MoveTable.from_moves(moves))
+        assert table.executed_moves == scalar.executed_moves
+        assert table.rejected_moves == scalar.rejected_moves
+        assert table.limit_violations == scalar.limit_violations
+        assert table.feedrate_clamps == scalar.feedrate_clamps
+        # Bit-identical, not approximately equal.
+        assert table.total_extrusion_e == scalar.total_extrusion_e
+        assert table.build_time_s == scalar.build_time_s
+
+    def test_run_prefers_structured_table(self):
+        from repro.slicer.gcode import MoveTable
+
+        moves = parse_gcode("G0 X5 F6000\nG1 X10 E0.2 F2400\n")
+        prog = GCodeProgram(
+            lines=["G0 X5 F6000", "G1 X10 E0.2 F2400"],
+            moves=MoveTable.from_moves(moves),
+        )
+        fw = PrinterFirmware(DIMENSION_ELITE)
+        with_table = fw.run(prog)
+        without = fw.run(GCodeProgram(lines=list(prog.lines)))
+        assert with_table == without

@@ -111,3 +111,51 @@ class TestStatistics:
             p.length for layer in simple_layers for p in layer.paths
         )
         assert np.isclose(stats["extrude_mm"], expected, rtol=1e-6)
+
+
+class TestMoveTable:
+    """The structured move table (ISSUE 7 zero-copy data plane)."""
+
+    def test_generate_attaches_table(self, simple_layers):
+        from repro.slicer.gcode import MoveTable
+
+        prog = generate_gcode(simple_layers)
+        assert isinstance(prog.moves, MoveTable)
+        assert len(prog.moves) > 0
+
+    def test_table_matches_reparsed_text(self, simple_layers):
+        # The bit-identity contract: the attached table restores the
+        # exact move list parsing the emitted text would produce.
+        prog = generate_gcode(simple_layers)
+        assert prog.moves.to_moves() == parse_gcode(prog)
+
+    def test_from_moves_roundtrip(self):
+        from repro.slicer.gcode import MoveTable
+
+        moves = parse_gcode(
+            "G0 X5 F6000\nG1 X10.1234 Y-2.5 E0.12345 F2400\nT1\nG1 Y7\n"
+        )
+        assert MoveTable.from_moves(moves).to_moves() == moves
+
+    def test_columns_roundtrip(self, simple_layers):
+        from repro.slicer.gcode import MoveTable
+
+        table = generate_gcode(simple_layers).moves
+        back = MoveTable.from_columns(table.to_columns())
+        assert back.to_moves() == table.to_moves()
+
+    def test_pack_unpack_roundtrip(self, simple_layers):
+        from repro.slicer.gcode import pack_gcode, unpack_gcode
+
+        prog = generate_gcode(simple_layers)
+        back = unpack_gcode(pack_gcode(prog))
+        assert back.lines == prog.lines
+        assert back.moves.to_moves() == prog.moves.to_moves()
+
+    def test_pack_without_table_survives(self):
+        from repro.slicer.gcode import pack_gcode, unpack_gcode
+
+        prog = GCodeProgram(lines=["G0 X5 F6000"])
+        back = unpack_gcode(pack_gcode(prog))
+        assert back.lines == prog.lines
+        assert back.moves is None
