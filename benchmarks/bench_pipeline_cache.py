@@ -34,7 +34,9 @@ from repro.obfuscade.quality import assess_print
 from repro.pipeline import ParallelSweep, ProcessChain, StageCache
 from repro.printer import PrintOrientation
 
-SMOKE = os.environ.get("OBFUSCADE_BENCH_SMOKE", "") not in ("", "0")
+from repro.envflags import env_flag
+
+SMOKE = env_flag("OBFUSCADE_BENCH_SMOKE", default=False)
 
 RESOLUTIONS = (
     COARSE,

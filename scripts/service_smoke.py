@@ -1,0 +1,238 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the multi-tenant obfuscation service.
+
+Drives a real :class:`ObfuscadeService` through its HTTP API the way CI
+exercises the other subsystems (ISSUE 9 acceptance):
+
+* N identical jobs submitted concurrently from distinct tenants must
+  coalesce onto ONE computation (one admission, N-1 joins, one run
+  manifest), while M distinct jobs ride alongside;
+* one more distinct submission beyond the queue depth must get a
+  structured 429-style rejection, never a hang;
+* the shared job's fingerprints must be bit-identical to a serial CLI
+  sweep of the same grid (``--baseline``), and the overlapping cells of
+  the distinct jobs must agree with the shared job - shared stages are
+  computed once fleet-wide and reused, not recomputed divergently;
+* the warm worker pool must survive every job without a rebuild.
+
+The shared job's manifest and trace are copied to stable names
+(``shared.manifest.json`` / ``shared.trace.jsonl`` under ``--out``) so
+a follow-up ``check_run_artifacts.py`` step can schema-check them.
+
+Usage:
+    PYTHONPATH=src python scripts/service_smoke.py \
+        --out /tmp/service-smoke [--baseline serial-manifest.json] \
+        [--jobs 2] [--identical 8]
+"""
+
+import argparse
+import json
+import shutil
+import sys
+import threading
+import time
+from pathlib import Path
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+from repro.observability import manifest as manifest_mod
+from repro.service import ObfuscadeService, ServiceServer
+
+#: The coalescing target: every "identical" submission sends exactly this.
+SHARED = {"seed": 7, "resolutions": ["coarse"], "orientations": ["x-y"]}
+#: Distinct jobs that must NOT coalesce with the shared one (their grids
+#: overlap it, so their overlapping cells must still agree bit-for-bit).
+DISTINCT = [
+    {"seed": 7, "resolutions": ["coarse"], "orientations": ["x-z"]},
+    {"seed": 7, "resolutions": ["coarse"], "orientations": ["x-y", "x-z"]},
+]
+#: Submitted once the queue is full: must be refused, not queued.
+OVERFLOW = {"seed": 7, "resolutions": ["fine"], "orientations": ["x-y"]}
+
+
+def _http(method, url, payload=None, tenant=None, timeout=300):
+    headers = {"Content-Type": "application/json"}
+    if tenant:
+        headers["X-Tenant"] = tenant
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = Request(url, data=data, headers=headers, method=method)
+    try:
+        with urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _await_result(url, job_id, deadline_s=900):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        code, doc = _http("GET", f"{url}/result/{job_id}?wait=30")
+        if code == 200:
+            return doc
+    raise TimeoutError(f"job {job_id} did not finish within {deadline_s}s")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", required=True,
+                        help="working directory (cache + runs + copies)")
+    parser.add_argument("--baseline", default=None,
+                        help="serial CLI sweep manifest of the SHARED grid")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="warm worker pool size")
+    parser.add_argument("--identical", type=int, default=8,
+                        help="concurrent identical submissions")
+    args = parser.parse_args(argv)
+
+    out = Path(args.out)
+    problems = []
+    service = ObfuscadeService(
+        cache_dir=out / "cache",
+        out_dir=out / "runs",
+        jobs=args.jobs,
+        queue_depth=1 + len(DISTINCT),
+    )
+    server = ServiceServer(service, port=0)
+    server.start()
+    # Paused dispatcher: every submission lands while nothing runs, so
+    # the join/admit split is deterministic.
+    service.start(paused=True)
+    try:
+        responses = [None] * args.identical
+        def submit(i):
+            responses[i] = _http("POST", server.url + "/submit",
+                                 SHARED, tenant=f"tenant-{i}")
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(args.identical)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        admissions = [doc for code, doc in responses
+                      if code == 202 and not doc["joined"]]
+        joins = [doc for code, doc in responses
+                 if code == 202 and doc["joined"]]
+        if len(admissions) != 1 or len(joins) != args.identical - 1:
+            problems.append(
+                f"{args.identical} identical submissions produced "
+                f"{len(admissions)} admissions + {len(joins)} joins "
+                f"(want 1 + {args.identical - 1})"
+            )
+        shared_id = (admissions or [{"job_id": None}])[0]["job_id"]
+        if any(doc["job_id"] != shared_id for doc in joins):
+            problems.append("joined submissions did not all share one job id")
+
+        distinct_ids = []
+        for i, payload in enumerate(DISTINCT):
+            code, doc = _http("POST", server.url + "/submit",
+                              payload, tenant=f"distinct-{i}")
+            if code != 202 or doc["joined"]:
+                problems.append(
+                    f"distinct job {i} got code={code} joined="
+                    f"{doc.get('joined')} (want a fresh 202 admission)"
+                )
+            distinct_ids.append(doc.get("job_id"))
+
+        code, doc = _http("POST", server.url + "/submit",
+                          OVERFLOW, tenant="straggler")
+        if code != 429 or doc.get("code") != "queue_full":
+            problems.append(
+                f"overflow submission got {code} {doc} "
+                f"(want structured 429 queue_full)"
+            )
+
+        service.resume()
+        shared_doc = _await_result(server.url, shared_id)
+        distinct_docs = [_await_result(server.url, jid)
+                         for jid in distinct_ids]
+
+        for label, doc in [("shared", shared_doc)] + [
+            (f"distinct-{i}", d) for i, d in enumerate(distinct_docs)
+        ]:
+            if doc["state"] != "done":
+                problems.append(f"{label} job ended {doc['state']}: "
+                                f"{doc.get('error')}")
+
+        shared_fp = shared_doc["result"]["fingerprints"]
+        merged_fp = dict(distinct_docs[0]["result"]["fingerprints"])
+        merged_fp.update(shared_fp)
+        both = distinct_docs[1]["result"]["fingerprints"]
+        if both != merged_fp:
+            problems.append(
+                "distinct jobs disagree with the shared job on "
+                f"overlapping cells: {both} != {merged_fp}"
+            )
+
+        if args.baseline:
+            baseline = manifest_mod.read_manifest(args.baseline)
+            if baseline.get("fingerprints") != shared_fp:
+                problems.append(
+                    "shared job fingerprints diverge from the serial CLI "
+                    f"baseline: {shared_fp} != "
+                    f"{baseline.get('fingerprints')}"
+                )
+
+        code, metrics = _http("GET", server.url + "/metrics")
+        counters = metrics.get("counters", {})
+        expect = {
+            "service.coalesced_jobs": 1,
+            "service.joined_waiters": args.identical - 1,
+            "service.jobs_submitted": 1 + len(DISTINCT),
+            "service.jobs_rejected": 1,
+            "service.jobs_done": 1 + len(DISTINCT),
+        }
+        for key, want in expect.items():
+            if counters.get(key) != want:
+                problems.append(
+                    f"counter {key} is {counters.get(key)}, want {want}"
+                )
+        pool = metrics.get("pool")
+        if args.jobs > 1:
+            if not pool or pool["rebuilds"] != 0:
+                problems.append(f"warm pool unhealthy: {pool}")
+            elif pool["leases"] < 1 + len(DISTINCT):
+                problems.append(
+                    f"pool served {pool['leases']} leases, want >= "
+                    f"{1 + len(DISTINCT)} (was it reused at all?)"
+                )
+
+        manifest_doc = manifest_mod.read_manifest(
+            shared_doc["result"]["manifest"]
+        )
+        schema_problems = manifest_mod.validate_manifest(manifest_doc)
+        problems.extend(
+            f"shared manifest schema: {p}" for p in schema_problems
+        )
+        waiters = manifest_doc.get("service", {}).get("waiters")
+        if waiters != args.identical:
+            problems.append(
+                f"shared manifest records waiters={waiters}, "
+                f"want {args.identical}"
+            )
+
+        # Stable copies for the follow-up check_run_artifacts step.
+        shutil.copy(shared_doc["result"]["manifest"],
+                    out / "shared.manifest.json")
+        shutil.copy(shared_doc["result"]["trace"],
+                    out / "shared.trace.jsonl")
+    finally:
+        server.stop()
+        service.stop()
+
+    if problems:
+        for p in problems:
+            print(f"SMOKE FAIL: {p}")
+        return 1
+    print(
+        f"SMOKE OK: {args.identical} identical submissions -> 1 run "
+        f"({args.identical - 1} joins), {len(DISTINCT)} distinct jobs "
+        f"agreed on overlapping cells, overflow got a structured 429, "
+        f"pool leases={pool['leases'] if pool else 'n/a (serial)'} "
+        f"rebuilds={pool['rebuilds'] if pool else 0}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,11 @@ Subcommands
 ``reverse``
     Reverse-engineer per-layer geometry from a G-code file (the
     ref [20] attack) and estimate the part volume.
+``serve``
+    Long-lived multi-tenant job service over the sweep engine: HTTP
+    submissions are queued with admission control, identical in-flight
+    requests coalesce onto one computation, and every job reuses one
+    warm worker pool and disk cache.
 ``taxonomy`` / ``risks``
     Print the paper's Fig. 2 attack taxonomy / Table 1 risk matrix.
 
@@ -367,6 +372,37 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("reverse", help="reconstruct geometry from G-code")
     p.add_argument("gcode", help="input G-code path")
 
+    p = sub.add_parser(
+        "serve",
+        help="multi-tenant obfuscation job service (HTTP/JSON API with "
+        "request coalescing and a warm worker pool)",
+        parents=[executor_parent],
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8035, help="bind port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="admission limit: queued jobs beyond this are rejected with "
+        "a structured 429 (coalesced joins are never rejected)",
+    )
+    p.add_argument(
+        "--max-tenant-queued",
+        type=int,
+        default=0,
+        help="per-tenant queued-job quota (0 = unlimited); tenants are "
+        "served round-robin regardless",
+    )
+    p.add_argument(
+        "--out-dir",
+        default=None,
+        help="directory for per-job run manifests and span traces "
+        "(default <cache-dir>/runs)",
+    )
+
     sub.add_parser("taxonomy", help="print the Fig. 2 attack taxonomy")
     sub.add_parser("risks", help="print the Table 1 risk matrix")
     return parser
@@ -381,6 +417,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "attack": _cmd_attack,
         "sweep": _cmd_sweep,
         "reverse": _cmd_reverse,
+        "serve": _cmd_serve,
         "taxonomy": _cmd_taxonomy,
         "risks": _cmd_risks,
     }[args.command]
@@ -622,6 +659,61 @@ def _cmd_reverse(args) -> int:
     print(f"mean layer area      : {total_area / len(layers):.1f} mm^2")
     print(f"volume estimate      : {total_area * layer_h:.1f} mm^3")
     print("IP recovered: the part's full layer geometry is in this output.")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import tempfile
+
+    from repro.service import ObfuscadeService, ServiceServer
+
+    validated = _validate_executor_args(args)
+    if validated is None:
+        return 2
+    if not 0 <= args.port <= 65535:
+        print(f"error: --port must be 0-65535, got {args.port}",
+              file=sys.stderr)
+        return 2
+    if args.queue_depth < 1:
+        print("error: --queue-depth must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_tenant_queued < 0:
+        print("error: --max-tenant-queued must be >= 0 (0 = unlimited)",
+              file=sys.stderr)
+        return 2
+    cache_dir, _journal, retry = validated
+    tmp = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-service-cache-")
+        cache_dir = tmp.name
+        print(f"no --cache-dir given; using throwaway cache {cache_dir}")
+    service = ObfuscadeService(
+        cache_dir=cache_dir,
+        out_dir=args.out_dir,
+        jobs=args.jobs,
+        queue_depth=args.queue_depth,
+        max_tenant_queued=args.max_tenant_queued,
+        retry=retry,
+        cell_timeout_s=args.cell_timeout,
+        keep_going=args.keep_going,
+        dedupe=not args.no_dedupe,
+    )
+    server = ServiceServer(service, host=args.host, port=args.port)
+    service.start()
+    print(f"obfuscade service listening on {server.url}")
+    print(f"cache: {cache_dir}")
+    print(f"runs : {service.out_dir}")
+    print("endpoints: POST /submit; GET /status/<id>, /result/<id>?wait=S, "
+          "/healthz, /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+        service.stop()
+        if tmp is not None:
+            tmp.cleanup()
     return 0
 
 

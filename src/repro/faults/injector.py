@@ -30,6 +30,7 @@ from fnmatch import fnmatch
 from typing import Dict, Optional, Tuple
 
 from repro import observability as obs
+from repro.envflags import env_flag
 from repro.faults.plan import FaultPlan, FaultSpec
 
 PLAN_ENV = "OBFUSCADE_FAULT_PLAN"
@@ -63,7 +64,10 @@ def uninstall() -> None:
 def active_plan() -> Optional[FaultPlan]:
     """The armed plan, if any: locally installed or inherited via env."""
     global _plan, _plan_env_raw
-    if os.environ.get(SWITCH_ENV, "").strip() == "0":
+    # The master switch defaults to *on* (plans armed programmatically
+    # work without exporting anything); any falsy spelling - 0, false,
+    # no, off - disables injection (``=false`` used to arm it, ISSUE 9).
+    if not env_flag(SWITCH_ENV, default=True):
         return None
     if _plan is not None:
         return _plan

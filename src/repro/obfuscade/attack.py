@@ -142,6 +142,14 @@ class CounterfeiterSimulator:
         Checkpoint file for crash-resumable searches; ``resume`` skips
         cells whose journal record is intact.  Searches with a journal
         always run through the sweep executor, whatever ``jobs`` is.
+    pool:
+        A shared :class:`~repro.pipeline.WorkerPool` to lease workers
+        from; long-lived callers (the job service) pass one so repeat
+        searches hit warm workers.  Implies the sweep executor.
+    force_executor:
+        Route even ``jobs=1`` searches through the sweep executor
+        (manifests, journals and scheduler counters all come from one
+        code path - what the job service wants for every job).
     """
 
     def __init__(
@@ -158,6 +166,8 @@ class CounterfeiterSimulator:
         journal_path: Optional[str] = None,
         resume: bool = False,
         dedupe: bool = True,
+        pool=None,
+        force_executor: bool = False,
     ):
         if jobs < 1:
             raise PipelineConfigError("jobs must be >= 1")
@@ -173,6 +183,8 @@ class CounterfeiterSimulator:
         self.journal_path = journal_path
         self.resume = resume
         self.dedupe = dedupe
+        self.pool = pool
+        self.force_executor = force_executor
 
     def attack(self, protected: ProtectedModel) -> AttackResult:
         """Print the stolen model under every setting combination."""
@@ -181,6 +193,8 @@ class CounterfeiterSimulator:
             or self.journal_path is not None
             or self.resume
             or not self.dedupe
+            or self.pool is not None
+            or self.force_executor
         ):
             # The dedupe=False ablation is a scheduler property, so it
             # always routes through the sweep executor.
@@ -235,6 +249,7 @@ class CounterfeiterSimulator:
             journal_path=self.journal_path,
             resume=self.resume,
             dedupe=self.dedupe,
+            pool=self.pool,
         )
         report = sweep.run(
             protected.model, self.resolutions, self.orientations, assess=assess_print

@@ -54,7 +54,7 @@ from repro.pipeline.resilience import (
     StageError,
     time_limit,
 )
-from repro.pipeline.scheduler import ChainConfig, GraphScheduler
+from repro.pipeline.scheduler import ChainConfig, GraphScheduler, WorkerPool
 from repro.pipeline.stage import ArtifactContract, Stage, StageExecution
 
 __all__ = [
@@ -91,6 +91,7 @@ __all__ = [
     "SweepReport",
     "TRANSIENT_ERRORS",
     "TransportStats",
+    "WorkerPool",
     "cell_error_from_exception",
     "digest_parts",
     "finalize_key",

@@ -73,7 +73,12 @@ from repro.pipeline.resilience import (
     RetryPolicy,
     time_limit,
 )
-from repro.pipeline.scheduler import OUTCOME_STAGES, ChainConfig, GraphScheduler
+from repro.pipeline.scheduler import (
+    OUTCOME_STAGES,
+    ChainConfig,
+    GraphScheduler,
+    WorkerPool,
+)
 from repro.printer.machines import DIMENSION_ELITE, MachineProfile
 from repro.printer.orientation import PrintOrientation
 from repro.slicer.settings import SlicerSettings
@@ -90,6 +95,7 @@ __all__ = [
     "SweepCellResult",
     "SweepReport",
     "TransportStats",
+    "WorkerPool",
     "cell_error_from_exception",
     "execute_cell",
     "outcome_fingerprint",
@@ -220,6 +226,12 @@ class ParallelSweep:
         cell per stage - the legacy cell-granular schedule, kept as an
         ablation baseline (the shared cache still deduplicates compute,
         so only scheduling overhead differs).
+    pool:
+        An external :class:`~repro.pipeline.scheduler.WorkerPool` to
+        lease workers from instead of spawning a throwaway pool per
+        run.  Long-lived callers (the job service) share one pool
+        across sweeps so repeat runs hit *warm* workers; the pool is
+        left alive on completion and its owner shuts it down.
     """
 
     def __init__(
@@ -237,6 +249,7 @@ class ParallelSweep:
         resume: bool = False,
         max_pool_rebuilds: int = MAX_POOL_REBUILDS,
         dedupe: bool = True,
+        pool: Optional[WorkerPool] = None,
     ):
         if jobs < 1:
             raise PipelineConfigError("jobs must be >= 1")
@@ -259,6 +272,7 @@ class ParallelSweep:
         self.resume = resume
         self.max_pool_rebuilds = max_pool_rebuilds
         self.dedupe = dedupe
+        self.pool = pool
 
     def _scheduler(self) -> GraphScheduler:
         return GraphScheduler(
@@ -275,6 +289,7 @@ class ParallelSweep:
             keep_going=self.keep_going,
             max_pool_rebuilds=self.max_pool_rebuilds,
             dedupe=self.dedupe,
+            pool=self.pool,
         )
 
     def run(

@@ -40,6 +40,7 @@ from __future__ import annotations
 import heapq
 import pickle
 import tempfile
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -372,6 +373,65 @@ def _run_node_task(payload) -> Tuple[Any, Any, CacheStats, List[dict]]:
     return result, error, stats, spans
 
 
+# -- the warm pool ------------------------------------------------------------
+
+
+class WorkerPool:
+    """A long-lived, rebuildable :class:`ProcessPoolExecutor` handle.
+
+    The scheduler historically created a fresh pool per ``execute()``
+    call, paying worker spawn plus cold per-process memos
+    (:data:`_WORKER_CACHES`, :data:`_MODEL_MEMO`) on every run.  A
+    ``WorkerPool`` outlives individual runs: the job service creates
+    one and passes it through :class:`~repro.pipeline.parallel.ParallelSweep`
+    so back-to-back jobs land on *warm* workers whose caches and model
+    memos are already populated (ISSUE 9 tentpole).
+
+    The handle is also the rebuild point after a
+    :class:`BrokenProcessPool`: :meth:`rebuild` swaps in a replacement
+    executor, so a worker death during one job never poisons the next.
+    Thread-safe; the executor itself is created lazily (workers are
+    spawned by the first submit).
+    """
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+        #: Lifetime rebuild count, across every run served by this pool.
+        self.rebuilds = 0
+        #: Runs served (``get`` calls) - exposed for warm-pool metrics.
+        self.leases = 0
+
+    def get(self) -> ProcessPoolExecutor:
+        """The current executor, created on first use."""
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers
+                )
+            self.leases += 1
+            return self._pool
+
+    def rebuild(self) -> ProcessPoolExecutor:
+        """Replace a broken executor with a fresh one."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            self.rebuilds += 1
+            return self._pool
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Tear the executor down (idempotent)."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=wait, cancel_futures=True)
+                self._pool = None
+
+
 # -- the scheduler ------------------------------------------------------------
 
 
@@ -394,6 +454,7 @@ class GraphScheduler:
         keep_going: bool = True,
         max_pool_rebuilds: int = 2,
         dedupe: bool = True,
+        pool: Optional[WorkerPool] = None,
     ):
         self.config = config
         self.jobs = jobs
@@ -403,6 +464,9 @@ class GraphScheduler:
         self.keep_going = keep_going
         self.max_pool_rebuilds = max_pool_rebuilds
         self.dedupe = dedupe
+        #: External warm pool; when ``None`` each run owns a throwaway
+        #: one (the legacy per-run behaviour).
+        self.pool = pool
 
     def execute(
         self,
@@ -420,6 +484,14 @@ class GraphScheduler:
         if self.jobs > 1 and cache_dir is None:
             tmp = tempfile.TemporaryDirectory(prefix="repro-sweep-cache-")
             cache_dir = tmp.name
+        if cache_dir and shm_tier.shm_enabled():
+            # If this parent dies mid-sweep (SIGTERM, interpreter
+            # exit), the atexit/signal reaper still unlinks every
+            # published segment - the finally below only covers the
+            # normal path (ISSUE 9).
+            shm_tier.arm_parent_reaper(
+                Path(cache_dir) / shm_tier.REGISTRY_NAME
+            )
         try:
             return self._execute(
                 model, grid, keys, replayed, assess, analyze_seam,
@@ -430,6 +502,10 @@ class GraphScheduler:
             # published them must take them down (crashed workers
             # cannot).
             self._shm_cleanup(cache_dir)
+            if cache_dir:
+                shm_tier.disarm_parent_reaper(
+                    Path(cache_dir) / shm_tier.REGISTRY_NAME
+                )
             if tmp is not None:
                 tmp.cleanup()
 
@@ -812,10 +888,18 @@ class GraphScheduler:
             if spans and tracer is not None:
                 tracer.adopt(spans)
 
-        while not state["abort"]:
-            inflight: Dict[Any, Tuple] = {}
-            try:
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+        # Warm-pool support (ISSUE 9): when the caller supplied a
+        # WorkerPool the run *leases* its executor and leaves it alive
+        # on completion, so the next run lands on workers whose
+        # per-process caches are already populated.  Without one the
+        # run owns a throwaway handle with the legacy lifetime.
+        pool_handle = self.pool if self.pool is not None else WorkerPool(self.jobs)
+        owned = pool_handle is not self.pool
+        try:
+            while not state["abort"]:
+                inflight: Dict[Any, Tuple] = {}
+                try:
+                    pool = pool_handle.get()
                     while not state["abort"]:
                         while True:
                             entry = pop()
@@ -851,34 +935,44 @@ class GraphScheduler:
                             stats.merge(delta)
                             adopt(spans)
                             absorb(entry, result, error)
-                return  # clean completion (or abort)
-            except BrokenProcessPool:
-                # One or more workers died mid-node (dr0wned-style
-                # sabotage, OOM kill, segfault).  Harvest what finished,
-                # requeue the lost entries, and rebuild the pool a
-                # bounded number of times before degrading to serial.
-                state["rebuilds"] += 1
-                for future, entry in list(inflight.items()):
-                    harvested = False
-                    if future.done() and not future.cancelled():
-                        try:
-                            shipped = future.result()
-                            result, error, delta, spans = shipped
-                        except BaseException:
-                            pass
-                        else:
-                            record_result(future, shipped)
-                            stats.merge(delta)
-                            adopt(spans)
-                            absorb(entry, result, error)
-                            harvested = True
-                    if not harvested:
-                        push(entry)
-                sizes.clear()
-                # Dead workers may have published shared-memory blocks
-                # they can no longer clean up; reap them before the
-                # replacement pool republishes what it needs.
-                self._shm_cleanup(cache_dir)
-                if state["rebuilds"] > self.max_pool_rebuilds:
-                    state["degraded"] = True
-                    return
+                    return  # clean completion (or abort)
+                except BrokenProcessPool:
+                    # One or more workers died mid-node (dr0wned-style
+                    # sabotage, OOM kill, segfault).  Harvest what
+                    # finished, requeue the lost entries, and rebuild
+                    # the pool a bounded number of times before
+                    # degrading to serial.
+                    state["rebuilds"] += 1
+                    for future, entry in list(inflight.items()):
+                        harvested = False
+                        if future.done() and not future.cancelled():
+                            try:
+                                shipped = future.result()
+                                result, error, delta, spans = shipped
+                            except BaseException:
+                                pass
+                            else:
+                                record_result(future, shipped)
+                                stats.merge(delta)
+                                adopt(spans)
+                                absorb(entry, result, error)
+                                harvested = True
+                        if not harvested:
+                            push(entry)
+                    sizes.clear()
+                    # Dead workers may have published shared-memory
+                    # blocks they can no longer clean up; reap them
+                    # before the replacement pool republishes what it
+                    # needs.
+                    self._shm_cleanup(cache_dir)
+                    if state["rebuilds"] > self.max_pool_rebuilds:
+                        state["degraded"] = True
+                        return
+                    pool_handle.rebuild()
+        finally:
+            if owned:
+                pool_handle.shutdown()
+            elif state["degraded"]:
+                # A shared pool must come back healthy for its next
+                # lease; swap the broken executor out now.
+                pool_handle.rebuild()

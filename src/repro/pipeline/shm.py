@@ -34,18 +34,24 @@ memory is a machine-global namespace that outlives crashed processes:
 
 from __future__ import annotations
 
+import atexit
 import contextlib
 import hashlib
 import io
 import os
+import signal
 from multiprocessing import resource_tracker
 from multiprocessing.shared_memory import SharedMemory
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 import numpy as np
 
-#: Environment switch: truthy (anything but "" / "0") enables the tier.
+from repro.envflags import env_flag
+
+#: Environment switch enabling the tier (parsed by
+#: :func:`repro.envflags.env_flag`: 1/true/yes/on - ``OBFUSCADE_SHM=false``
+#: used to *enable* it, which ISSUE 9 fixed).
 SHM_ENV = "OBFUSCADE_SHM"
 
 #: Registry file name, created under the cache root.
@@ -53,7 +59,7 @@ REGISTRY_NAME = "shm-registry.txt"
 
 
 def shm_enabled() -> bool:
-    return os.environ.get(SHM_ENV, "") not in ("", "0")
+    return env_flag(SHM_ENV, default=False)
 
 
 @contextlib.contextmanager
@@ -197,6 +203,106 @@ class SharedSegmentStore:
                 pass
         self._blocks.clear()
         self._verified.clear()
+
+
+# -- parent-death reaping -----------------------------------------------------
+#
+# ``cleanup_registry`` runs on pool rebuilds and at normal run end, but
+# a sweep *parent* that dies mid-run (SIGTERM from an operator, an OOM
+# kill of the coordinating process) used to leak every block its
+# workers had published: shared memory is a machine-global namespace,
+# so nothing reclaims it (ISSUE 9 bugfix).  Two layers close the gap:
+#
+# * :func:`arm_parent_reaper` - the sweep parent registers its registry
+#   file with an ``atexit`` hook plus SIGTERM/SIGINT/SIGHUP handlers
+#   that reap armed registries and then re-deliver the signal, so any
+#   catchable death path unlinks the blocks;
+# * :func:`reap_stale` - a new process adopting a cache directory (the
+#   job service on startup) sweeps it for leftover registry files from
+#   parents that died uncatchably (SIGKILL) and reaps those.
+
+#: Registries this process must reap on exit, armed by the sweep parent.
+_armed_registries: Set[Path] = set()
+#: Signal handlers replaced by the reaper, restored semantics preserved
+#: by chaining (previous callable) or re-raising (default disposition).
+_previous_handlers: Dict[int, object] = {}
+_reaper_installed = False
+
+#: Signals the reaper intercepts: the catchable ways a sweep parent dies.
+REAPER_SIGNALS = (signal.SIGTERM, signal.SIGINT, signal.SIGHUP)
+
+
+def _reap_armed() -> int:
+    """Reap every armed registry now (idempotent, swallows errors)."""
+    removed = 0
+    for registry in list(_armed_registries):
+        _armed_registries.discard(registry)
+        try:
+            removed += cleanup_registry(registry)
+        except Exception:
+            pass
+    return removed
+
+
+def _reap_and_redeliver(signum, frame) -> None:
+    _reap_armed()
+    previous = _previous_handlers.get(signum)
+    if callable(previous):
+        previous(signum, frame)
+        return
+    if previous is signal.SIG_IGN:
+        return
+    # Default disposition: restore it and re-deliver, so the process
+    # still dies with the correct wait status.
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def arm_parent_reaper(registry: Path) -> None:
+    """Guarantee ``registry`` is reaped even if this process dies.
+
+    Installs (once per process) an ``atexit`` hook and chaining
+    handlers for :data:`REAPER_SIGNALS`; every armed registry is
+    reaped on any of those exits.  Safe to call repeatedly and from
+    multiple sweeps; pair with :func:`disarm_parent_reaper` after the
+    normal-path cleanup has run.
+    """
+    global _reaper_installed
+    _armed_registries.add(Path(registry))
+    if _reaper_installed:
+        return
+    _reaper_installed = True
+    atexit.register(_reap_armed)
+    for signum in REAPER_SIGNALS:
+        try:
+            _previous_handlers[signum] = signal.signal(
+                signum, _reap_and_redeliver
+            )
+        except (ValueError, OSError):
+            # Not the main thread (or an unsupported platform signal):
+            # the atexit hook still covers normal interpreter exit.
+            pass
+
+
+def disarm_parent_reaper(registry: Path) -> None:
+    """Forget ``registry`` (its normal-path cleanup already ran)."""
+    _armed_registries.discard(Path(registry))
+
+
+def reap_stale(cache_root: Path) -> int:
+    """Reap leftover registries under ``cache_root`` (recursive).
+
+    The startup defence for uncatchable parent deaths (SIGKILL): a
+    process adopting a cache directory unlinks every block a previous
+    run's registry still names.  Returns how many blocks were removed.
+    """
+    root = Path(cache_root)
+    if not root.is_dir():
+        return 0
+    removed = 0
+    for registry in root.rglob(REGISTRY_NAME):
+        removed += cleanup_registry(registry)
+    return removed
 
 
 def cleanup_registry(registry: Path) -> int:

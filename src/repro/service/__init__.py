@@ -1,0 +1,44 @@
+"""Multi-tenant obfuscation job service (ISSUE 9 tentpole).
+
+The production face of the reproduction: a long-lived process fronting
+the staged sweep engine with admission control, in-flight request
+coalescing, a warm worker pool and an HTTP/JSON API - the shape a
+counterfeit-resistance evaluation service would actually ship in.
+
+Layers (each importable on its own):
+
+* :mod:`repro.service.jobs` - request validation (:class:`JobSpec`),
+  the job lifecycle (:class:`Job`, :class:`JobState`) and the
+  structured refusals (:class:`JobRejected`,
+  :class:`JobValidationError`);
+* :mod:`repro.service.queue` - :class:`JobQueue`: bounded depth,
+  per-tenant round-robin fairness, and the coalescing index that joins
+  identical submissions onto one computation;
+* :mod:`repro.service.core` - :class:`ObfuscadeService`: the
+  dispatcher thread, warm :class:`~repro.pipeline.WorkerPool`, shared
+  disk cache, per-job manifests/traces, startup shm reaping;
+* :mod:`repro.service.http` - :class:`ServiceServer`: the stdlib
+  ``ThreadingHTTPServer`` front end (``repro-obfuscade serve``).
+"""
+
+from repro.service.core import ObfuscadeService
+from repro.service.http import ServiceServer
+from repro.service.jobs import (
+    Job,
+    JobRejected,
+    JobSpec,
+    JobState,
+    JobValidationError,
+)
+from repro.service.queue import JobQueue
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobRejected",
+    "JobSpec",
+    "JobState",
+    "JobValidationError",
+    "ObfuscadeService",
+    "ServiceServer",
+]

@@ -1,0 +1,362 @@
+"""The long-lived obfuscation job service (ISSUE 9 tentpole).
+
+`ObfusCADe` evaluates counterfeit resistance by grid-searching process
+settings against a protected model; the CLI runs one such evaluation
+per invocation, paying worker-pool spawn, cold caches and model
+protection every time.  :class:`ObfuscadeService` amortizes all three
+across many requests from many tenants:
+
+* one :class:`~repro.service.queue.JobQueue` admits, coalesces and
+  fairly orders requests (bounded depth, per-tenant round-robin,
+  structured 429s);
+* one warm :class:`~repro.pipeline.WorkerPool` plus one shared
+  :class:`~repro.pipeline.DiskStageCache` directory serve every job,
+  so repeat evaluations land on hot per-process caches and stored
+  artifacts;
+* a single dispatcher thread drains the queue through the same
+  fault-tolerant sweep executor the CLI uses
+  (:class:`~repro.obfuscade.attack.CounterfeiterSimulator` with
+  ``force_executor=True``), writes a per-job run manifest + span trace
+  under ``out_dir``, and parks the result on the job for every
+  coalesced waiter;
+* on startup the service reaps shared-memory registries a SIGKILLed
+  predecessor left under the cache directory
+  (:func:`repro.pipeline.shm.reap_stale`).
+
+The service is transport-agnostic; :mod:`repro.service.http` fronts it
+with a stdlib HTTP/JSON API, and tests drive it in-process.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro import observability as obs
+from repro.mesh.content_hash import model_digest
+from repro.obfuscade.attack import CounterfeiterSimulator
+from repro.obfuscade.obfuscator import Obfuscator
+from repro.observability import MetricsRegistry, Tracer, export
+from repro.observability import manifest as manifest_mod
+from repro.pipeline import ProcessChain, WorkerPool, digest_parts
+from repro.pipeline import shm as shm_tier
+from repro.pipeline.resilience import NO_RETRY, RetryPolicy
+from repro.service.jobs import (
+    MACHINES,
+    ORIENTATIONS,
+    RESOLUTIONS,
+    Job,
+    JobSpec,
+    JobState,
+)
+from repro.service.queue import JobQueue
+
+
+class ObfuscadeService:
+    """Multi-tenant job service over the staged process-chain engine.
+
+    Parameters
+    ----------
+    cache_dir:
+        Shared stage-cache directory (created if missing); every job's
+        artifacts and the warm workers' reads go through it.
+    out_dir:
+        Where per-job manifests and traces land; defaults to
+        ``<cache_dir>/runs``.
+    jobs:
+        Worker processes per sweep.  ``> 1`` keeps a persistent
+        :class:`WorkerPool` alive across jobs; ``1`` executes sweeps
+        serially in the dispatcher thread (still through the sweep
+        executor, still cache-warm).
+    queue_depth / max_tenant_queued:
+        Admission control, as for :class:`JobQueue`.
+    retry / cell_timeout_s / keep_going / dedupe:
+        Per-job executor knobs, as for
+        :class:`~repro.pipeline.ParallelSweep`.
+    """
+
+    def __init__(
+        self,
+        cache_dir,
+        out_dir=None,
+        jobs: int = 1,
+        queue_depth: int = 16,
+        max_tenant_queued: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        cell_timeout_s: Optional[float] = None,
+        keep_going: bool = True,
+        dedupe: bool = True,
+    ):
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.out_dir = (
+            Path(out_dir) if out_dir is not None else self.cache_dir / "runs"
+        )
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.jobs = jobs
+        self.retry = retry if retry is not None else NO_RETRY
+        self.cell_timeout_s = cell_timeout_s
+        self.keep_going = keep_going
+        self.dedupe = dedupe
+        self.metrics = MetricsRegistry()
+        self.queue = JobQueue(
+            max_depth=queue_depth,
+            max_tenant_queued=max_tenant_queued,
+            metrics=self.metrics,
+        )
+        self.pool: Optional[WorkerPool] = (
+            WorkerPool(jobs) if jobs > 1 else None
+        )
+        self.started_s = time.time()
+        self._models: Dict[int, Any] = {}
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._stop = threading.Event()
+        self._gate = threading.Event()
+        self._gate.set()
+        self._thread: Optional[threading.Thread] = None
+        # A predecessor killed uncatchably (SIGKILL) could not reap the
+        # shared-memory blocks its registry names; adopt-and-reap now,
+        # before any job republishes segments (ISSUE 9 satellite).
+        reaped = shm_tier.reap_stale(self.cache_dir)
+        if reaped:
+            self.metrics.inc("service.shm_stale_reaped", reaped)
+
+    # -- model / key derivation ----------------------------------------------
+
+    def _protected(self, seed: int):
+        """The protected model for ``seed``, built once per service."""
+        with self._lock:
+            protected = self._models.get(seed)
+        if protected is None:
+            protected = Obfuscator(seed=seed).protect_tensile_bar()
+            with self._lock:
+                self._models.setdefault(seed, protected)
+                protected = self._models[seed]
+        return protected
+
+    def job_key(self, spec: JobSpec) -> str:
+        """Coalescing key: content address of the job's full input.
+
+        Only result-determining facts participate (model digest,
+        machine, grid) - executor knobs like worker count change the
+        wall-clock, not the artifacts, so they must not split
+        otherwise-identical jobs.  The grid is order-normalized (cell
+        order changes nothing) and the *model digest*, not the seed,
+        represents the geometry - two seeds that build identical
+        geometry are the same computation and coalesce.
+        """
+        protected = self._protected(spec.seed)
+        return digest_parts(
+            "service-job",
+            model_digest(protected.model),
+            spec.machine,
+            ",".join(sorted(spec.resolutions)),
+            ",".join(sorted(spec.orientations)),
+        )
+
+    # -- submission / lookup -------------------------------------------------
+
+    def submit(self, payload: Any, tenant: str = "anon") -> Tuple[Job, bool]:
+        """Validate + admit one request; returns ``(job, joined)``.
+
+        Raises :class:`~repro.service.jobs.JobValidationError` (bad
+        request) or :class:`~repro.service.jobs.JobRejected`
+        (backpressure); the HTTP layer maps them to 400/429.
+        """
+        spec = JobSpec.from_request(payload)
+        key = self.job_key(spec)
+        job = Job(
+            job_id=f"job-{next(self._seq):05d}",
+            spec=spec,
+            tenant=tenant,
+            key=key,
+        )
+        admitted, joined = self.queue.submit(job)
+        if not joined:
+            with self._lock:
+                self._jobs[admitted.job_id] = admitted
+        return admitted, joined
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, paused: bool = False) -> None:
+        """Start the dispatcher thread (``paused=True`` keeps it idle
+        until :meth:`resume` - used by tests to pile up joins
+        deterministically)."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        if paused:
+            self._gate.clear()
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="obfuscade-dispatch", daemon=True
+        )
+        self._thread.start()
+
+    def pause(self) -> None:
+        self._gate.clear()
+
+    def resume(self) -> None:
+        self._gate.set()
+
+    def stop(self) -> None:
+        """Stop dispatching and tear the warm pool down (idempotent)."""
+        self._stop.set()
+        self._gate.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+        if self.pool is not None:
+            self.pool.shutdown()
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            if not self._gate.wait(timeout=0.1):
+                continue
+            job = self.queue.take(timeout=0.1)
+            if job is None:
+                continue
+            self._run_job(job)
+
+    # -- execution -----------------------------------------------------------
+
+    def _run_job(self, job: Job) -> None:
+        started = time.perf_counter()
+        # Per-job tracer feeding the service-lifetime metrics registry:
+        # spans are scoped to the job (its manifest must agree with its
+        # trace), counters accumulate across jobs.
+        tracer = obs.install(Tracer(metrics=self.metrics))
+        try:
+            protected = self._protected(job.spec.seed)
+            chain = ProcessChain(machine=MACHINES[job.spec.machine])
+            sim = CounterfeiterSimulator(
+                resolutions=[RESOLUTIONS[r] for r in job.spec.resolutions],
+                orientations=[ORIENTATIONS[o] for o in job.spec.orientations],
+                chain=chain,
+                jobs=self.jobs,
+                cache_dir=str(self.cache_dir),
+                retry=self.retry,
+                cell_timeout_s=self.cell_timeout_s,
+                keep_going=self.keep_going,
+                dedupe=self.dedupe,
+                pool=self.pool,
+                force_executor=True,
+            )
+            result = sim.attack(protected)
+            obs.uninstall()
+            spans = [s.to_dict() for s in tracer.drain()]
+            trace_path = self.out_dir / f"{job.job_id}.trace.jsonl"
+            export.write_jsonl(spans, trace_path)
+            manifest_path = self._write_manifest(
+                job, protected, result, spans, trace_path
+            )
+            job.mark_done({
+                "fingerprints": {
+                    f"{c.resolution}/{c.orientation}": c.fingerprint
+                    for c in result.report.cells
+                },
+                "summary": [list(row) for row in result.summary_rows()],
+                "key_only_success": result.key_only_success,
+                "cells_ok": len(result.report.cells),
+                "cells_failed": result.n_failed,
+                "manifest": str(manifest_path),
+                "trace": str(trace_path),
+            })
+            self.metrics.inc("service.jobs_done")
+        except Exception as exc:  # noqa: BLE001 - the job, not the service, fails
+            job.mark_failed({
+                "type": type(exc).__name__,
+                "message": str(exc),
+            })
+            self.metrics.inc("service.jobs_failed")
+        finally:
+            obs.uninstall()
+            self.metrics.observe(
+                "service.job_s", time.perf_counter() - started
+            )
+            # Terminal state is already visible, so a submission racing
+            # this retire either joins a finished job (result attached)
+            # or starts a fresh, cache-warm run - never hangs.
+            self.queue.finish(job)
+
+    def _write_manifest(self, job, protected, result, spans, trace_path):
+        config = {
+            "command": "serve",
+            "seed": job.spec.seed,
+            "resolutions": list(job.spec.resolutions),
+            "orientations": list(job.spec.orientations),
+            "machine": job.spec.machine,
+            "jobs": self.jobs,
+            "cache_dir": str(self.cache_dir),
+            "dedupe": self.dedupe,
+            "shm": shm_tier.shm_enabled(),
+        }
+        doc = manifest_mod.sweep_manifest(
+            result.report,
+            model_name=protected.model.name,
+            model_digest=model_digest(protected.model),
+            config=config,
+            trace_path=str(trace_path),
+            trace_spans=len(spans),
+        )
+        # Service provenance rides along as an extra top-level block
+        # (the schema validator allows extras): which job produced this
+        # run, for whom, and how much coalescing it benefited from.
+        doc["service"] = {
+            "job_id": job.job_id,
+            "tenant": job.tenant,
+            "waiters": job.waiters,
+            "queue": self.queue.snapshot(),
+            "pool": (
+                {
+                    "max_workers": self.pool.max_workers,
+                    "rebuilds": self.pool.rebuilds,
+                    "leases": self.pool.leases,
+                }
+                if self.pool is not None
+                else None
+            ),
+        }
+        path = self.out_dir / f"{job.job_id}.manifest.json"
+        manifest_mod.write_manifest(doc, path)
+        return path
+
+    # -- introspection -------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        with self._lock:
+            known = len(self._jobs)
+            running = sum(
+                1 for j in self._jobs.values()
+                if j.state is JobState.RUNNING
+            )
+        return {
+            "status": "ok",
+            "uptime_s": time.time() - self.started_s,
+            "dispatcher": (
+                "stopped" if self._thread is None
+                else "paused" if not self._gate.is_set()
+                else "running"
+            ),
+            "jobs": {"known": known, "running": running},
+            "queue": self.queue.snapshot(),
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        doc = self.metrics.to_dict()
+        doc["queue"] = self.queue.snapshot()
+        if self.pool is not None:
+            doc["pool"] = {
+                "max_workers": self.pool.max_workers,
+                "rebuilds": self.pool.rebuilds,
+                "leases": self.pool.leases,
+            }
+        return doc

@@ -1,0 +1,175 @@
+"""Stdlib HTTP/JSON front end for :class:`ObfuscadeService`.
+
+No web framework - the container bakes in the scientific toolchain
+only, and a job API this small fits ``http.server`` comfortably.  A
+:class:`ThreadingHTTPServer` handles each request on its own thread;
+every handler is a thin JSON shim over the service object, which does
+its own locking.
+
+API
+---
+``POST /submit``
+    Body: ``{"seed": 7, "resolutions": ["coarse", "fine"],
+    "orientations": ["x-y"], "machine": "fdm"}`` (all fields
+    optional).  Tenant comes from the ``X-Tenant`` header (default
+    ``anon``).  Responses: **202** ``{"job_id", "state", "joined",
+    "waiters"}`` - ``joined`` true when the request coalesced onto an
+    in-flight identical job; **400** on validation errors; **429**
+    with the structured backpressure body on admission refusal.
+``GET /status/<job-id>``
+    **200** job snapshot, **404** unknown id.
+``GET /result/<job-id>?wait=S``
+    Long-poll up to ``S`` seconds (capped) for completion.  **200**
+    with the result block once done (or the error block once failed),
+    **202** with the snapshot while still queued/running, **404**
+    unknown id.
+``GET /healthz`` / ``GET /metrics``
+    Liveness + queue snapshot / the full metrics registry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.jobs import JobRejected, JobState, JobValidationError
+
+#: Upper bound on ``?wait=`` long-polls, seconds.
+MAX_WAIT_S = 60.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; ``self.server.service`` is the ObfuscadeService."""
+
+    def _send_json(self, code: int, payload: Any) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging goes through the metrics registry instead
+
+    # -- routes --------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        if urlparse(self.path).path != "/submit":
+            self._send_json(404, {"error": "not_found", "path": self.path})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            self._send_json(
+                400, {"error": "bad_request",
+                      "message": f"body must be JSON: {exc}"},
+            )
+            return
+        tenant = self.headers.get("X-Tenant") or "anon"
+        try:
+            job, joined = service.submit(payload, tenant=tenant)
+        except JobValidationError as exc:
+            self._send_json(
+                400, {"error": "invalid_request", "message": str(exc)}
+            )
+            return
+        except JobRejected as exc:
+            # Backpressure is a structured response, never a hang.
+            self._send_json(429, exc.to_dict())
+            return
+        self._send_json(202, {
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "joined": joined,
+            "waiters": job.waiters,
+        })
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if url.path == "/healthz":
+            self._send_json(200, service.healthz())
+        elif url.path == "/metrics":
+            self._send_json(200, service.metrics_snapshot())
+        elif len(parts) == 2 and parts[0] in ("status", "result"):
+            job = service.get(parts[1])
+            if job is None:
+                self._send_json(
+                    404, {"error": "not_found", "job_id": parts[1]}
+                )
+                return
+            if parts[0] == "status":
+                self._send_json(200, job.snapshot())
+                return
+            wait_s = 0.0
+            try:
+                wait_s = float(parse_qs(url.query).get("wait", ["0"])[0])
+            except ValueError:
+                pass
+            if wait_s > 0:
+                job.wait(min(wait_s, MAX_WAIT_S))
+            doc = job.snapshot()
+            if job.state is JobState.DONE:
+                doc["result"] = job.result
+                self._send_json(200, doc)
+            elif job.state is JobState.FAILED:
+                self._send_json(200, doc)
+            else:
+                self._send_json(202, doc)
+        else:
+            self._send_json(404, {"error": "not_found", "path": self.path})
+
+
+class ServiceServer:
+    """Owns the HTTP listener for one :class:`ObfuscadeService`.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` is the
+    bound ``(host, port)`` either way.
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 8035):
+        self.service = service
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.service = service
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Serve on a background thread (tests / embedding)."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="obfuscade-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``serve`` CLI command)."""
+        self.httpd.serve_forever()
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None

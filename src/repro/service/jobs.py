@@ -1,0 +1,202 @@
+"""Job model of the obfuscation service: specs, states, rejections.
+
+A *job* is one counterfeit-resistance evaluation - "grid-search these
+process settings against the protected model of this seed" - exactly
+what the ``sweep``/``attack`` CLI commands run once and exit.  The
+service runs many of them back-to-back for many callers, so jobs carry
+tenant attribution, a lifecycle state machine and a *coalescing key*:
+the content address of everything that determines the job's result.
+Two submissions with equal keys are the same computation, and the
+queue joins the later one onto the earlier instead of running it twice
+(ISSUE 9 tentpole).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, Optional, Tuple
+
+from repro.cad.resolution import COARSE, FINE, custom_resolution
+from repro.printer.machines import DIMENSION_ELITE, OBJET30_PRO
+from repro.printer.orientation import PrintOrientation
+
+#: Named settings a request may ask for (the CLI's vocabulary).
+RESOLUTIONS = {
+    "coarse": COARSE,
+    "fine": FINE,
+    "custom": custom_resolution(),
+}
+ORIENTATIONS = {o.value: o for o in PrintOrientation}
+MACHINES = {"fdm": DIMENSION_ELITE, "polyjet": OBJET30_PRO}
+
+
+class JobState(str, Enum):
+    """Lifecycle of a job: queued -> running -> done | failed."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class JobValidationError(ValueError):
+    """The request payload does not describe a runnable job (HTTP 400)."""
+
+
+class JobRejected(RuntimeError):
+    """Admission control refused the job (HTTP 429, structured body).
+
+    Backpressure must be a *response*, not a hang: the exception
+    carries a machine-readable code (``queue_full``, ``tenant_quota``)
+    and the numbers behind the decision, so a client can back off
+    intelligently.
+    """
+
+    def __init__(self, code: str, message: str, **details: Any):
+        super().__init__(message)
+        self.code = code
+        self.details = details
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "error": "rejected",
+            "code": self.code,
+            "message": str(self),
+            **self.details,
+        }
+
+
+def _names(payload: Any, field: str, known: Dict[str, Any],
+           default: Tuple[str, ...]) -> Tuple[str, ...]:
+    raw = payload.get(field)
+    if raw is None:
+        return default
+    if isinstance(raw, str):
+        raw = [part.strip() for part in raw.split(",") if part.strip()]
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise JobValidationError(
+            f"{field} must be a non-empty list (or comma string) "
+            f"of {sorted(known)}"
+        )
+    names = []
+    for name in raw:
+        if not isinstance(name, str) or name not in known:
+            raise JobValidationError(
+                f"unknown {field[:-1]} {name!r} (choose from {sorted(known)})"
+            )
+        if name not in names:
+            names.append(name)
+    return tuple(names)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """The validated, immutable description of one grid-search job."""
+
+    seed: int = 7
+    resolutions: Tuple[str, ...] = ("coarse", "fine", "custom")
+    orientations: Tuple[str, ...] = ("x-y", "x-z")
+    machine: str = "fdm"
+
+    @classmethod
+    def from_request(cls, payload: Any) -> "JobSpec":
+        """Build a spec from an untrusted request body; raises
+        :class:`JobValidationError` with a client-actionable message."""
+        if not isinstance(payload, dict):
+            raise JobValidationError("request body must be a JSON object")
+        unknown = set(payload) - {"seed", "resolutions", "orientations",
+                                  "machine"}
+        if unknown:
+            raise JobValidationError(
+                f"unknown request fields: {sorted(unknown)}"
+            )
+        seed = payload.get("seed", 7)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise JobValidationError("seed must be an integer")
+        machine = payload.get("machine", "fdm")
+        if machine not in MACHINES:
+            raise JobValidationError(
+                f"unknown machine {machine!r} (choose from {sorted(MACHINES)})"
+            )
+        return cls(
+            seed=seed,
+            resolutions=_names(payload, "resolutions", RESOLUTIONS,
+                               ("coarse", "fine", "custom")),
+            orientations=_names(payload, "orientations", ORIENTATIONS,
+                                ("x-y", "x-z")),
+            machine=machine,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "resolutions": list(self.resolutions),
+            "orientations": list(self.orientations),
+            "machine": self.machine,
+        }
+
+
+class Job:
+    """One submitted job: spec + tenant + lifecycle + result slot.
+
+    ``waiters`` counts the submissions this job serves (1 for the
+    original, +1 per coalesced join); every waiter polls the same
+    ``job_id``.  Completion is signalled through an event so HTTP
+    handlers can long-poll ``wait()`` without spinning.
+    """
+
+    def __init__(self, job_id: str, spec: JobSpec, tenant: str, key: str):
+        self.job_id = job_id
+        self.spec = spec
+        self.tenant = tenant
+        #: Coalescing key: content address of everything determining
+        #: the result (model digest, machine, grid).
+        self.key = key
+        self.state = JobState.QUEUED
+        self.waiters = 0
+        self.created_s = time.time()
+        self.started_s: Optional[float] = None
+        self.finished_s: Optional[float] = None
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[Dict[str, Any]] = None
+        self._done = threading.Event()
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; True if it did within timeout."""
+        return self._done.wait(timeout)
+
+    def mark_done(self, result: Dict[str, Any]) -> None:
+        self.result = result
+        self.state = JobState.DONE
+        self.finished_s = time.time()
+        self._done.set()
+
+    def mark_failed(self, error: Dict[str, Any]) -> None:
+        self.error = error
+        self.state = JobState.FAILED
+        self.finished_s = time.time()
+        self._done.set()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The status-endpoint view of this job."""
+        doc: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "state": self.state.value,
+            "tenant": self.tenant,
+            "key": self.key,
+            "waiters": self.waiters,
+            "spec": self.spec.to_dict(),
+            "created_s": self.created_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc

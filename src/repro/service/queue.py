@@ -1,0 +1,194 @@
+"""Bounded, tenant-fair job queue with in-flight request coalescing.
+
+Admission control and coalescing live together because they see the
+same races: whether a submission *joins* an existing computation,
+*queues* a new one, or is *rejected* must be decided under one lock,
+or two identical submissions arriving together could both queue (a
+missed coalesce) or a join could land on a job that just finished.
+
+* **Coalescing** - a submission whose key matches a queued *or
+  running* job joins it: the caller gets the existing job (and its
+  ``job_id``) back, ``joined_waiters`` counts every join, and
+  ``coalesced_jobs`` counts jobs that absorbed at least one.  A
+  matching job that already finished is *not* joined - results are
+  served from the artifact cache on re-execution, not from a
+  potentially evicted result slot.
+* **Backpressure** - the queue holds at most ``max_depth`` queued jobs
+  in total and (optionally) ``max_tenant_queued`` per tenant; beyond
+  either, :class:`~repro.service.jobs.JobRejected` carries a
+  structured refusal the HTTP layer maps to 429.  Joins are never
+  rejected: they add no work.
+* **Fairness** - :meth:`take` serves tenants round-robin (one job per
+  turn, tenant rotates to the back), so a tenant who bulk-submits
+  cannot starve the others however deep their backlog.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from repro.service.jobs import Job, JobRejected, JobState
+
+
+class JobQueue:
+    """The service's admission, coalescing and dispatch order."""
+
+    def __init__(
+        self,
+        max_depth: int = 16,
+        max_tenant_queued: int = 0,
+        metrics=None,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if max_tenant_queued < 0:
+            raise ValueError("max_tenant_queued must be >= 0 (0 = unlimited)")
+        self.max_depth = max_depth
+        self.max_tenant_queued = max_tenant_queued
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._has_work = threading.Condition(self._lock)
+        #: tenant -> FIFO of queued jobs; OrderedDict order is the
+        #: round-robin rotation.
+        self._pending: "OrderedDict[str, Deque[Job]]" = OrderedDict()
+        #: key -> queued-or-running job, the coalescing index.
+        self._active: Dict[str, Job] = {}
+        # Lifetime counters (mirrored into ``metrics`` when given).
+        self.submitted = 0
+        self.joined_waiters = 0
+        self.coalesced_jobs = 0
+        self.rejected = 0
+        self.completed = 0
+
+    def _inc(self, name: str, n: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, n)
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, job: Job) -> Tuple[Job, bool]:
+        """Admit ``job``: returns ``(job_to_poll, joined)``.
+
+        ``joined`` is True when the submission coalesced onto an
+        in-flight job - the returned job is *that* one, not the
+        argument.  Raises :class:`JobRejected` when the queue (or the
+        tenant's slice of it) is full.
+        """
+        with self._has_work:
+            existing = self._active.get(job.key)
+            if existing is not None and not existing.finished:
+                existing.waiters += 1
+                self.joined_waiters += 1
+                self._inc("service.joined_waiters")
+                if existing.waiters == 2:
+                    # First join: this job now serves >1 submission.
+                    self.coalesced_jobs += 1
+                    self._inc("service.coalesced_jobs")
+                return existing, True
+            depth = sum(len(q) for q in self._pending.values())
+            if depth >= self.max_depth:
+                self.rejected += 1
+                self._inc("service.jobs_rejected")
+                raise JobRejected(
+                    "queue_full",
+                    f"queue is full ({depth}/{self.max_depth} jobs queued); "
+                    f"retry later",
+                    queue_depth=depth,
+                    max_depth=self.max_depth,
+                )
+            mine = self._pending.get(job.tenant)
+            if (
+                self.max_tenant_queued
+                and mine is not None
+                and len(mine) >= self.max_tenant_queued
+            ):
+                self.rejected += 1
+                self._inc("service.jobs_rejected")
+                raise JobRejected(
+                    "tenant_quota",
+                    f"tenant {job.tenant!r} already has {len(mine)} jobs "
+                    f"queued (limit {self.max_tenant_queued})",
+                    tenant=job.tenant,
+                    tenant_queued=len(mine),
+                    max_tenant_queued=self.max_tenant_queued,
+                )
+            if mine is None:
+                mine = self._pending[job.tenant] = deque()
+            job.state = JobState.QUEUED
+            job.waiters = 1
+            mine.append(job)
+            self._active[job.key] = job
+            self.submitted += 1
+            self._inc("service.jobs_submitted")
+            self._has_work.notify()
+            return job, False
+
+    # -- dispatch ------------------------------------------------------------
+
+    def take(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Next job in round-robin tenant order; marks it RUNNING.
+
+        Blocks up to ``timeout`` seconds (forever when ``None``);
+        returns ``None`` on timeout.  The job stays in the coalescing
+        index while it runs, so identical submissions keep joining
+        until the dispatcher calls :meth:`finish`.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._has_work:
+            while True:
+                for tenant in list(self._pending):
+                    backlog = self._pending[tenant]
+                    if not backlog:
+                        del self._pending[tenant]
+                        continue
+                    job = backlog.popleft()
+                    # One job per turn: the tenant goes to the back of
+                    # the rotation whether or not more are queued.
+                    self._pending.move_to_end(tenant)
+                    if not backlog:
+                        del self._pending[tenant]
+                    job.state = JobState.RUNNING
+                    job.started_s = time.time()
+                    return job
+                if deadline is None:
+                    self._has_work.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._has_work.wait(remaining)
+
+    def finish(self, job: Job) -> None:
+        """Retire ``job`` from the coalescing index (call after the
+        job's terminal state is set, so late submissions either join a
+        visible result or start a fresh - cache-warm - run)."""
+        with self._lock:
+            if self._active.get(job.key) is job:
+                del self._active[job.key]
+            self.completed += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def depth(self) -> int:
+        with self._lock:
+            return sum(len(q) for q in self._pending.values())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters + per-tenant backlog for healthz/metrics/manifests."""
+        with self._lock:
+            return {
+                "queued": sum(len(q) for q in self._pending.values()),
+                "max_depth": self.max_depth,
+                "max_tenant_queued": self.max_tenant_queued,
+                "tenants": {t: len(q) for t, q in self._pending.items() if q},
+                "submitted": self.submitted,
+                "joined_waiters": self.joined_waiters,
+                "coalesced_jobs": self.coalesced_jobs,
+                "rejected": self.rejected,
+                "completed": self.completed,
+            }

@@ -31,6 +31,11 @@ from repro.slicer.slicer import Layer, slice_mesh
 #: Loop-closure tolerance when chaining extrusion moves, mm.
 _CLOSE_TOL = 1e-6
 
+#: Z gaps at or below this are float jitter, never a real layer step:
+#: no AM process deposits sub-micron layers, while accumulated
+#: floating-point error in Z words sits many orders of magnitude lower.
+_MIN_LAYER_STEP_MM = 1e-3
+
 
 @dataclass
 class ReconstructedLayer:
@@ -47,8 +52,45 @@ class ReconstructedLayer:
         return abs(sum(p.signed_area for p in self.loops))
 
 
+def _merge_z_bins(
+    raw: Dict[float, ReconstructedLayer], z_tol: Optional[float]
+) -> List[ReconstructedLayer]:
+    """Merge exact-Z layer records into tolerance-binned physical layers.
+
+    Keying layers by ``round(z, 6)`` (the old scheme) split one
+    physical layer in two whenever accumulated floating-point Z (say
+    repeated ``+= 0.178``) landed on opposite sides of a rounding
+    boundary - skewing ``outline_area_mm2`` and every validator verdict
+    built on it (ISSUE 9 bugfix).  Binning is now tolerance-based:
+    consecutive Z values closer than ``z_tol`` belong to the same
+    layer.  When ``z_tol`` is ``None`` it defaults to *half the layer
+    height*, inferred as the smallest Z gap that exceeds the jitter
+    floor (:data:`_MIN_LAYER_STEP_MM`) - jitter sits many orders of
+    magnitude below half a real layer step, so the clusters are
+    unambiguous.
+    """
+    if not raw:
+        return []
+    zs = sorted(raw)
+    if z_tol is None:
+        steps = [b - a for a, b in zip(zs, zs[1:]) if b - a > _MIN_LAYER_STEP_MM]
+        z_tol = min(steps) / 2.0 if steps else _MIN_LAYER_STEP_MM / 2.0
+    merged: List[ReconstructedLayer] = []
+    for z in zs:
+        if merged and z - merged[-1].z <= z_tol:
+            target, source = merged[-1], raw[z]
+            target.loops.extend(source.loops)
+            target.open_runs.extend(source.open_runs)
+            target.raster_length_mm += source.raster_length_mm
+        else:
+            merged.append(raw[z])
+    return merged
+
+
 def reconstruct_layers(
-    moves: Sequence[GCodeMove], model_material_only: bool = True
+    moves: Sequence[GCodeMove],
+    model_material_only: bool = True,
+    z_tol: Optional[float] = None,
 ) -> List[ReconstructedLayer]:
     """Rebuild per-layer geometry from parsed G-code moves.
 
@@ -58,6 +100,10 @@ def reconstruct_layers(
     accumulated as filled path length.  Support-material moves (tool 1)
     are skipped by default - the attacker wants the part, not its
     scaffolding.
+
+    Z values within ``z_tol`` of each other land in one layer
+    (:func:`_merge_z_bins`); the default infers half the layer height
+    from the program itself.
     """
     layers: Dict[float, ReconstructedLayer] = {}
     run: List[np.ndarray] = []
@@ -68,7 +114,7 @@ def reconstruct_layers(
     def flush() -> None:
         nonlocal run
         if len(run) >= 2:
-            layer = layers.setdefault(round(z, 6), ReconstructedLayer(z=round(z, 6)))
+            layer = layers.setdefault(z, ReconstructedLayer(z=z))
             pts = np.array(run)
             if (
                 len(pts) >= 4
@@ -107,7 +153,7 @@ def reconstruct_layers(
             e_prev = max(e_prev, m.e)
         x, y = nx, ny
     flush()
-    return [layers[key] for key in sorted(layers)]
+    return _merge_z_bins(layers, z_tol)
 
 
 @dataclass

@@ -1,0 +1,263 @@
+"""Tests for shared-memory reaping when the owning process dies.
+
+``cleanup_registry`` only runs on the sweep parent's normal exit paths;
+ISSUE 9 closed the abnormal ones: :func:`arm_parent_reaper` reaps on
+atexit/SIGTERM/SIGINT/SIGHUP, and :func:`reap_stale` lets the next
+process adopting a cache directory clean up after an uncatchable
+(SIGKILL) death.
+
+The signal/kill tests spawn real subprocesses and are gated behind the
+chaos switch, matching tests/test_faults.py.
+"""
+
+import hashlib
+import io
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.pipeline import shm as shm_tier
+
+chaos = pytest.mark.skipif(
+    os.environ.get("OBFUSCADE_FAULTS") != "1",
+    reason="chaos suite; enable with OBFUSCADE_FAULTS=1",
+)
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _npy_payload(n=2048):
+    buf = io.BytesIO()
+    np.lib.format.write_array(
+        buf, np.arange(n, dtype=np.float64), allow_pickle=False
+    )
+    data = buf.getvalue()
+    return data, hashlib.sha256(data).hexdigest()
+
+
+def _attachable(name: str) -> bool:
+    try:
+        shm = shm_tier._open_untracked(name)
+    except Exception:
+        return False
+    shm.close()
+    return True
+
+
+def _publish_block(cache: Path, n=2048):
+    """Publish one block registered under ``cache``; returns its name."""
+    data, digest = _npy_payload(n)
+    store = shm_tier.SharedSegmentStore(cache / shm_tier.REGISTRY_NAME)
+    assert store.publish(digest, data) is not None
+    store.close()
+    return shm_tier.SharedSegmentStore._block_name(digest)
+
+
+class TestReapStale:
+    def test_unlinks_every_registered_block(self, tmp_path):
+        cache = tmp_path / "cache"
+        name = _publish_block(cache)
+        assert _attachable(name)
+        assert shm_tier.reap_stale(tmp_path) == 1
+        assert not _attachable(name)
+        assert not (cache / shm_tier.REGISTRY_NAME).exists()
+
+    def test_recurses_into_nested_cache_dirs(self, tmp_path):
+        names = [
+            _publish_block(tmp_path / "a", n=1024),
+            _publish_block(tmp_path / "b" / "deep", n=1536),
+        ]
+        assert shm_tier.reap_stale(tmp_path) == 2
+        assert not any(_attachable(n) for n in names)
+
+    def test_missing_root_is_zero(self, tmp_path):
+        assert shm_tier.reap_stale(tmp_path / "nope") == 0
+
+    def test_registry_naming_dead_blocks_is_removed(self, tmp_path):
+        registry = tmp_path / shm_tier.REGISTRY_NAME
+        registry.write_text("obf-never-existed\n")
+        assert shm_tier.cleanup_registry(registry) == 0
+        assert not registry.exists()
+
+
+class TestArming:
+    def test_armed_registry_is_reaped(self, tmp_path):
+        cache = tmp_path / "cache"
+        name = _publish_block(cache)
+        registry = cache / shm_tier.REGISTRY_NAME
+        shm_tier.arm_parent_reaper(registry)
+        try:
+            assert shm_tier._reap_armed() == 1
+        finally:
+            shm_tier.disarm_parent_reaper(registry)
+        assert not _attachable(name)
+        assert not registry.exists()
+
+    def test_disarm_forgets_the_registry(self, tmp_path):
+        cache = tmp_path / "cache"
+        name = _publish_block(cache)
+        registry = cache / shm_tier.REGISTRY_NAME
+        shm_tier.arm_parent_reaper(registry)
+        shm_tier.disarm_parent_reaper(registry)
+        assert shm_tier._reap_armed() == 0
+        assert _attachable(name)  # normal-path cleanup owns it now
+        shm_tier.cleanup_registry(registry)
+
+    def test_service_startup_adopts_and_reaps(self, tmp_path):
+        # The job service adopting a cache directory reaps what a
+        # SIGKILLed predecessor left behind.
+        from repro.service import ObfuscadeService
+
+        cache = tmp_path / "cache"
+        name = _publish_block(cache)
+        service = ObfuscadeService(cache_dir=cache)
+        assert not _attachable(name)
+        counters = service.metrics.to_dict()["counters"]
+        assert counters["service.shm_stale_reaped"] == 1
+
+
+#: Subprocess body: publish one block, arm the reaper, then die the way
+#: the parent asks (signal delivered externally, or a normal exit).
+_PUBLISHER = textwrap.dedent("""
+    import hashlib, io, sys, time
+    from pathlib import Path
+    import numpy as np
+    from repro.pipeline import shm as shm_tier
+
+    cache = Path(sys.argv[1]); mode = sys.argv[2]
+    buf = io.BytesIO()
+    np.lib.format.write_array(
+        buf, np.arange(2048, dtype=np.float64), allow_pickle=False
+    )
+    data = buf.getvalue()
+    digest = hashlib.sha256(data).hexdigest()
+    store = shm_tier.SharedSegmentStore(cache / shm_tier.REGISTRY_NAME)
+    assert store.publish(digest, data) is not None
+    shm_tier.arm_parent_reaper(cache / shm_tier.REGISTRY_NAME)
+    print("READY", store._block_name(digest), flush=True)
+    if mode == "exit":
+        sys.exit(0)
+    time.sleep(120)   # parent kills us
+""")
+
+
+def _spawn_publisher(tmp_path, mode):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _PUBLISHER, str(tmp_path / "cache"), mode],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+    )
+    line = proc.stdout.readline().split()
+    assert line and line[0] == "READY", proc.stderr.read()
+    return proc, line[1]
+
+
+def _wait_gone(name, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not _attachable(name):
+            return True
+        time.sleep(0.05)
+    return False
+
+
+@chaos
+class TestParentDeath:
+    def test_sigterm_reaps_before_death(self, tmp_path):
+        proc, name = _spawn_publisher(tmp_path, "sleep")
+        assert _attachable(name)
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == -signal.SIGTERM  # re-delivered
+        assert _wait_gone(name)
+        assert not (tmp_path / "cache" / shm_tier.REGISTRY_NAME).exists()
+
+    def test_normal_exit_reaps_via_atexit(self, tmp_path):
+        proc, name = _spawn_publisher(tmp_path, "exit")
+        assert proc.wait(timeout=30) == 0
+        assert _wait_gone(name)
+
+    def test_sigkill_leak_is_recovered_by_reap_stale(self, tmp_path):
+        proc, name = _spawn_publisher(tmp_path, "sleep")
+        proc.send_signal(signal.SIGKILL)
+        assert proc.wait(timeout=30) == -signal.SIGKILL
+        # Uncatchable death: the block leaks past the process...
+        assert _attachable(name)
+        assert (tmp_path / "cache" / shm_tier.REGISTRY_NAME).exists()
+        # ...until the next adopter of the cache directory reaps it.
+        assert shm_tier.reap_stale(tmp_path / "cache") == 1
+        assert not _attachable(name)
+
+    def test_sigkill_mid_sweep_is_recovered(self, tmp_path):
+        """Kill a real shm-enabled sweep parent mid-run; the blocks its
+        registry names must all be reclaimable by ``reap_stale``."""
+        script = textwrap.dedent("""
+            import sys
+            from repro.cad.resolution import COARSE, FINE
+            from repro.obfuscade.attack import CounterfeiterSimulator
+            from repro.obfuscade.obfuscator import Obfuscator
+            from repro.pipeline import ProcessChain
+            from repro.printer.machines import DIMENSION_ELITE
+            from repro.printer.orientation import PrintOrientation
+
+            protected = Obfuscator(seed=7).protect_tensile_bar()
+            sim = CounterfeiterSimulator(
+                resolutions=[COARSE, FINE],
+                orientations=list(PrintOrientation),
+                chain=ProcessChain(machine=DIMENSION_ELITE),
+                jobs=2,
+                cache_dir=sys.argv[1],
+            )
+            sim.attack(protected)
+        """)
+        cache = tmp_path / "cache"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        env[shm_tier.SHM_ENV] = "1"
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(cache)],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            env=env,
+            cwd=str(REPO),
+            start_new_session=True,  # so the worker pool dies with it
+        )
+        registry = cache / shm_tier.REGISTRY_NAME
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    pytest.skip("sweep finished before the kill landed")
+                if registry.exists() and registry.read_text().strip():
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("registry never appeared; shm tier inactive?")
+            names = registry.read_text().split()
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                os.killpg(proc.pid, signal.SIGKILL)
+        # Wait for the whole process group to be gone.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            try:
+                os.killpg(proc.pid, 0)
+            except ProcessLookupError:
+                break
+            time.sleep(0.1)
+        shm_tier.reap_stale(cache)
+        leaked = [n for n in names if _attachable(n)]
+        assert leaked == []

@@ -113,3 +113,79 @@ class TestValidation:
         # per-layer but the layer count shrinks against expectation
         # only if we check against the full reference separately.
         assert report.n_layers_gcode < 23
+
+
+def _square_at(z: float, e_start: float, size: float = 5.0) -> str:
+    """One closed square perimeter extruded at height ``z``."""
+    return (
+        f"G0 Z{z:.12f}\n"
+        "G0 X0 Y0\n"
+        f"G1 X{size} Y0 E{e_start + 1}\n"
+        f"G1 X{size} Y{size} E{e_start + 2}\n"
+        f"G1 X0 Y{size} E{e_start + 3}\n"
+        f"G1 X0 Y0 E{e_start + 4}\n"
+    )
+
+
+class TestZBinning:
+    """Regression tests for the ISSUE 9 layer-binning fix.
+
+    ``reconstruct_layers`` used to key layers by ``round(z, 6)``, so Z
+    values differing only by floating-point jitter split one physical
+    layer in two whenever they straddled a rounding boundary.  Binning
+    is now tolerance-based.
+    """
+
+    def test_jitter_straddling_rounding_boundary_is_one_layer(self):
+        # 0.3333331 rounds to 0.333333 and 0.3333339 to 0.333334: the
+        # old round(z, 6) keying split these 0.8 um apart Z words into
+        # two layers.  They are the same physical layer.
+        text = _square_at(0.3333331, 0) + _square_at(0.3333339, 4)
+        layers = reconstruct_layers(parse_gcode(text))
+        assert len(layers) == 1
+        assert len(layers[0].loops) == 2
+
+    def test_accumulated_float_error_keeps_layer_count(self):
+        # Firmware-style accumulated Z (repeated += layer height) drifts
+        # from i * h by float error; every increment must still land in
+        # its own - and only its own - layer.
+        h, n = 0.178, 30
+        z, e, parts = 0.0, 0.0, []
+        for _ in range(n):
+            z += h  # accumulates error vs. i * h
+            parts.append(_square_at(z, e))
+            e += 4
+        layers = reconstruct_layers(parse_gcode("".join(parts)))
+        assert len(layers) == n
+        for i, layer in enumerate(layers, start=1):
+            assert layer.z == pytest.approx(i * h, abs=1e-9)
+            assert len(layer.loops) == 1
+
+    def test_jittered_duplicate_z_per_layer(self):
+        # Two extrusion blocks per physical layer, 1e-9 mm apart in Z
+        # (e.g. perimeter and infill emitted with re-derived Z words).
+        text = (
+            _square_at(0.2, 0)
+            + _square_at(0.2 + 1e-9, 4)
+            + _square_at(0.4 - 1e-9, 8)
+            + _square_at(0.4, 12)
+        )
+        layers = reconstruct_layers(parse_gcode(text))
+        assert len(layers) == 2
+        assert [len(layer.loops) for layer in layers] == [2, 2]
+
+    def test_explicit_z_tol_overrides_inference(self):
+        text = _square_at(0.2, 0) + _square_at(0.25, 4)
+        moves = parse_gcode(text)
+        # Default: 0.05 mm apart is two real layers.
+        assert len(reconstruct_layers(moves)) == 2
+        # Caller-supplied coarse tolerance merges them.
+        assert len(reconstruct_layers(moves, z_tol=0.1)) == 1
+
+    def test_distinct_layers_never_merge_by_default(self):
+        text = "".join(
+            _square_at((i + 1) * 0.2, i * 4) for i in range(5)
+        )
+        layers = reconstruct_layers(parse_gcode(text))
+        assert len(layers) == 5
+        assert all(len(layer.loops) == 1 for layer in layers)
