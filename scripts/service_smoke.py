@@ -1,18 +1,26 @@
 #!/usr/bin/env python
-"""End-to-end smoke test of the multi-tenant obfuscation service.
+"""End-to-end smoke test of the fleet-scheduled obfuscation service.
 
-Drives a real :class:`ObfuscadeService` through its HTTP API the way CI
-exercises the other subsystems (ISSUE 9 acceptance):
+Drives a real :class:`ObfuscadeService` through the v1 HTTP API with
+the :class:`repro.client.ServiceClient` SDK, the way CI exercises the
+other subsystems (ISSUE 9 + ISSUE 10 acceptance):
 
 * N identical jobs submitted concurrently from distinct tenants must
   coalesce onto ONE computation (one admission, N-1 joins, one run
-  manifest), while M distinct jobs ride alongside;
+  manifest), while mixed-priority distinct jobs ride alongside;
+* the distinct jobs' grids overlap the shared one, and the fleet
+  admits them concurrently (``--max-concurrent-jobs``), so the
+  cross-job dedupe counters must prove shared nodes executed once
+  (``cross_job_deduped >= 1``) while every overlapping cell still
+  agrees bit-for-bit;
+* one queued job must be cancelled through ``DELETE /v1/jobs/{id}``
+  without perturbing any surviving job's results;
 * one more distinct submission beyond the queue depth must get a
-  structured 429-style rejection, never a hang;
+  structured 429 envelope, never a hang;
 * the shared job's fingerprints must be bit-identical to a serial CLI
-  sweep of the same grid (``--baseline``), and the overlapping cells of
-  the distinct jobs must agree with the shared job - shared stages are
-  computed once fleet-wide and reused, not recomputed divergently;
+  sweep of the same grid (``--baseline``);
+* ``check_run_artifacts.py`` must pass on EVERY completed job's
+  manifest + trace (per-job accounting stays exact under the fleet);
 * the warm worker pool must survive every job without a rebuild.
 
 The shared job's manifest and trace are copied to stable names
@@ -22,54 +30,38 @@ a follow-up ``check_run_artifacts.py`` step can schema-check them.
 Usage:
     PYTHONPATH=src python scripts/service_smoke.py \
         --out /tmp/service-smoke [--baseline serial-manifest.json] \
-        [--jobs 2] [--identical 8]
+        [--jobs 2] [--identical 8] [--max-concurrent-jobs 2]
 """
 
 import argparse
-import json
 import shutil
 import sys
 import threading
-import time
 from pathlib import Path
-from urllib.error import HTTPError
-from urllib.request import Request, urlopen
 
+from repro.client import ServiceClient, ServiceClientError
 from repro.observability import manifest as manifest_mod
 from repro.service import ObfuscadeService, ServiceServer
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import check_run_artifacts  # noqa: E402 - sibling script
+
 #: The coalescing target: every "identical" submission sends exactly this.
 SHARED = {"seed": 7, "resolutions": ["coarse"], "orientations": ["x-y"]}
-#: Distinct jobs that must NOT coalesce with the shared one (their grids
-#: overlap it, so their overlapping cells must still agree bit-for-bit).
+#: Distinct jobs that must NOT coalesce with the shared one.  Their
+#: grids overlap it (and each other), at different priorities, so the
+#: fleet must dedupe their shared nodes across job boundaries.
 DISTINCT = [
-    {"seed": 7, "resolutions": ["coarse"], "orientations": ["x-z"]},
-    {"seed": 7, "resolutions": ["coarse"], "orientations": ["x-y", "x-z"]},
+    {"seed": 7, "resolutions": ["coarse"], "orientations": ["x-z"],
+     "priority": 1},
+    {"seed": 7, "resolutions": ["coarse"], "orientations": ["x-y", "x-z"],
+     "priority": 7},
 ]
+#: Submitted, then DELETEd while still queued: must cancel cleanly.
+DOOMED = {"seed": 7, "resolutions": ["fine"], "orientations": ["x-z"],
+          "priority": 9}
 #: Submitted once the queue is full: must be refused, not queued.
 OVERFLOW = {"seed": 7, "resolutions": ["fine"], "orientations": ["x-y"]}
-
-
-def _http(method, url, payload=None, tenant=None, timeout=300):
-    headers = {"Content-Type": "application/json"}
-    if tenant:
-        headers["X-Tenant"] = tenant
-    data = json.dumps(payload).encode() if payload is not None else None
-    req = Request(url, data=data, headers=headers, method=method)
-    try:
-        with urlopen(req, timeout=timeout) as resp:
-            return resp.status, json.loads(resp.read())
-    except HTTPError as exc:
-        return exc.code, json.loads(exc.read())
-
-
-def _await_result(url, job_id, deadline_s=900):
-    deadline = time.monotonic() + deadline_s
-    while time.monotonic() < deadline:
-        code, doc = _http("GET", f"{url}/result/{job_id}?wait=30")
-        if code == 200:
-            return doc
-    raise TimeoutError(f"job {job_id} did not finish within {deadline_s}s")
 
 
 def main(argv=None) -> int:
@@ -82,6 +74,8 @@ def main(argv=None) -> int:
                         help="warm worker pool size")
     parser.add_argument("--identical", type=int, default=8,
                         help="concurrent identical submissions")
+    parser.add_argument("--max-concurrent-jobs", type=int, default=2,
+                        help="fleet admission width")
     args = parser.parse_args(argv)
 
     out = Path(args.out)
@@ -90,18 +84,20 @@ def main(argv=None) -> int:
         cache_dir=out / "cache",
         out_dir=out / "runs",
         jobs=args.jobs,
-        queue_depth=1 + len(DISTINCT),
+        max_concurrent_jobs=args.max_concurrent_jobs,
+        queue_depth=2 + len(DISTINCT),
     )
     server = ServiceServer(service, port=0)
     server.start()
     # Paused dispatcher: every submission lands while nothing runs, so
-    # the join/admit split is deterministic.
+    # the join/admit split and the queued-cancel are deterministic.
     service.start(paused=True)
     try:
-        responses = [None] * args.identical
+        views = [None] * args.identical
         def submit(i):
-            responses[i] = _http("POST", server.url + "/submit",
-                                 SHARED, tenant=f"tenant-{i}")
+            client = ServiceClient(server.url, tenant=f"tenant-{i}")
+            view = client.submit(**SHARED)
+            views[i] = (view, client.last_submit_joined)
         threads = [threading.Thread(target=submit, args=(i,))
                    for i in range(args.identical)]
         for t in threads:
@@ -109,55 +105,77 @@ def main(argv=None) -> int:
         for t in threads:
             t.join()
 
-        admissions = [doc for code, doc in responses
-                      if code == 202 and not doc["joined"]]
-        joins = [doc for code, doc in responses
-                 if code == 202 and doc["joined"]]
+        admissions = [v for v, joined in views if not joined]
+        joins = [v for v, joined in views if joined]
         if len(admissions) != 1 or len(joins) != args.identical - 1:
             problems.append(
                 f"{args.identical} identical submissions produced "
                 f"{len(admissions)} admissions + {len(joins)} joins "
                 f"(want 1 + {args.identical - 1})"
             )
-        shared_id = (admissions or [{"job_id": None}])[0]["job_id"]
-        if any(doc["job_id"] != shared_id for doc in joins):
+        shared_id = admissions[0].job_id if admissions else None
+        if any(v.job_id != shared_id for v in joins):
             problems.append("joined submissions did not all share one job id")
 
         distinct_ids = []
         for i, payload in enumerate(DISTINCT):
-            code, doc = _http("POST", server.url + "/submit",
-                              payload, tenant=f"distinct-{i}")
-            if code != 202 or doc["joined"]:
+            client = ServiceClient(server.url, tenant=f"distinct-{i}")
+            view = client.submit(**payload)
+            if client.last_submit_joined:
                 problems.append(
-                    f"distinct job {i} got code={code} joined="
-                    f"{doc.get('joined')} (want a fresh 202 admission)"
+                    f"distinct job {i} joined {view.job_id} "
+                    f"(want a fresh admission)"
                 )
-            distinct_ids.append(doc.get("job_id"))
+            distinct_ids.append(view.job_id)
 
-        code, doc = _http("POST", server.url + "/submit",
-                          OVERFLOW, tenant="straggler")
-        if code != 429 or doc.get("code") != "queue_full":
+        doomed_client = ServiceClient(server.url, tenant="doomed")
+        doomed = doomed_client.submit(**DOOMED)
+
+        try:
+            ServiceClient(server.url, tenant="straggler").submit(**OVERFLOW)
+            problems.append("overflow submission was admitted (want 429)")
+        except ServiceClientError as exc:
+            if exc.status != 429 or exc.envelope.code != "queue_full":
+                problems.append(
+                    f"overflow got [{exc.status}] {exc.envelope.code} "
+                    f"(want structured 429 queue_full)"
+                )
+
+        # DELETE while queued: the job must reach a terminal cancelled
+        # state and never consume fleet work.
+        cancelled = doomed_client.cancel(doomed.job_id)
+        if cancelled.state != "cancelled":
             problems.append(
-                f"overflow submission got {code} {doc} "
-                f"(want structured 429 queue_full)"
+                f"DELETE left doomed job {cancelled.state!r} "
+                f"(want cancelled)"
             )
+        try:
+            doomed_client.cancel(doomed.job_id)
+            problems.append("second DELETE succeeded (want 409)")
+        except ServiceClientError as exc:
+            if exc.status != 409 or exc.envelope.code != "not_cancellable":
+                problems.append(
+                    f"second DELETE got [{exc.status}] {exc.envelope.code} "
+                    f"(want 409 not_cancellable)"
+                )
 
         service.resume()
-        shared_doc = _await_result(server.url, shared_id)
-        distinct_docs = [_await_result(server.url, jid)
-                         for jid in distinct_ids]
+        waiter = ServiceClient(server.url, tenant="waiter")
+        shared_view = waiter.wait_result(shared_id, timeout_s=900)
+        distinct_views = [waiter.wait_result(jid, timeout_s=900)
+                          for jid in distinct_ids]
 
-        for label, doc in [("shared", shared_doc)] + [
-            (f"distinct-{i}", d) for i, d in enumerate(distinct_docs)
+        for label, view in [("shared", shared_view)] + [
+            (f"distinct-{i}", v) for i, v in enumerate(distinct_views)
         ]:
-            if doc["state"] != "done":
-                problems.append(f"{label} job ended {doc['state']}: "
-                                f"{doc.get('error')}")
+            if view.state != "done":
+                problems.append(f"{label} job ended {view.state}: "
+                                f"{view.error}")
 
-        shared_fp = shared_doc["result"]["fingerprints"]
-        merged_fp = dict(distinct_docs[0]["result"]["fingerprints"])
+        shared_fp = shared_view.result["fingerprints"]
+        merged_fp = dict(distinct_views[0].result["fingerprints"])
         merged_fp.update(shared_fp)
-        both = distinct_docs[1]["result"]["fingerprints"]
+        both = distinct_views[1].result["fingerprints"]
         if both != merged_fp:
             problems.append(
                 "distinct jobs disagree with the shared job on "
@@ -173,32 +191,44 @@ def main(argv=None) -> int:
                     f"{baseline.get('fingerprints')}"
                 )
 
-        code, metrics = _http("GET", server.url + "/metrics")
+        # The tentpole gate: concurrently admitted overlapping jobs
+        # must have deduped at least one node across job boundaries.
+        cross_job = sum(
+            v.result["fleet"]["cross_job_deduped"]
+            for v in [shared_view] + distinct_views
+        )
+        if cross_job < 1:
+            problems.append(
+                "no cross-job dedupe happened (cross_job_deduped == 0 "
+                "on every job; overlapping concurrent jobs should share)"
+            )
+
+        metrics = waiter.metrics()
         counters = metrics.get("counters", {})
         expect = {
             "service.coalesced_jobs": 1,
             "service.joined_waiters": args.identical - 1,
-            "service.jobs_submitted": 1 + len(DISTINCT),
+            "service.jobs_submitted": 2 + len(DISTINCT),
             "service.jobs_rejected": 1,
             "service.jobs_done": 1 + len(DISTINCT),
+            "service.jobs_cancelled": 1,
         }
         for key, want in expect.items():
             if counters.get(key) != want:
                 problems.append(
                     f"counter {key} is {counters.get(key)}, want {want}"
                 )
+        if metrics.get("fleet", {}).get("cross_job_deduped", 0) < 1:
+            problems.append(
+                f"service fleet counters missed the cross-job dedupe: "
+                f"{metrics.get('fleet')}"
+            )
         pool = metrics.get("pool")
-        if args.jobs > 1:
-            if not pool or pool["rebuilds"] != 0:
-                problems.append(f"warm pool unhealthy: {pool}")
-            elif pool["leases"] < 1 + len(DISTINCT):
-                problems.append(
-                    f"pool served {pool['leases']} leases, want >= "
-                    f"{1 + len(DISTINCT)} (was it reused at all?)"
-                )
+        if args.jobs > 1 and (not pool or pool["rebuilds"] != 0):
+            problems.append(f"warm pool unhealthy: {pool}")
 
         manifest_doc = manifest_mod.read_manifest(
-            shared_doc["result"]["manifest"]
+            shared_view.result["manifest"]
         )
         schema_problems = manifest_mod.validate_manifest(manifest_doc)
         problems.extend(
@@ -211,10 +241,21 @@ def main(argv=None) -> int:
                 f"want {args.identical}"
             )
 
+        # Per-job accounting must stay exact under the fleet: the
+        # artifact checker passes on EVERY completed job.
+        for label, view in [("shared", shared_view)] + [
+            (f"distinct-{i}", v) for i, v in enumerate(distinct_views)
+        ]:
+            found = check_run_artifacts.check(
+                view.result["trace"], view.result["manifest"],
+                jobs=args.jobs,
+            )
+            problems.extend(f"{label} artifacts: {p}" for p in found)
+
         # Stable copies for the follow-up check_run_artifacts step.
-        shutil.copy(shared_doc["result"]["manifest"],
+        shutil.copy(shared_view.result["manifest"],
                     out / "shared.manifest.json")
-        shutil.copy(shared_doc["result"]["trace"],
+        shutil.copy(shared_view.result["trace"],
                     out / "shared.trace.jsonl")
     finally:
         server.stop()
@@ -226,10 +267,9 @@ def main(argv=None) -> int:
         return 1
     print(
         f"SMOKE OK: {args.identical} identical submissions -> 1 run "
-        f"({args.identical - 1} joins), {len(DISTINCT)} distinct jobs "
-        f"agreed on overlapping cells, overflow got a structured 429, "
-        f"pool leases={pool['leases'] if pool else 'n/a (serial)'} "
-        f"rebuilds={pool['rebuilds'] if pool else 0}"
+        f"({args.identical - 1} joins), {len(DISTINCT)} overlapping jobs "
+        f"cross-job deduped {cross_job} nodes, 1 queued job cancelled, "
+        f"overflow got a structured 429, artifacts exact on every job"
     )
     return 0
 

@@ -374,8 +374,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        help="multi-tenant obfuscation job service (HTTP/JSON API with "
-        "request coalescing and a warm worker pool)",
+        help="multi-tenant obfuscation job service (versioned /v1 "
+        "HTTP/JSON API, request coalescing, concurrent cross-job "
+        "fleet scheduling and a warm worker pool)",
         parents=[executor_parent],
     )
     p.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -394,7 +395,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="per-tenant queued-job quota (0 = unlimited); tenants are "
-        "served round-robin regardless",
+        "served weighted-fair regardless",
+    )
+    p.add_argument(
+        "--max-concurrent-jobs",
+        type=int,
+        default=1,
+        help="jobs admitted into the fleet scheduler at once; "
+        "overlapping concurrent jobs share (stage, digest) nodes "
+        "across job and tenant boundaries",
+    )
+    p.add_argument(
+        "--tenant-weight",
+        action="append",
+        default=[],
+        metavar="TENANT=WEIGHT",
+        help="weighted fair-share for a tenant (repeatable; default "
+        "weight 1.0), e.g. --tenant-weight gold=4 --tenant-weight "
+        "bronze=0.5",
     )
     p.add_argument(
         "--out-dir",
@@ -681,6 +699,24 @@ def _cmd_serve(args) -> int:
         print("error: --max-tenant-queued must be >= 0 (0 = unlimited)",
               file=sys.stderr)
         return 2
+    if args.max_concurrent_jobs < 1:
+        print("error: --max-concurrent-jobs must be >= 1", file=sys.stderr)
+        return 2
+    tenant_weights = {}
+    for spec in args.tenant_weight:
+        tenant, sep, weight = spec.partition("=")
+        try:
+            parsed = float(weight) if sep else None
+        except ValueError:
+            parsed = None
+        if not tenant or parsed is None or parsed <= 0:
+            print(f"error: --tenant-weight needs TENANT=WEIGHT with a "
+                  f"positive weight, got {spec!r}", file=sys.stderr)
+            return 2
+        tenant_weights[tenant] = parsed
+    if args.no_dedupe:
+        print("note: the fleet scheduler always dedupes shared nodes; "
+              "--no-dedupe only affects the sweep command")
     cache_dir, _journal, retry = validated
     tmp = None
     if cache_dir is None:
@@ -691,20 +727,23 @@ def _cmd_serve(args) -> int:
         cache_dir=cache_dir,
         out_dir=args.out_dir,
         jobs=args.jobs,
+        max_concurrent_jobs=args.max_concurrent_jobs,
         queue_depth=args.queue_depth,
         max_tenant_queued=args.max_tenant_queued,
+        tenant_weights=tenant_weights or None,
         retry=retry,
         cell_timeout_s=args.cell_timeout,
         keep_going=args.keep_going,
-        dedupe=not args.no_dedupe,
     )
     server = ServiceServer(service, host=args.host, port=args.port)
     service.start()
     print(f"obfuscade service listening on {server.url}")
     print(f"cache: {cache_dir}")
     print(f"runs : {service.out_dir}")
-    print("endpoints: POST /submit; GET /status/<id>, /result/<id>?wait=S, "
-          "/healthz, /metrics")
+    print("endpoints: POST /v1/jobs; GET /v1/jobs/<id>[/result?wait=S], "
+          "/v1/healthz, /v1/metrics; DELETE /v1/jobs/<id> "
+          "(legacy /submit, /status, /result answer with a "
+          "Deprecation header)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

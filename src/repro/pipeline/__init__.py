@@ -24,6 +24,7 @@ from repro.pipeline.cache import (
 )
 from repro.pipeline.chain import ChainArtifacts, ChainContext, ProcessChain
 from repro.pipeline.disk import ROOTS_STAGE, DiskStageCache
+from repro.pipeline.fleet import FleetJob, FleetScheduler
 from repro.pipeline.graph import (
     ExecutionGraph,
     SchedulerStats,
@@ -67,6 +68,8 @@ __all__ = [
     "ChainContext",
     "DiskStageCache",
     "ExecutionGraph",
+    "FleetJob",
+    "FleetScheduler",
     "GraphScheduler",
     "MeshValidationError",
     "NO_RETRY",

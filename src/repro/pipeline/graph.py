@@ -272,6 +272,14 @@ class SchedulerStats:
     )
     #: Whether node merging was enabled (the ablation knob).
     dedupe: bool = True
+    #: Stage requests folded into a node another *job* created (fleet
+    #: scheduling only; stays 0 for single-job sweeps).
+    cross_job_deduped: int = 0
+    #: Finished node results delivered to a consuming job that did not
+    #: execute them (fleet fan-out; counts per receiving job).
+    fanout_results: int = 0
+    #: Nodes released unexecuted because every claiming job cancelled.
+    cancelled_nodes: int = 0
 
     def stage(self, name: str) -> NodeCounters:
         if name not in self.stages:
@@ -298,6 +306,11 @@ class SchedulerStats:
         """JSON-serializable form for manifests and benchmark reports."""
         return {
             "dedupe": self.dedupe,
+            "fleet": {
+                "cross_job_deduped": self.cross_job_deduped,
+                "fanout_results": self.fanout_results,
+                "cancelled_nodes": self.cancelled_nodes,
+            },
             "stages": {
                 name: {
                     "requested": c.requested,
@@ -331,6 +344,12 @@ class SchedulerStats:
             f"{self.total_scheduled:>9d} {self.total_deduped:>8d} "
             f"{self.total_executed:>8d}"
         )
+        if self.cross_job_deduped or self.fanout_results or self.cancelled_nodes:
+            lines.append(
+                f"fleet: {self.cross_job_deduped} cross-job deduped, "
+                f"{self.fanout_results} results fanned out, "
+                f"{self.cancelled_nodes} nodes cancelled"
+            )
         return lines
 
 

@@ -1,24 +1,31 @@
-"""Multi-tenant obfuscation job service (ISSUE 9 tentpole).
+"""Multi-tenant obfuscation job service (ISSUE 9 + ISSUE 10).
 
 The production face of the reproduction: a long-lived process fronting
 the staged sweep engine with admission control, in-flight request
-coalescing, a warm worker pool and an HTTP/JSON API - the shape a
-counterfeit-resistance evaluation service would actually ship in.
+coalescing, a concurrent cross-job fleet scheduler and a versioned
+HTTP/JSON API - the shape a counterfeit-resistance evaluation service
+would actually ship in.
 
 Layers (each importable on its own):
 
-* :mod:`repro.service.jobs` - request validation (:class:`JobSpec`),
-  the job lifecycle (:class:`Job`, :class:`JobState`) and the
-  structured refusals (:class:`JobRejected`,
-  :class:`JobValidationError`);
+* :mod:`repro.service.jobs` - request validation (:class:`JobSpec`,
+  now carrying priority/deadline), the job lifecycle (:class:`Job`,
+  :class:`JobState` including ``CANCELLED``) and the structured
+  refusals (:class:`JobRejected`, :class:`JobValidationError`);
 * :mod:`repro.service.queue` - :class:`JobQueue`: bounded depth,
-  per-tenant round-robin fairness, and the coalescing index that joins
-  identical submissions onto one computation;
+  per-tenant *weighted fair* (stride) scheduling, and the coalescing
+  index that joins identical submissions onto one computation;
+* :mod:`repro.service.schema` - the typed v1 wire shapes
+  (:class:`SubmitRequest`, :class:`JobView`, :class:`ErrorEnvelope`)
+  shared by the HTTP layer and the :mod:`repro.client` SDK;
 * :mod:`repro.service.core` - :class:`ObfuscadeService`: the
-  dispatcher thread, warm :class:`~repro.pipeline.WorkerPool`, shared
-  disk cache, per-job manifests/traces, startup shm reaping;
+  dispatcher thread admitting up to ``max_concurrent_jobs`` jobs into
+  one :class:`~repro.pipeline.FleetScheduler`, warm
+  :class:`~repro.pipeline.WorkerPool`, shared disk cache, per-job
+  manifests/traces, startup shm reaping;
 * :mod:`repro.service.http` - :class:`ServiceServer`: the stdlib
-  ``ThreadingHTTPServer`` front end (``repro-obfuscade serve``).
+  ``ThreadingHTTPServer`` front end (``repro-obfuscade serve``) with
+  the ``/v1/`` API and deprecation-headered legacy shims.
 """
 
 from repro.service.core import ObfuscadeService
@@ -31,14 +38,18 @@ from repro.service.jobs import (
     JobValidationError,
 )
 from repro.service.queue import JobQueue
+from repro.service.schema import ErrorEnvelope, JobView, SubmitRequest
 
 __all__ = [
+    "ErrorEnvelope",
     "Job",
     "JobQueue",
     "JobRejected",
     "JobSpec",
     "JobState",
     "JobValidationError",
+    "JobView",
     "ObfuscadeService",
     "ServiceServer",
+    "SubmitRequest",
 ]

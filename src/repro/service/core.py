@@ -1,4 +1,4 @@
-"""The long-lived obfuscation job service (ISSUE 9 tentpole).
+"""The long-lived obfuscation job service (ISSUE 9 + ISSUE 10).
 
 `ObfusCADe` evaluates counterfeit resistance by grid-searching process
 settings against a protected model; the CLI runs one such evaluation
@@ -7,24 +7,32 @@ protection every time.  :class:`ObfuscadeService` amortizes all three
 across many requests from many tenants:
 
 * one :class:`~repro.service.queue.JobQueue` admits, coalesces and
-  fairly orders requests (bounded depth, per-tenant round-robin,
-  structured 429s);
+  fairly orders requests (bounded depth, per-tenant weighted fair
+  scheduling, structured 429s);
+* a single dispatcher thread admits up to ``max_concurrent_jobs`` jobs
+  into one :class:`~repro.pipeline.FleetScheduler` (ISSUE 10
+  tentpole): the admitted jobs' execution graphs merge into one
+  fleet-wide node set keyed by ``(stage, content digest)``, so
+  overlapping submissions - even from different tenants - execute each
+  shared tessellate/resolve node exactly once, with results fanned out
+  to every consuming job and per-job accounting kept exact (each job's
+  manifest + trace still describe precisely its own run, and its
+  fingerprints are bit-identical to running alone);
 * one warm :class:`~repro.pipeline.WorkerPool` plus one shared
   :class:`~repro.pipeline.DiskStageCache` directory serve every job,
   so repeat evaluations land on hot per-process caches and stored
   artifacts;
-* a single dispatcher thread drains the queue through the same
-  fault-tolerant sweep executor the CLI uses
-  (:class:`~repro.obfuscade.attack.CounterfeiterSimulator` with
-  ``force_executor=True``), writes a per-job run manifest + span trace
-  under ``out_dir``, and parks the result on the job for every
-  coalesced waiter;
+* jobs carry priorities and optional deadlines (fleet scheduling
+  order) and can be *cancelled*: a queued job leaves the queue; an
+  admitted job releases the nodes no other job claims (shared nodes
+  survive untouched);
 * on startup the service reaps shared-memory registries a SIGKILLed
   predecessor left under the cache directory
   (:func:`repro.pipeline.shm.reap_stale`).
 
 The service is transport-agnostic; :mod:`repro.service.http` fronts it
-with a stdlib HTTP/JSON API, and tests drive it in-process.
+with a versioned stdlib HTTP/JSON API (``/v1/``), and tests drive it
+in-process.
 """
 
 from __future__ import annotations
@@ -33,15 +41,21 @@ import itertools
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
-from repro import observability as obs
 from repro.mesh.content_hash import model_digest
-from repro.obfuscade.attack import CounterfeiterSimulator
 from repro.obfuscade.obfuscator import Obfuscator
+from repro.obfuscade.quality import QualityGrade, assess_print
 from repro.observability import MetricsRegistry, Tracer, export
 from repro.observability import manifest as manifest_mod
-from repro.pipeline import ProcessChain, WorkerPool, digest_parts
+from repro.pipeline import (
+    ChainConfig,
+    FleetJob,
+    FleetScheduler,
+    ProcessChain,
+    WorkerPool,
+    digest_parts,
+)
 from repro.pipeline import shm as shm_tier
 from repro.pipeline.resilience import NO_RETRY, RetryPolicy
 from repro.service.jobs import (
@@ -67,15 +81,19 @@ class ObfuscadeService:
         Where per-job manifests and traces land; defaults to
         ``<cache_dir>/runs``.
     jobs:
-        Worker processes per sweep.  ``> 1`` keeps a persistent
-        :class:`WorkerPool` alive across jobs; ``1`` executes sweeps
-        serially in the dispatcher thread (still through the sweep
-        executor, still cache-warm).
-    queue_depth / max_tenant_queued:
-        Admission control, as for :class:`JobQueue`.
-    retry / cell_timeout_s / keep_going / dedupe:
-        Per-job executor knobs, as for
-        :class:`~repro.pipeline.ParallelSweep`.
+        Worker processes per fleet.  ``> 1`` keeps a persistent
+        :class:`WorkerPool` alive across jobs; ``1`` executes fleet
+        nodes inline in the dispatcher thread (same worker entry, same
+        artifacts, still cache-warm).
+    max_concurrent_jobs:
+        How many jobs the fleet runs simultaneously.  ``1`` preserves
+        the one-at-a-time dispatch of ISSUE 9; ``> 1`` merges the
+        concurrent jobs' graphs so overlapping work executes once.
+    queue_depth / max_tenant_queued / tenant_weights:
+        Admission control and fairness, as for :class:`JobQueue`.
+    retry / cell_timeout_s / keep_going:
+        Per-node executor knobs, as for
+        :class:`~repro.pipeline.FleetScheduler`.
     """
 
     def __init__(
@@ -83,13 +101,16 @@ class ObfuscadeService:
         cache_dir,
         out_dir=None,
         jobs: int = 1,
+        max_concurrent_jobs: int = 1,
         queue_depth: int = 16,
         max_tenant_queued: int = 0,
+        tenant_weights: Optional[Mapping[str, float]] = None,
         retry: Optional[RetryPolicy] = None,
         cell_timeout_s: Optional[float] = None,
         keep_going: bool = True,
-        dedupe: bool = True,
     ):
+        if max_concurrent_jobs < 1:
+            raise ValueError("max_concurrent_jobs must be >= 1")
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.out_dir = (
@@ -97,22 +118,35 @@ class ObfuscadeService:
         )
         self.out_dir.mkdir(parents=True, exist_ok=True)
         self.jobs = jobs
+        self.max_concurrent_jobs = max_concurrent_jobs
         self.retry = retry if retry is not None else NO_RETRY
         self.cell_timeout_s = cell_timeout_s
         self.keep_going = keep_going
-        self.dedupe = dedupe
         self.metrics = MetricsRegistry()
         self.queue = JobQueue(
             max_depth=queue_depth,
             max_tenant_queued=max_tenant_queued,
             metrics=self.metrics,
+            weights=tenant_weights,
         )
         self.pool: Optional[WorkerPool] = (
             WorkerPool(jobs) if jobs > 1 else None
         )
+        self.fleet = FleetScheduler(
+            cache_dir=str(self.cache_dir),
+            jobs=jobs,
+            retry=self.retry,
+            cell_timeout_s=cell_timeout_s,
+            keep_going=keep_going,
+            pool=self.pool,
+            metrics=self.metrics,
+        )
         self.started_s = time.time()
         self._models: Dict[int, Any] = {}
         self._jobs: Dict[str, Job] = {}
+        #: job_id -> (service job, protected model, start tick) for
+        #: jobs currently admitted to the fleet.
+        self._admitted: Dict[str, Tuple[Job, Any, float]] = {}
         self._lock = threading.Lock()
         self._seq = itertools.count(1)
         self._stop = threading.Event()
@@ -143,12 +177,13 @@ class ObfuscadeService:
         """Coalescing key: content address of the job's full input.
 
         Only result-determining facts participate (model digest,
-        machine, grid) - executor knobs like worker count change the
-        wall-clock, not the artifacts, so they must not split
-        otherwise-identical jobs.  The grid is order-normalized (cell
-        order changes nothing) and the *model digest*, not the seed,
-        represents the geometry - two seeds that build identical
-        geometry are the same computation and coalesce.
+        machine, grid) - executor knobs like worker count, priority or
+        deadline change the wall-clock, not the artifacts, so they
+        must not split otherwise-identical jobs.  The grid is
+        order-normalized (cell order changes nothing) and the *model
+        digest*, not the seed, represents the geometry - two seeds
+        that build identical geometry are the same computation and
+        coalesce.
         """
         protected = self._protected(spec.seed)
         return digest_parts(
@@ -186,6 +221,33 @@ class ObfuscadeService:
         with self._lock:
             return self._jobs.get(job_id)
 
+    def cancel(self, job_id: str) -> str:
+        """Cancel a job: ``"cancelled"``, ``"not_found"`` or
+        ``"not_cancellable"`` (already finished).
+
+        A queued job leaves the queue immediately; an admitted job's
+        unshared queued nodes are released by the fleet (shared and
+        running nodes survive, so other jobs' results are not
+        perturbed).  A job caught in the queue->fleet handoff is
+        flagged and cancelled by the dispatcher before admission.
+        """
+        job = self.get(job_id)
+        if job is None:
+            return "not_found"
+        if job.finished:
+            return "not_cancellable"
+        job.cancel_requested = True
+        if self.queue.cancel(job):
+            job.mark_cancelled()
+            return "cancelled"
+        if self.fleet.cancel(job_id):
+            # The fleet's completion callback marked it cancelled.
+            return "cancelled"
+        # Handoff window: the dispatcher owns the job right now and
+        # will honour ``cancel_requested`` before (or just after)
+        # fleet admission.
+        return "cancelled"
+
     # -- lifecycle -----------------------------------------------------------
 
     def start(self, paused: bool = False) -> None:
@@ -208,67 +270,148 @@ class ObfuscadeService:
         self._gate.set()
 
     def stop(self) -> None:
-        """Stop dispatching and tear the warm pool down (idempotent)."""
+        """Stop dispatching and tear the warm pool down (idempotent).
+
+        Jobs still admitted to the fleet are cancelled (their waiters
+        unblock with a terminal state rather than hanging)."""
         self._stop.set()
         self._gate.set()
         if self._thread is not None:
             self._thread.join(timeout=30)
             self._thread = None
+        self.fleet.abort_all("service stopping")
+        self.fleet.shutdown()
         if self.pool is not None:
             self.pool.shutdown()
 
     def _dispatch_loop(self) -> None:
         while not self._stop.is_set():
-            if not self._gate.wait(timeout=0.1):
-                continue
-            job = self.queue.take(timeout=0.1)
-            if job is None:
-                continue
-            self._run_job(job)
+            admitting = self._gate.is_set()
+            if admitting:
+                # Top the fleet up to capacity without blocking.
+                while self.fleet.active_count() < self.max_concurrent_jobs:
+                    job = self.queue.take(timeout=0)
+                    if job is None:
+                        break
+                    self._admit(job)
+            if self.fleet.has_work():
+                self.fleet.step(timeout=0.1)
+            elif admitting:
+                # Idle: block on the queue so submissions wake us.
+                job = self.queue.take(timeout=0.1)
+                if job is not None:
+                    self._admit(job)
+            else:
+                self._gate.wait(timeout=0.1)
 
     # -- execution -----------------------------------------------------------
 
-    def _run_job(self, job: Job) -> None:
+    def _admit(self, job: Job) -> None:
+        """Plan one queued job into the fleet."""
+        if job.cancel_requested:
+            job.mark_cancelled()
+            self.metrics.inc("service.jobs_cancelled")
+            self.queue.finish(job)
+            return
         started = time.perf_counter()
-        # Per-job tracer feeding the service-lifetime metrics registry:
-        # spans are scoped to the job (its manifest must agree with its
-        # trace), counters accumulate across jobs.
-        tracer = obs.install(Tracer(metrics=self.metrics))
         try:
             protected = self._protected(job.spec.seed)
             chain = ProcessChain(machine=MACHINES[job.spec.machine])
-            sim = CounterfeiterSimulator(
-                resolutions=[RESOLUTIONS[r] for r in job.spec.resolutions],
-                orientations=[ORIENTATIONS[o] for o in job.spec.orientations],
-                chain=chain,
-                jobs=self.jobs,
-                cache_dir=str(self.cache_dir),
-                retry=self.retry,
-                cell_timeout_s=self.cell_timeout_s,
-                keep_going=self.keep_going,
-                dedupe=self.dedupe,
-                pool=self.pool,
-                force_executor=True,
+            config = ChainConfig(
+                machine=chain.machine,
+                settings=chain.base_settings,
+                raster_cell_mm=chain.simulator.raster_cell_mm,
+                plate_margin_mm=chain.plate_margin_mm,
             )
-            result = sim.attack(protected)
-            obs.uninstall()
+            grid = [
+                (RESOLUTIONS[r], ORIENTATIONS[o])
+                for r in job.spec.resolutions
+                for o in job.spec.orientations
+            ]
+            fleet_job = FleetJob(
+                job.job_id,
+                protected.model,
+                grid,
+                config,
+                assess=assess_print,
+                priority=job.spec.priority,
+                deadline_s=job.spec.deadline_s,
+                on_complete=self._on_fleet_complete,
+            )
+            with self._lock:
+                self._admitted[job.job_id] = (job, protected, started)
+            self.fleet.admit(fleet_job)
+            if job.cancel_requested:
+                # cancel() raced the admission; it could not reach the
+                # fleet then, so honour it now.
+                self.fleet.cancel(job.job_id)
+        except Exception as exc:  # noqa: BLE001 - the job, not the service, fails
+            with self._lock:
+                self._admitted.pop(job.job_id, None)
+            job.mark_failed({
+                "type": type(exc).__name__,
+                "message": str(exc),
+            })
+            self.metrics.inc("service.jobs_failed")
+            self.queue.finish(job)
+
+    def _on_fleet_complete(self, fleet_job: FleetJob) -> None:
+        """Fleet completion callback: publish one job's terminal state."""
+        with self._lock:
+            entry = self._admitted.pop(fleet_job.job_id, None)
+        if entry is None:
+            return
+        job, protected, started = entry
+        try:
+            if fleet_job.cancelled or fleet_job.report is None:
+                job.mark_cancelled()
+                self.metrics.inc("service.jobs_cancelled")
+                return
+            report = fleet_job.report
+            # Per-job tracer feeding the service-lifetime metrics
+            # registry: the adopted spans are exactly this job's
+            # attributed work, so its manifest agrees with its trace.
+            tracer = Tracer(metrics=self.metrics)
+            tracer.adopt(fleet_job.spans)
             spans = [s.to_dict() for s in tracer.drain()]
             trace_path = self.out_dir / f"{job.job_id}.trace.jsonl"
             export.write_jsonl(spans, trace_path)
             manifest_path = self._write_manifest(
-                job, protected, result, spans, trace_path
+                job, fleet_job, protected, report, spans, trace_path
             )
+            grid_objs = {
+                (r.name, o.value): (r, o) for r, o in fleet_job.grid
+            }
+            summary = []
+            key_only = True
+            for cell in report.cells:
+                resolution, orientation = grid_objs[
+                    (cell.resolution, cell.orientation)
+                ]
+                matches = protected.key.matches(resolution, orientation)
+                grade = cell.assessment.grade
+                summary.append([
+                    cell.resolution, cell.orientation,
+                    grade.value, cell.assessment.score, matches,
+                ])
+                if grade is QualityGrade.GENUINE and not matches:
+                    key_only = False
             job.mark_done({
                 "fingerprints": {
                     f"{c.resolution}/{c.orientation}": c.fingerprint
-                    for c in result.report.cells
+                    for c in report.cells
                 },
-                "summary": [list(row) for row in result.summary_rows()],
-                "key_only_success": result.key_only_success,
-                "cells_ok": len(result.report.cells),
-                "cells_failed": result.n_failed,
+                "summary": summary,
+                "key_only_success": key_only,
+                "cells_ok": len(report.cells),
+                "cells_failed": len(report.errors),
                 "manifest": str(manifest_path),
                 "trace": str(trace_path),
+                "fleet": {
+                    "cross_job_deduped": fleet_job.counters.cross_job_deduped,
+                    "fanout_results": fleet_job.counters.fanout_results,
+                    "cancelled_nodes": fleet_job.counters.cancelled_nodes,
+                },
             })
             self.metrics.inc("service.jobs_done")
         except Exception as exc:  # noqa: BLE001 - the job, not the service, fails
@@ -278,7 +421,6 @@ class ObfuscadeService:
             })
             self.metrics.inc("service.jobs_failed")
         finally:
-            obs.uninstall()
             self.metrics.observe(
                 "service.job_s", time.perf_counter() - started
             )
@@ -287,7 +429,8 @@ class ObfuscadeService:
             # or starts a fresh, cache-warm run - never hangs.
             self.queue.finish(job)
 
-    def _write_manifest(self, job, protected, result, spans, trace_path):
+    def _write_manifest(self, job, fleet_job, protected, report, spans,
+                        trace_path):
         config = {
             "command": "serve",
             "seed": job.spec.seed,
@@ -295,12 +438,13 @@ class ObfuscadeService:
             "orientations": list(job.spec.orientations),
             "machine": job.spec.machine,
             "jobs": self.jobs,
+            "max_concurrent_jobs": self.max_concurrent_jobs,
             "cache_dir": str(self.cache_dir),
-            "dedupe": self.dedupe,
+            "dedupe": True,
             "shm": shm_tier.shm_enabled(),
         }
         doc = manifest_mod.sweep_manifest(
-            result.report,
+            report,
             model_name=protected.model.name,
             model_digest=model_digest(protected.model),
             config=config,
@@ -309,12 +453,16 @@ class ObfuscadeService:
         )
         # Service provenance rides along as an extra top-level block
         # (the schema validator allows extras): which job produced this
-        # run, for whom, and how much coalescing it benefited from.
+        # run, for whom, at what urgency, and how much cross-job
+        # sharing it benefited from.
         doc["service"] = {
             "job_id": job.job_id,
             "tenant": job.tenant,
             "waiters": job.waiters,
+            "priority": job.spec.priority,
+            "deadline_s": job.spec.deadline_s,
             "queue": self.queue.snapshot(),
+            "fleet": self._fleet_snapshot(),
             "pool": (
                 {
                     "max_workers": self.pool.max_workers,
@@ -330,6 +478,15 @@ class ObfuscadeService:
         return path
 
     # -- introspection -------------------------------------------------------
+
+    def _fleet_snapshot(self) -> Dict[str, Any]:
+        return {
+            "max_concurrent_jobs": self.max_concurrent_jobs,
+            "active": self.fleet.active_count(),
+            "cross_job_deduped": self.fleet.cross_job_deduped,
+            "fanout_results": self.fleet.fanout_results,
+            "cancelled_nodes": self.fleet.cancelled_nodes,
+        }
 
     def healthz(self) -> Dict[str, Any]:
         with self._lock:
@@ -348,11 +505,13 @@ class ObfuscadeService:
             ),
             "jobs": {"known": known, "running": running},
             "queue": self.queue.snapshot(),
+            "fleet": self._fleet_snapshot(),
         }
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         doc = self.metrics.to_dict()
         doc["queue"] = self.queue.snapshot()
+        doc["fleet"] = self._fleet_snapshot()
         if self.pool is not None:
             doc["pool"] = {
                 "max_workers": self.pool.max_workers,

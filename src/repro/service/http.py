@@ -6,25 +6,42 @@ only, and a job API this small fits ``http.server`` comfortably.  A
 every handler is a thin JSON shim over the service object, which does
 its own locking.
 
-API
----
-``POST /submit``
-    Body: ``{"seed": 7, "resolutions": ["coarse", "fine"],
-    "orientations": ["x-y"], "machine": "fdm"}`` (all fields
-    optional).  Tenant comes from the ``X-Tenant`` header (default
-    ``anon``).  Responses: **202** ``{"job_id", "state", "joined",
-    "waiters"}`` - ``joined`` true when the request coalesced onto an
-    in-flight identical job; **400** on validation errors; **429**
-    with the structured backpressure body on admission refusal.
-``GET /status/<job-id>``
-    **200** job snapshot, **404** unknown id.
-``GET /result/<job-id>?wait=S``
-    Long-poll up to ``S`` seconds (capped) for completion.  **200**
-    with the result block once done (or the error block once failed),
-    **202** with the snapshot while still queued/running, **404**
-    unknown id.
-``GET /healthz`` / ``GET /metrics``
-    Liveness + queue snapshot / the full metrics registry.
+v1 API (ISSUE 10)
+-----------------
+The versioned surface lives under ``/v1/``; request/response shapes
+are the typed dataclasses of :mod:`repro.service.schema`.  Every
+non-2xx response carries the one
+``{"error": {"code", "message", "detail"}}`` envelope.
+
+``POST /v1/jobs``
+    Body: :class:`~repro.service.schema.SubmitRequest` fields (all
+    optional), e.g. ``{"seed": 7, "resolutions": ["coarse"],
+    "orientations": ["x-y"], "machine": "fdm", "priority": 2,
+    "deadline_s": 120}``.  Tenant comes from the ``X-Tenant`` header
+    (default ``anon``).  **202** with the
+    :class:`~repro.service.schema.JobView` plus a top-level
+    ``joined`` flag (true when the request coalesced onto an in-flight
+    identical job); **400** ``invalid_request``; **429** ``queue_full``
+    / ``tenant_quota`` with the admission numbers in ``detail``.
+``GET /v1/jobs/{id}``
+    **200** JobView, **404** ``not_found``.
+``GET /v1/jobs/{id}/result?wait=S``
+    Long-poll up to ``S`` seconds - clamped server-side to
+    :data:`MAX_WAIT_S` (60 s); clients wanting longer waits must loop.
+    **200** JobView with ``result`` once done (or ``error`` once
+    failed/cancelled), **202** JobView while queued/running, **404**
+    ``not_found``.
+``DELETE /v1/jobs/{id}``
+    Cancel: **200** JobView once cancelled (queued jobs leave the
+    queue; admitted jobs release their unshared nodes), **404**
+    ``not_found``, **409** ``not_cancellable`` when already finished.
+``GET /v1/healthz`` / ``GET /v1/metrics``
+    Liveness + queue/fleet snapshot / the full metrics registry.
+
+Legacy routes (``/submit``, ``/status/<id>``, ``/result/<id>``,
+``/healthz``, ``/metrics``) remain as thin shims over the same
+handlers; they answer with a ``Deprecation`` header pointing at the v1
+path and use the same error envelope.
 """
 
 from __future__ import annotations
@@ -32,36 +49,104 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.service.jobs import JobRejected, JobState, JobValidationError
+from repro.service.schema import API_VERSION, ErrorEnvelope, JobView
 
-#: Upper bound on ``?wait=`` long-polls, seconds.
+#: Server-side clamp on ``?wait=`` long-polls, seconds.  Documented in
+#: the API: a larger ``wait`` is accepted but truncated to this.
 MAX_WAIT_S = 60.0
 
 
 class _Handler(BaseHTTPRequestHandler):
     """One request; ``self.server.service`` is the ObfuscadeService."""
 
+    #: Set per-request when the path matched a legacy (unversioned)
+    #: route; answered with a ``Deprecation`` header.
+    _deprecated_for: Optional[str] = None
+
     def _send_json(self, code: int, payload: Any) -> None:
         body = json.dumps(payload).encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._deprecated_for:
+            self.send_header("Deprecation", "true")
+            self.send_header("Link",
+                             f'<{self._deprecated_for}>; rel="successor-version"')
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_error(self, code: int, envelope: ErrorEnvelope) -> None:
+        self._send_json(code, envelope.to_dict())
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # request logging goes through the metrics registry instead
 
-    # -- routes --------------------------------------------------------------
+    # -- routing -------------------------------------------------------------
+
+    def _route(self) -> Tuple[Optional[str], Dict[str, str]]:
+        """Map the request path onto a v1 endpoint name.
+
+        Legacy paths map onto the same endpoints with
+        ``_deprecated_for`` set to their v1 successor.
+        """
+        self._deprecated_for = None
+        path = urlparse(self.path).path
+        parts = [p for p in path.split("/") if p]
+        if parts and parts[0] == API_VERSION:
+            parts = parts[1:]
+            if parts == ["jobs"]:
+                return "jobs", {}
+            if len(parts) == 2 and parts[0] == "jobs":
+                return "job", {"id": parts[1]}
+            if len(parts) == 3 and parts[0] == "jobs" \
+                    and parts[2] == "result":
+                return "result", {"id": parts[1]}
+            if parts == ["healthz"]:
+                return "healthz", {}
+            if parts == ["metrics"]:
+                return "metrics", {}
+            return None, {}
+        # Legacy shims.
+        if parts == ["submit"]:
+            self._deprecated_for = f"/{API_VERSION}/jobs"
+            return "jobs", {}
+        if len(parts) == 2 and parts[0] == "status":
+            self._deprecated_for = f"/{API_VERSION}/jobs/{parts[1]}"
+            return "job", {"id": parts[1]}
+        if len(parts) == 2 and parts[0] == "result":
+            self._deprecated_for = f"/{API_VERSION}/jobs/{parts[1]}/result"
+            return "result", {"id": parts[1]}
+        if parts == ["healthz"]:
+            self._deprecated_for = f"/{API_VERSION}/healthz"
+            return "healthz", {}
+        if parts == ["metrics"]:
+            self._deprecated_for = f"/{API_VERSION}/metrics"
+            return "metrics", {}
+        return None, {}
+
+    def _not_found(self, what: Optional[str] = None) -> None:
+        detail = {"path": self.path} if what is None else {"job_id": what}
+        self._send_error(404, ErrorEnvelope(
+            code="not_found",
+            message=(
+                f"unknown path {self.path!r}" if what is None
+                else f"unknown job {what!r}"
+            ),
+            detail=detail,
+        ))
+
+    # -- verbs ---------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        service = self.server.service
-        if urlparse(self.path).path != "/submit":
-            self._send_json(404, {"error": "not_found", "path": self.path})
+        endpoint, params = self._route()
+        if endpoint != "jobs":
+            self._not_found()
             return
+        service = self.server.service
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
@@ -70,65 +155,81 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             payload = json.loads(raw or b"{}")
         except json.JSONDecodeError as exc:
-            self._send_json(
-                400, {"error": "bad_request",
-                      "message": f"body must be JSON: {exc}"},
-            )
+            self._send_error(400, ErrorEnvelope(
+                code="invalid_request",
+                message=f"body must be JSON: {exc}",
+            ))
             return
         tenant = self.headers.get("X-Tenant") or "anon"
         try:
             job, joined = service.submit(payload, tenant=tenant)
         except JobValidationError as exc:
-            self._send_json(
-                400, {"error": "invalid_request", "message": str(exc)}
-            )
+            self._send_error(400, ErrorEnvelope(
+                code="invalid_request", message=str(exc),
+            ))
             return
         except JobRejected as exc:
             # Backpressure is a structured response, never a hang.
-            self._send_json(429, exc.to_dict())
+            self._send_error(429, ErrorEnvelope.from_rejection(exc))
             return
-        self._send_json(202, {
-            "job_id": job.job_id,
-            "state": job.state.value,
-            "joined": joined,
-            "waiters": job.waiters,
-        })
+        doc = JobView.from_job(job).to_dict()
+        doc["joined"] = joined
+        self._send_json(202, doc)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        endpoint, params = self._route()
         service = self.server.service
-        url = urlparse(self.path)
-        parts = [p for p in url.path.split("/") if p]
-        if url.path == "/healthz":
+        if endpoint == "healthz":
             self._send_json(200, service.healthz())
-        elif url.path == "/metrics":
+        elif endpoint == "metrics":
             self._send_json(200, service.metrics_snapshot())
-        elif len(parts) == 2 and parts[0] in ("status", "result"):
-            job = service.get(parts[1])
+        elif endpoint in ("job", "result"):
+            job = service.get(params["id"])
             if job is None:
-                self._send_json(
-                    404, {"error": "not_found", "job_id": parts[1]}
-                )
+                self._not_found(params["id"])
                 return
-            if parts[0] == "status":
-                self._send_json(200, job.snapshot())
+            if endpoint == "job":
+                self._send_json(200, JobView.from_job(job).to_dict())
                 return
             wait_s = 0.0
             try:
-                wait_s = float(parse_qs(url.query).get("wait", ["0"])[0])
+                wait_s = float(
+                    parse_qs(urlparse(self.path).query).get("wait", ["0"])[0]
+                )
             except ValueError:
                 pass
             if wait_s > 0:
                 job.wait(min(wait_s, MAX_WAIT_S))
-            doc = job.snapshot()
-            if job.state is JobState.DONE:
-                doc["result"] = job.result
-                self._send_json(200, doc)
-            elif job.state is JobState.FAILED:
-                self._send_json(200, doc)
-            else:
-                self._send_json(202, doc)
+            doc = JobView.from_job(job, include_result=True).to_dict()
+            self._send_json(200 if job.finished else 202, doc)
         else:
-            self._send_json(404, {"error": "not_found", "path": self.path})
+            self._not_found()
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        endpoint, params = self._route()
+        if endpoint != "job":
+            self._not_found()
+            return
+        service = self.server.service
+        outcome = service.cancel(params["id"])
+        if outcome == "not_found":
+            self._not_found(params["id"])
+            return
+        if outcome == "not_cancellable":
+            job = service.get(params["id"])
+            self._send_error(409, ErrorEnvelope(
+                code="not_cancellable",
+                message=f"job {params['id']!r} already finished",
+                detail={"job_id": params["id"],
+                        "state": job.state.value if job else "unknown"},
+            ))
+            return
+        job = service.get(params["id"])
+        # The fleet callback may still be publishing the terminal
+        # state; wait briefly so the response reflects it.
+        if job is not None and not job.finished:
+            job.wait(timeout=5)
+        self._send_json(200, JobView.from_job(job).to_dict())
 
 
 class ServiceServer:

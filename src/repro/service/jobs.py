@@ -34,12 +34,13 @@ MACHINES = {"fdm": DIMENSION_ELITE, "polyjet": OBJET30_PRO}
 
 
 class JobState(str, Enum):
-    """Lifecycle of a job: queued -> running -> done | failed."""
+    """Lifecycle: queued -> running -> done | failed | cancelled."""
 
     QUEUED = "queued"
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
 
 class JobValidationError(ValueError):
@@ -100,6 +101,11 @@ class JobSpec:
     resolutions: Tuple[str, ...] = ("coarse", "fine", "custom")
     orientations: Tuple[str, ...] = ("x-y", "x-z")
     machine: str = "fdm"
+    #: Fleet scheduling urgency (0 = most urgent, 9 = least).
+    priority: int = 5
+    #: Optional soft deadline in seconds from admission; urgency
+    #: tie-break only - the fleet never aborts a late job.
+    deadline_s: Optional[float] = None
 
     @classmethod
     def from_request(cls, payload: Any) -> "JobSpec":
@@ -108,7 +114,7 @@ class JobSpec:
         if not isinstance(payload, dict):
             raise JobValidationError("request body must be a JSON object")
         unknown = set(payload) - {"seed", "resolutions", "orientations",
-                                  "machine"}
+                                  "machine", "priority", "deadline_s"}
         if unknown:
             raise JobValidationError(
                 f"unknown request fields: {sorted(unknown)}"
@@ -121,6 +127,19 @@ class JobSpec:
             raise JobValidationError(
                 f"unknown machine {machine!r} (choose from {sorted(MACHINES)})"
             )
+        priority = payload.get("priority", 5)
+        if isinstance(priority, bool) or not isinstance(priority, int) \
+                or not 0 <= priority <= 9:
+            raise JobValidationError("priority must be an integer in 0..9")
+        deadline_s = payload.get("deadline_s")
+        if deadline_s is not None:
+            if isinstance(deadline_s, bool) \
+                    or not isinstance(deadline_s, (int, float)) \
+                    or deadline_s <= 0:
+                raise JobValidationError(
+                    "deadline_s must be a positive number of seconds"
+                )
+            deadline_s = float(deadline_s)
         return cls(
             seed=seed,
             resolutions=_names(payload, "resolutions", RESOLUTIONS,
@@ -128,6 +147,8 @@ class JobSpec:
             orientations=_names(payload, "orientations", ORIENTATIONS,
                                 ("x-y", "x-z")),
             machine=machine,
+            priority=priority,
+            deadline_s=deadline_s,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -136,6 +157,8 @@ class JobSpec:
             "resolutions": list(self.resolutions),
             "orientations": list(self.orientations),
             "machine": self.machine,
+            "priority": self.priority,
+            "deadline_s": self.deadline_s,
         }
 
 
@@ -162,11 +185,16 @@ class Job:
         self.finished_s: Optional[float] = None
         self.result: Optional[Dict[str, Any]] = None
         self.error: Optional[Dict[str, Any]] = None
+        #: Set by the service's cancel path; the dispatcher honours it
+        #: if the job is caught mid-handoff between queue and fleet.
+        self.cancel_requested = False
         self._done = threading.Event()
 
     @property
     def finished(self) -> bool:
-        return self.state in (JobState.DONE, JobState.FAILED)
+        return self.state in (
+            JobState.DONE, JobState.FAILED, JobState.CANCELLED
+        )
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job finishes; True if it did within timeout."""
@@ -181,6 +209,13 @@ class Job:
     def mark_failed(self, error: Dict[str, Any]) -> None:
         self.error = error
         self.state = JobState.FAILED
+        self.finished_s = time.time()
+        self._done.set()
+
+    def mark_cancelled(self) -> None:
+        self.error = {"error": "cancelled",
+                      "message": "job cancelled by request"}
+        self.state = JobState.CANCELLED
         self.finished_s = time.time()
         self._done.set()
 

@@ -222,8 +222,9 @@ class TestAdmissionOverHttp:
             {**base, "orientations": ["x-y", "x-z"]}, tenant="carol",
         )
         assert code == 429
-        assert doc["error"] == "rejected" and doc["code"] == "queue_full"
-        assert doc["queue_depth"] == 2 and doc["max_depth"] == 2
+        assert doc["error"]["code"] == "queue_full"
+        detail = doc["error"]["detail"]
+        assert detail["queue_depth"] == 2 and detail["max_depth"] == 2
         # But an identical resubmission joins: no new work, never a 429.
         code, doc = _http(
             "POST", admission.url + "/submit",
@@ -244,7 +245,7 @@ class TestAdmissionOverHttp:
             "POST", quota.url + "/submit",
             {**base, "orientations": ["x-z"]}, tenant="alice",
         )
-        assert code == 429 and doc["code"] == "tenant_quota"
+        assert code == 429 and doc["error"]["code"] == "tenant_quota"
         # Other tenants are unaffected by alice's quota.
         code, _ = _http(
             "POST", quota.url + "/submit",
@@ -259,7 +260,7 @@ class TestAdmissionOverHttp:
     ])
     def test_validation_maps_to_400(self, admission, payload):
         code, doc = _http("POST", admission.url + "/submit", payload)
-        assert code == 400 and doc["error"] == "invalid_request"
+        assert code == 400 and doc["error"]["code"] == "invalid_request"
 
     def test_unknown_routes_404(self, admission):
         assert _http("GET", admission.url + "/status/job-99999")[0] == 404
